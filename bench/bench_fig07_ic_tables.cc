@@ -1,0 +1,95 @@
+// Fig 7: the Accounts example of the information-exposure analysis (§5,
+// after Damiani et al. [12]). Builds the plaintext table, derives the IC
+// table each encryption scheme induces, and prints the per-tuple exposure
+// plus the table coefficient for plaintext / Det_Enc / nDet_Enc / equi-depth
+// hash.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/exposure.h"
+
+using namespace tcells;
+
+int main() {
+  // Accounts(Customer, Balance): Alice appears most often; 200 is the most
+  // frequent balance — the attacker's frequency knowledge pins both.
+  struct Row {
+    const char* customer;
+    int64_t balance;
+  };
+  const std::vector<Row> accounts = {
+      {"Alice", 200}, {"Alice", 200}, {"Bob", 100},
+      {"Chris", 200}, {"Donna", 300}, {"Elvis", 400},
+  };
+
+  std::map<std::string, uint64_t> customer_freq;
+  std::map<int64_t, uint64_t> balance_freq;
+  for (const auto& r : accounts) {
+    customer_freq[r.customer]++;
+    balance_freq[r.balance]++;
+  }
+
+  std::printf("=== Fig 7: Accounts table (%zu tuples) ===\n",
+              accounts.size());
+  std::printf("%-10s %s\n", "Customer", "Balance");
+  for (const auto& r : accounts) {
+    std::printf("%-10s %lld\n", r.customer,
+                static_cast<long long>(r.balance));
+  }
+
+  // --- IC table under Det_Enc -------------------------------------------------
+  // Every distinct value is one equivalence class; classes are matchable by
+  // their cardinality.
+  auto det_customer = analysis::ClassesForDetEnc([&] {
+    std::map<int64_t, uint64_t> as_int;
+    int64_t id = 0;
+    for (const auto& [name, f] : customer_freq) as_int[id++] = f;
+    return as_int;
+  }());
+  auto det_balance = analysis::ClassesForDetEnc(balance_freq);
+
+  std::printf("\nIC table, Det_Enc (per-value inverse anonymity):\n");
+  {
+    std::map<uint64_t, uint64_t> card_count;
+    for (const auto& [name, f] : customer_freq) card_count[f]++;
+    for (const auto& [name, f] : customer_freq) {
+      std::printf("  P(Enc(%-6s) identified) = 1/%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(card_count[f]));
+    }
+  }
+  double eps_det_c = analysis::ColumnExposure(det_customer);
+  double eps_det_b = analysis::ColumnExposure(det_balance);
+
+  // --- Coefficients per scheme ------------------------------------------------
+  uint64_t n_customers = customer_freq.size();
+  uint64_t n_balances = balance_freq.size();
+  double eps_plain = analysis::PlaintextExposure();
+  double eps_ndet = analysis::NDetExposure({n_customers, n_balances});
+  double eps_det = eps_det_c * eps_det_b;  // association inference
+  // Equi-depth hash: two buckets of equal depth per column, together covering
+  // exactly the distinct values (so each tuple's anonymity set is the full
+  // column domain).
+  double eps_hash =
+      analysis::ColumnExposure(analysis::ClassesForHistogram(
+          {{3, 3}, {3, n_customers - 3}})) *
+      analysis::ColumnExposure(analysis::ClassesForHistogram(
+          {{3, 2}, {3, n_balances - 2}}));
+
+  std::printf("\nexposure coefficient of the whole table:\n");
+  std::printf("  %-28s %.4f\n", "plaintext", eps_plain);
+  std::printf("  %-28s %.4f   (P(<Enc(Alice),Enc(200)>) = %.2f)\n",
+              "Det_Enc", eps_det, eps_det_c * eps_det_b);
+  std::printf("  %-28s %.4f   (= 1/%llu * 1/%llu)\n", "nDet_Enc (S_Agg)",
+              eps_ndet, static_cast<unsigned long long>(n_customers),
+              static_cast<unsigned long long>(n_balances));
+  std::printf("  %-28s %.4f\n", "equi-depth hash (ED_Hist)", eps_hash);
+
+  // Sanity ordering as the paper states.
+  bool ok = eps_plain > eps_det && eps_det > eps_hash &&
+            eps_hash >= eps_ndet - 1e-12;
+  std::printf("\nordering plaintext > Det_Enc > hash >= nDet_Enc: %s\n",
+              ok ? "holds" : "VIOLATED");
+  return ok ? 0 : 1;
+}

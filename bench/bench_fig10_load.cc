@@ -1,0 +1,13 @@
+// Fig 10c/10d: global resource consumption Load_Q (MB) vs G and vs N_t.
+#include "bench_fig10_common.h"
+
+int main(int argc, char** argv) {
+  tcells::bench::ParseBenchArgs(argc, argv);
+  using tcells::analysis::CostMetrics;
+  auto mb = [](const CostMetrics& m) { return m.load_bytes / 1e6; };
+  std::printf("=== Fig 10c: Load_Q (MB) vs G ===\n");
+  tcells::bench::SweepG("Load_Q(MB)", mb);
+  std::printf("=== Fig 10d: Load_Q (MB) vs N_t ===\n");
+  tcells::bench::SweepNt("Load_Q(MB)", mb);
+  return 0;
+}

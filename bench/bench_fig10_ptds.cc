@@ -1,0 +1,15 @@
+// Fig 10a/10b: level of parallelism P_TDS vs G and vs N_t.
+#include "bench_fig10_common.h"
+
+int main(int argc, char** argv) {
+  tcells::bench::ParseBenchArgs(argc, argv);
+  using tcells::analysis::CostMetrics;
+  auto ptds = [](const CostMetrics& m) { return m.ptds; };
+  std::printf("=== Fig 10a: P_TDS vs G ===\n");
+  tcells::bench::SweepG("P_TDS", ptds);
+  std::printf("=== Fig 10b: P_TDS vs N_t ===\n");
+  tcells::bench::SweepNt("P_TDS (millions)", [](const CostMetrics& m) {
+    return m.ptds / 1e6;
+  });
+  return 0;
+}

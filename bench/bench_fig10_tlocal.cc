@@ -1,0 +1,13 @@
+// Fig 10g/10h: average local execution time T_local vs G and vs N_t.
+#include "bench_fig10_common.h"
+
+int main(int argc, char** argv) {
+  tcells::bench::ParseBenchArgs(argc, argv);
+  using tcells::analysis::CostMetrics;
+  auto tlocal = [](const CostMetrics& m) { return m.tlocal_seconds; };
+  std::printf("=== Fig 10g: T_local (s) vs G ===\n");
+  tcells::bench::SweepG("T_local(s)", tlocal);
+  std::printf("=== Fig 10h: T_local (s) vs N_t ===\n");
+  tcells::bench::SweepNt("T_local(s)", tlocal);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig 10e/10f/10i/10j: query response time T_Q (aggregation phase) vs G at
+// three availability levels, and vs N_t.
+#include "bench_fig10_common.h"
+
+int main(int argc, char** argv) {
+  tcells::bench::ParseBenchArgs(argc, argv);
+  using tcells::analysis::CostMetrics;
+  auto tq = [](const CostMetrics& m) { return m.tq_seconds; };
+  std::printf("=== Fig 10i: T_Q (s) vs G, available TDS = 1%% of N_t ===\n");
+  tcells::bench::SweepG("T_Q(s)", tq, 0.01);
+  std::printf("=== Fig 10e: T_Q (s) vs G, available TDS = 10%% of N_t ===\n");
+  tcells::bench::SweepG("T_Q(s)", tq, 0.1);
+  std::printf("=== Fig 10j: T_Q (s) vs G, available TDS = 100%% of N_t ===\n");
+  tcells::bench::SweepG("T_Q(s)", tq, 1.0);
+  std::printf("=== Fig 10f: T_Q (s) vs N_t ===\n");
+  tcells::bench::SweepNt("T_Q(s)", tq);
+  return 0;
+}

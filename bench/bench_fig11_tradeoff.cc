@@ -1,0 +1,12 @@
+// Fig 11: qualitative comparison of the protocols along the six axes of
+// §6.4, derived from the cost model and the exposure analysis.
+#include <cstdio>
+
+#include "analysis/tradeoff.h"
+
+int main() {
+  tcells::analysis::CostParams p;  // paper reference parameters
+  std::printf("=== Fig 11: comparison among solutions ===\n\n%s",
+              tcells::analysis::RenderTradeoffFigure(p).c_str());
+  return 0;
+}

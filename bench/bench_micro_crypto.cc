@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the unit operations that calibrate
+// the cost model (§6.2): AES block, SHA-256, HMAC, the two encryption
+// schemes, tuple codec, SQL parsing and partial aggregation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/encryption.h"
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/sha256.h"
+#include "sql/aggregates.h"
+#include "sql/parser.h"
+#include "storage/tuple.h"
+
+namespace tcells {
+namespace {
+
+void BM_AesBlockEncrypt(benchmark::State& state) {
+  Rng rng(1);
+  auto aes = crypto::Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesBlockEncrypt);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(2);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto d = crypto::Sha256::Hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(3);
+  Bytes key = rng.NextBytes(16);
+  Bytes data = rng.NextBytes(64);
+  for (auto _ : state) {
+    auto d = crypto::HmacSha256(key, data);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_NDetEncrypt(benchmark::State& state) {
+  Rng rng(4);
+  auto scheme = crypto::NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes pt = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes ct = scheme.Encrypt(pt, &rng);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NDetEncrypt)->Arg(16)->Arg(4096);
+
+void BM_NDetDecrypt(benchmark::State& state) {
+  Rng rng(5);
+  auto scheme = crypto::NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes ct = scheme.Encrypt(rng.NextBytes(static_cast<size_t>(state.range(0))),
+                            &rng);
+  for (auto _ : state) {
+    auto pt = scheme.Decrypt(ct);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NDetDecrypt)->Arg(16)->Arg(4096);
+
+void BM_DetEncrypt(benchmark::State& state) {
+  Rng rng(6);
+  auto scheme = crypto::DetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes pt = rng.NextBytes(32);
+  for (auto _ : state) {
+    Bytes ct = scheme.Encrypt(pt);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_DetEncrypt);
+
+void BM_TupleCodec(benchmark::State& state) {
+  storage::Tuple t({storage::Value::String("D042"),
+                    storage::Value::Double(1.25),
+                    storage::Value::Int64(7)});
+  for (auto _ : state) {
+    Bytes buf = t.Encode();
+    auto back = storage::Tuple::Decode(buf);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_TupleCodec);
+
+void BM_ParseFlagshipQuery(benchmark::State& state) {
+  const std::string sql =
+      "SELECT AVG(Cons) FROM Power P, Consumer C "
+      "WHERE C.accomodation='detached house' AND C.cid = P.cid "
+      "GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 100 SIZE 50000";
+  for (auto _ : state) {
+    auto stmt = sql::Parse(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseFlagshipQuery);
+
+void BM_PartialAggregation(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  sql::AggSpec spec;
+  spec.kind = sql::AggKind::kAvg;
+  spec.input_index = 1;
+  Rng rng(8);
+  std::vector<storage::Tuple> tuples;
+  for (int i = 0; i < 1024; ++i) {
+    tuples.push_back(storage::Tuple(
+        {storage::Value::Int64(static_cast<int64_t>(rng.NextBelow(groups))),
+         storage::Value::Double(rng.NextDouble())}));
+  }
+  for (auto _ : state) {
+    sql::GroupedAggregation agg({spec});
+    for (const auto& t : tuples) {
+      benchmark::DoNotOptimize(agg.AccumulateTuple(t, 1).ok());
+    }
+    benchmark::DoNotOptimize(agg.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PartialAggregation)->Arg(4)->Arg(256);
+
+}  // namespace
+}  // namespace tcells

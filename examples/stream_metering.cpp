@@ -1,0 +1,73 @@
+// Stream-style metering: the paper's query semantics are those of a stream
+// relational query — data is pushed from the meters to the SSI in windows
+// (§2.3). This example runs a *standing* aggregate as a sequence of
+// SIZE ... DURATION windows over a fleet of intermittently connected meters
+// and prints the per-window series, the way a distribution company would
+// watch mean consumption evolve.
+#include <cstdio>
+
+#include "protocol/protocols.h"
+#include "protocol/reference.h"
+#include "tds/access_control.h"
+#include "workload/smart_meter.h"
+
+using namespace tcells;
+
+int main() {
+  auto keys = crypto::KeyStore::CreateForTest(404);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x19));
+  workload::SmartMeterOptions opts;
+  opts.num_tds = 250;
+  opts.num_districts = 5;
+  opts.readings_per_tds = 4;
+  auto fleet = workload::BuildSmartMeterFleet(
+                   opts, keys, authority, tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  protocol::Querier querier("energy-co", authority->Issue("energy-co"), keys);
+  sim::DeviceModel device(sim::DeviceParams::SmartMeter());
+
+  // Each window: collect for at most 4 connection ticks or 150 answers,
+  // whichever comes first; meters connect with 35% probability per tick.
+  const std::string sql =
+      "SELECT C.district, AVG(P.cons), COUNT(*) "
+      "FROM Power P, Consumer C WHERE C.cid = P.cid "
+      "GROUP BY C.district ORDER BY district SIZE 150 DURATION 4";
+
+  std::printf("standing query, one row block per window:\n  %s\n\n",
+              sql.c_str());
+  std::printf("%-8s %10s %12s %10s %12s\n", "window", "answers", "ticks",
+              "T_Q(s)", "result rows");
+
+  protocol::SAggProtocol s_agg;
+  for (uint64_t window = 1; window <= 5; ++window) {
+    protocol::RunOptions ropts;
+    ropts.compute_availability = 0.3;
+    ropts.connect_prob_per_tick = 0.35;
+    ropts.seed = 1000 + window;  // different connectivity each window
+    auto outcome = protocol::RunQuery(s_agg, fleet.get(), querier, window,
+                                      sql, device, ropts);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "window %llu: %s\n",
+                   static_cast<unsigned long long>(window),
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    const auto& m = outcome->metrics;
+    std::printf("%-8llu %10llu %12llu %10.5f %12zu\n",
+                static_cast<unsigned long long>(window),
+                static_cast<unsigned long long>(
+                    outcome->adversary.collection_items),
+                static_cast<unsigned long long>(m.collection_ticks), m.Tq(),
+                outcome->result.rows.size());
+    for (const auto& row : outcome->result.rows) {
+      std::printf("    %-6s avg=%.3f kWh over %lld readings\n",
+                  row.at(0).AsString().c_str(), row.at(1).AsDouble(),
+                  static_cast<long long>(row.at(2).AsInt64()));
+    }
+  }
+
+  std::printf("\nEach window samples whichever meters connected during it — "
+              "the SIZE/DURATION bound trades coverage for latency, and the "
+              "SSI never learns which meters were sampled.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Closed-form model for the compromised-TDS threat extension (the paper's
+// future work item 2), complementing the empirical LeakLog measurements.
+//
+// Assumption: c of the A available compute TDSs are compromised and leak
+// everything they decrypt; partition assignment is uniform. Three exposure
+// quantities per protocol:
+//   * raw tuples  — every collection tuple is decrypted by exactly one
+//     first-step TDS, so the expected leaked fraction is c/A for every
+//     protocol (the protocols differ downstream, not here);
+//   * group aggregates — fraction of groups whose (partial or final)
+//     aggregate some compromised TDS decrypts; depends on how many TDSs
+//     touch each group;
+//   * all-groups event — probability that a single compromised TDS sees the
+//     aggregates of *every* group. S_Agg's merge root makes this a c/A
+//     event, a structural single point of exposure the tag-based protocols
+//     do not have.
+#ifndef TCELLS_ANALYSIS_COMPROMISE_H_
+#define TCELLS_ANALYSIS_COMPROMISE_H_
+
+#include <string>
+
+namespace tcells::analysis {
+
+struct CompromiseParams {
+  double nt = 1e6;       ///< collection tuples
+  double groups = 1e3;   ///< G
+  double available = 1e5;///< A: compute-phase TDS pool
+  double compromised = 1;///< c: compromised TDSs within the pool
+  double alpha = 3.6;    ///< S_Agg reduction factor
+  double nf = 2;         ///< Rnf noise volume
+  double h = 5;          ///< ED_Hist collision factor
+};
+
+struct CompromiseExposure {
+  /// Expected fraction of raw collection tuples leaked in plaintext.
+  double raw_tuple_fraction = 0;
+  /// Expected fraction of groups whose aggregate is leaked.
+  double group_aggregate_fraction = 0;
+  /// Probability that one compromised TDS alone sees every group.
+  double all_groups_probability = 0;
+};
+
+CompromiseExposure SAggCompromise(const CompromiseParams& p);
+CompromiseExposure NoiseCompromise(const CompromiseParams& p);
+CompromiseExposure EdHistCompromise(const CompromiseParams& p);
+
+/// Dispatch by the bench protocol names ("S_Agg", "R2_Noise", "ED_Hist", ...).
+CompromiseExposure CompromiseFor(const std::string& protocol,
+                                 const CompromiseParams& p);
+
+}  // namespace tcells::analysis
+
+#endif  // TCELLS_ANALYSIS_COMPROMISE_H_

@@ -1,0 +1,148 @@
+#include "analysis/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcells::analysis {
+
+namespace {
+
+/// Assignment waves when a step needs `demand` concurrent TDSs but only
+/// `available` exist.
+double Waves(double demand, double available) {
+  if (available <= 0) return 1;
+  return std::max(1.0, std::ceil(demand / available));
+}
+
+double Available(const CostParams& p) { return p.available_fraction * p.nt; }
+
+/// Shared phase costs: collection is one tuple upload per TDS; filtering
+/// spreads `covering_items` download+upload pairs over the available TDSs.
+void FillCommonPhases(const CostParams& p, double covering_items,
+                      CostMetrics* m) {
+  m->collection_seconds_per_tds = p.tuple_seconds;
+  double waves = Waves(covering_items, Available(p));
+  m->filtering_seconds = waves * 2.0 * p.tuple_seconds;
+}
+
+}  // namespace
+
+double SAggOptimalAlpha() { return 3.6; }
+
+CostMetrics SAggCost(const CostParams& p) {
+  CostMetrics m;
+  const double a = p.alpha;
+  const double ratio = std::max(a, p.nt / p.groups);  // at least one step
+  const double n = std::max(1.0, std::ceil(std::log(ratio) / std::log(a)));
+  const double avail = Available(p);
+
+  // N_i = N_t / (G * a^i); the last step has a single TDS.
+  double ptds = 0;
+  double tq = 0;
+  double merge_load_tuples = 0;  // tuples ingested in steps 2..n (a*G each)
+  for (int i = 1; i <= static_cast<int>(n); ++i) {
+    double ni = std::max(1.0, p.nt / (p.groups * std::pow(a, i)));
+    ptds += ni;
+    // Per step: download a*G pairs, upload G pairs (t_i + t_i').
+    tq += Waves(ni, avail) * (a + 1.0) * p.groups * p.tuple_seconds;
+    if (i >= 2) merge_load_tuples += a * p.groups * ni;
+  }
+
+  // Load_Q = (1 + 2*sum a^-i) * N_t * s_t (§6.1.1): the raw tuples once,
+  // plus each merge step's downloads and uploads.
+  double geo = 0;
+  for (int i = 1; i <= static_cast<int>(n); ++i) geo += std::pow(a, -i);
+  m.load_bytes = (1.0 + 2.0 * geo) * p.nt * p.tuple_bytes;
+
+  m.ptds = ptds;
+  m.tq_seconds = tq;
+  m.tlocal_seconds =
+      (p.nt + merge_load_tuples) * p.tuple_seconds / std::max(1.0, ptds);
+  FillCommonPhases(p, p.groups, &m);
+  // §4.2: the partial aggregate structure (one state per group) must fit in
+  // the device RAM, or S_Agg's merging becomes infeasible on this hardware.
+  m.ram_feasible = p.groups * p.agg_state_bytes <= p.ram_bytes;
+  return m;
+}
+
+namespace {
+
+CostMetrics NoiseCost(const CostParams& p, double nf) {
+  CostMetrics m;
+  const double avail = Available(p);
+  const double noisy_nt = (nf + 1.0) * p.nt;
+  // Optimal n_NB = sqrt((nf+1) N_t / G) (§6.1.2, Cauchy), bounded by how many
+  // TDSs can actually be devoted to each group: with only A available TDSs,
+  // at most A/G can cooperate per group (one TDS handles several groups
+  // sequentially otherwise — that sequencing shows up as a larger per-TDS
+  // ingest in step 1, which is how scarcity slows the protocol down).
+  const double n_nb =
+      std::max(1.0, std::min(std::sqrt(noisy_nt / p.groups),
+                             std::max(1.0, avail / p.groups)));
+
+  // Step 1: n_NB TDSs per group, each ingesting (nf+1)N_t/(n_NB G) tuples.
+  double t1 = (noisy_nt / (n_nb * p.groups) + 1.0) * p.tuple_seconds;
+  // Step 2: one TDS per group merges the n_NB partials.
+  double t2 = (n_nb + 1.0) * p.tuple_seconds;
+
+  m.tq_seconds = t1 + t2;
+  m.ptds = (n_nb + 1.0) * p.groups;
+  m.load_bytes = (noisy_nt + 2.0 * n_nb * p.groups + p.groups) * p.tuple_bytes;
+  m.tlocal_seconds = noisy_nt / p.groups * p.tuple_seconds;
+  FillCommonPhases(p, p.groups, &m);
+  return m;
+}
+
+}  // namespace
+
+CostMetrics RnfNoiseCost(const CostParams& p) { return NoiseCost(p, p.nf); }
+
+CostMetrics CNoiseCost(const CostParams& p) {
+  double nd = p.domain_cardinality > 0 ? p.domain_cardinality : p.groups;
+  return NoiseCost(p, std::max(0.0, nd - 1.0));
+}
+
+CostMetrics EdHistCost(const CostParams& p) {
+  CostMetrics m;
+  const double avail = Available(p);
+  const double r = p.h * p.nt / p.groups;  // tuples per bucket
+  // Optimal fan-outs (§6.1.3), bounded by the TDSs available per bucket
+  // (A / #buckets = A·h/G) and per group (A/G) respectively.
+  const double n_ed =
+      std::max(1.0, std::min(std::pow(r, 2.0 / 3.0),
+                             std::max(1.0, avail * p.h / p.groups)));
+  const double m_ed = std::max(
+      1.0, std::min(std::cbrt(r), std::max(1.0, avail / p.groups)));
+
+  // Step 1: n_ED TDSs per bucket ingest r/n_ED tuples and emit one partial
+  // per group of the bucket (h uploads).
+  double t1 = (r / n_ed + p.h) * p.tuple_seconds;
+  // Step 2: m_ED TDSs per group merge n_ED/m_ED partials each.
+  double t2 = (n_ed / m_ed + 1.0) * p.tuple_seconds;
+  // Step 3: one TDS per group merges the m_ED partials.
+  double t3 = (m_ed + 1.0) * p.tuple_seconds;
+
+  m.tq_seconds = t1 + t2 + t3;
+  m.ptds = (n_ed / p.h + m_ed + 1.0) * p.groups;
+  m.load_bytes =
+      (p.nt + 2.0 * n_ed * p.groups + 2.0 * m_ed * p.groups + p.groups) *
+      p.tuple_bytes;
+  m.tlocal_seconds = (p.nt + n_ed * p.groups + m_ed * p.groups) *
+                     p.tuple_seconds / std::max(1.0, m.ptds);
+  FillCommonPhases(p, p.groups, &m);
+  return m;
+}
+
+CostMetrics CostFor(const std::string& protocol, CostParams p) {
+  if (protocol == "S_Agg") return SAggCost(p);
+  if (protocol == "C_Noise") return CNoiseCost(p);
+  if (protocol == "ED_Hist") return EdHistCost(p);
+  if (protocol.size() > 1 && protocol[0] == 'R') {
+    // "R<nf>_Noise"
+    p.nf = std::strtod(protocol.c_str() + 1, nullptr);
+    return RnfNoiseCost(p);
+  }
+  return CostMetrics{};
+}
+
+}  // namespace tcells::analysis

@@ -1,0 +1,113 @@
+#include "analysis/exposure.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcells::analysis {
+
+double ColumnExposure(const std::vector<ObservedClass>& classes, double z) {
+  if (classes.empty()) return 0;
+  // Sort by observed cardinality and chain classes into anonymity clusters:
+  // two adjacent classes are indistinguishable when their cardinality gap is
+  // within z standard deviations of a Poisson count (z = 0: exact equality).
+  std::vector<const ObservedClass*> sorted;
+  sorted.reserve(classes.size());
+  for (const auto& c : classes) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ObservedClass* a, const ObservedClass* b) {
+              return a->observed_cardinality < b->observed_cardinality;
+            });
+
+  double weighted = 0;
+  uint64_t total_true = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i + 1;
+    uint64_t candidates = sorted[i]->num_plaintext_values;
+    while (j < sorted.size()) {
+      double prev = static_cast<double>(sorted[j - 1]->observed_cardinality);
+      double gap =
+          static_cast<double>(sorted[j]->observed_cardinality) - prev;
+      double threshold = z * std::sqrt(std::max(prev, 1.0));
+      if (gap > threshold) break;
+      candidates += sorted[j]->num_plaintext_values;
+      ++j;
+    }
+    for (size_t k = i; k < j; ++k) {
+      if (candidates > 0) {
+        weighted += static_cast<double>(sorted[k]->true_tuples) /
+                    static_cast<double>(candidates);
+      }
+      total_true += sorted[k]->true_tuples;
+    }
+    i = j;
+  }
+  if (total_true == 0) return 0;
+  return weighted / static_cast<double>(total_true);
+}
+
+double PlaintextExposure() { return 1.0; }
+
+namespace {
+double ProductOfInverses(const std::vector<uint64_t>& distinct) {
+  double prod = 1.0;
+  for (uint64_t n : distinct) {
+    if (n > 0) prod /= static_cast<double>(n);
+  }
+  return prod;
+}
+}  // namespace
+
+double NDetExposure(const std::vector<uint64_t>& distinct_values_per_column) {
+  return ProductOfInverses(distinct_values_per_column);
+}
+
+double CNoiseExposure(const std::vector<uint64_t>& distinct_values_per_column) {
+  return ProductOfInverses(distinct_values_per_column);
+}
+
+double EdHistMinExposure(
+    const std::vector<uint64_t>& distinct_values_per_column) {
+  return ProductOfInverses(distinct_values_per_column);
+}
+
+std::vector<ObservedClass> ClassesForDetEnc(
+    const std::map<int64_t, uint64_t>& value_frequencies) {
+  std::vector<ObservedClass> classes;
+  classes.reserve(value_frequencies.size());
+  for (const auto& [value, freq] : value_frequencies) {
+    classes.push_back({freq, freq, 1});
+  }
+  return classes;
+}
+
+std::vector<ObservedClass> ClassesForHistogram(
+    const std::vector<BucketContent>& buckets) {
+  std::vector<ObservedClass> classes;
+  classes.reserve(buckets.size());
+  for (const auto& b : buckets) {
+    classes.push_back({b.tuples, b.tuples, b.values});
+  }
+  return classes;
+}
+
+std::vector<ObservedClass> ClassesForNoise(
+    const std::map<int64_t, uint64_t>& true_frequencies,
+    const std::map<int64_t, uint64_t>& fake_frequencies) {
+  std::vector<ObservedClass> classes;
+  for (const auto& [value, true_freq] : true_frequencies) {
+    uint64_t fakes = 0;
+    auto it = fake_frequencies.find(value);
+    if (it != fake_frequencies.end()) fakes = it->second;
+    classes.push_back({true_freq + fakes, true_freq, 1});
+  }
+  // Values that only exist as noise still form observable classes.
+  for (const auto& [value, fake_freq] : fake_frequencies) {
+    if (!true_frequencies.count(value)) {
+      classes.push_back({fake_freq, 0, 1});
+    }
+  }
+  return classes;
+}
+
+}  // namespace tcells::analysis

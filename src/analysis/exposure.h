@@ -1,0 +1,87 @@
+// Information-exposure analysis (§5), after Damiani et al.'s IC-table
+// coefficient: the probability that an attacker who knows the global
+// plaintext distribution reconstructs plaintext/association from what the
+// SSI observes.
+//
+// Two layers:
+//  * closed-form coefficients for the schemes with uniform/obfuscated
+//    observable distributions (nDet_Enc, C_Noise, ED_Hist at maximal
+//    collision);
+//  * an empirical estimator over observed equivalence classes, generalizing
+//    the IC table: an attacker can only distinguish classes by their observed
+//    cardinality, so a tuple's anonymity set is the union of the plaintext
+//    candidates of all classes sharing its class's cardinality.
+//    This reproduces the paper's endpoints exactly: Det_Enc (every class one
+//    value, frequencies exposed) and flat histograms (all classes alike,
+//    exposure 1/N_j).
+#ifndef TCELLS_ANALYSIS_EXPOSURE_H_
+#define TCELLS_ANALYSIS_EXPOSURE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace tcells::analysis {
+
+/// What the SSI observed of one encrypted column/tag channel: one entry per
+/// equivalence class (distinct ciphertext / hash value).
+struct ObservedClass {
+  uint64_t observed_cardinality = 0;  ///< occurrences seen by the SSI
+  uint64_t true_tuples = 0;           ///< true tuples inside (for weighting)
+  uint64_t num_plaintext_values = 1;  ///< distinct plaintexts behind it (m)
+};
+
+/// Exposure of one column channel from observed classes:
+///   IC(class c) = 1 / sum_{c' ~ c} m(c')
+///   epsilon     = sum_c true(c) * IC(c) / sum_c true(c)
+/// where c' ~ c means the classes are indistinguishable by cardinality.
+///
+/// `z` selects the attacker's matching power: with z = 0 (default) only
+/// exactly equal cardinalities are indistinguishable (the Damiani IC-table
+/// model used for small exact examples like Fig 7). With z > 0, classes
+/// whose sorted cardinalities differ by at most z*sqrt(card) chain into one
+/// anonymity cluster — the statistical model appropriate for sampled /
+/// noisy distributions, where an attacker cannot tell counts apart within
+/// sampling error (this is what makes heavy random noise effective, §4.3).
+double ColumnExposure(const std::vector<ObservedClass>& classes,
+                      double z = 0.0);
+
+/// epsilon of a fully plaintext table: 1 (no protection).
+double PlaintextExposure();
+
+/// epsilon under nDet_Enc for k columns with N_j distinct global values:
+/// prod_j 1/N_j (§5).
+double NDetExposure(const std::vector<uint64_t>& distinct_values_per_column);
+
+/// C_Noise: flat by construction, same as nDet (§5).
+double CNoiseExposure(const std::vector<uint64_t>& distinct_values_per_column);
+
+/// ED_Hist best case (all values collide on one hash): prod_j 1/N_j (§5).
+double EdHistMinExposure(
+    const std::vector<uint64_t>& distinct_values_per_column);
+
+/// Builds ObservedClass entries for a *deterministically* encrypted column:
+/// every distinct plaintext value becomes one class of its frequency.
+std::vector<ObservedClass> ClassesForDetEnc(
+    const std::map<int64_t, uint64_t>& value_frequencies);
+
+/// Builds ObservedClass entries for an equi-depth histogram channel: classes
+/// are buckets; each carries the values mapped to it.
+struct BucketContent {
+  uint64_t tuples = 0;
+  uint64_t values = 0;
+};
+std::vector<ObservedClass> ClassesForHistogram(
+    const std::vector<BucketContent>& buckets);
+
+/// Builds ObservedClass entries for Rnf_Noise: each true value's class is
+/// inflated by the fakes that landed on it.
+std::vector<ObservedClass> ClassesForNoise(
+    const std::map<int64_t, uint64_t>& true_frequencies,
+    const std::map<int64_t, uint64_t>& fake_frequencies);
+
+}  // namespace tcells::analysis
+
+#endif  // TCELLS_ANALYSIS_EXPOSURE_H_

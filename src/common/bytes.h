@@ -1,0 +1,71 @@
+// Byte-buffer type and little-endian (de)serialization helpers used for
+// tuple wire encoding and ciphertext payloads.
+#ifndef TCELLS_COMMON_BYTES_H_
+#define TCELLS_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tcells {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Appends fixed-width little-endian integers and length-prefixed blobs to a
+/// growing byte vector. All protocol payloads in the library are encoded
+/// through this writer so the format is uniform.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes* out) : out_(out) {}
+
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  /// Length-prefixed (u32) byte string.
+  void PutBytes(const Bytes& b);
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void PutRaw(const uint8_t* data, size_t n);
+
+ private:
+  Bytes* out_;
+};
+
+/// Reads values written by ByteWriter; every getter returns Corruption on
+/// underflow rather than reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<Bytes> GetBytes();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tcells
+
+#endif  // TCELLS_COMMON_BYTES_H_

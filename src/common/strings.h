@@ -1,0 +1,29 @@
+// Small string helpers shared by the SQL front-end and debug printers.
+#ifndef TCELLS_COMMON_STRINGS_H_
+#define TCELLS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcells {
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+}  // namespace tcells
+
+#endif  // TCELLS_COMMON_STRINGS_H_

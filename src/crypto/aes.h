@@ -1,0 +1,43 @@
+// AES-128 block cipher, implemented from scratch (the TDS hardware in the
+// paper has an AES coprocessor; here the software implementation stands in
+// for it and the device model accounts for its cost separately).
+//
+// This is a straightforward table-free implementation: S-box lookups plus
+// xtime-based MixColumns. It is not constant-time; in this repository it only
+// ever runs inside the simulated trusted enclave.
+#ifndef TCELLS_CRYPTO_AES_H_
+#define TCELLS_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace tcells::crypto {
+
+/// AES-128: 16-byte key, 16-byte blocks, 10 rounds.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  /// Expands the key schedule. `key` must be exactly kKeySize bytes.
+  static Result<Aes128> Create(const Bytes& key);
+
+  /// Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block in place.
+  void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+ private:
+  Aes128() = default;
+
+  // 11 round keys of 16 bytes.
+  std::array<uint8_t, 176> round_keys_{};
+};
+
+}  // namespace tcells::crypto
+
+#endif  // TCELLS_CRYPTO_AES_H_

@@ -1,0 +1,103 @@
+#include "crypto/broadcast.h"
+
+#include <string>
+
+#include "crypto/encryption.h"
+#include "crypto/hmac.h"
+
+namespace tcells::crypto {
+
+Result<BroadcastChannel> BroadcastChannel::Create(const Bytes& master,
+                                                  size_t num_devices) {
+  if (master.size() != 16) {
+    return Status::InvalidArgument("broadcast master must be 16 bytes");
+  }
+  if (num_devices == 0) {
+    return Status::InvalidArgument("need at least one device");
+  }
+  size_t capacity = 1;
+  while (capacity < num_devices) capacity *= 2;
+  return BroadcastChannel(master, num_devices, capacity);
+}
+
+Bytes BroadcastChannel::NodeKey(uint32_t node) const {
+  return DeriveKey(master_, "bc-node-" + std::to_string(node));
+}
+
+Result<BroadcastDeviceKeys> BroadcastChannel::DeviceKeys(size_t index) const {
+  if (index >= num_devices_) {
+    return Status::InvalidArgument("device index out of range");
+  }
+  BroadcastDeviceKeys out;
+  out.device_index = index;
+  // Heap numbering: root = 1, leaves = capacity .. 2*capacity-1.
+  for (uint32_t node = static_cast<uint32_t>(capacity_ + index); node >= 1;
+       node /= 2) {
+    out.node_keys.emplace_back(node, NodeKey(node));
+    if (node == 1) break;
+  }
+  return out;
+}
+
+std::vector<uint32_t> BroadcastChannel::Cover(
+    const std::set<size_t>& revoked) const {
+  // A node is "dirty" if its subtree contains a revoked leaf or a padding
+  // leaf (padding leaves beyond num_devices_ must never be covered — their
+  // keys exist but no real device holds them, so covering them is harmless
+  // for security yet would waste header space; treating them as revoked
+  // keeps the cover tight and the invariants uniform).
+  std::set<uint32_t> dirty;
+  auto mark = [&](size_t leaf_index) {
+    for (uint32_t node = static_cast<uint32_t>(capacity_ + leaf_index);
+         node >= 1; node /= 2) {
+      dirty.insert(node);
+      if (node == 1) break;
+    }
+  };
+  for (size_t r : revoked) {
+    if (r < num_devices_) mark(r);
+  }
+  for (size_t pad = num_devices_; pad < capacity_; ++pad) mark(pad);
+
+  if (dirty.empty()) return {1};  // nobody revoked: the root covers everyone
+
+  // Cover = maximal clean subtrees = clean children of dirty nodes.
+  std::vector<uint32_t> cover;
+  for (uint32_t node : dirty) {
+    if (node >= capacity_) continue;  // leaves have no children
+    for (uint32_t child : {2 * node, 2 * node + 1}) {
+      if (!dirty.count(child)) cover.push_back(child);
+    }
+  }
+  return cover;
+}
+
+Result<BroadcastMessage> BroadcastChannel::Encrypt(
+    const Bytes& payload, const std::set<size_t>& revoked, Rng* rng) const {
+  Bytes payload_key = rng->NextBytes(16);
+  TCELLS_ASSIGN_OR_RETURN(NDetEnc body_sealer, NDetEnc::Create(payload_key));
+  BroadcastMessage message;
+  message.body = body_sealer.Encrypt(payload, rng);
+  for (uint32_t node : Cover(revoked)) {
+    TCELLS_ASSIGN_OR_RETURN(NDetEnc wrapper, NDetEnc::Create(NodeKey(node)));
+    message.header.emplace_back(node, wrapper.Encrypt(payload_key, rng));
+  }
+  return message;
+}
+
+Result<Bytes> BroadcastChannel::Decrypt(const BroadcastMessage& message,
+                                        const BroadcastDeviceKeys& device) {
+  for (const auto& [node, wrap] : message.header) {
+    for (const auto& [held_node, key] : device.node_keys) {
+      if (held_node != node) continue;
+      TCELLS_ASSIGN_OR_RETURN(NDetEnc wrapper, NDetEnc::Create(key));
+      TCELLS_ASSIGN_OR_RETURN(Bytes payload_key, wrapper.Decrypt(wrap));
+      TCELLS_ASSIGN_OR_RETURN(NDetEnc body_sealer,
+                              NDetEnc::Create(payload_key));
+      return body_sealer.Decrypt(message.body);
+    }
+  }
+  return Status::NotFound("device is not covered by this broadcast");
+}
+
+}  // namespace tcells::crypto

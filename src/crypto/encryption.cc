@@ -1,0 +1,110 @@
+#include "crypto/encryption.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace tcells::crypto {
+
+void CtrXor(const Aes128& aes, const uint8_t iv[16], const uint8_t* in,
+            size_t n, uint8_t* out) {
+  uint8_t counter[16];
+  std::memcpy(counter, iv, 16);
+  uint8_t keystream[16];
+  size_t pos = 0;
+  while (pos < n) {
+    std::memcpy(keystream, counter, 16);
+    aes.EncryptBlock(keystream);
+    size_t take = std::min<size_t>(16, n - pos);
+    for (size_t i = 0; i < take; ++i) out[pos + i] = in[pos + i] ^ keystream[i];
+    pos += take;
+    // Increment the low 64 bits of the counter (big-endian within the block
+    // tail); IV collisions across 2^64 blocks are out of scope.
+    for (int i = 15; i >= 8; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NDetEnc
+
+NDetEnc::NDetEnc(Aes128 aes, Bytes mac_key)
+    : aes_(aes), mac_key_(std::move(mac_key)) {}
+
+Result<NDetEnc> NDetEnc::Create(const Bytes& master_key) {
+  if (master_key.size() != Aes128::kKeySize) {
+    return Status::InvalidArgument("master key must be 16 bytes");
+  }
+  Bytes enc_key = DeriveKey(master_key, "ndet-enc");
+  Bytes mac_key = DeriveKey(master_key, "ndet-mac");
+  TCELLS_ASSIGN_OR_RETURN(Aes128 aes, Aes128::Create(enc_key));
+  return NDetEnc(aes, std::move(mac_key));
+}
+
+Bytes NDetEnc::Encrypt(const Bytes& plaintext, Rng* rng) const {
+  Bytes out = rng->NextBytes(kIvSize);
+  out.resize(kIvSize + plaintext.size());
+  CtrXor(aes_, out.data(), plaintext.data(), plaintext.size(),
+         out.data() + kIvSize);
+  auto tag = HmacSha256(mac_key_, out);
+  out.insert(out.end(), tag.begin(), tag.begin() + kTagSize);
+  return out;
+}
+
+Result<Bytes> NDetEnc::Decrypt(const Bytes& ciphertext) const {
+  if (ciphertext.size() < kOverhead) {
+    return Status::Corruption("nDet ciphertext too short");
+  }
+  Bytes body(ciphertext.begin(), ciphertext.end() - kTagSize);
+  auto tag = HmacSha256(mac_key_, body);
+  if (!std::equal(tag.begin(), tag.begin() + kTagSize,
+                  ciphertext.end() - kTagSize)) {
+    return Status::Corruption("nDet tag mismatch");
+  }
+  Bytes plain(body.size() - kIvSize);
+  CtrXor(aes_, body.data(), body.data() + kIvSize, plain.size(), plain.data());
+  return plain;
+}
+
+// ---------------------------------------------------------------------------
+// DetEnc
+
+DetEnc::DetEnc(Aes128 aes, Bytes mac_key)
+    : aes_(aes), mac_key_(std::move(mac_key)) {}
+
+Result<DetEnc> DetEnc::Create(const Bytes& master_key) {
+  if (master_key.size() != Aes128::kKeySize) {
+    return Status::InvalidArgument("master key must be 16 bytes");
+  }
+  Bytes enc_key = DeriveKey(master_key, "det-enc");
+  Bytes mac_key = DeriveKey(master_key, "det-siv");
+  TCELLS_ASSIGN_OR_RETURN(Aes128 aes, Aes128::Create(enc_key));
+  return DetEnc(aes, std::move(mac_key));
+}
+
+Bytes DetEnc::Encrypt(const Bytes& plaintext) const {
+  auto siv_full = HmacSha256(mac_key_, plaintext);
+  Bytes out(kIvSize + plaintext.size());
+  std::memcpy(out.data(), siv_full.data(), kIvSize);
+  CtrXor(aes_, out.data(), plaintext.data(), plaintext.size(),
+         out.data() + kIvSize);
+  return out;
+}
+
+Result<Bytes> DetEnc::Decrypt(const Bytes& ciphertext) const {
+  if (ciphertext.size() < kOverhead) {
+    return Status::Corruption("Det ciphertext too short");
+  }
+  Bytes plain(ciphertext.size() - kIvSize);
+  CtrXor(aes_, ciphertext.data(), ciphertext.data() + kIvSize, plain.size(),
+         plain.data());
+  auto siv_full = HmacSha256(mac_key_, plain);
+  if (!std::equal(siv_full.begin(), siv_full.begin() + kIvSize,
+                  ciphertext.begin())) {
+    return Status::Corruption("Det SIV mismatch");
+  }
+  return plain;
+}
+
+}  // namespace tcells::crypto

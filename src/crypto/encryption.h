@@ -1,0 +1,83 @@
+// The two symmetric encryption schemes the paper's protocols rely on:
+//
+//  * nDet_Enc — probabilistic (non-deterministic) encryption: AES-128-CTR
+//    under a fresh random IV, plus an HMAC tag (encrypt-then-MAC). Several
+//    encryptions of the same message yield different ciphertexts, so an
+//    honest-but-curious SSI cannot run frequency-based attacks.
+//
+//  * Det_Enc — deterministic encryption: SIV construction, IV =
+//    HMAC(k_mac, plaintext) truncated to 16 bytes, then AES-128-CTR. Equal
+//    plaintexts yield equal ciphertexts (this is what lets SSI group tuples
+//    by Det_Enc(A_G) in the Noise protocols), and the synthetic IV doubles
+//    as an authenticator on decryption.
+//
+// Both schemes are key-separated from a single 16-byte master key via
+// DeriveKey labels.
+#ifndef TCELLS_CRYPTO_ENCRYPTION_H_
+#define TCELLS_CRYPTO_ENCRYPTION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+
+namespace tcells::crypto {
+
+/// Probabilistic authenticated encryption (nDet_Enc in the paper).
+/// Wire format: IV(16) || CTR-ciphertext(len) || tag(8).
+class NDetEnc {
+ public:
+  static constexpr size_t kIvSize = 16;
+  static constexpr size_t kTagSize = 8;
+  /// Ciphertext expansion over the plaintext length.
+  static constexpr size_t kOverhead = kIvSize + kTagSize;
+
+  /// `master_key` must be 16 bytes; enc and mac subkeys are derived from it.
+  static Result<NDetEnc> Create(const Bytes& master_key);
+
+  /// Encrypts with a fresh IV drawn from `rng` (the simulation's reproducible
+  /// entropy source standing in for the token's hardware TRNG).
+  Bytes Encrypt(const Bytes& plaintext, Rng* rng) const;
+
+  /// Decrypts and verifies the tag; Corruption on any mismatch.
+  Result<Bytes> Decrypt(const Bytes& ciphertext) const;
+
+ private:
+  NDetEnc(Aes128 aes, Bytes mac_key);
+
+  Aes128 aes_;
+  Bytes mac_key_;
+};
+
+/// Deterministic authenticated encryption (Det_Enc in the paper), SIV-style.
+/// Wire format: SIV(16) || CTR-ciphertext(len).
+class DetEnc {
+ public:
+  static constexpr size_t kIvSize = 16;
+  static constexpr size_t kOverhead = kIvSize;
+
+  static Result<DetEnc> Create(const Bytes& master_key);
+
+  /// Same plaintext (under the same key) always produces the same bytes.
+  Bytes Encrypt(const Bytes& plaintext) const;
+
+  /// Decrypts and recomputes the SIV; Corruption on mismatch.
+  Result<Bytes> Decrypt(const Bytes& ciphertext) const;
+
+ private:
+  DetEnc(Aes128 aes, Bytes mac_key);
+
+  Aes128 aes_;
+  Bytes mac_key_;
+};
+
+/// AES-CTR keystream XOR shared by both schemes (exposed for tests).
+void CtrXor(const Aes128& aes, const uint8_t iv[16], const uint8_t* in,
+            size_t n, uint8_t* out);
+
+}  // namespace tcells::crypto
+
+#endif  // TCELLS_CRYPTO_ENCRYPTION_H_

@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace tcells::crypto {
+
+std::array<uint8_t, 32> HmacSha256(const Bytes& key, const Bytes& data) {
+  uint8_t block_key[Sha256::kBlockSize] = {0};
+  if (key.size() > Sha256::kBlockSize) {
+    auto digest = Sha256::Hash(key);
+    std::memcpy(block_key, digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+  uint8_t ipad[Sha256::kBlockSize];
+  uint8_t opad[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad, sizeof(ipad));
+  inner.Update(data);
+  auto inner_digest = inner.Finish();
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+Bytes DeriveKey(const Bytes& master, std::string_view label) {
+  Bytes label_bytes(label.begin(), label.end());
+  auto digest = HmacSha256(master, label_bytes);
+  return Bytes(digest.begin(), digest.begin() + 16);
+}
+
+uint64_t KeyedHash64(const Bytes& key, const Bytes& data) {
+  auto digest = HmacSha256(key, data);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace tcells::crypto

@@ -1,0 +1,27 @@
+// HMAC-SHA-256 (RFC 2104) and helpers built on it: key derivation and the
+// keyed bucket hash used by the ED_Hist protocol.
+#ifndef TCELLS_CRYPTO_HMAC_H_
+#define TCELLS_CRYPTO_HMAC_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace tcells::crypto {
+
+/// HMAC-SHA-256 of `data` under `key` (any key length).
+std::array<uint8_t, 32> HmacSha256(const Bytes& key, const Bytes& data);
+
+/// Derives a 16-byte subkey from a master key and a label, so that the
+/// encryption, MAC and hashing uses of k1/k2 are key-separated.
+Bytes DeriveKey(const Bytes& master, std::string_view label);
+
+/// Keyed 64-bit hash (HMAC truncated). ED_Hist's h(bucketId): reveals nothing
+/// about the bucket's position in the A_G domain to a party without the key.
+uint64_t KeyedHash64(const Bytes& key, const Bytes& data);
+
+}  // namespace tcells::crypto
+
+#endif  // TCELLS_CRYPTO_HMAC_H_

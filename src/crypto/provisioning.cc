@@ -1,0 +1,53 @@
+#include "crypto/provisioning.h"
+
+#include "crypto/hmac.h"
+
+namespace tcells::crypto {
+
+Result<KeyProvisioner> KeyProvisioner::Create(const Bytes& master_seed) {
+  if (master_seed.size() != 16) {
+    return Status::InvalidArgument("master seed must be 16 bytes");
+  }
+  return KeyProvisioner(master_seed);
+}
+
+Bytes KeyProvisioner::K1ForEpoch(uint32_t epoch) const {
+  return DeriveKey(master_seed_, "k1-epoch-" + std::to_string(epoch));
+}
+
+Bytes KeyProvisioner::K2ForEpoch(uint32_t epoch) const {
+  return DeriveKey(master_seed_, "k2-epoch-" + std::to_string(epoch));
+}
+
+Result<std::shared_ptr<const KeyStore>> KeyProvisioner::CurrentKeys() const {
+  return KeyStore::Create(K1ForEpoch(epoch_), K2ForEpoch(epoch_));
+}
+
+Bytes KeyProvisioner::WrapFor(const Bytes& device_key, Rng* rng) const {
+  Bytes plain;
+  ByteWriter w(&plain);
+  w.PutU32(epoch_);
+  w.PutBytes(K1ForEpoch(epoch_));
+  w.PutBytes(K2ForEpoch(epoch_));
+  Bytes wrap_key = DeriveKey(device_key, "provision-wrap");
+  // Key sizes are fixed; Create cannot fail.
+  auto sealer = NDetEnc::Create(wrap_key).ValueOrDie();
+  return sealer.Encrypt(plain, rng);
+}
+
+Result<ProvisionedKeys> KeyProvisioner::Unwrap(const Bytes& device_key,
+                                               const Bytes& wrapped) {
+  Bytes wrap_key = DeriveKey(device_key, "provision-wrap");
+  TCELLS_ASSIGN_OR_RETURN(NDetEnc sealer, NDetEnc::Create(wrap_key));
+  TCELLS_ASSIGN_OR_RETURN(Bytes plain, sealer.Decrypt(wrapped));
+  ByteReader r(plain);
+  ProvisionedKeys out;
+  TCELLS_ASSIGN_OR_RETURN(out.epoch, r.GetU32());
+  TCELLS_ASSIGN_OR_RETURN(Bytes k1, r.GetBytes());
+  TCELLS_ASSIGN_OR_RETURN(Bytes k2, r.GetBytes());
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in key wrap");
+  TCELLS_ASSIGN_OR_RETURN(out.keys, KeyStore::Create(k1, k2));
+  return out;
+}
+
+}  // namespace tcells::crypto

@@ -1,0 +1,73 @@
+// Key provisioning (paper footnote 7): how k1 and k2 reach the TDSs.
+//
+// "In a homogeneous context these keys or a seed allowing to generate a
+// sequence of keys can be installed at burn time. In an open context, a PKI
+// infrastructure could be used [...] Alternatively, a broadcast encryption
+// scheme can also be used."
+//
+// This module implements the practical smartcard pattern: every device
+// carries a unique burn-time key; the deployment operator wraps the current
+// epoch's (k1, k2) individually per device with authenticated encryption.
+// Keys can be rotated: each epoch's pair derives from a master seed, old
+// wraps keep working for their epoch, and devices can be moved to the newest
+// epoch at any connection.
+#ifndef TCELLS_CRYPTO_PROVISIONING_H_
+#define TCELLS_CRYPTO_PROVISIONING_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/keystore.h"
+
+namespace tcells::crypto {
+
+/// A provisioned bundle as the device sees it after unwrapping.
+struct ProvisionedKeys {
+  uint32_t epoch = 0;
+  std::shared_ptr<const KeyStore> keys;
+};
+
+/// Operator side: derives per-epoch deployment keys from a master seed and
+/// wraps them for individual devices.
+class KeyProvisioner {
+ public:
+  /// `master_seed` must be 16 bytes (the deployment's root secret).
+  static Result<KeyProvisioner> Create(const Bytes& master_seed);
+
+  /// Current epoch number (starts at 0).
+  uint32_t epoch() const { return epoch_; }
+
+  /// Advances to the next key epoch (k1/k2 change; §3.1 "these keys may
+  /// change over time").
+  void Rotate() { ++epoch_; }
+
+  /// The KeyStore of the current epoch (what the querier uses).
+  Result<std::shared_ptr<const KeyStore>> CurrentKeys() const;
+
+  /// (k1, k2) of an arbitrary epoch, for verification/tests.
+  Bytes K1ForEpoch(uint32_t epoch) const;
+  Bytes K2ForEpoch(uint32_t epoch) const;
+
+  /// Wraps the current epoch's keys for the device with this burn-time key.
+  /// The wrap is authenticated: only that device can open it, and tampering
+  /// is detected.
+  Bytes WrapFor(const Bytes& device_key, Rng* rng) const;
+
+  /// Device side: unwraps a bundle with the burn-time key.
+  static Result<ProvisionedKeys> Unwrap(const Bytes& device_key,
+                                        const Bytes& wrapped);
+
+ private:
+  explicit KeyProvisioner(Bytes master_seed)
+      : master_seed_(std::move(master_seed)) {}
+
+  Bytes master_seed_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace tcells::crypto
+
+#endif  // TCELLS_CRYPTO_PROVISIONING_H_

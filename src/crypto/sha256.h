@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used by HMAC, the
+// deterministic-encryption synthetic IV, and the equi-depth histogram bucket
+// hash.
+#ifndef TCELLS_CRYPTO_SHA256_H_
+#define TCELLS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace tcells::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(const uint8_t* data, size_t n);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The hasher must not be used
+  /// again afterwards.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace tcells::crypto
+
+#endif  // TCELLS_CRYPTO_SHA256_H_

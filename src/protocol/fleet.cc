@@ -1,0 +1,20 @@
+#include "protocol/fleet.h"
+
+#include <algorithm>
+
+namespace tcells::protocol {
+
+std::vector<tds::TrustedDataServer*> Fleet::SampleAvailable(double fraction,
+                                                            Rng* rng) {
+  size_t want = static_cast<size_t>(fraction * static_cast<double>(size()));
+  want = std::max<size_t>(1, std::min(want, size()));
+  std::vector<size_t> indices(size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng->Shuffle(&indices);
+  std::vector<tds::TrustedDataServer*> out;
+  out.reserve(want);
+  for (size_t i = 0; i < want; ++i) out.push_back(servers_[indices[i]].get());
+  return out;
+}
+
+}  // namespace tcells::protocol

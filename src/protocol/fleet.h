@@ -1,0 +1,36 @@
+// Fleet: the population of TDSs participating in a deployment, plus the
+// availability model (§6.3 varies the fraction of TDSs available for the
+// compute phases between 1% and 100%).
+#ifndef TCELLS_PROTOCOL_FLEET_H_
+#define TCELLS_PROTOCOL_FLEET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tds/tds.h"
+
+namespace tcells::protocol {
+
+class Fleet {
+ public:
+  void Add(std::unique_ptr<tds::TrustedDataServer> server) {
+    servers_.push_back(std::move(server));
+  }
+
+  size_t size() const { return servers_.size(); }
+  tds::TrustedDataServer* at(size_t i) { return servers_[i].get(); }
+  const tds::TrustedDataServer* at(size_t i) const { return servers_[i].get(); }
+
+  /// A random subset of `fraction` of the fleet (at least one), modeling
+  /// which TDSs happen to be connected for a compute phase.
+  std::vector<tds::TrustedDataServer*> SampleAvailable(double fraction,
+                                                       Rng* rng);
+
+ private:
+  std::vector<std::unique_ptr<tds::TrustedDataServer>> servers_;
+};
+
+}  // namespace tcells::protocol
+
+#endif  // TCELLS_PROTOCOL_FLEET_H_

@@ -1,0 +1,343 @@
+#include "protocol/protocols.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcells::protocol {
+
+using ssi::EncryptedItem;
+using ssi::Partition;
+using tds::CollectionConfig;
+using tds::CollectionMode;
+using tds::OutputTagPolicy;
+
+const char* ProtocolKindToString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kBasicSfw: return "Basic_SFW";
+    case ProtocolKind::kSAgg: return "S_Agg";
+    case ProtocolKind::kRnfNoise: return "Rnf_Noise";
+    case ProtocolKind::kCNoise: return "C_Noise";
+    case ProtocolKind::kEdHist: return "ED_Hist";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Partition processor running the aggregation step on a TDS.
+RunContext::PartitionFn AggregateFn(const sql::AnalyzedQuery& query,
+                                    OutputTagPolicy policy,
+                                    const CollectionConfig& config,
+                                    RunContext& ctx) {
+  return [&query, policy, &config, &ctx](tds::TrustedDataServer* server,
+                                         const Partition& partition) {
+    return server->ProcessAggregationPartition(query, partition, policy,
+                                               config, &ctx.rng());
+  };
+}
+
+/// Splits each tag-partition `ways` ways (ways<=1 keeps them whole).
+std::vector<Partition> SplitEach(std::vector<Partition> partitions,
+                                 size_t ways) {
+  if (ways <= 1) return partitions;
+  std::vector<Partition> out;
+  for (auto& p : partitions) {
+    for (auto& sub : ssi::Ssi::SplitPartition(std::move(p), ways)) {
+      out.push_back(std::move(sub));
+    }
+  }
+  return out;
+}
+
+Status RequireAggregation(const sql::AnalyzedQuery& query, const char* name) {
+  if (!query.is_aggregation) {
+    return Status::InvalidArgument(
+        std::string(name) +
+        " handles GROUP BY/aggregate queries; use Basic_SFW otherwise");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BasicSfw
+
+Result<CollectionConfig> BasicSfwProtocol::MakeCollectionConfig(
+    RunContext& ctx, const sql::AnalyzedQuery& query) {
+  if (query.is_aggregation) {
+    return Status::InvalidArgument(
+        "Basic_SFW cannot evaluate aggregation queries");
+  }
+  CollectionConfig config;
+  config.mode = CollectionMode::kNDet;
+  config.pad_payload_to = ctx.options().pad_payload_to;
+  return config;
+}
+
+Result<std::vector<EncryptedItem>> BasicSfwProtocol::RunAggregation(
+    RunContext& ctx, const sql::AnalyzedQuery& query,
+    const CollectionConfig& config, std::vector<EncryptedItem> items) {
+  (void)ctx;
+  (void)query;
+  (void)config;
+  // No aggregation phase: the covering result goes straight to filtering.
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// S_Agg
+
+Result<CollectionConfig> SAggProtocol::MakeCollectionConfig(
+    RunContext& ctx, const sql::AnalyzedQuery& query) {
+  TCELLS_RETURN_IF_ERROR(RequireAggregation(query, "S_Agg"));
+  CollectionConfig config;
+  config.mode = CollectionMode::kNDet;
+  config.pad_payload_to = ctx.options().pad_payload_to;
+  return config;
+}
+
+Result<std::vector<EncryptedItem>> SAggProtocol::RunAggregation(
+    RunContext& ctx, const sql::AnalyzedQuery& query,
+    const CollectionConfig& config, std::vector<EncryptedItem> items) {
+  const RunOptions& opts = ctx.options();
+  size_t alpha = std::max<size_t>(
+      2, static_cast<size_t>(std::llround(std::ceil(opts.alpha))));
+  // First round: each TDS ingests ~alpha*G raw tuples so its partial
+  // aggregate covers most groups (§6.1.1); later rounds merge alpha partials.
+  size_t first_chunk =
+      std::max<size_t>(alpha, alpha * std::max<size_t>(1, opts.expected_groups));
+
+  bool first = true;
+  while (items.size() > 1 || first) {
+    size_t chunk = first ? first_chunk : alpha;
+    first = false;
+    std::vector<Partition> partitions =
+        ssi::Ssi::PartitionRandomly(std::move(items), chunk, &ctx.rng());
+    TCELLS_ASSIGN_OR_RETURN(
+        items, ctx.RunRound(sim::Phase::kAggregation, partitions,
+                            AggregateFn(query, OutputTagPolicy::kNone, config,
+                                        ctx)));
+    if (items.empty()) break;  // nothing but dummies collected
+  }
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// Noise protocols
+
+Result<CollectionConfig> NoiseProtocol::MakeCollectionConfig(
+    RunContext& ctx, const sql::AnalyzedQuery& query) {
+  TCELLS_RETURN_IF_ERROR(RequireAggregation(query, name()));
+  if (!group_domain_ || group_domain_->empty()) {
+    return Status::FailedPrecondition(
+        std::string(name()) + " needs the A_G domain (see discovery.h)");
+  }
+  CollectionConfig config;
+  config.mode = CollectionMode::kDetTag;
+  config.noise.complementary = complementary_;
+  config.noise.nf = complementary_ ? 0 : ctx.options().nf;
+  config.noise.group_domain = group_domain_;
+  config.pad_payload_to = ctx.options().pad_payload_to;
+  return config;
+}
+
+Result<std::vector<EncryptedItem>> NoiseProtocol::RunAggregation(
+    RunContext& ctx, const sql::AnalyzedQuery& query,
+    const CollectionConfig& config, std::vector<EncryptedItem> items) {
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Partition> by_group,
+                          ssi::Ssi::PartitionByTag(std::move(items)));
+
+  // n_NB: TDSs cooperating on one group in step 1. The analytical optimum is
+  // sqrt((nf+1)*N_t/G) (§6.1.2) — estimated here from the observed sizes.
+  size_t n_nb = ctx.options().noise_parallel;
+  if (n_nb == 0) {
+    size_t total = 0;
+    for (const auto& p : by_group) total += p.items.size();
+    double avg = static_cast<double>(total) /
+                 static_cast<double>(std::max<size_t>(1, by_group.size()));
+    n_nb = std::max<size_t>(1, static_cast<size_t>(std::llround(std::sqrt(avg))));
+  }
+
+  std::vector<Partition> step1 = SplitEach(std::move(by_group), n_nb);
+  TCELLS_ASSIGN_OR_RETURN(
+      std::vector<EncryptedItem> partials,
+      ctx.RunRound(sim::Phase::kAggregation, step1,
+                   AggregateFn(query, OutputTagPolicy::kPreserve, config,
+                               ctx)));
+  if (n_nb <= 1) return partials;
+
+  // Step 2: merge the n_NB partials of each group on a single TDS.
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Partition> step2,
+                          ssi::Ssi::PartitionByTag(std::move(partials)));
+  return ctx.RunRound(sim::Phase::kAggregation, step2,
+                      AggregateFn(query, OutputTagPolicy::kPreserve, config,
+                                  ctx));
+}
+
+// ---------------------------------------------------------------------------
+// ED_Hist
+
+std::unique_ptr<EdHistProtocol> EdHistProtocol::FromDistribution(
+    const std::map<storage::Tuple, uint64_t>& freq, size_t num_buckets) {
+  auto histogram = std::make_shared<tds::EquiDepthHistogram>(
+      tds::EquiDepthHistogram::Build(freq, num_buckets));
+  return std::make_unique<EdHistProtocol>(std::move(histogram));
+}
+
+Result<CollectionConfig> EdHistProtocol::MakeCollectionConfig(
+    RunContext& ctx, const sql::AnalyzedQuery& query) {
+  TCELLS_RETURN_IF_ERROR(RequireAggregation(query, "ED_Hist"));
+  if (!histogram_ || histogram_->num_buckets() == 0) {
+    return Status::FailedPrecondition(
+        "ED_Hist needs a histogram built from the A_G distribution");
+  }
+  CollectionConfig config;
+  config.mode = CollectionMode::kHistTag;
+  config.histogram = histogram_;
+  config.pad_payload_to = ctx.options().pad_payload_to;
+  return config;
+}
+
+Result<std::vector<EncryptedItem>> EdHistProtocol::RunAggregation(
+    RunContext& ctx, const sql::AnalyzedQuery& query,
+    const CollectionConfig& config, std::vector<EncryptedItem> items) {
+  // Step 1: per-bucket partitions; TDSs emit one Det-tagged partial per
+  // group found in the bucket.
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Partition> by_bucket,
+                          ssi::Ssi::PartitionByTag(std::move(items)));
+  size_t n_ed = ctx.options().ed_parallel;
+  if (n_ed == 0) {
+    size_t total = 0;
+    for (const auto& p : by_bucket) total += p.items.size();
+    double avg = static_cast<double>(total) /
+                 static_cast<double>(std::max<size_t>(1, by_bucket.size()));
+    // Analytical optimum (h*N_t/G)^(2/3) ~ cuberoot-squared of bucket size.
+    n_ed = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(std::pow(avg, 2.0 / 3.0))));
+  }
+  std::vector<Partition> step1 = SplitEach(std::move(by_bucket), n_ed);
+  TCELLS_ASSIGN_OR_RETURN(
+      std::vector<EncryptedItem> partials,
+      ctx.RunRound(sim::Phase::kAggregation, step1,
+                   AggregateFn(query, OutputTagPolicy::kPerGroupDet, config,
+                               ctx)));
+
+  // Step 2: per-group partitions (Det_Enc(group) tags) -> final aggregates.
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Partition> step2,
+                          ssi::Ssi::PartitionByTag(std::move(partials)));
+  return ctx.RunRound(sim::Phase::kAggregation, step2,
+                      AggregateFn(query, OutputTagPolicy::kPreserve, config,
+                                  ctx));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end driver
+
+Result<std::vector<EncryptedItem>> RunFilteringPhase(
+    RunContext& ctx, const sql::AnalyzedQuery& query,
+    std::vector<EncryptedItem> covering) {
+  if (covering.empty()) return std::vector<EncryptedItem>{};
+  size_t pool_size = std::max<size_t>(1, ctx.compute_pool().size());
+  size_t chunk = (covering.size() + pool_size - 1) / pool_size;
+  std::vector<Partition> partitions =
+      ssi::Ssi::PartitionRandomly(std::move(covering), chunk, &ctx.rng());
+  return ctx.RunRound(sim::Phase::kFiltering, partitions,
+                      [&query, &ctx](tds::TrustedDataServer* server,
+                                     const Partition& partition) {
+                        return server->ProcessFiltering(query, partition,
+                                                        &ctx.rng());
+                      });
+}
+
+Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
+                            const Querier& querier, uint64_t query_id,
+                            const std::string& sql,
+                            const sim::DeviceModel& device,
+                            const RunOptions& options) {
+  if (fleet->size() == 0) {
+    return Status::InvalidArgument("empty fleet");
+  }
+  ssi::Ssi ssi;
+  RunContext ctx(fleet, &ssi, device, options);
+
+  // Step 1: the querier posts the encrypted query + credential + SIZE.
+  TCELLS_ASSIGN_OR_RETURN(ssi::QueryPost post,
+                          querier.MakePost(query_id, sql, &ctx.rng()));
+  ssi.PostQuery(post);
+
+  // The querier analyzes against the public common catalog (any TDS's
+  // catalog is a copy of it).
+  TCELLS_ASSIGN_OR_RETURN(
+      sql::AnalyzedQuery query,
+      querier.AnalyzeAgainst(sql, fleet->at(0)->db().catalog()));
+
+  TCELLS_ASSIGN_OR_RETURN(CollectionConfig config,
+                          protocol.MakeCollectionConfig(ctx, query));
+
+  // Collection phase: TDSs connect and contribute until the SIZE bound is
+  // met, the DURATION window closes, or everyone answered. Without a
+  // DURATION bound this is a single full pass in random order; with one,
+  // each remaining TDS connects per tick with connect_prob_per_tick
+  // (seldom-connected tokens, §2.3's PCEHR scenario).
+  {
+    std::vector<size_t> remaining(fleet->size());
+    for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+    ctx.rng().Shuffle(&remaining);
+    const bool tick_mode = post.size_max_duration_ticks.has_value();
+    const uint64_t max_ticks =
+        tick_mode ? *post.size_max_duration_ticks : 1;
+    auto contribute = [&](size_t idx) -> Status {
+      tds::TrustedDataServer* server = fleet->at(idx);
+      TCELLS_ASSIGN_OR_RETURN(
+          std::vector<EncryptedItem> items,
+          server->ProcessCollection(ssi.query_post(), config, &ctx.rng()));
+      uint64_t bytes = 0;
+      for (const auto& item : items) bytes += item.WireSize();
+      ctx.RecordCollection(server->id(), bytes, items.size());
+      ssi.ReceiveCollectionItems(std::move(items));
+      ctx.metrics().collection_participants += 1;
+      return Status::OK();
+    };
+    for (uint64_t tick = 0;
+         tick < max_ticks && !remaining.empty() && !ssi.SizeReached();
+         ++tick) {
+      ctx.metrics().collection_ticks += 1;
+      std::vector<size_t> still_offline;
+      for (size_t idx : remaining) {
+        if (ssi.SizeReached()) {
+          still_offline.push_back(idx);
+          continue;
+        }
+        if (tick_mode &&
+            !ctx.rng().NextBool(options.connect_prob_per_tick)) {
+          still_offline.push_back(idx);
+          continue;
+        }
+        TCELLS_RETURN_IF_ERROR(contribute(idx));
+      }
+      remaining.swap(still_offline);
+    }
+  }
+
+  // Aggregation phase (empty for Basic_SFW).
+  std::vector<EncryptedItem> covering = ssi.TakeCollected();
+  TCELLS_ASSIGN_OR_RETURN(
+      covering, protocol.RunAggregation(ctx, query, config, std::move(covering)));
+  ssi.ObserveAggregationItems(covering);
+
+  TCELLS_ASSIGN_OR_RETURN(
+      std::vector<EncryptedItem> result_items,
+      RunFilteringPhase(ctx, query, std::move(covering)));
+  ssi.ObserveFilteringItems(result_items);
+
+  // Step 13: the querier downloads and decrypts.
+  RunOutcome outcome;
+  TCELLS_ASSIGN_OR_RETURN(outcome.result,
+                          querier.DecryptResult(query, result_items));
+  outcome.metrics = ctx.metrics();
+  outcome.adversary = ssi.adversary_view();
+  return outcome;
+}
+
+}  // namespace tcells::protocol

@@ -1,0 +1,55 @@
+// Querier: the party posting queries and receiving final results. It shares
+// k1 with the TDSs but never sees k2 or any intermediate data — even if it
+// colludes with the SSI it learns nothing beyond the final result (§3.2).
+#ifndef TCELLS_PROTOCOL_QUERIER_H_
+#define TCELLS_PROTOCOL_QUERIER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/keystore.h"
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "ssi/messages.h"
+#include "storage/schema.h"
+
+namespace tcells::protocol {
+
+class Querier {
+ public:
+  /// `credential` is issued by the Authority the TDSs trust.
+  Querier(std::string querier_id, Bytes credential,
+          std::shared_ptr<const crypto::KeyStore> keys)
+      : id_(std::move(querier_id)),
+        credential_(std::move(credential)),
+        keys_(std::move(keys)) {}
+
+  const std::string& id() const { return id_; }
+
+  /// Builds the query post: SQL encrypted under k1, the credential, and the
+  /// SIZE clause in cleartext for the SSI (§3.2 step 1). The SQL must parse
+  /// (the SIZE bounds are extracted from it).
+  Result<ssi::QueryPost> MakePost(uint64_t query_id, const std::string& sql,
+                                  Rng* rng) const;
+
+  /// Analyzes the query against the publicly-known common catalog (for the
+  /// result schema the querier expects).
+  Result<sql::AnalyzedQuery> AnalyzeAgainst(
+      const std::string& sql, const storage::Catalog& catalog) const;
+
+  /// Decrypts and decodes the final result items (step 13).
+  Result<sql::QueryResult> DecryptResult(
+      const sql::AnalyzedQuery& query,
+      const std::vector<ssi::EncryptedItem>& items) const;
+
+ private:
+  std::string id_;
+  Bytes credential_;
+  std::shared_ptr<const crypto::KeyStore> keys_;
+};
+
+}  // namespace tcells::protocol
+
+#endif  // TCELLS_PROTOCOL_QUERIER_H_

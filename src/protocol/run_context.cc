@@ -1,0 +1,99 @@
+#include "protocol/run_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcells::protocol {
+
+RunContext::RunContext(Fleet* fleet, ssi::Ssi* ssi,
+                       const sim::DeviceModel& device, RunOptions options)
+    : fleet_(fleet),
+      ssi_(ssi),
+      device_(device),
+      options_(options),
+      rng_(options.seed) {}
+
+const std::vector<tds::TrustedDataServer*>& RunContext::compute_pool() {
+  if (!pool_sampled_) {
+    pool_ = fleet_->SampleAvailable(options_.compute_availability, &rng_);
+    pool_sampled_ = true;
+    metrics_.available_compute_tds = pool_.size();
+  }
+  return pool_;
+}
+
+Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
+    sim::Phase phase, const std::vector<ssi::Partition>& partitions,
+    const PartitionFn& process) {
+  const auto& pool = compute_pool();
+  std::vector<ssi::EncryptedItem> outputs;
+  double slowest_partition_seconds = 0;
+
+  for (const auto& partition : partitions) {
+    uint64_t bytes_in = partition.WireSize();
+    uint64_t tuples = partition.items.size();
+
+    // Fault injection: a TDS may drop mid-partition; the SSI re-dispatches
+    // after a timeout until a TDS completes it (§3.2 Correctness).
+    double partition_seconds = 0;
+    std::vector<ssi::EncryptedItem> result_items;
+    bool done = false;
+    for (size_t attempt = 0; attempt <= options_.max_dropout_retries;
+         ++attempt) {
+      tds::TrustedDataServer* server =
+          pool[rng_.NextBelow(pool.size())];
+      bool drops = rng_.NextBool(options_.dropout_rate) &&
+                   attempt < options_.max_dropout_retries;
+      if (drops) {
+        metrics_.accountant.RecordDropout(phase);
+        partition_seconds += options_.dropout_timeout_seconds;
+        continue;
+      }
+      TCELLS_ASSIGN_OR_RETURN(result_items, process(server, partition));
+      uint64_t bytes_out = 0;
+      for (const auto& item : result_items) bytes_out += item.WireSize();
+      metrics_.accountant.RecordPartition(phase, server->id(), bytes_in,
+                                          bytes_out, tuples);
+      partition_seconds += device_.TransferSeconds(bytes_in + bytes_out) +
+                           device_.CryptoSeconds(bytes_in + bytes_out) +
+                           device_.CpuSeconds(tuples);
+      done = true;
+      break;
+    }
+    if (!done) {
+      return Status::ResourceExhausted(
+          "partition could not be placed after max dropout retries");
+    }
+    slowest_partition_seconds =
+        std::max(slowest_partition_seconds, partition_seconds);
+    for (auto& item : result_items) outputs.push_back(std::move(item));
+  }
+
+  // Critical path: partitions run in parallel across the pool; more
+  // partitions than TDSs serialize into waves.
+  double waves = std::ceil(static_cast<double>(partitions.size()) /
+                           static_cast<double>(std::max<size_t>(1, pool.size())));
+  double round_seconds = slowest_partition_seconds * waves;
+  metrics_.accountant.RecordIteration(phase);
+  switch (phase) {
+    case sim::Phase::kCollection:
+      metrics_.times.collection_seconds += round_seconds;
+      break;
+    case sim::Phase::kAggregation:
+      metrics_.times.aggregation_seconds += round_seconds;
+      metrics_.aggregation_rounds += 1;
+      break;
+    case sim::Phase::kFiltering:
+      metrics_.times.filtering_seconds += round_seconds;
+      break;
+  }
+  return outputs;
+}
+
+void RunContext::RecordCollection(uint64_t tds_id, uint64_t bytes_up,
+                                  uint64_t tuples) {
+  metrics_.accountant.RecordPartition(sim::Phase::kCollection, tds_id,
+                                      /*bytes_in=*/0, bytes_up, tuples);
+}
+
+}  // namespace tcells::protocol

@@ -1,0 +1,141 @@
+// RunContext / RunOptions / RunOutcome: shared machinery for executing a
+// protocol end to end over a Fleet and an Ssi instance, with cost accounting,
+// simulated-time tracking and fault injection (TDS dropouts with SSI
+// re-dispatch, §3.2 Correctness).
+#ifndef TCELLS_PROTOCOL_RUN_CONTEXT_H_
+#define TCELLS_PROTOCOL_RUN_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "protocol/fleet.h"
+#include "sim/cost_accountant.h"
+#include "sim/device_model.h"
+#include "ssi/ssi.h"
+#include "tds/config.h"
+
+namespace tcells::protocol {
+
+/// Tuning knobs for a run. Defaults follow the paper's fixed parameters
+/// (§6.3) where applicable.
+struct RunOptions {
+  /// Fraction of the fleet available for aggregation/filtering phases
+  /// (the paper sweeps 1%/10%/100% of N_t; default 10%).
+  double compute_availability = 0.1;
+  /// Probability that a TDS goes offline mid-partition; the SSI re-sends the
+  /// partition to another TDS after a timeout.
+  double dropout_rate = 0.0;
+  size_t max_dropout_retries = 16;
+  /// Simulated timeout before the SSI re-dispatches a lost partition (s).
+  double dropout_timeout_seconds = 1.0;
+
+  /// S_Agg reduction factor; 3.6 is the analytical optimum (§6.1.1).
+  double alpha = 3.6;
+  /// Expected number of groups (sizes the first S_Agg round at alpha*G
+  /// tuples per partition); 0 = unknown, fall back to alpha.
+  size_t expected_groups = 0;
+
+  /// Rnf_Noise: fake tuples per true tuple.
+  int nf = 2;
+  /// Noise protocols: TDSs cooperating on one group in step 1 (n_NB);
+  /// 0 = use the analytical optimum sqrt((nf+1)*N_t/G) from observed sizes.
+  size_t noise_parallel = 0;
+
+  /// ED_Hist: number of histogram buckets; 0 = #groups / 5 (h = 5, §6.3).
+  size_t histogram_buckets = 0;
+  /// ED_Hist: sub-partitions per bucket in step 1 (n_ED); 0 = auto.
+  size_t ed_parallel = 0;
+
+  /// Pad collection payloads to this plaintext size (0 = off).
+  size_t pad_payload_to = 0;
+
+  /// Collection connectivity model for DURATION-bounded queries: per tick,
+  /// each TDS that has not yet contributed connects with this probability
+  /// (seldom-connected tokens: low; always-on meters: 1.0). Queries without
+  /// a DURATION bound do a single full pass.
+  double connect_prob_per_tick = 0.2;
+
+  uint64_t seed = 42;
+};
+
+/// Simulated wall-clock per phase, computed on the critical path: each round
+/// of partitions runs in parallel across the available TDSs; a round's time
+/// is the slowest partition times the assignment waves needed.
+struct PhaseTimes {
+  double collection_seconds = 0;
+  double aggregation_seconds = 0;
+  double filtering_seconds = 0;
+};
+
+/// Everything measured during one protocol run.
+struct RunMetrics {
+  sim::CostAccountant accountant;
+  PhaseTimes times;
+  size_t aggregation_rounds = 0;
+  size_t available_compute_tds = 0;
+  /// Connection ticks the collection window stayed open (1 for a plain full
+  /// pass; bounded by the SIZE ... DURATION clause otherwise).
+  uint64_t collection_ticks = 0;
+  /// TDSs that contributed to the collection phase before it closed.
+  size_t collection_participants = 0;
+
+  /// P_TDS: distinct TDSs that took part in the computation.
+  size_t Ptds() const { return accountant.DistinctTds(); }
+  /// Load_Q in bytes: total data processed by TDSs and SSI.
+  uint64_t LoadBytes() const { return accountant.TotalBytes(); }
+  /// T_Q: the paper's responsiveness metric (aggregation phase only, §6.1).
+  double Tq() const { return times.aggregation_seconds; }
+  /// T_local: average busy time per participating TDS.
+  double Tlocal(const sim::DeviceModel& model) const {
+    return accountant.AverageTdsSeconds(model);
+  }
+};
+
+/// Shared execution state handed to protocol implementations.
+class RunContext {
+ public:
+  RunContext(Fleet* fleet, ssi::Ssi* ssi, const sim::DeviceModel& device,
+             RunOptions options);
+
+  Fleet& fleet() { return *fleet_; }
+  ssi::Ssi& ssi() { return *ssi_; }
+  Rng& rng() { return rng_; }
+  const RunOptions& options() const { return options_; }
+  const sim::DeviceModel& device() const { return device_; }
+  RunMetrics& metrics() { return metrics_; }
+
+  /// The compute-phase TDS pool, sampled once per run.
+  const std::vector<tds::TrustedDataServer*>& compute_pool();
+
+  /// Processor invoked per partition: returns the TDS's output items.
+  using PartitionFn = std::function<Result<std::vector<ssi::EncryptedItem>>(
+      tds::TrustedDataServer*, const ssi::Partition&)>;
+
+  /// Runs one round: every partition is assigned to a TDS from the compute
+  /// pool (with dropout/retry injection), outputs are concatenated, cost and
+  /// critical-path time are recorded under `phase`. `tuples_of` reports how
+  /// many logical tuples a partition carries (for CPU accounting).
+  Result<std::vector<ssi::EncryptedItem>> RunRound(
+      sim::Phase phase, const std::vector<ssi::Partition>& partitions,
+      const PartitionFn& process);
+
+  /// Records collection-phase work of one TDS.
+  void RecordCollection(uint64_t tds_id, uint64_t bytes_up, uint64_t tuples);
+
+ private:
+  Fleet* fleet_;
+  ssi::Ssi* ssi_;
+  sim::DeviceModel device_;
+  RunOptions options_;
+  Rng rng_;
+  RunMetrics metrics_;
+  std::vector<tds::TrustedDataServer*> pool_;
+  bool pool_sampled_ = false;
+};
+
+}  // namespace tcells::protocol
+
+#endif  // TCELLS_PROTOCOL_RUN_CONTEXT_H_

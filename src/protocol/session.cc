@@ -1,0 +1,138 @@
+#include "protocol/session.h"
+
+#include <algorithm>
+
+namespace tcells::protocol {
+
+using ssi::EncryptedItem;
+
+Status QuerySession::Submit(uint64_t query_id, const Querier* querier,
+                            Protocol* protocol, const std::string& sql) {
+  return SubmitInternal(query_id, std::nullopt, querier, protocol, sql);
+}
+
+Status QuerySession::SubmitPersonal(uint64_t query_id, uint64_t tds_id,
+                                    const Querier* querier,
+                                    Protocol* protocol,
+                                    const std::string& sql) {
+  return SubmitInternal(query_id, tds_id, querier, protocol, sql);
+}
+
+Status QuerySession::SubmitInternal(uint64_t query_id,
+                                    std::optional<uint64_t> tds_id,
+                                    const Querier* querier,
+                                    Protocol* protocol,
+                                    const std::string& sql) {
+  if (fleet_->size() == 0) return Status::InvalidArgument("empty fleet");
+  if (queries_.count(query_id)) {
+    return Status::InvalidArgument("duplicate query id");
+  }
+
+  PendingQuery pending;
+  pending.querier = querier;
+  pending.protocol = protocol;
+  pending.sql = sql;
+  pending.personal_tds = tds_id;
+  TCELLS_ASSIGN_OR_RETURN(
+      pending.analyzed,
+      querier->AnalyzeAgainst(sql, fleet_->at(0)->db().catalog()));
+
+  // Each query gets its own context (metrics, rng stream) and its own
+  // storage area inside the hub.
+  RunOptions opts = options_;
+  opts.seed = options_.seed + query_id * 0x9e37;
+  Rng post_rng(opts.seed ^ 0xabcdef);
+  TCELLS_ASSIGN_OR_RETURN(ssi::QueryPost post,
+                          querier->MakePost(query_id, sql, &post_rng));
+  if (tds_id) {
+    TCELLS_RETURN_IF_ERROR(hub_.PostPersonal(*tds_id, std::move(post)));
+  } else {
+    TCELLS_RETURN_IF_ERROR(hub_.PostGlobal(std::move(post)));
+  }
+  TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(query_id));
+  pending.ctx = std::make_unique<RunContext>(fleet_, storage, device_, opts);
+  TCELLS_ASSIGN_OR_RETURN(
+      pending.config,
+      pending.protocol->MakeCollectionConfig(*pending.ctx, pending.analyzed));
+  queries_.emplace(query_id, std::move(pending));
+  return Status::OK();
+}
+
+Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
+    uint64_t max_ticks) {
+  Rng session_rng(options_.seed ^ 0x5e5510f);
+  const bool tick_mode = max_ticks > 1;
+
+  // ---- Interleaved collection over the querybox hub ----
+  for (uint64_t tick = 0; tick < max_ticks; ++tick) {
+    bool any_open = false;
+    for (auto& [id, q] : queries_) {
+      TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(id));
+      if (!storage->SizeReached()) any_open = true;
+    }
+    if (!any_open) break;
+
+    std::vector<size_t> order(fleet_->size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    session_rng.Shuffle(&order);
+    bool any_tick_work = false;
+    for (size_t idx : order) {
+      if (tick_mode &&
+          !session_rng.NextBool(options_.connect_prob_per_tick)) {
+        continue;
+      }
+      tds::TrustedDataServer* server = fleet_->at(idx);
+      // Step 2: the connecting TDS downloads its pending queries.
+      for (const ssi::QueryPost* post : hub_.Fetch(server->id())) {
+        auto it = queries_.find(post->query_id);
+        if (it == queries_.end()) continue;
+        PendingQuery& q = it->second;
+        TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage,
+                                hub_.StorageFor(post->query_id));
+        if (storage->SizeReached()) {
+          hub_.Acknowledge(server->id(), post->query_id);
+          continue;
+        }
+        TCELLS_ASSIGN_OR_RETURN(
+            std::vector<EncryptedItem> items,
+            server->ProcessCollection(*post, q.config, &q.ctx->rng()));
+        uint64_t bytes = 0;
+        for (const auto& item : items) bytes += item.WireSize();
+        q.ctx->RecordCollection(server->id(), bytes, items.size());
+        q.ctx->metrics().collection_participants += 1;
+        storage->ReceiveCollectionItems(std::move(items));
+        hub_.Acknowledge(server->id(), post->query_id);
+        any_tick_work = true;
+      }
+    }
+    for (auto& [id, q] : queries_) q.ctx->metrics().collection_ticks += 1;
+    if (!any_tick_work && !tick_mode) break;
+  }
+
+  // ---- Per-query aggregation + filtering + decryption ----
+  std::map<uint64_t, RunOutcome> outcomes;
+  for (auto& [id, q] : queries_) {
+    TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(id));
+    std::vector<EncryptedItem> covering = storage->TakeCollected();
+    TCELLS_ASSIGN_OR_RETURN(
+        covering, q.protocol->RunAggregation(*q.ctx, q.analyzed, q.config,
+                                             std::move(covering)));
+    storage->ObserveAggregationItems(covering);
+    TCELLS_ASSIGN_OR_RETURN(
+        std::vector<EncryptedItem> result_items,
+        RunFilteringPhase(*q.ctx, q.analyzed, std::move(covering)));
+    storage->ObserveFilteringItems(result_items);
+
+    RunOutcome outcome;
+    TCELLS_ASSIGN_OR_RETURN(outcome.result,
+                            q.querier->DecryptResult(q.analyzed, result_items));
+    outcome.metrics = q.ctx->metrics();
+    outcome.adversary = storage->adversary_view();
+    outcomes.emplace(id, std::move(outcome));
+  }
+  for (const auto& [id, outcome] : outcomes) hub_.Retire(id);
+  queries_.clear();
+  return outcomes;
+}
+
+}  // namespace tcells::protocol

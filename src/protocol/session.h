@@ -1,0 +1,69 @@
+// QuerySession: several concurrent queries over one fleet, routed through
+// the SSI's querybox hub (§3.1). Each connecting TDS downloads all active
+// queries addressed to it (global + personal), serves each exactly once, and
+// the per-query protocol phases then complete independently.
+//
+// This is the "many queries in flight" operating mode the paper's Load_Q
+// metric is about; RunQuery (protocols.h) is the single-query special case.
+#ifndef TCELLS_PROTOCOL_SESSION_H_
+#define TCELLS_PROTOCOL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "protocol/protocols.h"
+#include "ssi/querybox.h"
+
+namespace tcells::protocol {
+
+class QuerySession {
+ public:
+  QuerySession(Fleet* fleet, const sim::DeviceModel& device,
+               RunOptions options)
+      : fleet_(fleet), device_(device), options_(options) {}
+
+  /// Registers a query addressed to the whole crowd. `querier` and
+  /// `protocol` must outlive the session. Fails on duplicate id or when the
+  /// protocol rejects the query shape.
+  Status Submit(uint64_t query_id, const Querier* querier, Protocol* protocol,
+                const std::string& sql);
+
+  /// Registers a query addressed to one TDS only (personal querybox).
+  Status SubmitPersonal(uint64_t query_id, uint64_t tds_id,
+                        const Querier* querier, Protocol* protocol,
+                        const std::string& sql);
+
+  size_t num_pending() const { return queries_.size(); }
+
+  /// Runs interleaved collection (TDSs connect per tick with
+  /// options.connect_prob_per_tick and serve every fetched query), bounded
+  /// by `max_ticks`, then completes aggregation + filtering per query.
+  /// Returns one outcome per submitted query id.
+  Result<std::map<uint64_t, RunOutcome>> RunAll(uint64_t max_ticks = 1);
+
+ private:
+  struct PendingQuery {
+    const Querier* querier = nullptr;
+    Protocol* protocol = nullptr;
+    std::string sql;
+    sql::AnalyzedQuery analyzed;
+    tds::CollectionConfig config;
+    std::unique_ptr<RunContext> ctx;
+    std::optional<uint64_t> personal_tds;
+  };
+
+  Status SubmitInternal(uint64_t query_id, std::optional<uint64_t> tds_id,
+                        const Querier* querier, Protocol* protocol,
+                        const std::string& sql);
+
+  Fleet* fleet_;
+  sim::DeviceModel device_;
+  RunOptions options_;
+  ssi::QueryboxHub hub_;
+  std::map<uint64_t, PendingQuery> queries_;
+};
+
+}  // namespace tcells::protocol
+
+#endif  // TCELLS_PROTOCOL_SESSION_H_

@@ -1,0 +1,188 @@
+#include "sql/ast.h"
+
+namespace tcells::sql {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kMedian: return "MEDIAN";
+    case AggKind::kVariance: return "VARIANCE";
+    case AggKind::kStdDev: return "STDDEV";
+  }
+  return "?";
+}
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(storage::Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeInList(ExprPtr needle, std::vector<ExprPtr> haystack) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kInList;
+  e->children.push_back(std::move(needle));
+  for (auto& h : haystack) e->children.push_back(std::move(h));
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr child, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kIsNull;
+  e->negated = negated;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeLike(ExprPtr value, ExprPtr pattern, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLike;
+  e->negated = negated;
+  e->children.push_back(std::move(value));
+  e->children.push_back(std::move(pattern));
+  return e;
+}
+
+ExprPtr MakeAggregate(AggKind kind, bool distinct, ExprPtr arg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kAggregate;
+  e->agg_kind = kind;
+  e->distinct = distinct;
+  if (arg == nullptr) {
+    e->star = true;
+  } else {
+    e->children.push_back(std::move(arg));
+  }
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.type() == storage::ValueType::kString
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case Kind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case Kind::kUnary:
+      return std::string(unary_op == UnaryOp::kNot ? "NOT " : "-") +
+             children[0]->ToString();
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             BinaryOpToString(binary_op) + " " + children[1]->ToString() + ")";
+    case Kind::kInList: {
+      std::string out = children[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kIsNull:
+      return children[0]->ToString() +
+             (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+    case Kind::kAggregate: {
+      std::string out = AggKindToString(agg_kind);
+      out += "(";
+      if (distinct) out += "DISTINCT ";
+      out += star ? "*" : children[0]->ToString();
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = distinct ? "SELECT DISTINCT " : "SELECT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i) out += ", ";
+    out += select_list[i].expr->ToString();
+    if (!select_list[i].alias.empty()) out += " AS " + select_list[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  if (size) {
+    out += " SIZE";
+    if (size->max_tuples) out += " " + std::to_string(*size->max_tuples);
+    if (size->max_duration_ticks) {
+      out += " DURATION " + std::to_string(*size->max_duration_ticks);
+    }
+  }
+  return out;
+}
+
+}  // namespace tcells::sql

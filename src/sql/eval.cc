@@ -1,0 +1,183 @@
+#include "sql/eval.h"
+
+#include <cmath>
+
+namespace tcells::sql {
+
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+/// SQL LIKE matching: '%' matches any run (including empty), '_' exactly one
+/// character. Iterative two-pointer algorithm with backtracking to the last
+/// '%' — linear-ish and stack-safe for adversarial patterns.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
+  // AND/OR get short-circuit + NULL-tolerant handling.
+  if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+    TCELLS_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], ctx));
+    bool l = !lhs.is_null() && lhs.type() == ValueType::kBool && lhs.AsBool();
+    if (e.binary_op == BinaryOp::kAnd && !l) return Value::Bool(false);
+    if (e.binary_op == BinaryOp::kOr && l) return Value::Bool(true);
+    TCELLS_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], ctx));
+    bool r = !rhs.is_null() && rhs.type() == ValueType::kBool && rhs.AsBool();
+    return Value::Bool(e.binary_op == BinaryOp::kAnd ? (l && r) : (l || r));
+  }
+
+  TCELLS_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], ctx));
+  TCELLS_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], ctx));
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+  switch (e.binary_op) {
+    case BinaryOp::kEq:
+      return Value::Bool(lhs.Equals(rhs));
+    case BinaryOp::kNe:
+      return Value::Bool(!lhs.Equals(rhs));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      TCELLS_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+      switch (e.binary_op) {
+        case BinaryOp::kLt: return Value::Bool(cmp < 0);
+        case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt: return Value::Bool(cmp > 0);
+        default: return Value::Bool(cmp >= 0);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      if (lhs.type() == ValueType::kInt64 && rhs.type() == ValueType::kInt64) {
+        int64_t a = lhs.AsInt64(), b = rhs.AsInt64();
+        switch (e.binary_op) {
+          case BinaryOp::kAdd: return Value::Int64(a + b);
+          case BinaryOp::kSub: return Value::Int64(a - b);
+          default: return Value::Int64(a * b);
+        }
+      }
+      TCELLS_ASSIGN_OR_RETURN(double a, lhs.ToDouble());
+      TCELLS_ASSIGN_OR_RETURN(double b, rhs.ToDouble());
+      switch (e.binary_op) {
+        case BinaryOp::kAdd: return Value::Double(a + b);
+        case BinaryOp::kSub: return Value::Double(a - b);
+        default: return Value::Double(a * b);
+      }
+    }
+    case BinaryOp::kDiv: {
+      TCELLS_ASSIGN_OR_RETURN(double a, lhs.ToDouble());
+      TCELLS_ASSIGN_OR_RETURN(double b, rhs.ToDouble());
+      if (b == 0) return Value::Null();  // SQL: division by zero -> NULL here
+      return Value::Double(a / b);
+    }
+    case BinaryOp::kMod: {
+      if (lhs.type() != ValueType::kInt64 || rhs.type() != ValueType::kInt64) {
+        return Status::InvalidArgument("% requires integer operands");
+      }
+      if (rhs.AsInt64() == 0) return Value::Null();
+      return Value::Int64(lhs.AsInt64() % rhs.AsInt64());
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+}  // namespace
+
+Result<Value> Eval(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kColumnRef: {
+      if (e.bound_index < 0) {
+        return Status::FailedPrecondition("unbound column ref: " + e.ToString());
+      }
+      size_t idx = static_cast<size_t>(e.bound_index);
+      if (idx >= ctx.row->size()) {
+        return Status::Internal("column index out of row bounds");
+      }
+      return ctx.row->at(idx);
+    }
+    case Expr::Kind::kUnary: {
+      TCELLS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], ctx));
+      if (e.unary_op == UnaryOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        if (v.type() != ValueType::kBool) {
+          return Status::InvalidArgument("NOT requires a boolean");
+        }
+        return Value::Bool(!v.AsBool());
+      }
+      // Negation.
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kInt64) return Value::Int64(-v.AsInt64());
+      TCELLS_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      return Value::Double(-d);
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(e, ctx);
+    case Expr::Kind::kInList: {
+      TCELLS_ASSIGN_OR_RETURN(Value needle, Eval(*e.children[0], ctx));
+      if (needle.is_null()) return Value::Null();
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        TCELLS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[i], ctx));
+        if (!v.is_null() && needle.Equals(v)) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+    case Expr::Kind::kIsNull: {
+      TCELLS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], ctx));
+      return Value::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case Expr::Kind::kLike: {
+      TCELLS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], ctx));
+      TCELLS_ASSIGN_OR_RETURN(Value p, Eval(*e.children[1], ctx));
+      if (v.is_null() || p.is_null()) return Value::Null();
+      if (v.type() != ValueType::kString || p.type() != ValueType::kString) {
+        return Status::InvalidArgument("LIKE requires string operands");
+      }
+      bool matched = LikeMatch(v.AsString(), p.AsString());
+      return Value::Bool(e.negated ? !matched : matched);
+    }
+    case Expr::Kind::kAggregate: {
+      if (e.agg_slot < 0) {
+        return Status::FailedPrecondition(
+            "aggregate not rewritten to a slot: " + e.ToString());
+      }
+      size_t idx = ctx.agg_base + static_cast<size_t>(e.agg_slot);
+      if (idx >= ctx.row->size()) {
+        return Status::Internal("aggregate slot out of output-row bounds");
+      }
+      return ctx.row->at(idx);
+    }
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+Result<bool> EvalPredicate(const Expr& e, const EvalContext& ctx) {
+  TCELLS_ASSIGN_OR_RETURN(Value v, Eval(e, ctx));
+  return !v.is_null() && v.type() == ValueType::kBool && v.AsBool();
+}
+
+}  // namespace tcells::sql

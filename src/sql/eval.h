@@ -1,0 +1,35 @@
+// Expression evaluation over a row of Values.
+//
+// NULL handling is pragmatic two-valued logic: any comparison or arithmetic
+// involving NULL yields NULL, and a NULL predicate result is treated as
+// false by the callers (WHERE/HAVING) — matching SQL's observable behavior
+// for the clause positions this dialect supports.
+#ifndef TCELLS_SQL_EVAL_H_
+#define TCELLS_SQL_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/tuple.h"
+
+namespace tcells::sql {
+
+/// Evaluation context. `row` is the input row; for output-row evaluation
+/// (aggregation queries' SELECT/HAVING), `agg_base` is the offset of the
+/// first finalized aggregate value within the row (== key_arity), and
+/// kAggregate nodes read row[agg_base + agg_slot].
+struct EvalContext {
+  const storage::Tuple* row = nullptr;
+  size_t agg_base = 0;
+};
+
+/// Evaluates `e` in `ctx`.
+Result<storage::Value> Eval(const Expr& e, const EvalContext& ctx);
+
+/// Evaluates a predicate: NULL and non-bool results are false.
+Result<bool> EvalPredicate(const Expr& e, const EvalContext& ctx);
+
+}  // namespace tcells::sql
+
+#endif  // TCELLS_SQL_EVAL_H_

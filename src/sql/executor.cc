@@ -1,0 +1,211 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+#include <sstream>
+
+#include "sql/eval.h"
+
+namespace tcells::sql {
+
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+bool ValuesClose(const Value& a, const Value& b, double rel_tol) {
+  if (a.is_null() && b.is_null()) return true;
+  if (a.is_null() || b.is_null()) return false;
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.ToDouble().ValueOrDie();
+    double y = b.ToDouble().ValueOrDie();
+    if (x == y) return true;
+    double scale = std::max(std::fabs(x), std::fabs(y));
+    return std::fabs(x - y) <= rel_tol * scale;
+  }
+  return a.IsSameGroup(b);
+}
+
+bool RowsClose(const Tuple& a, const Tuple& b, double rel_tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesClose(a.at(i), b.at(i), rel_tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool QueryResult::SameRows(const QueryResult& other, double rel_tol) const {
+  if (rows.size() != other.rows.size()) return false;
+  std::vector<bool> used(other.rows.size(), false);
+  for (const auto& row : rows) {
+    bool matched = false;
+    for (size_t j = 0; j < other.rows.size(); ++j) {
+      if (!used[j] && RowsClose(row, other.rows[j], rel_tol)) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i) os << " | ";
+    os << schema.column(i).name;
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << " | ";
+      os << row.at(i).ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<Tuple>> CombinedRows(const storage::Database& db,
+                                        const AnalyzedQuery& q) {
+  // Gather the FROM tables.
+  std::vector<const storage::Table*> tables;
+  for (const auto& ref : q.from) {
+    TCELLS_ASSIGN_OR_RETURN(const storage::Table* t, db.GetTable(ref.table));
+    tables.push_back(t);
+  }
+
+  // Cartesian product (local internal joins are constrained by WHERE). The
+  // per-TDS tables are tiny, so nested loops are appropriate.
+  std::vector<Tuple> rows;
+  std::vector<size_t> idx(tables.size(), 0);
+  for (const auto* t : tables) {
+    if (t->num_rows() == 0) return rows;  // empty product
+  }
+  for (;;) {
+    Tuple combined;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      combined = Tuple::Concat(combined, tables[i]->row(idx[i]));
+    }
+    bool keep = true;
+    if (q.where) {
+      EvalContext ctx{&combined, 0};
+      TCELLS_ASSIGN_OR_RETURN(keep, EvalPredicate(*q.where, ctx));
+    }
+    if (keep) rows.push_back(std::move(combined));
+    // Advance the odometer.
+    size_t k = tables.size();
+    while (k > 0) {
+      --k;
+      if (++idx[k] < tables[k]->num_rows()) break;
+      idx[k] = 0;
+      if (k == 0) return rows;
+    }
+  }
+}
+
+Result<std::vector<Tuple>> CollectionTuples(const storage::Database& db,
+                                            const AnalyzedQuery& q) {
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Tuple> combined, CombinedRows(db, q));
+  const std::vector<ExprPtr>& exprs =
+      q.is_aggregation ? q.collection_exprs : q.select_row_exprs;
+  std::vector<Tuple> out;
+  out.reserve(combined.size());
+  for (const auto& row : combined) {
+    EvalContext ctx{&row, 0};
+    Tuple projected;
+    for (const auto& e : exprs) {
+      TCELLS_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+      projected.Append(std::move(v));
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<QueryResult> FinalizeAggregation(const GroupedAggregation& agg,
+                                        const AnalyzedQuery& q) {
+  QueryResult result;
+  result.schema = q.result_schema;
+  for (const auto& [key, states] : agg.groups()) {
+    // Output row = group values then finalized aggregate values.
+    Tuple output = key;
+    for (const auto& state : states) {
+      TCELLS_ASSIGN_OR_RETURN(Value v, state.Finalize());
+      output.Append(std::move(v));
+    }
+    EvalContext ctx{&output, q.key_arity};
+    if (q.having) {
+      TCELLS_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*q.having, ctx));
+      if (!keep) continue;
+    }
+    Tuple projected;
+    for (const auto& e : q.select_output_exprs) {
+      TCELLS_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+      projected.Append(std::move(v));
+    }
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+Status ApplyOrderAndLimit(const AnalyzedQuery& q, QueryResult* result) {
+  if (q.select_distinct) {
+    // Stable de-duplication on the canonical row encoding.
+    std::set<Bytes> seen;
+    std::vector<Tuple> unique;
+    unique.reserve(result->rows.size());
+    for (auto& row : result->rows) {
+      if (seen.insert(row.Encode()).second) unique.push_back(std::move(row));
+    }
+    result->rows = std::move(unique);
+  }
+  if (!q.sort_keys.empty()) {
+    Status sort_status = Status::OK();
+    std::stable_sort(
+        result->rows.begin(), result->rows.end(),
+        [&](const Tuple& a, const Tuple& b) {
+          for (const auto& key : q.sort_keys) {
+            auto cmp = a.at(key.column).Compare(b.at(key.column));
+            if (!cmp.ok()) {
+              if (sort_status.ok()) sort_status = cmp.status();
+              return false;
+            }
+            if (*cmp != 0) return key.descending ? *cmp > 0 : *cmp < 0;
+          }
+          return false;
+        });
+    TCELLS_RETURN_IF_ERROR(sort_status);
+  }
+  if (q.limit && result->rows.size() > *q.limit) {
+    result->rows.resize(*q.limit);
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> ExecuteLocal(const storage::Database& db,
+                                 const AnalyzedQuery& q) {
+  QueryResult result;
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Tuple> collection,
+                          CollectionTuples(db, q));
+  if (!q.is_aggregation) {
+    result.schema = q.result_schema;
+    result.rows = std::move(collection);
+  } else {
+    GroupedAggregation agg(q.agg_specs);
+    for (const auto& t : collection) {
+      TCELLS_RETURN_IF_ERROR(agg.AccumulateTuple(t, q.key_arity));
+    }
+    TCELLS_ASSIGN_OR_RETURN(result, FinalizeAggregation(agg, q));
+  }
+  TCELLS_RETURN_IF_ERROR(ApplyOrderAndLimit(q, &result));
+  return result;
+}
+
+}  // namespace tcells::sql

@@ -1,0 +1,165 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tcells::sql {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      tokens.push_back({TokenType::kIdentifier, sql.substr(i, j - i), 0, 0, start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        is_double = true;
+        ++j;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j == n || !std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          return Status::InvalidArgument("malformed exponent at offset " +
+                                         std::to_string(j));
+        }
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      std::string text = sql.substr(i, j - i);
+      Token t;
+      t.text = text;
+      t.position = start;
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kIntLiteral;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          value.push_back(sql[j]);
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenType::kStringLiteral, std::move(value), 0, 0, start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", 0, 0, start});
+        ++i;
+        continue;
+      case '.':
+        tokens.push_back({TokenType::kDot, ".", 0, 0, start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenType::kLParen, "(", 0, 0, start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenType::kRParen, ")", 0, 0, start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back({TokenType::kStar, "*", 0, 0, start});
+        ++i;
+        continue;
+      case '=':
+        tokens.push_back({TokenType::kOperator, "=", 0, 0, start});
+        ++i;
+        continue;
+      case '+': case '-': case '/': case '%':
+        tokens.push_back({TokenType::kOperator, std::string(1, c), 0, 0, start});
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kOperator, "<=", 0, 0, start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tokens.push_back({TokenType::kOperator, "<>", 0, 0, start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kOperator, "<", 0, 0, start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kOperator, ">=", 0, 0, start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kOperator, ">", 0, 0, start});
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kOperator, "<>", 0, 0, start});
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(start));
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", 0, 0, n});
+  return tokens;
+}
+
+}  // namespace tcells::sql

@@ -1,0 +1,40 @@
+// Hand-written lexer for the SQL dialect. Produces a flat token stream the
+// recursive-descent parser consumes.
+#ifndef TCELLS_SQL_LEXER_H_
+#define TCELLS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tcells::sql {
+
+enum class TokenType {
+  kIdentifier,   ///< unquoted name (keywords are classified by the parser)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral, ///< single-quoted, '' escapes a quote
+  kOperator,      ///< one of = <> != < <= > >= + - * / %
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,          ///< '*' (also used as multiply; parser disambiguates)
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;     // raw text (identifiers keep original case)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+/// Tokenizes `sql`; the final token is always kEnd.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace tcells::sql
+
+#endif  // TCELLS_SQL_LEXER_H_

@@ -1,0 +1,420 @@
+#include "sql/parser.h"
+
+#include <optional>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace tcells::sql {
+
+namespace {
+
+/// Keywords that terminate expressions / cannot be identifiers in context.
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, kw);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    TCELLS_RETURN_IF_ERROR(Expect("SELECT"));
+    stmt.distinct = ConsumeKeywordIf("DISTINCT");
+    // Select list.
+    for (;;) {
+      TCELLS_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.select_list.push_back(std::move(item));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    TCELLS_RETURN_IF_ERROR(Expect("FROM"));
+    for (;;) {
+      TCELLS_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt.from.push_back(std::move(ref));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    if (ConsumeKeywordIf("WHERE")) {
+      TCELLS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeywordIf("GROUP")) {
+      TCELLS_RETURN_IF_ERROR(Expect("BY"));
+      for (;;) {
+        TCELLS_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+        if (e->kind != Expr::Kind::kColumnRef) {
+          return Status::InvalidArgument(
+              "GROUP BY supports column references only");
+        }
+        stmt.group_by.push_back(std::move(e));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+    }
+    if (ConsumeKeywordIf("HAVING")) {
+      TCELLS_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeywordIf("ORDER")) {
+      TCELLS_RETURN_IF_ERROR(Expect("BY"));
+      for (;;) {
+        OrderItem item;
+        TCELLS_ASSIGN_OR_RETURN(item.expr, ParsePrimary());
+        if (ConsumeKeywordIf("DESC")) {
+          item.descending = true;
+        } else {
+          ConsumeKeywordIf("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+    }
+    if (ConsumeKeywordIf("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral || Peek().int_value < 0) {
+        return Error("expected a non-negative integer after LIMIT");
+      }
+      stmt.limit = static_cast<uint64_t>(Advance().int_value);
+    }
+    if (ConsumeKeywordIf("SIZE")) {
+      TCELLS_ASSIGN_OR_RETURN(stmt.size, ParseSizeClause());
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool ConsumeIf(TokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeywordIf(std::string_view kw) {
+    if (IsKeyword(Peek(), kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view kw) {
+    if (!ConsumeKeywordIf(kw)) {
+      return Error("expected keyword " + std::string(kw));
+    }
+    return Status::OK();
+  }
+  Status ExpectToken(TokenType type, std::string_view what) {
+    if (!ConsumeIf(type)) {
+      return Error("expected " + std::string(what));
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        msg + " at offset " + std::to_string(Peek().position) +
+        (Peek().text.empty() ? "" : " (near '" + Peek().text + "')"));
+  }
+
+  static bool IsReserved(const std::string& word) {
+    static const char* kReserved[] = {
+        "SELECT", "FROM", "WHERE",  "GROUP", "BY",   "HAVING", "SIZE",
+        "AND",    "OR",   "NOT",    "IN",    "IS",   "NULL",   "AS",
+        "BETWEEN", "TRUE", "FALSE",  "DISTINCT", "DURATION",
+        "ORDER",  "LIMIT", "ASC",   "DESC",  "LIKE"};
+    for (const char* kw : kReserved) {
+      if (EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  static std::optional<AggKind> AggFromName(const std::string& name) {
+    if (EqualsIgnoreCase(name, "COUNT")) return AggKind::kCount;
+    if (EqualsIgnoreCase(name, "SUM")) return AggKind::kSum;
+    if (EqualsIgnoreCase(name, "AVG")) return AggKind::kAvg;
+    if (EqualsIgnoreCase(name, "MIN")) return AggKind::kMin;
+    if (EqualsIgnoreCase(name, "MAX")) return AggKind::kMax;
+    if (EqualsIgnoreCase(name, "MEDIAN")) return AggKind::kMedian;
+    if (EqualsIgnoreCase(name, "VARIANCE")) return AggKind::kVariance;
+    if (EqualsIgnoreCase(name, "STDDEV")) return AggKind::kStdDev;
+    return std::nullopt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      // SELECT * -> a bare column ref with the reserved name "*"; the
+      // analyzer expands it against the combined schema.
+      item.expr = MakeColumnRef("", "*");
+      return item;
+    }
+    TCELLS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKeywordIf("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      item.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReserved(Peek().text)) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().type != TokenType::kIdentifier || IsReserved(Peek().text)) {
+      return Error("expected table name");
+    }
+    TableRef ref;
+    ref.table = Advance().text;
+    if (ConsumeKeywordIf("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReserved(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<SizeClause> ParseSizeClause() {
+    SizeClause size;
+    bool any = false;
+    if (Peek().type == TokenType::kIntLiteral) {
+      size.max_tuples = static_cast<uint64_t>(Advance().int_value);
+      any = true;
+    }
+    if (ConsumeKeywordIf("DURATION")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Error("expected integer after DURATION");
+      }
+      size.max_duration_ticks = static_cast<uint64_t>(Advance().int_value);
+      any = true;
+    }
+    if (!any) return Error("SIZE clause needs a tuple count and/or DURATION");
+    return size;
+  }
+
+  // Expression grammar, loosest first.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    TCELLS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeywordIf("OR")) {
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    TCELLS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeywordIf("AND")) {
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeywordIf("NOT")) {
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    TCELLS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+    // IS [NOT] NULL
+    if (ConsumeKeywordIf("IS")) {
+      bool negated = ConsumeKeywordIf("NOT");
+      TCELLS_RETURN_IF_ERROR(Expect("NULL"));
+      return MakeIsNull(std::move(lhs), negated);
+    }
+
+    // [NOT] IN (...) / [NOT] BETWEEN a AND b / [NOT] LIKE p
+    bool negated = false;
+    if (IsKeyword(Peek(), "NOT") &&
+        (IsKeyword(Peek(1), "IN") || IsKeyword(Peek(1), "BETWEEN") ||
+         IsKeyword(Peek(1), "LIKE"))) {
+      Advance();
+      negated = true;
+    }
+    if (ConsumeKeywordIf("LIKE")) {
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      return MakeLike(std::move(lhs), std::move(pattern), negated);
+    }
+    if (ConsumeKeywordIf("IN")) {
+      TCELLS_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen, "'('"));
+      std::vector<ExprPtr> items;
+      for (;;) {
+        TCELLS_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+        items.push_back(std::move(item));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+      TCELLS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+      ExprPtr in = MakeInList(std::move(lhs), std::move(items));
+      return negated ? MakeUnary(UnaryOp::kNot, std::move(in)) : in;
+    }
+    if (ConsumeKeywordIf("BETWEEN")) {
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      TCELLS_RETURN_IF_ERROR(Expect("AND"));
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      // Desugar to lhs >= lo AND lhs <= hi.
+      ExprPtr range = MakeBinary(
+          BinaryOp::kAnd, MakeBinary(BinaryOp::kGe, lhs, std::move(lo)),
+          MakeBinary(BinaryOp::kLe, lhs, std::move(hi)));
+      return negated ? MakeUnary(UnaryOp::kNot, std::move(range)) : range;
+    }
+    if (negated) return Error("expected IN, BETWEEN or LIKE after NOT");
+
+    if (Peek().type == TokenType::kOperator) {
+      const std::string& op = Peek().text;
+      BinaryOp bop;
+      if (op == "=") bop = BinaryOp::kEq;
+      else if (op == "<>") bop = BinaryOp::kNe;
+      else if (op == "<") bop = BinaryOp::kLt;
+      else if (op == "<=") bop = BinaryOp::kLe;
+      else if (op == ">") bop = BinaryOp::kGt;
+      else if (op == ">=") bop = BinaryOp::kGe;
+      else return lhs;
+      Advance();
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(bop, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    TCELLS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      if (Peek().type == TokenType::kOperator &&
+          (Peek().text == "+" || Peek().text == "-")) {
+        BinaryOp op = Peek().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+        Advance();
+        TCELLS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    TCELLS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Peek().type == TokenType::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().type == TokenType::kOperator && Peek().text == "/") {
+        op = BinaryOp::kDiv;
+      } else if (Peek().type == TokenType::kOperator && Peek().text == "%") {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      Advance();
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().type == TokenType::kOperator && Peek().text == "-") {
+      Advance();
+      TCELLS_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(child));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral:
+        Advance();
+        return MakeLiteral(storage::Value::Int64(t.int_value));
+      case TokenType::kDoubleLiteral:
+        Advance();
+        return MakeLiteral(storage::Value::Double(t.double_value));
+      case TokenType::kStringLiteral:
+        Advance();
+        return MakeLiteral(storage::Value::String(t.text));
+      case TokenType::kLParen: {
+        Advance();
+        TCELLS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        TCELLS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+        return inner;
+      }
+      case TokenType::kIdentifier: {
+        if (IsKeyword(t, "NULL")) {
+          Advance();
+          return MakeLiteral(storage::Value::Null());
+        }
+        if (IsKeyword(t, "TRUE")) {
+          Advance();
+          return MakeLiteral(storage::Value::Bool(true));
+        }
+        if (IsKeyword(t, "FALSE")) {
+          Advance();
+          return MakeLiteral(storage::Value::Bool(false));
+        }
+        // Aggregate call?
+        auto agg = AggFromName(t.text);
+        if (agg && Peek(1).type == TokenType::kLParen) {
+          Advance();  // name
+          Advance();  // (
+          bool distinct = ConsumeKeywordIf("DISTINCT");
+          ExprPtr arg;
+          if (Peek().type == TokenType::kStar) {
+            if (*agg != AggKind::kCount) {
+              return Error("'*' argument is only valid for COUNT");
+            }
+            if (distinct) return Error("COUNT(DISTINCT *) is not valid");
+            Advance();
+          } else {
+            TCELLS_ASSIGN_OR_RETURN(arg, ParseExpr());
+          }
+          TCELLS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+          return MakeAggregate(*agg, distinct, std::move(arg));
+        }
+        if (IsReserved(t.text)) {
+          return Error("unexpected keyword in expression");
+        }
+        // Column reference: ident or ident.ident.
+        std::string first = Advance().text;
+        if (ConsumeIf(TokenType::kDot)) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected column name after '.'");
+          }
+          std::string second = Advance().text;
+          return MakeColumnRef(std::move(first), std::move(second));
+        }
+        return MakeColumnRef("", std::move(first));
+      }
+      default:
+        return Error("unexpected token in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& sql) {
+  TCELLS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace tcells::sql

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the paper's SELECT dialect (see ast.h).
+#ifndef TCELLS_SQL_PARSER_H_
+#define TCELLS_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace tcells::sql {
+
+/// Parses a single SELECT statement. Keywords are case-insensitive.
+/// Supported grammar:
+///
+///   select   := SELECT item (',' item)* FROM table_ref (',' table_ref)*
+///               [WHERE expr] [GROUP BY colref (',' colref)*] [HAVING expr]
+///               [SIZE size_spec]
+///   item     := '*' | expr [AS? ident]
+///   table_ref:= ident [AS? ident]
+///   size_spec:= INT | DURATION INT | INT DURATION INT
+///   expr     := or-chain over: AND, NOT, cmp (= <> < <= > >=),
+///               [NOT] IN (list), [NOT] BETWEEN a AND b, IS [NOT] NULL,
+///               + - * / %, unary -, literals, column refs, aggregates
+Result<SelectStatement> Parse(const std::string& sql);
+
+}  // namespace tcells::sql
+
+#endif  // TCELLS_SQL_PARSER_H_

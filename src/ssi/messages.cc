@@ -1,0 +1,108 @@
+#include "ssi/messages.h"
+
+#include <algorithm>
+
+namespace tcells::ssi {
+
+void EncryptedItem::EncodeTo(Bytes* out) const {
+  ByteWriter w(out);
+  w.PutU8(routing_tag ? 1 : 0);
+  if (routing_tag) w.PutBytes(*routing_tag);
+  w.PutBytes(blob);
+}
+
+Result<EncryptedItem> EncryptedItem::DecodeFrom(ByteReader* reader) {
+  EncryptedItem item;
+  TCELLS_ASSIGN_OR_RETURN(uint8_t has_tag, reader->GetU8());
+  if (has_tag > 1) return Status::Corruption("bad item tag flag");
+  if (has_tag) {
+    TCELLS_ASSIGN_OR_RETURN(Bytes tag, reader->GetBytes());
+    item.routing_tag = std::move(tag);
+  }
+  TCELLS_ASSIGN_OR_RETURN(item.blob, reader->GetBytes());
+  return item;
+}
+
+Bytes QueryPost::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU64(query_id);
+  w.PutBytes(encrypted_query);
+  w.PutString(querier_id);
+  w.PutBytes(credential_mac);
+  w.PutU8(static_cast<uint8_t>((size_max_tuples ? 1 : 0) |
+                               (size_max_duration_ticks ? 2 : 0)));
+  if (size_max_tuples) w.PutU64(*size_max_tuples);
+  if (size_max_duration_ticks) w.PutU64(*size_max_duration_ticks);
+  return out;
+}
+
+Result<QueryPost> QueryPost::Decode(const Bytes& data) {
+  ByteReader reader(data);
+  QueryPost post;
+  TCELLS_ASSIGN_OR_RETURN(post.query_id, reader.GetU64());
+  TCELLS_ASSIGN_OR_RETURN(post.encrypted_query, reader.GetBytes());
+  TCELLS_ASSIGN_OR_RETURN(post.querier_id, reader.GetString());
+  TCELLS_ASSIGN_OR_RETURN(post.credential_mac, reader.GetBytes());
+  TCELLS_ASSIGN_OR_RETURN(uint8_t flags, reader.GetU8());
+  if (flags > 3) return Status::Corruption("bad query post flags");
+  if (flags & 1) {
+    TCELLS_ASSIGN_OR_RETURN(uint64_t v, reader.GetU64());
+    post.size_max_tuples = v;
+  }
+  if (flags & 2) {
+    TCELLS_ASSIGN_OR_RETURN(uint64_t v, reader.GetU64());
+    post.size_max_duration_ticks = v;
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after query post");
+  }
+  return post;
+}
+
+Bytes Partition::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const auto& item : items) item.EncodeTo(&out);
+  return out;
+}
+
+Result<Partition> Partition::Decode(const Bytes& data) {
+  ByteReader reader(data);
+  Partition partition;
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(EncryptedItem item,
+                            EncryptedItem::DecodeFrom(&reader));
+    partition.items.push_back(std::move(item));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after partition");
+  }
+  return partition;
+}
+
+Bytes EncodePayload(PayloadKind kind, const Bytes& body, size_t pad_to) {
+  Bytes out;
+  out.reserve(std::max(pad_to, 5 + body.size()));
+  ByteWriter w(&out);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutBytes(body);
+  if (out.size() < pad_to) out.resize(pad_to, 0);
+  return out;
+}
+
+Result<DecodedPayload> DecodePayload(const Bytes& payload) {
+  ByteReader reader(payload);
+  TCELLS_ASSIGN_OR_RETURN(uint8_t kind, reader.GetU8());
+  if (kind > static_cast<uint8_t>(PayloadKind::kResultRow)) {
+    return Status::Corruption("unknown payload kind");
+  }
+  DecodedPayload out;
+  out.kind = static_cast<PayloadKind>(kind);
+  TCELLS_ASSIGN_OR_RETURN(out.body, reader.GetBytes());
+  return out;
+}
+
+}  // namespace tcells::ssi

@@ -1,0 +1,90 @@
+// Wire messages exchanged through the SSI. Everything the SSI can see is in
+// these structs; everything sensitive is inside `blob` ciphertexts.
+#ifndef TCELLS_SSI_MESSAGES_H_
+#define TCELLS_SSI_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/tuple.h"
+
+namespace tcells::ssi {
+
+/// An encrypted unit flowing through the SSI: a collection tuple, a partial
+/// aggregation, or a final result row. `routing_tag`, when present, is the
+/// only cleartext channel a protocol deliberately exposes to the SSI for
+/// partitioning: Det_Enc(A_G) bytes (Noise protocols), h(bucketId) (ED_Hist
+/// phase 1) or Det_Enc(group) (ED_Hist phase 2). S_Agg and the basic
+/// protocol expose no tag at all.
+struct EncryptedItem {
+  Bytes blob;
+  std::optional<Bytes> routing_tag;
+
+  size_t WireSize() const {
+    return blob.size() + (routing_tag ? routing_tag->size() : 0);
+  }
+
+  /// Wire codec (for transports between real processes; the in-process
+  /// simulation passes the structs directly).
+  void EncodeTo(Bytes* out) const;
+  static Result<EncryptedItem> DecodeFrom(::tcells::ByteReader* reader);
+};
+
+/// Kinds of plaintext payloads found inside an EncryptedItem blob once a TDS
+/// decrypts it. The SSI can never read this byte.
+enum class PayloadKind : uint8_t {
+  kTrueTuple = 0,   ///< a real collection tuple
+  kDummyTuple = 1,  ///< §3.2: empty result or access denied
+  kFakeTuple = 2,   ///< Noise protocols' noise
+  kPartialAgg = 3,  ///< serialized GroupedAggregation
+  kResultRow = 4,   ///< final result row under k1
+};
+
+/// Serializes a payload: kind byte, u32 body length, body, then zero padding
+/// up to `pad_to` total bytes (0 = no padding). Padding makes dummy/fake
+/// payloads the same plaintext length as true ones, so that ciphertext
+/// lengths leak nothing.
+Bytes EncodePayload(PayloadKind kind, const Bytes& body, size_t pad_to = 0);
+
+struct DecodedPayload {
+  PayloadKind kind;
+  Bytes body;
+};
+Result<DecodedPayload> DecodePayload(const Bytes& payload);
+
+/// What the querier posts on the SSI (§3.2 step 1): the encrypted query, the
+/// querier's credential (signed by an authority), and the SIZE clause in
+/// cleartext so the SSI can evaluate it.
+struct QueryPost {
+  uint64_t query_id = 0;
+  Bytes encrypted_query;         ///< nDet_Enc_k1(SQL text)
+  std::string querier_id;        ///< cleartext querier identity
+  Bytes credential_mac;          ///< authority MAC over querier_id
+  std::optional<uint64_t> size_max_tuples;
+  std::optional<uint64_t> size_max_duration_ticks;
+
+  Bytes Encode() const;
+  static Result<QueryPost> Decode(const Bytes& data);
+};
+
+/// A chunk of the covering result handed to one TDS.
+struct Partition {
+  std::vector<EncryptedItem> items;
+
+  uint64_t WireSize() const {
+    uint64_t n = 0;
+    for (const auto& item : items) n += item.WireSize();
+    return n;
+  }
+
+  Bytes Encode() const;
+  static Result<Partition> Decode(const Bytes& data);
+};
+
+}  // namespace tcells::ssi
+
+#endif  // TCELLS_SSI_MESSAGES_H_

@@ -1,0 +1,52 @@
+#include "ssi/querybox.h"
+
+namespace tcells::ssi {
+
+Status QueryboxHub::Post(QueryPost post, std::optional<uint64_t> personal_tds) {
+  uint64_t id = post.query_id;
+  if (queries_.count(id)) {
+    return Status::InvalidArgument("duplicate query id: " + std::to_string(id));
+  }
+  ActiveQuery active;
+  active.post = std::move(post);
+  active.personal_tds = personal_tds;
+  active.storage = std::make_unique<Ssi>();
+  active.storage->PostQuery(active.post);
+  queries_.emplace(id, std::move(active));
+  return Status::OK();
+}
+
+Status QueryboxHub::PostGlobal(QueryPost post) {
+  return Post(std::move(post), std::nullopt);
+}
+
+Status QueryboxHub::PostPersonal(uint64_t tds_id, QueryPost post) {
+  return Post(std::move(post), tds_id);
+}
+
+std::vector<const QueryPost*> QueryboxHub::Fetch(uint64_t tds_id) const {
+  std::vector<const QueryPost*> out;
+  for (const auto& [id, active] : queries_) {
+    if (active.personal_tds && *active.personal_tds != tds_id) continue;
+    if (active.acknowledged.count(tds_id)) continue;
+    out.push_back(&active.post);
+  }
+  return out;
+}
+
+void QueryboxHub::Acknowledge(uint64_t tds_id, uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it != queries_.end()) it->second.acknowledged.insert(tds_id);
+}
+
+Result<Ssi*> QueryboxHub::StorageFor(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no active query " + std::to_string(query_id));
+  }
+  return it->second.storage.get();
+}
+
+void QueryboxHub::Retire(uint64_t query_id) { queries_.erase(query_id); }
+
+}  // namespace tcells::ssi

@@ -1,0 +1,59 @@
+// Queryboxes (§3.1): "SSI can maintain personal queryboxes where each TDS
+// receives queries directed to it, and a global querybox for queries directed
+// to the crowd." The hub tracks several concurrent active queries, each with
+// its own temporary storage (Ssi instance), and which TDS has already served
+// which query.
+#ifndef TCELLS_SSI_QUERYBOX_H_
+#define TCELLS_SSI_QUERYBOX_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "ssi/messages.h"
+#include "ssi/ssi.h"
+
+namespace tcells::ssi {
+
+class QueryboxHub {
+ public:
+  /// Posts a query addressed to the whole crowd. Fails on duplicate id.
+  Status PostGlobal(QueryPost post);
+
+  /// Posts a query addressed to one TDS only (e.g. "get the monthly
+  /// consumption of consumer C").
+  Status PostPersonal(uint64_t tds_id, QueryPost post);
+
+  /// The posts a connecting TDS should download: all global ones plus its
+  /// personal ones, minus those it has already acknowledged.
+  std::vector<const QueryPost*> Fetch(uint64_t tds_id) const;
+
+  /// Marks a query as served by this TDS (it will not be fetched again).
+  void Acknowledge(uint64_t tds_id, uint64_t query_id);
+
+  /// Per-query temporary storage area / protocol state.
+  Result<Ssi*> StorageFor(uint64_t query_id);
+
+  /// Closes a finished query and frees its storage.
+  void Retire(uint64_t query_id);
+
+  size_t num_active() const { return queries_.size(); }
+
+ private:
+  struct ActiveQuery {
+    QueryPost post;
+    std::optional<uint64_t> personal_tds;  // nullopt = global
+    std::unique_ptr<Ssi> storage;
+    std::set<uint64_t> acknowledged;
+  };
+
+  Status Post(QueryPost post, std::optional<uint64_t> personal_tds);
+
+  std::map<uint64_t, ActiveQuery> queries_;
+};
+
+}  // namespace tcells::ssi
+
+#endif  // TCELLS_SSI_QUERYBOX_H_

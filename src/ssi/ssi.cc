@@ -1,0 +1,87 @@
+#include "ssi/ssi.h"
+
+#include <algorithm>
+
+namespace tcells::ssi {
+
+void Ssi::PostQuery(QueryPost post) { post_ = std::move(post); }
+
+void Ssi::ReceiveCollectionItems(std::vector<EncryptedItem> items) {
+  for (auto& item : items) {
+    if (item.routing_tag) {
+      view_.collection_tag_histogram[*item.routing_tag] += 1;
+    }
+    view_.collection_blob_sizes.push_back(item.blob.size());
+    view_.collection_items += 1;
+    collected_.push_back(std::move(item));
+  }
+}
+
+bool Ssi::SizeReached() const {
+  if (!post_.size_max_tuples) return false;
+  return collected_.size() >= *post_.size_max_tuples;
+}
+
+std::vector<EncryptedItem> Ssi::TakeCollected() {
+  std::vector<EncryptedItem> out;
+  out.swap(collected_);
+  return out;
+}
+
+std::vector<Partition> Ssi::PartitionRandomly(std::vector<EncryptedItem> items,
+                                              size_t chunk_items, Rng* rng) {
+  if (chunk_items == 0) chunk_items = 1;
+  rng->Shuffle(&items);
+  std::vector<Partition> partitions;
+  for (size_t i = 0; i < items.size(); i += chunk_items) {
+    Partition p;
+    size_t end = std::min(items.size(), i + chunk_items);
+    p.items.assign(std::make_move_iterator(items.begin() + i),
+                   std::make_move_iterator(items.begin() + end));
+    partitions.push_back(std::move(p));
+  }
+  return partitions;
+}
+
+Result<std::vector<Partition>> Ssi::PartitionByTag(
+    std::vector<EncryptedItem> items) {
+  std::map<Bytes, Partition> by_tag;
+  for (auto& item : items) {
+    if (!item.routing_tag) {
+      return Status::InvalidArgument(
+          "tag-based partitioning requires routing tags on all items");
+    }
+    by_tag[*item.routing_tag].items.push_back(std::move(item));
+  }
+  std::vector<Partition> partitions;
+  partitions.reserve(by_tag.size());
+  for (auto& [tag, partition] : by_tag) {
+    partitions.push_back(std::move(partition));
+  }
+  return partitions;
+}
+
+std::vector<Partition> Ssi::SplitPartition(Partition partition, size_t ways) {
+  ways = std::max<size_t>(1, std::min(ways, partition.items.size()));
+  std::vector<Partition> out(ways);
+  // Round-robin keeps sub-partitions balanced to within one item.
+  for (size_t i = 0; i < partition.items.size(); ++i) {
+    out[i % ways].items.push_back(std::move(partition.items[i]));
+  }
+  return out;
+}
+
+void Ssi::ObserveAggregationItems(const std::vector<EncryptedItem>& items) {
+  view_.aggregation_items += items.size();
+  for (const auto& item : items) {
+    if (item.routing_tag) {
+      view_.aggregation_tag_histogram[*item.routing_tag] += 1;
+    }
+  }
+}
+
+void Ssi::ObserveFilteringItems(const std::vector<EncryptedItem>& items) {
+  view_.filtering_items += items.size();
+}
+
+}  // namespace tcells::ssi

@@ -1,0 +1,95 @@
+// SupportingServerInfrastructure (SSI): the powerful, highly available but
+// honest-but-curious server tier (§2.1-2.2). It stores queryboxes and
+// encrypted intermediate results, partitions covering results for parallel
+// TDS processing, evaluates the cleartext SIZE clause, and re-dispatches
+// partitions when a TDS goes offline. It holds no keys: its entire API
+// consumes and produces EncryptedItems.
+//
+// For the security analysis (§5) the SSI also exposes its AdversaryView —
+// the exact multiset of observations an attacker controlling the SSI gets.
+#ifndef TCELLS_SSI_SSI_H_
+#define TCELLS_SSI_SSI_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ssi/messages.h"
+
+namespace tcells::ssi {
+
+/// Everything an honest-but-curious SSI observes during a run. The exposure
+/// analysis computes empirical coefficients from this, and security tests
+/// assert on its contents (e.g. "all blobs of one phase have equal size",
+/// "tag multiset is flat for C_Noise").
+struct AdversaryView {
+  /// Cleartext routing tags seen in the collection phase, with multiplicity.
+  std::map<Bytes, uint64_t> collection_tag_histogram;
+  /// Blob sizes seen in the collection phase.
+  std::vector<size_t> collection_blob_sizes;
+  /// Cleartext routing tags observed on aggregation-phase outputs (e.g. the
+  /// Det_Enc(group) tags of ED_Hist's second phase — this is how the SSI
+  /// learns G, and only G, there).
+  std::map<Bytes, uint64_t> aggregation_tag_histogram;
+  /// Number of items observed per phase (collection, aggregation rounds,
+  /// filtering).
+  uint64_t collection_items = 0;
+  uint64_t aggregation_items = 0;
+  uint64_t filtering_items = 0;
+};
+
+/// One query's life inside the SSI.
+class Ssi {
+ public:
+  Ssi() = default;
+
+  /// ---- Querybox (step 1/2) ----
+  void PostQuery(QueryPost post);
+  const QueryPost& query_post() const { return post_; }
+
+  /// ---- Collection phase (steps 3-4) ----
+  /// Appends one TDS's contribution to the temporary storage area.
+  void ReceiveCollectionItems(std::vector<EncryptedItem> items);
+
+  /// True when the SIZE tuple bound has been reached (the SSI counts items;
+  /// it cannot tell true from dummy/fake ones, which is the point).
+  bool SizeReached() const;
+
+  uint64_t NumCollected() const { return collected_.size(); }
+  const std::vector<EncryptedItem>& collected() const { return collected_; }
+  std::vector<EncryptedItem> TakeCollected();
+
+  /// ---- Partitioning (steps 5/9) ----
+  /// Random partitioning into chunks of at most `chunk_items` items: the only
+  /// thing the SSI can do when items carry no routing tag (S_Agg, basic).
+  static std::vector<Partition> PartitionRandomly(
+      std::vector<EncryptedItem> items, size_t chunk_items, Rng* rng);
+
+  /// Tag-based partitioning: one partition per distinct routing tag (Noise
+  /// protocols and ED_Hist). Items without a tag are rejected.
+  static Result<std::vector<Partition>> PartitionByTag(
+      std::vector<EncryptedItem> items);
+
+  /// Splits one partition into up to `ways` roughly equal sub-partitions
+  /// (parallelizing one group/bucket across several TDSs).
+  static std::vector<Partition> SplitPartition(Partition partition,
+                                               size_t ways);
+
+  /// ---- Adversary instrumentation ----
+  AdversaryView& adversary_view() { return view_; }
+  const AdversaryView& adversary_view() const { return view_; }
+  void ObserveAggregationItems(const std::vector<EncryptedItem>& items);
+  void ObserveFilteringItems(const std::vector<EncryptedItem>& items);
+
+ private:
+  QueryPost post_;
+  std::vector<EncryptedItem> collected_;
+  AdversaryView view_;
+};
+
+}  // namespace tcells::ssi
+
+#endif  // TCELLS_SSI_SSI_H_

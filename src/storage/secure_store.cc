@@ -1,0 +1,179 @@
+#include "storage/secure_store.h"
+
+#include "crypto/hmac.h"
+
+namespace tcells::storage {
+
+namespace {
+constexpr char kManifestMarker[] = "tcells-manifest-v1";
+constexpr char kPageMarker[] = "tcells-page-v1";
+}  // namespace
+
+SecureTableWriter::SecureTableWriter(const crypto::NDetEnc* sealer,
+                                     std::string table_name, FlashArea* flash,
+                                     size_t page_payload_bytes)
+    : sealer_(sealer),
+      table_name_(std::move(table_name)),
+      flash_(flash),
+      page_payload_bytes_(std::max<size_t>(64, page_payload_bytes)) {}
+
+Status SecureTableWriter::Append(const Tuple& tuple, Rng* rng) {
+  size_t encoded = tuple.Encode().size();
+  if (!buffer_.empty() && buffered_bytes_ + encoded > page_payload_bytes_) {
+    TCELLS_RETURN_IF_ERROR(SealBuffer(rng));
+  }
+  buffer_.push_back(tuple);
+  buffered_bytes_ += encoded;
+  return Status::OK();
+}
+
+Status SecureTableWriter::Flush(Rng* rng) {
+  if (buffer_.empty()) return Status::OK();
+  return SealBuffer(rng);
+}
+
+Status SecureTableWriter::SealBuffer(Rng* rng) {
+  Bytes plain;
+  ByteWriter w(&plain);
+  w.PutString(kPageMarker);
+  w.PutU32(static_cast<uint32_t>(flash_->num_pages()));  // global page id
+  w.PutString(table_name_);
+  w.PutU32(static_cast<uint32_t>(buffer_.size()));
+  for (const auto& t : buffer_) t.EncodeTo(&plain);
+  flash_->AppendPage(sealer_->Encrypt(plain, rng));
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  ++next_page_index_;
+  ++pages_written_;
+  return Status::OK();
+}
+
+Result<SecureDatabase::Image> SecureDatabase::Seal(const Database& db,
+                                                   const Bytes& storage_key,
+                                                   Rng* rng,
+                                                   size_t page_payload_bytes) {
+  Bytes key = crypto::DeriveKey(storage_key, "secure-store");
+  TCELLS_ASSIGN_OR_RETURN(crypto::NDetEnc sealer, crypto::NDetEnc::Create(key));
+
+  Image image;
+  struct TableMeta {
+    std::string name;
+    const Schema* schema;
+    uint32_t pages;
+    uint64_t rows;
+  };
+  std::vector<TableMeta> metas;
+
+  for (const std::string& name : db.catalog().TableNames()) {
+    TCELLS_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    SecureTableWriter writer(&sealer, name, &image.flash, page_payload_bytes);
+    for (const auto& row : table->rows()) {
+      TCELLS_RETURN_IF_ERROR(writer.Append(row, rng));
+    }
+    TCELLS_RETURN_IF_ERROR(writer.Flush(rng));
+    metas.push_back({name, &table->schema(), writer.pages_written(),
+                     table->num_rows()});
+  }
+
+  // Authenticated manifest, appended last.
+  Bytes manifest;
+  ByteWriter w(&manifest);
+  w.PutString(kManifestMarker);
+  w.PutU32(static_cast<uint32_t>(image.flash.num_pages()));  // its page id
+  w.PutU32(static_cast<uint32_t>(metas.size()));
+  for (const auto& m : metas) {
+    w.PutString(m.name);
+    w.PutU16(static_cast<uint16_t>(m.schema->num_columns()));
+    for (const auto& col : m.schema->columns()) {
+      w.PutString(col.name);
+      w.PutU8(static_cast<uint8_t>(col.type));
+    }
+    w.PutU32(m.pages);
+    w.PutU64(m.rows);
+  }
+  image.flash.AppendPage(sealer.Encrypt(manifest, rng));
+  return image;
+}
+
+Result<Database> SecureDatabase::Open(const Image& image,
+                                      const Bytes& storage_key) {
+  Bytes key = crypto::DeriveKey(storage_key, "secure-store");
+  TCELLS_ASSIGN_OR_RETURN(crypto::NDetEnc sealer, crypto::NDetEnc::Create(key));
+  if (image.flash.num_pages() == 0) {
+    return Status::Corruption("empty flash image");
+  }
+
+  // Manifest is the last page and must self-identify with its position.
+  uint32_t manifest_id = static_cast<uint32_t>(image.flash.num_pages() - 1);
+  TCELLS_ASSIGN_OR_RETURN(const Bytes* manifest_page,
+                          image.flash.ReadPage(manifest_id));
+  TCELLS_ASSIGN_OR_RETURN(Bytes manifest, sealer.Decrypt(*manifest_page));
+  ByteReader mr(manifest);
+  TCELLS_ASSIGN_OR_RETURN(std::string marker, mr.GetString());
+  if (marker != kManifestMarker) {
+    return Status::Corruption("manifest marker mismatch");
+  }
+  TCELLS_ASSIGN_OR_RETURN(uint32_t stored_id, mr.GetU32());
+  if (stored_id != manifest_id) {
+    return Status::Corruption("manifest position mismatch (truncated image?)");
+  }
+  TCELLS_ASSIGN_OR_RETURN(uint32_t table_count, mr.GetU32());
+
+  Database db;
+  uint32_t cursor = 0;
+  for (uint32_t t = 0; t < table_count; ++t) {
+    TCELLS_ASSIGN_OR_RETURN(std::string name, mr.GetString());
+    TCELLS_ASSIGN_OR_RETURN(uint16_t num_cols, mr.GetU16());
+    std::vector<Column> cols;
+    for (uint16_t c = 0; c < num_cols; ++c) {
+      Column col;
+      TCELLS_ASSIGN_OR_RETURN(col.name, mr.GetString());
+      TCELLS_ASSIGN_OR_RETURN(uint8_t type, mr.GetU8());
+      col.type = static_cast<ValueType>(type);
+      cols.push_back(std::move(col));
+    }
+    TCELLS_ASSIGN_OR_RETURN(uint32_t pages, mr.GetU32());
+    TCELLS_ASSIGN_OR_RETURN(uint64_t rows, mr.GetU64());
+
+    TCELLS_RETURN_IF_ERROR(db.CreateTable(name, Schema(std::move(cols))));
+    TCELLS_ASSIGN_OR_RETURN(Table * table, db.GetTable(name));
+
+    uint64_t loaded = 0;
+    for (uint32_t p = 0; p < pages; ++p, ++cursor) {
+      TCELLS_ASSIGN_OR_RETURN(const Bytes* sealed,
+                              image.flash.ReadPage(cursor));
+      TCELLS_ASSIGN_OR_RETURN(Bytes plain, sealer.Decrypt(*sealed));
+      ByteReader pr(plain);
+      TCELLS_ASSIGN_OR_RETURN(std::string page_marker, pr.GetString());
+      if (page_marker != kPageMarker) {
+        return Status::Corruption("data page marker mismatch");
+      }
+      TCELLS_ASSIGN_OR_RETURN(uint32_t page_id, pr.GetU32());
+      if (page_id != cursor) {
+        return Status::Corruption("page reordering detected");
+      }
+      TCELLS_ASSIGN_OR_RETURN(std::string page_table, pr.GetString());
+      if (page_table != name) {
+        return Status::Corruption("page belongs to a different table");
+      }
+      TCELLS_ASSIGN_OR_RETURN(uint32_t count, pr.GetU32());
+      for (uint32_t i = 0; i < count; ++i) {
+        TCELLS_ASSIGN_OR_RETURN(Tuple tuple, Tuple::DecodeFrom(&pr));
+        TCELLS_RETURN_IF_ERROR(table->Insert(std::move(tuple)));
+        ++loaded;
+      }
+      if (!pr.AtEnd()) {
+        return Status::Corruption("trailing bytes in data page");
+      }
+    }
+    if (loaded != rows) {
+      return Status::Corruption("row count mismatch for table " + name);
+    }
+  }
+  if (cursor != manifest_id) {
+    return Status::Corruption("unexpected extra pages in image");
+  }
+  return db;
+}
+
+}  // namespace tcells::storage

@@ -1,0 +1,104 @@
+// Cryptographically protected mass storage (Fig 1): a secure device is a
+// Trusted Execution Environment plus a *potentially untrusted* flash area.
+// Everything the TDS persists is sealed into fixed-capacity pages encrypted
+// and authenticated with a per-device storage key; the flash (or anyone who
+// dumps it) sees only ciphertext, and any tampering — including swapping or
+// replaying whole pages — is detected on load.
+#ifndef TCELLS_STORAGE_SECURE_STORE_H_
+#define TCELLS_STORAGE_SECURE_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/encryption.h"
+#include "storage/table.h"
+
+namespace tcells::storage {
+
+/// The untrusted flash: an append-only container of opaque sealed pages.
+/// It exposes its contents freely — confidentiality and integrity come from
+/// the sealing, not from this class.
+class FlashArea {
+ public:
+  uint32_t AppendPage(Bytes sealed) {
+    pages_.push_back(std::move(sealed));
+    return static_cast<uint32_t>(pages_.size() - 1);
+  }
+
+  Result<const Bytes*> ReadPage(uint32_t id) const {
+    if (id >= pages_.size()) {
+      return Status::NotFound("no such page: " + std::to_string(id));
+    }
+    return &pages_[id];
+  }
+
+  size_t num_pages() const { return pages_.size(); }
+  uint64_t TotalBytes() const {
+    uint64_t n = 0;
+    for (const auto& p : pages_) n += p.size();
+    return n;
+  }
+
+  /// Mutable access — an attacker's handle (tests use this to tamper).
+  Bytes* mutable_page(uint32_t id) { return &pages_[id]; }
+  void SwapPages(uint32_t a, uint32_t b) { std::swap(pages_[a], pages_[b]); }
+
+ private:
+  std::vector<Bytes> pages_;
+};
+
+/// Seals tuples of one table into pages. Page plaintext layout:
+///   u32 page_index | string table_name | u32 tuple_count | tuples...
+/// The page index and table name inside the authenticated plaintext prevent
+/// cross-table and reordering splices.
+class SecureTableWriter {
+ public:
+  /// `page_payload_bytes` bounds the plaintext bytes per page (a NAND page
+  /// is a few KB on the paper's device).
+  SecureTableWriter(const crypto::NDetEnc* sealer, std::string table_name,
+                    FlashArea* flash, size_t page_payload_bytes = 2048);
+
+  Status Append(const Tuple& tuple, Rng* rng);
+  /// Seals any buffered tuples; must be called before the writer is dropped.
+  Status Flush(Rng* rng);
+
+  uint32_t pages_written() const { return pages_written_; }
+
+ private:
+  Status SealBuffer(Rng* rng);
+
+  const crypto::NDetEnc* sealer_;
+  std::string table_name_;
+  FlashArea* flash_;
+  size_t page_payload_bytes_;
+  std::vector<Tuple> buffer_;
+  size_t buffered_bytes_ = 0;
+  uint32_t next_page_index_ = 0;
+  uint32_t pages_written_ = 0;
+};
+
+/// A whole local database sealed into one flash image plus an authenticated
+/// manifest page (table names, schemas, page counts). Opening verifies every
+/// page and rejects any modification, truncation or reordering.
+class SecureDatabase {
+ public:
+  struct Image {
+    FlashArea flash;
+  };
+
+  /// Seals `db` under the 16-byte device storage key.
+  static Result<Image> Seal(const Database& db, const Bytes& storage_key,
+                            Rng* rng, size_t page_payload_bytes = 2048);
+
+  /// Decrypts, verifies and rebuilds the database.
+  static Result<Database> Open(const Image& image, const Bytes& storage_key);
+};
+
+}  // namespace tcells::storage
+
+#endif  // TCELLS_STORAGE_SECURE_STORE_H_

@@ -1,0 +1,61 @@
+#include "storage/tuple.h"
+
+namespace tcells::storage {
+
+Tuple Tuple::Concat(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values = a.values_;
+  values.insert(values.end(), b.values_.begin(), b.values_.end());
+  return Tuple(std::move(values));
+}
+
+void Tuple::EncodeTo(Bytes* out) const {
+  ByteWriter w(out);
+  w.PutU16(static_cast<uint16_t>(values_.size()));
+  for (const auto& v : values_) v.EncodeTo(out);
+}
+
+Bytes Tuple::Encode() const {
+  Bytes out;
+  EncodeTo(&out);
+  return out;
+}
+
+Result<Tuple> Tuple::DecodeFrom(ByteReader* reader) {
+  TCELLS_ASSIGN_OR_RETURN(uint16_t n, reader->GetU16());
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(reader));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+Result<Tuple> Tuple::Decode(const Bytes& data) {
+  ByteReader reader(data);
+  TCELLS_ASSIGN_OR_RETURN(Tuple t, DecodeFrom(&reader));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after tuple");
+  }
+  return t;
+}
+
+bool Tuple::IsSameGroup(const Tuple& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!values_[i].IsSameGroup(other.values_[i])) return false;
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tcells::storage

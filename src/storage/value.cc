@@ -1,0 +1,143 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace tcells::storage {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return "BOOL";
+    case ValueType::kInt64: return "INT64";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64: return static_cast<double>(AsInt64());
+    case ValueType::kDouble: return AsDouble();
+    default:
+      return Status::InvalidArgument(std::string("not numeric: ") +
+                                     ValueTypeToString(type()));
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    return ToDouble().ValueOrDie() == other.ToDouble().ValueOrDie();
+  }
+  return v_ == other.v_;
+}
+
+bool Value::IsSameGroup(const Value& other) const {
+  if (is_null() && other.is_null()) return true;
+  if (is_null() || other.is_null()) return false;
+  return Equals(other);
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (is_numeric() && other.is_numeric()) {
+    double a = ToDouble().ValueOrDie();
+    double b = other.ToDouble().ValueOrDie();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type() != other.type()) {
+    return Status::InvalidArgument(
+        std::string("incomparable types: ") + ValueTypeToString(type()) +
+        " vs " + ValueTypeToString(other.type()));
+  }
+  switch (type()) {
+    case ValueType::kBool: {
+      int a = AsBool(), b = other.AsBool();
+      return a - b;
+    }
+    case ValueType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return Status::Internal("unreachable compare");
+  }
+}
+
+void Value::EncodeTo(Bytes* out) const {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      w.PutU8(AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      w.PutI64(AsInt64());
+      break;
+    case ValueType::kDouble:
+      w.PutDouble(AsDouble());
+      break;
+    case ValueType::kString:
+      w.PutString(AsString());
+      break;
+  }
+}
+
+Result<Value> Value::DecodeFrom(ByteReader* reader) {
+  TCELLS_ASSIGN_OR_RETURN(uint8_t tag, reader->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      TCELLS_ASSIGN_OR_RETURN(uint8_t b, reader->GetU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt64: {
+      TCELLS_ASSIGN_OR_RETURN(int64_t i, reader->GetI64());
+      return Value::Int64(i);
+    }
+    case ValueType::kDouble: {
+      TCELLS_ASSIGN_OR_RETURN(double d, reader->GetDouble());
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      TCELLS_ASSIGN_OR_RETURN(std::string s, reader->GetString());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return AsBool() ? "true" : "false";
+    case ValueType::kInt64: return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString: return AsString();
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (v_.index() != other.v_.index()) return v_.index() < other.v_.index();
+  return v_ < other.v_;
+}
+
+}  // namespace tcells::storage

@@ -1,0 +1,85 @@
+// Value: the dynamically-typed scalar cell of the relational layer.
+#ifndef TCELLS_STORAGE_VALUE_H_
+#define TCELLS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace tcells::storage {
+
+/// Column/scalar types supported by the local databases.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// A nullable scalar. Comparisons across numeric types (int64/double) follow
+/// SQL semantics; NULL compares equal to NULL only for grouping purposes
+/// (this engine uses IsSameGroup, not three-valued logic, for GROUP BY keys).
+class Value {
+ public:
+  /// NULL value.
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int64(int64_t i) { return Value(Repr(i)); }
+  static Value Double(double d) { return Value(Repr(d)); }
+  static Value String(std::string s) { return Value(Repr(std::move(s))); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_numeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  /// Typed accessors; calling the wrong one is a programming error (asserts).
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric value as double (int64 is widened); error if not numeric.
+  Result<double> ToDouble() const;
+
+  /// SQL equality (numeric cross-type allowed). NULL == anything -> false.
+  bool Equals(const Value& other) const;
+
+  /// Grouping equality: like Equals but NULL matches NULL.
+  bool IsSameGroup(const Value& other) const;
+
+  /// Three-way compare for ORDER/min/max; error on incomparable types.
+  /// NULL sorts before everything.
+  Result<int> Compare(const Value& other) const;
+
+  /// Canonical byte encoding (type tag + payload); equal values always encode
+  /// to equal bytes, which is what Det_Enc / bucket hashing require.
+  void EncodeTo(Bytes* out) const;
+  static Result<Value> DecodeFrom(class ::tcells::ByteReader* reader);
+
+  /// Debug / CSV rendering.
+  std::string ToString() const;
+
+  /// Total order usable as std::map key (type tag, then value).
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const { return IsSameGroup(other); }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+
+  Repr v_;
+};
+
+}  // namespace tcells::storage
+
+#endif  // TCELLS_STORAGE_VALUE_H_

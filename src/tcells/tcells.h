@@ -1,0 +1,52 @@
+// Umbrella header: the public API of the tcells library.
+//
+//   #include "tcells/tcells.h"
+//
+// pulls in everything a typical embedder needs — fleet construction, the
+// querying protocols, the analysis tools and the workload generators. Fine-
+// grained headers remain available for targeted use.
+#ifndef TCELLS_TCELLS_H_
+#define TCELLS_TCELLS_H_
+
+// Foundations.
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+// Cryptography and key management.
+#include "crypto/broadcast.h"
+#include "crypto/encryption.h"
+#include "crypto/keystore.h"
+#include "crypto/provisioning.h"
+
+// Relational layer.
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "storage/secure_store.h"
+#include "storage/table.h"
+
+// The distributed system: trusted servers, untrusted infrastructure,
+// protocols.
+#include "protocol/discovery.h"
+#include "protocol/factory.h"
+#include "protocol/protocols.h"
+#include "protocol/reference.h"
+#include "protocol/session.h"
+#include "ssi/querybox.h"
+#include "tds/access_control.h"
+#include "tds/tds.h"
+
+// Evaluation tooling.
+#include "analysis/cost_model.h"
+#include "analysis/exposure.h"
+#include "analysis/tradeoff.h"
+#include "sim/device_model.h"
+
+// Ready-made fleets.
+#include "workload/generic.h"
+#include "workload/health.h"
+#include "workload/smart_meter.h"
+
+#endif  // TCELLS_TCELLS_H_

@@ -1,0 +1,60 @@
+// Nearly equi-depth histogram over the grouping-attribute domain (§4.4).
+//
+// Built from the (approximate) distribution of A_G values — itself obtained
+// by the distribution-discovery protocol — the histogram decomposes the
+// domain into buckets holding nearly the same number of true tuples. Each
+// TDS maps its tuple's group key to a bucket and exposes only the keyed hash
+// h(bucketId) to the SSI.
+#ifndef TCELLS_TDS_HISTOGRAM_H_
+#define TCELLS_TDS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/tuple.h"
+
+namespace tcells::tds {
+
+/// Immutable bucket decomposition of an ordered key domain.
+class EquiDepthHistogram {
+ public:
+  /// Builds buckets of near-equal total frequency from `freq` (group key ->
+  /// occurrence count). `num_buckets` is clamped to [1, #distinct keys].
+  static EquiDepthHistogram Build(
+      const std::map<storage::Tuple, uint64_t>& freq, size_t num_buckets);
+
+  /// Bucket of `key`. Keys outside the observed domain fall into the nearest
+  /// bucket by order, so stale distributions still yield a valid mapping.
+  uint32_t BucketOf(const storage::Tuple& key) const;
+
+  size_t num_buckets() const { return upper_bounds_.size(); }
+
+  /// Average number of distinct observed keys per bucket — the collision
+  /// factor h of the exposure analysis (§5).
+  double CollisionFactor() const;
+
+  /// Canonical bytes of a bucket id (input to the keyed hash).
+  static Bytes BucketIdBytes(uint32_t bucket);
+
+  /// Wire encoding, so the discovery result can be distributed to the fleet
+  /// (inside an encrypted envelope — bucket bounds reveal the distribution).
+  void EncodeTo(Bytes* out) const;
+  static Result<EquiDepthHistogram> Decode(const Bytes& data);
+
+  bool Equals(const EquiDepthHistogram& other) const {
+    return upper_bounds_ == other.upper_bounds_ && num_keys_ == other.num_keys_;
+  }
+
+ private:
+  // upper_bounds_[i] is the largest key assigned to bucket i; buckets are
+  // contiguous ranges in key order.
+  std::vector<storage::Tuple> upper_bounds_;
+  size_t num_keys_ = 0;
+};
+
+}  // namespace tcells::tds
+
+#endif  // TCELLS_TDS_HISTOGRAM_H_

@@ -1,0 +1,63 @@
+// LeakLog: instrumentation for the paper's future-work threat extension —
+// "(2) extend the threat model to (a small number of) compromised TDSs".
+//
+// A compromised TDS still runs the protocol (its code is tamper-resistant in
+// the paper's model; here we deliberately break that assumption) but leaks
+// everything it decrypts. Marking some TDSs compromised and inspecting the
+// log after a run measures how much raw data an attacker who extracted k2
+// from a few devices would see under each protocol.
+#ifndef TCELLS_TDS_LEAK_LOG_H_
+#define TCELLS_TDS_LEAK_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "storage/tuple.h"
+
+namespace tcells::tds {
+
+/// Shared by all compromised TDSs of one experiment. Not thread-safe (the
+/// simulation is single-threaded).
+class LeakLog {
+ public:
+  void RecordRawTuple(uint64_t tds_id, const storage::Tuple& tuple) {
+    raw_tuples_.insert(tuple);
+    per_tds_raw_[tds_id] += 1;
+  }
+  void RecordGroupAggregate(uint64_t tds_id, const storage::Tuple& key) {
+    group_keys_.insert(key);
+    per_tds_groups_[tds_id] += 1;
+  }
+  void RecordResultRow(uint64_t tds_id, const storage::Tuple& row) {
+    result_rows_.insert(row);
+    (void)tds_id;
+  }
+
+  /// Distinct raw collection tuples an attacker learned in plaintext.
+  size_t NumLeakedRawTuples() const { return raw_tuples_.size(); }
+  /// Distinct groups whose (partial or final) aggregate the attacker saw.
+  size_t NumLeakedGroups() const { return group_keys_.size(); }
+  size_t NumLeakedResultRows() const { return result_rows_.size(); }
+
+  const std::set<storage::Tuple>& raw_tuples() const { return raw_tuples_; }
+
+  void Clear() {
+    raw_tuples_.clear();
+    group_keys_.clear();
+    result_rows_.clear();
+    per_tds_raw_.clear();
+    per_tds_groups_.clear();
+  }
+
+ private:
+  std::set<storage::Tuple> raw_tuples_;
+  std::set<storage::Tuple> group_keys_;
+  std::set<storage::Tuple> result_rows_;
+  std::map<uint64_t, uint64_t> per_tds_raw_;
+  std::map<uint64_t, uint64_t> per_tds_groups_;
+};
+
+}  // namespace tcells::tds
+
+#endif  // TCELLS_TDS_LEAK_LOG_H_

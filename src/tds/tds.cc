@@ -1,0 +1,366 @@
+#include "tds/tds.h"
+
+#include <string>
+
+#include "crypto/hmac.h"
+
+namespace tcells::tds {
+
+using ssi::EncryptedItem;
+using ssi::Partition;
+using ssi::PayloadKind;
+using storage::Tuple;
+using storage::Value;
+
+namespace {
+
+Bytes HashTagBytes(uint64_t h) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU64(h);
+  return out;
+}
+
+}  // namespace
+
+TrustedDataServer::TrustedDataServer(
+    uint64_t id, std::shared_ptr<const crypto::KeyStore> keys,
+    std::shared_ptr<const Authority> authority, AccessPolicy policy,
+    TdsOptions options)
+    : id_(id),
+      keys_(std::move(keys)),
+      authority_(std::move(authority)),
+      policy_(std::move(policy)),
+      options_(options) {}
+
+Result<const sql::AnalyzedQuery*> TrustedDataServer::OpenQuery(
+    const ssi::QueryPost& post) {
+  auto it = query_cache_.find(post.query_id);
+  if (it == query_cache_.end()) {
+    // Decrypt the query text with k1 (step 3).
+    TCELLS_ASSIGN_OR_RETURN(Bytes sql_bytes,
+                            keys_->k1_ndet().Decrypt(post.encrypted_query));
+    std::string sql(sql_bytes.begin(), sql_bytes.end());
+    TCELLS_ASSIGN_OR_RETURN(sql::AnalyzedQuery query,
+                            sql::AnalyzeSql(sql, db_.catalog()));
+    CachedQuery cached;
+    cached.query = std::move(query);
+    // Credential + policy checks. Failures become PermissionDenied, which
+    // the collection phase answers with a dummy rather than an error.
+    if (!authority_->Verify(post.querier_id, post.credential_mac)) {
+      cached.access = Status::PermissionDenied("bad credential");
+    } else {
+      cached.access = policy_.CheckQuery(cached.query, post.querier_id);
+    }
+    it = query_cache_.emplace(post.query_id, std::move(cached)).first;
+  }
+  if (!it->second.access.ok()) return it->second.access;
+  return &it->second.query;
+}
+
+ssi::EncryptedItem TrustedDataServer::SealK2(const Bytes& payload,
+                                             std::optional<Bytes> tag,
+                                             Rng* rng) const {
+  EncryptedItem item;
+  item.blob = keys_->k2_ndet().Encrypt(payload, rng);
+  item.routing_tag = std::move(tag);
+  return item;
+}
+
+Bytes TrustedDataServer::GroupKeyTagBytes(const Tuple& collection_tuple,
+                                          size_t key_arity) const {
+  Tuple key(std::vector<Value>(collection_tuple.values().begin(),
+                               collection_tuple.values().begin() +
+                                   std::min(key_arity,
+                                            collection_tuple.size())));
+  return keys_->k2_det().Encrypt(key.Encode());
+}
+
+Result<ssi::EncryptedItem> TrustedDataServer::MakeDummy(
+    const sql::AnalyzedQuery& query, const CollectionConfig& config,
+    Rng* rng) const {
+  // Dummy body: an all-NULL tuple of the collection arity, so its size is in
+  // family with true tuples even without padding.
+  Tuple dummy_tuple(std::vector<Value>(
+      query.collection_schema.num_columns(), Value::Null()));
+  Bytes payload = ssi::EncodePayload(PayloadKind::kDummyTuple,
+                                     dummy_tuple.Encode(),
+                                     config.pad_payload_to);
+  std::optional<Bytes> tag;
+  switch (config.mode) {
+    case CollectionMode::kNDet:
+      break;
+    case CollectionMode::kDetTag: {
+      // Tag with a random domain key so the dummy blends into a real group.
+      if (!config.noise.group_domain || config.noise.group_domain->empty()) {
+        return Status::FailedPrecondition(
+            "Det-tag collection requires a group domain");
+      }
+      const auto& domain = *config.noise.group_domain;
+      const Tuple& key = domain[rng->NextBelow(domain.size())];
+      tag = keys_->k2_det().Encrypt(key.Encode());
+      break;
+    }
+    case CollectionMode::kHistTag: {
+      if (!config.histogram || config.histogram->num_buckets() == 0) {
+        return Status::FailedPrecondition(
+            "histogram collection requires a histogram");
+      }
+      uint32_t bucket = static_cast<uint32_t>(
+          rng->NextBelow(config.histogram->num_buckets()));
+      tag = HashTagBytes(crypto::KeyedHash64(
+          keys_->k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
+      break;
+    }
+  }
+  return SealK2(payload, std::move(tag), rng);
+}
+
+Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
+    const ssi::QueryPost& post, const CollectionConfig& config, Rng* rng) {
+  auto open = OpenQuery(post);
+  const sql::AnalyzedQuery* query = nullptr;
+  bool denied = false;
+  if (open.ok()) {
+    query = open.ValueOrDie();
+  } else if (open.status().IsPermissionDenied()) {
+    denied = true;
+    // We still need the analyzed shape to emit a well-formed dummy.
+    auto& cached = query_cache_.at(post.query_id);
+    query = &cached.query;
+  } else {
+    return open.status();
+  }
+
+  std::vector<Tuple> tuples;
+  if (!denied) {
+    TCELLS_ASSIGN_OR_RETURN(tuples, sql::CollectionTuples(db_, *query));
+  }
+  if (tuples.empty()) {
+    // Empty result or denied: a single dummy (§3.2 step 4'), so the SSI
+    // cannot learn the query's selectivity or the policy outcome.
+    TCELLS_ASSIGN_OR_RETURN(EncryptedItem dummy,
+                            MakeDummy(*query, config, rng));
+    return std::vector<EncryptedItem>{std::move(dummy)};
+  }
+
+  std::vector<EncryptedItem> items;
+  for (const Tuple& tuple : tuples) {
+    Bytes payload = ssi::EncodePayload(PayloadKind::kTrueTuple, tuple.Encode(),
+                                       config.pad_payload_to);
+    switch (config.mode) {
+      case CollectionMode::kNDet:
+        items.push_back(SealK2(payload, std::nullopt, rng));
+        break;
+      case CollectionMode::kDetTag: {
+        items.push_back(SealK2(
+            payload, GroupKeyTagBytes(tuple, query->key_arity), rng));
+        if (!config.noise.group_domain || config.noise.group_domain->empty()) {
+          return Status::FailedPrecondition(
+              "Det-tag collection requires a group domain");
+        }
+        const auto& domain = *config.noise.group_domain;
+        Tuple true_key(std::vector<Value>(
+            tuple.values().begin(),
+            tuple.values().begin() + query->key_arity));
+        // Noise tuples: identified by their payload kind, invisible to SSI.
+        auto emit_fake = [&](const Tuple& fake_key) {
+          Tuple fake = fake_key;
+          for (size_t i = query->key_arity;
+               i < query->collection_schema.num_columns(); ++i) {
+            fake.Append(Value::Null());
+          }
+          Bytes fake_payload = ssi::EncodePayload(
+              PayloadKind::kFakeTuple, fake.Encode(), config.pad_payload_to);
+          items.push_back(SealK2(
+              fake_payload, keys_->k2_det().Encrypt(fake_key.Encode()), rng));
+        };
+        if (config.noise.complementary) {
+          // C_Noise: one fake per domain value different from the true one —
+          // the mixed distribution is flat by construction (§4.3).
+          for (const Tuple& key : domain) {
+            if (!key.IsSameGroup(true_key)) emit_fake(key);
+          }
+        } else {
+          // Rnf_Noise: nf random fakes per true tuple.
+          for (int k = 0; k < config.noise.nf; ++k) {
+            emit_fake(domain[rng->NextBelow(domain.size())]);
+          }
+        }
+        break;
+      }
+      case CollectionMode::kHistTag: {
+        if (!config.histogram || config.histogram->num_buckets() == 0) {
+          return Status::FailedPrecondition(
+              "histogram collection requires a histogram");
+        }
+        Tuple key(std::vector<Value>(
+            tuple.values().begin(),
+            tuple.values().begin() + query->key_arity));
+        uint32_t bucket = config.histogram->BucketOf(key);
+        Bytes tag = HashTagBytes(crypto::KeyedHash64(
+            keys_->k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
+        items.push_back(SealK2(payload, std::move(tag), rng));
+        break;
+      }
+    }
+  }
+  return items;
+}
+
+Result<std::vector<ssi::EncryptedItem>>
+TrustedDataServer::ProcessAggregationPartition(
+    const sql::AnalyzedQuery& query, const ssi::Partition& partition,
+    OutputTagPolicy tag_policy, const CollectionConfig& config, Rng* rng) {
+  if (!query.is_aggregation) {
+    return Status::FailedPrecondition(
+        "aggregation partition on a non-aggregation query");
+  }
+  sql::GroupedAggregation agg(query.agg_specs);
+  size_t since_check = 0;
+  for (const EncryptedItem& item : partition.items) {
+    TCELLS_ASSIGN_OR_RETURN(Bytes plain, keys_->k2_ndet().Decrypt(item.blob));
+    TCELLS_ASSIGN_OR_RETURN(ssi::DecodedPayload payload,
+                            ssi::DecodePayload(plain));
+    switch (payload.kind) {
+      case PayloadKind::kTrueTuple: {
+        TCELLS_ASSIGN_OR_RETURN(Tuple t, Tuple::Decode(payload.body));
+        if (options_.leak_log) options_.leak_log->RecordRawTuple(id_, t);
+        TCELLS_RETURN_IF_ERROR(agg.AccumulateTuple(t, query.key_arity));
+        break;
+      }
+      case PayloadKind::kDummyTuple:
+      case PayloadKind::kFakeTuple:
+        break;  // identified characteristics: filtered inside the enclave
+      case PayloadKind::kPartialAgg: {
+        TCELLS_ASSIGN_OR_RETURN(
+            sql::GroupedAggregation partial,
+            sql::GroupedAggregation::Decode(query.agg_specs, payload.body));
+        if (options_.leak_log) {
+          for (const auto& [key, states] : partial.groups()) {
+            options_.leak_log->RecordGroupAggregate(id_, key);
+          }
+        }
+        TCELLS_RETURN_IF_ERROR(agg.MergeAll(partial));
+        break;
+      }
+      case PayloadKind::kResultRow:
+        return Status::Corruption("result row in aggregation partition");
+    }
+    if (options_.ram_budget_bytes > 0 && ++since_check >= 64) {
+      since_check = 0;
+      if (agg.MemoryFootprint() > options_.ram_budget_bytes) {
+        return Status::ResourceExhausted(
+            "partial aggregate exceeds TDS RAM budget");
+      }
+    }
+  }
+  if (options_.ram_budget_bytes > 0 &&
+      agg.MemoryFootprint() > options_.ram_budget_bytes) {
+    return Status::ResourceExhausted(
+        "partial aggregate exceeds TDS RAM budget");
+  }
+
+  std::vector<EncryptedItem> out;
+  switch (tag_policy) {
+    case OutputTagPolicy::kNone: {
+      Bytes body;
+      agg.EncodeTo(&body);
+      out.push_back(SealK2(
+          ssi::EncodePayload(PayloadKind::kPartialAgg, body), std::nullopt,
+          rng));
+      break;
+    }
+    case OutputTagPolicy::kPreserve: {
+      if (partition.items.empty() || !partition.items[0].routing_tag) {
+        return Status::FailedPrecondition(
+            "preserve-tag output needs a tagged input partition");
+      }
+      Bytes body;
+      agg.EncodeTo(&body);
+      out.push_back(SealK2(ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+                           partition.items[0].routing_tag, rng));
+      break;
+    }
+    case OutputTagPolicy::kPerGroupDet: {
+      for (const auto& [key, states] : agg.groups()) {
+        sql::GroupedAggregation single(query.agg_specs);
+        TCELLS_RETURN_IF_ERROR(single.MergeRow(key, states));
+        Bytes body;
+        single.EncodeTo(&body);
+        out.push_back(SealK2(ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+                             keys_->k2_det().Encrypt(key.Encode()), rng));
+      }
+      break;
+    }
+  }
+  (void)config;
+  return out;
+}
+
+Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
+    const sql::AnalyzedQuery& query, const ssi::Partition& partition,
+    Rng* rng) {
+  std::vector<EncryptedItem> out;
+  if (query.is_aggregation) {
+    sql::GroupedAggregation agg(query.agg_specs);
+    for (const EncryptedItem& item : partition.items) {
+      TCELLS_ASSIGN_OR_RETURN(Bytes plain, keys_->k2_ndet().Decrypt(item.blob));
+      TCELLS_ASSIGN_OR_RETURN(ssi::DecodedPayload payload,
+                              ssi::DecodePayload(plain));
+      if (payload.kind == PayloadKind::kDummyTuple ||
+          payload.kind == PayloadKind::kFakeTuple) {
+        continue;
+      }
+      if (payload.kind != PayloadKind::kPartialAgg) {
+        return Status::Corruption("filtering expected partial aggregations");
+      }
+      TCELLS_ASSIGN_OR_RETURN(
+          sql::GroupedAggregation partial,
+          sql::GroupedAggregation::Decode(query.agg_specs, payload.body));
+      TCELLS_RETURN_IF_ERROR(agg.MergeAll(partial));
+    }
+    // Finalize + HAVING + projection happen inside the enclave (step 11).
+    if (options_.leak_log) {
+      for (const auto& [key, states] : agg.groups()) {
+        options_.leak_log->RecordGroupAggregate(id_, key);
+      }
+    }
+    TCELLS_ASSIGN_OR_RETURN(sql::QueryResult result,
+                            sql::FinalizeAggregation(agg, query));
+    for (const Tuple& row : result.rows) {
+      Bytes payload =
+          ssi::EncodePayload(PayloadKind::kResultRow, row.Encode());
+      EncryptedItem item;
+      item.blob = keys_->k1_ndet().Encrypt(payload, rng);
+      out.push_back(std::move(item));
+    }
+    return out;
+  }
+
+  // Plain SFW: drop dummies, re-encrypt true tuples under k1 (step 11-12).
+  for (const EncryptedItem& item : partition.items) {
+    TCELLS_ASSIGN_OR_RETURN(Bytes plain, keys_->k2_ndet().Decrypt(item.blob));
+    TCELLS_ASSIGN_OR_RETURN(ssi::DecodedPayload payload,
+                            ssi::DecodePayload(plain));
+    if (payload.kind == PayloadKind::kDummyTuple ||
+        payload.kind == PayloadKind::kFakeTuple) {
+      continue;
+    }
+    if (payload.kind != PayloadKind::kTrueTuple) {
+      return Status::Corruption("filtering expected collection tuples");
+    }
+    if (options_.leak_log) {
+      TCELLS_ASSIGN_OR_RETURN(Tuple t, Tuple::Decode(payload.body));
+      options_.leak_log->RecordRawTuple(id_, t);
+    }
+    Bytes out_payload =
+        ssi::EncodePayload(PayloadKind::kResultRow, payload.body);
+    EncryptedItem out_item;
+    out_item.blob = keys_->k1_ndet().Encrypt(out_payload, rng);
+    out.push_back(std::move(out_item));
+  }
+  return out;
+}
+
+}  // namespace tcells::tds

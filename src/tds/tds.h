@@ -1,0 +1,143 @@
+// TrustedDataServer (TDS): the paper's unit of trust — a personal data
+// server running inside a secure device. It hosts a local database behind an
+// access-control policy and participates in the three protocol phases:
+//
+//  * collection  — decrypt the query, authenticate the querier, evaluate the
+//                  WHERE clause (plus local internal joins) on local data and
+//                  emit encrypted tuples (or a dummy);
+//  * aggregation — decrypt a partition, drop dummy/fake items, fold tuples
+//                  and partial aggregations into a GroupedAggregation, emit
+//                  it re-encrypted;
+//  * filtering   — decrypt the covering result, finalize groups / drop
+//                  dummies, apply HAVING, emit result rows under k1.
+//
+// Everything that crosses the TDS boundary is ciphertext; the only cleartext
+// channel is the routing tag a protocol deliberately exposes.
+#ifndef TCELLS_TDS_TDS_H_
+#define TCELLS_TDS_TDS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/keystore.h"
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "ssi/messages.h"
+#include "storage/secure_store.h"
+#include "storage/table.h"
+#include "tds/access_control.h"
+#include "tds/config.h"
+#include "tds/leak_log.h"
+
+namespace tcells::tds {
+
+/// Construction parameters shared by a fleet.
+struct TdsOptions {
+  /// RAM budget for the partial aggregate structure; 0 = unlimited. The
+  /// paper's board has 64 KB (§6.2); S_Agg's feasibility depends on it.
+  size_t ram_budget_bytes = 0;
+  /// Non-null marks the TDS as COMPROMISED (threat-model extension): it
+  /// follows the protocol but records every plaintext it decrypts into the
+  /// log, modeling an attacker who extracted k2 from the device.
+  std::shared_ptr<LeakLog> leak_log;
+};
+
+class TrustedDataServer {
+ public:
+  TrustedDataServer(uint64_t id,
+                    std::shared_ptr<const crypto::KeyStore> keys,
+                    std::shared_ptr<const Authority> authority,
+                    AccessPolicy policy,
+                    TdsOptions options = {});
+
+  uint64_t id() const { return id_; }
+  storage::Database& db() { return db_; }
+  const storage::Database& db() const { return db_; }
+
+  /// Marks this TDS compromised post-construction (threat extension): every
+  /// plaintext it subsequently decrypts is recorded into `log`.
+  void set_leak_log(std::shared_ptr<LeakLog> log) {
+    options_.leak_log = std::move(log);
+  }
+
+  /// Power-down: seals the local database into an encrypted flash image
+  /// (Fig 1's untrusted mass storage) under the device storage key.
+  Result<storage::SecureDatabase::Image> SealDatabase(
+      const Bytes& storage_key, Rng* rng) const {
+    return storage::SecureDatabase::Seal(db_, storage_key, rng);
+  }
+
+  /// Power-up: verifies and restores the database from a flash image,
+  /// replacing the in-memory state. Cached query analyses are dropped (the
+  /// catalog is rebuilt).
+  Status RestoreDatabase(const storage::SecureDatabase::Image& image,
+                         const Bytes& storage_key) {
+    TCELLS_ASSIGN_OR_RETURN(storage::Database db,
+                            storage::SecureDatabase::Open(image, storage_key));
+    db_ = std::move(db);
+    query_cache_.clear();
+    return Status::OK();
+  }
+
+  /// Decrypts + parses + analyzes the posted query against the local catalog,
+  /// verifies the credential, and checks the access policy. Cached per
+  /// query_id. PermissionDenied comes back as a status; ProcessCollection
+  /// turns it into a dummy answer instead of an error (the SSI must not learn
+  /// who denied).
+  Result<const sql::AnalyzedQuery*> OpenQuery(const ssi::QueryPost& post);
+
+  /// Collection phase (§3.2 steps 2-4 / §4 collection). Returns the items to
+  /// upload: true tuples (plus noise under kDetTag) or a single dummy when
+  /// the local result is empty or access was denied.
+  Result<std::vector<ssi::EncryptedItem>> ProcessCollection(
+      const ssi::QueryPost& post, const CollectionConfig& config, Rng* rng);
+
+  /// Aggregation phase (steps 6-8): folds one partition into partial
+  /// aggregations. Tag policy selects the output shape (see config.h).
+  /// ResourceExhausted if the partial aggregate exceeds the RAM budget.
+  Result<std::vector<ssi::EncryptedItem>> ProcessAggregationPartition(
+      const sql::AnalyzedQuery& query, const ssi::Partition& partition,
+      OutputTagPolicy tag_policy, const CollectionConfig& config, Rng* rng);
+
+  /// Filtering phase (steps 9-12): turns the covering result into final
+  /// result rows encrypted under k1. For aggregation queries the partition
+  /// items are finished per-group aggregations; for plain SFW queries they
+  /// are collection tuples whose dummies must be dropped.
+  Result<std::vector<ssi::EncryptedItem>> ProcessFiltering(
+      const sql::AnalyzedQuery& query, const ssi::Partition& partition,
+      Rng* rng);
+
+  /// Encodes the canonical group-key bytes used for Det tags.
+  Bytes GroupKeyTagBytes(const storage::Tuple& collection_tuple,
+                         size_t key_arity) const;
+
+ private:
+  /// One dummy item shaped/tagged per the collection mode.
+  Result<ssi::EncryptedItem> MakeDummy(const sql::AnalyzedQuery& query,
+                                       const CollectionConfig& config,
+                                       Rng* rng) const;
+  /// Encrypt payload under k2 (nDet).
+  ssi::EncryptedItem SealK2(const Bytes& payload, std::optional<Bytes> tag,
+                            Rng* rng) const;
+
+  uint64_t id_;
+  std::shared_ptr<const crypto::KeyStore> keys_;
+  std::shared_ptr<const Authority> authority_;
+  AccessPolicy policy_;
+  TdsOptions options_;
+  storage::Database db_;
+
+  struct CachedQuery {
+    sql::AnalyzedQuery query;
+    Status access;  // OK or PermissionDenied
+  };
+  std::map<uint64_t, CachedQuery> query_cache_;
+};
+
+}  // namespace tcells::tds
+
+#endif  // TCELLS_TDS_TDS_H_

@@ -1,0 +1,151 @@
+// Tests for complete-subtree broadcast encryption (footnote 7 alternative):
+// cover structure, delivery, revocation, and the key-rotation use case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/broadcast.h"
+#include "crypto/keystore.h"
+
+namespace tcells::crypto {
+namespace {
+
+class BroadcastTest : public ::testing::Test {
+ protected:
+  BroadcastTest() : rng_(1) {
+    channel_.emplace(
+        BroadcastChannel::Create(rng_.NextBytes(16), kDevices).ValueOrDie());
+  }
+
+  static constexpr size_t kDevices = 21;  // deliberately not a power of two
+  Rng rng_;
+  std::optional<BroadcastChannel> channel_;
+};
+
+TEST_F(BroadcastTest, CapacityPadsToPowerOfTwo) {
+  EXPECT_EQ(channel_->num_devices(), kDevices);
+  EXPECT_EQ(channel_->capacity(), 32u);
+}
+
+TEST_F(BroadcastTest, DeviceHoldsPathKeys) {
+  auto keys = channel_->DeviceKeys(0).ValueOrDie();
+  // log2(32) + 1 = 6 nodes from leaf to root.
+  EXPECT_EQ(keys.node_keys.size(), 6u);
+  EXPECT_EQ(keys.node_keys.front().first, 32u);  // its leaf
+  EXPECT_EQ(keys.node_keys.back().first, 1u);    // the root
+  EXPECT_FALSE(channel_->DeviceKeys(kDevices).ok());
+}
+
+TEST_F(BroadcastTest, EveryDeviceDecryptsWithoutRevocation) {
+  Bytes payload = rng_.NextBytes(40);
+  auto message = channel_->Encrypt(payload, {}, &rng_).ValueOrDie();
+  for (size_t i = 0; i < kDevices; ++i) {
+    auto keys = channel_->DeviceKeys(i).ValueOrDie();
+    EXPECT_EQ(BroadcastChannel::Decrypt(message, keys).ValueOrDie(), payload);
+  }
+}
+
+TEST_F(BroadcastTest, CoverIsRootOnlyForFullPowerOfTwoFleet) {
+  Rng rng(2);
+  auto full = BroadcastChannel::Create(rng.NextBytes(16), 16).ValueOrDie();
+  auto cover = full.Cover({});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 1u);
+}
+
+TEST_F(BroadcastTest, RevokedDeviceLearnsNothingOthersUnaffected) {
+  Bytes payload = rng_.NextBytes(32);
+  std::set<size_t> revoked = {3, 17};
+  auto message = channel_->Encrypt(payload, revoked, &rng_).ValueOrDie();
+  for (size_t i = 0; i < kDevices; ++i) {
+    auto keys = channel_->DeviceKeys(i).ValueOrDie();
+    auto result = BroadcastChannel::Decrypt(message, keys);
+    if (revoked.count(i)) {
+      ASSERT_FALSE(result.ok()) << i;
+      EXPECT_TRUE(result.status().IsNotFound());
+    } else {
+      EXPECT_EQ(result.ValueOrDie(), payload) << i;
+    }
+  }
+}
+
+TEST_F(BroadcastTest, CoverNeverIncludesDirtyOrPaddingSubtrees) {
+  std::set<size_t> revoked = {0, 1, 20};
+  auto cover = channel_->Cover(revoked);
+  // Expand every cover node to its leaf range and check the partition
+  // property: exactly the non-revoked real devices, each exactly once.
+  std::set<size_t> covered;
+  for (uint32_t node : cover) {
+    uint32_t lo = node, hi = node;
+    while (lo < channel_->capacity()) {
+      lo = 2 * lo;
+      hi = 2 * hi + 1;
+    }
+    for (uint32_t leaf = lo; leaf <= hi; ++leaf) {
+      size_t index = leaf - channel_->capacity();
+      EXPECT_TRUE(covered.insert(index).second) << "double-covered " << index;
+    }
+  }
+  for (size_t i = 0; i < channel_->capacity(); ++i) {
+    bool should = i < kDevices && !revoked.count(i);
+    EXPECT_EQ(covered.count(i) > 0, should) << i;
+  }
+}
+
+TEST_F(BroadcastTest, CoverSizeWithinNnlBound) {
+  Rng rng(3);
+  auto big = BroadcastChannel::Create(rng.NextBytes(16), 1024).ValueOrDie();
+  for (size_t r : {1u, 4u, 16u, 64u}) {
+    std::set<size_t> revoked;
+    while (revoked.size() < r) revoked.insert(rng.NextBelow(1024));
+    auto cover = big.Cover(revoked);
+    double bound = static_cast<double>(r) *
+                   std::log2(1024.0 / static_cast<double>(r));
+    EXPECT_LE(cover.size(), static_cast<size_t>(bound) + 1) << "r=" << r;
+  }
+}
+
+TEST_F(BroadcastTest, TamperedHeaderOrBodyRejected) {
+  Bytes payload = rng_.NextBytes(16);
+  auto message = channel_->Encrypt(payload, {}, &rng_).ValueOrDie();
+  auto keys = channel_->DeviceKeys(2).ValueOrDie();
+
+  auto bad_body = message;
+  bad_body.body[3] ^= 1;
+  EXPECT_FALSE(BroadcastChannel::Decrypt(bad_body, keys).ok());
+
+  auto bad_header = message;
+  bad_header.header[0].second[5] ^= 1;
+  EXPECT_FALSE(BroadcastChannel::Decrypt(bad_header, keys).ok());
+}
+
+TEST_F(BroadcastTest, KeyRotationAfterCompromiseUseCase) {
+  // The deployment use case: a TDS is found compromised; the operator
+  // broadcasts the next epoch's k2 to everyone else. The compromised device
+  // cannot follow the rotation.
+  Bytes new_k2 = rng_.NextBytes(16);
+  size_t compromised = 7;
+  auto message =
+      channel_->Encrypt(new_k2, {compromised}, &rng_).ValueOrDie();
+
+  for (size_t i = 0; i < kDevices; ++i) {
+    auto keys = channel_->DeviceKeys(i).ValueOrDie();
+    auto unwrapped = BroadcastChannel::Decrypt(message, keys);
+    EXPECT_EQ(unwrapped.ok(), i != compromised);
+    if (unwrapped.ok()) {
+      EXPECT_EQ(*unwrapped, new_k2);
+    }
+  }
+  // Header stays small: one revocation in 32 leaves -> <= 5 cover wraps
+  // beyond the padding split.
+  EXPECT_LE(message.header.size(), 9u);
+}
+
+TEST_F(BroadcastTest, RejectsBadParameters) {
+  EXPECT_FALSE(BroadcastChannel::Create(Bytes(8), 4).ok());
+  Rng rng(4);
+  EXPECT_FALSE(BroadcastChannel::Create(rng.NextBytes(16), 0).ok());
+}
+
+}  // namespace
+}  // namespace tcells::crypto

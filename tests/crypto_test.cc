@@ -1,0 +1,350 @@
+// Tests for src/crypto: AES/SHA/HMAC against published vectors, plus the
+// security-relevant properties of the nDet_Enc / Det_Enc schemes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/encryption.h"
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/provisioning.h"
+#include "crypto/sha256.h"
+
+namespace tcells::crypto {
+namespace {
+
+Bytes Hex(const char* s) { return FromHex(s).ValueOrDie(); }
+
+// ---------------------------------------------------------------------------
+// AES-128 (FIPS-197 Appendix C.1)
+
+TEST(AesTest, Fips197Vector) {
+  Bytes key = Hex("000102030405060708090a0b0c0d0e0f");
+  Bytes pt = Hex("00112233445566778899aabbccddeeff");
+  auto aes = Aes128::Create(key).ValueOrDie();
+  uint8_t block[16];
+  std::copy(pt.begin(), pt.end(), block);
+  aes.EncryptBlock(block);
+  EXPECT_EQ(ToHex(block, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.DecryptBlock(block);
+  EXPECT_EQ(Bytes(block, block + 16), pt);
+}
+
+TEST(AesTest, EncryptDecryptRoundTripRandom) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto aes = Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+    Bytes pt = rng.NextBytes(16);
+    uint8_t block[16];
+    std::copy(pt.begin(), pt.end(), block);
+    aes.EncryptBlock(block);
+    EXPECT_NE(Bytes(block, block + 16), pt);  // 2^-128 false-failure odds
+    aes.DecryptBlock(block);
+    EXPECT_EQ(Bytes(block, block + 16), pt);
+  }
+}
+
+TEST(AesTest, RejectsWrongKeySize) {
+  EXPECT_FALSE(Aes128::Create(Bytes(15)).ok());
+  EXPECT_FALSE(Aes128::Create(Bytes(32)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 examples)
+
+TEST(Sha256Test, EmptyString) {
+  auto d = Sha256::Hash({});
+  EXPECT_EQ(ToHex(d.data(), d.size()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  Bytes abc = {'a', 'b', 'c'};
+  auto d = Sha256::Hash(abc);
+  EXPECT_EQ(ToHex(d.data(), d.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  Bytes data(msg.begin(), msg.end());
+  auto d = Sha256::Hash(data);
+  EXPECT_EQ(ToHex(d.data(), d.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(2);
+  Bytes data = rng.NextBytes(1000);
+  Sha256 inc;
+  size_t pos = 0;
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 800u}) {
+    size_t take = std::min(chunk, data.size() - pos);
+    inc.Update(data.data() + pos, take);
+    pos += take;
+  }
+  inc.Update(data.data() + pos, data.size() - pos);
+  auto a = inc.Finish();
+  auto b = Sha256::Hash(data);
+  EXPECT_EQ(ToHex(a.data(), a.size()), ToHex(b.data(), b.size()));
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA-256 (RFC 4231)
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = {'J', 'e', 'f', 'e'};
+  std::string msg = "what do ya want for nothing?";
+  Bytes data(msg.begin(), msg.end());
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes data = {'H', 'i', ' ', 'T', 'h', 'e', 'r', 'e'};
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  Bytes data(msg.begin(), msg.end());
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(KeyDerivationTest, LabelsSeparateKeys) {
+  Rng rng(3);
+  Bytes master = rng.NextBytes(16);
+  Bytes a = DeriveKey(master, "enc");
+  Bytes b = DeriveKey(master, "mac");
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, DeriveKey(master, "enc"));  // deterministic
+}
+
+TEST(KeyedHashTest, DeterministicAndKeyed) {
+  Rng rng(4);
+  Bytes k1 = rng.NextBytes(16), k2 = rng.NextBytes(16);
+  Bytes data = rng.NextBytes(32);
+  EXPECT_EQ(KeyedHash64(k1, data), KeyedHash64(k1, data));
+  EXPECT_NE(KeyedHash64(k1, data), KeyedHash64(k2, data));
+}
+
+// ---------------------------------------------------------------------------
+// nDet_Enc
+
+class NDetTest : public ::testing::Test {
+ protected:
+  NDetTest() : rng_(5) {
+    scheme_.emplace(NDetEnc::Create(rng_.NextBytes(16)).ValueOrDie());
+  }
+  Rng rng_;
+  std::optional<NDetEnc> scheme_;
+};
+
+TEST_F(NDetTest, RoundTrip) {
+  Bytes pt = rng_.NextBytes(100);
+  Bytes ct = scheme_->Encrypt(pt, &rng_);
+  EXPECT_EQ(ct.size(), pt.size() + NDetEnc::kOverhead);
+  EXPECT_EQ(scheme_->Decrypt(ct).ValueOrDie(), pt);
+}
+
+TEST_F(NDetTest, SameMessageDifferentCiphertexts) {
+  // The property nDet_Enc exists for: no frequency analysis possible.
+  Bytes pt = rng_.NextBytes(24);
+  std::set<Bytes> cts;
+  for (int i = 0; i < 32; ++i) cts.insert(scheme_->Encrypt(pt, &rng_));
+  EXPECT_EQ(cts.size(), 32u);
+}
+
+TEST_F(NDetTest, EmptyPlaintext) {
+  Bytes ct = scheme_->Encrypt({}, &rng_);
+  EXPECT_TRUE(scheme_->Decrypt(ct).ValueOrDie().empty());
+}
+
+TEST_F(NDetTest, TamperingDetected) {
+  Bytes ct = scheme_->Encrypt(rng_.NextBytes(40), &rng_);
+  for (size_t pos : {size_t{0}, size_t{20}, ct.size() - 1}) {
+    Bytes bad = ct;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(scheme_->Decrypt(bad).ok()) << "flip at " << pos;
+  }
+}
+
+TEST_F(NDetTest, TruncationDetected) {
+  Bytes ct = scheme_->Encrypt(rng_.NextBytes(40), &rng_);
+  ct.resize(ct.size() - 1);
+  EXPECT_FALSE(scheme_->Decrypt(ct).ok());
+  EXPECT_FALSE(scheme_->Decrypt(Bytes(5)).ok());
+}
+
+TEST_F(NDetTest, WrongKeyFails) {
+  Bytes pt = rng_.NextBytes(16);
+  Bytes ct = scheme_->Encrypt(pt, &rng_);
+  auto other = NDetEnc::Create(rng_.NextBytes(16)).ValueOrDie();
+  EXPECT_FALSE(other.Decrypt(ct).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Det_Enc
+
+class DetTest : public ::testing::Test {
+ protected:
+  DetTest() : rng_(6) {
+    scheme_.emplace(DetEnc::Create(rng_.NextBytes(16)).ValueOrDie());
+  }
+  Rng rng_;
+  std::optional<DetEnc> scheme_;
+};
+
+TEST_F(DetTest, RoundTrip) {
+  Bytes pt = rng_.NextBytes(33);
+  Bytes ct = scheme_->Encrypt(pt);
+  EXPECT_EQ(ct.size(), pt.size() + DetEnc::kOverhead);
+  EXPECT_EQ(scheme_->Decrypt(ct).ValueOrDie(), pt);
+}
+
+TEST_F(DetTest, Deterministic) {
+  // The property the Noise protocols rely on: SSI can group by ciphertext.
+  Bytes pt = rng_.NextBytes(20);
+  EXPECT_EQ(scheme_->Encrypt(pt), scheme_->Encrypt(pt));
+}
+
+TEST_F(DetTest, DistinctPlaintextsDistinctCiphertexts) {
+  std::set<Bytes> cts;
+  for (int i = 0; i < 64; ++i) cts.insert(scheme_->Encrypt(rng_.NextBytes(12)));
+  EXPECT_EQ(cts.size(), 64u);
+}
+
+TEST_F(DetTest, TamperingDetected) {
+  Bytes ct = scheme_->Encrypt(rng_.NextBytes(40));
+  Bytes bad = ct;
+  bad[ct.size() / 2] ^= 0x80;
+  EXPECT_FALSE(scheme_->Decrypt(bad).ok());
+}
+
+TEST_F(DetTest, KeySeparatedFromNDet) {
+  // Same master key: Det and nDet ciphertexts must not be interchangeable.
+  Bytes master = rng_.NextBytes(16);
+  auto det = DetEnc::Create(master).ValueOrDie();
+  auto ndet = NDetEnc::Create(master).ValueOrDie();
+  Bytes pt = rng_.NextBytes(24);
+  EXPECT_FALSE(det.Decrypt(ndet.Encrypt(pt, &rng_)).ok());
+  EXPECT_FALSE(ndet.Decrypt(det.Encrypt(pt)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// CTR mode
+
+TEST(CtrTest, KnownKeystreamXorProperty) {
+  Rng rng(7);
+  auto aes = Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes iv = rng.NextBytes(16);
+  Bytes a = rng.NextBytes(50), b(50), back(50);
+  CtrXor(aes, iv.data(), a.data(), a.size(), b.data());
+  CtrXor(aes, iv.data(), b.data(), b.size(), back.data());
+  EXPECT_EQ(back, a);  // CTR is an involution under the same IV
+  EXPECT_NE(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// KeyStore
+
+TEST(KeyStoreTest, SchemesAgreeAcrossInstancesWithSameKeys) {
+  Rng rng(8);
+  Bytes k1 = rng.NextBytes(16), k2 = rng.NextBytes(16);
+  auto store_a = KeyStore::Create(k1, k2).ValueOrDie();
+  auto store_b = KeyStore::Create(k1, k2).ValueOrDie();
+  Bytes pt = rng.NextBytes(30);
+  Bytes ct = store_a->k2_ndet().Encrypt(pt, &rng);
+  EXPECT_EQ(store_b->k2_ndet().Decrypt(ct).ValueOrDie(), pt);
+  EXPECT_EQ(store_a->k2_det().Encrypt(pt), store_b->k2_det().Encrypt(pt));
+  EXPECT_EQ(store_a->k2_hash(), store_b->k2_hash());
+}
+
+TEST(KeyStoreTest, K1AndK2AreIndependentChannels) {
+  auto store = KeyStore::CreateForTest(99);
+  Rng rng(9);
+  Bytes pt = rng.NextBytes(16);
+  Bytes under_k1 = store->k1_ndet().Encrypt(pt, &rng);
+  EXPECT_FALSE(store->k2_ndet().Decrypt(under_k1).ok());
+}
+
+TEST(KeyStoreTest, RejectsBadKeySizes) {
+  EXPECT_FALSE(KeyStore::Create(Bytes(8), Bytes(16)).ok());
+  EXPECT_FALSE(KeyStore::Create(Bytes(16), Bytes(17)).ok());
+}
+
+
+// ---------------------------------------------------------------------------
+// Key provisioning (footnote 7)
+
+TEST(ProvisioningTest, WrapUnwrapRoundTrip) {
+  Rng rng(20);
+  auto provisioner =
+      KeyProvisioner::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes device_key = rng.NextBytes(16);
+  Bytes wrapped = provisioner.WrapFor(device_key, &rng);
+
+  auto bundle = KeyProvisioner::Unwrap(device_key, wrapped).ValueOrDie();
+  EXPECT_EQ(bundle.epoch, 0u);
+  // The unwrapped store interoperates with the operator's store.
+  auto op_keys = provisioner.CurrentKeys().ValueOrDie();
+  Bytes pt = rng.NextBytes(24);
+  Bytes ct = bundle.keys->k2_ndet().Encrypt(pt, &rng);
+  EXPECT_EQ(op_keys->k2_ndet().Decrypt(ct).ValueOrDie(), pt);
+}
+
+TEST(ProvisioningTest, OnlyTheTargetDeviceCanUnwrap) {
+  Rng rng(21);
+  auto provisioner =
+      KeyProvisioner::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes alice = rng.NextBytes(16), bob = rng.NextBytes(16);
+  Bytes wrapped = provisioner.WrapFor(alice, &rng);
+  EXPECT_TRUE(KeyProvisioner::Unwrap(alice, wrapped).ok());
+  EXPECT_FALSE(KeyProvisioner::Unwrap(bob, wrapped).ok());
+  Bytes tampered = wrapped;
+  tampered[5] ^= 1;
+  EXPECT_FALSE(KeyProvisioner::Unwrap(alice, tampered).ok());
+}
+
+TEST(ProvisioningTest, RotationChangesKeysButKeepsOldEpochsDerivable) {
+  Rng rng(22);
+  Bytes seed = rng.NextBytes(16);
+  auto provisioner = KeyProvisioner::Create(seed).ValueOrDie();
+  Bytes k1_e0 = provisioner.K1ForEpoch(0);
+  provisioner.Rotate();
+  EXPECT_EQ(provisioner.epoch(), 1u);
+  EXPECT_NE(provisioner.K1ForEpoch(1), k1_e0);
+  EXPECT_EQ(provisioner.K1ForEpoch(0), k1_e0);  // deterministic derivation
+
+  // A device provisioned after rotation gets epoch-1 keys; ciphertexts from
+  // epoch 0 do not decrypt under them.
+  Bytes device_key = rng.NextBytes(16);
+  auto bundle = KeyProvisioner::Unwrap(device_key,
+                                       provisioner.WrapFor(device_key, &rng))
+                    .ValueOrDie();
+  EXPECT_EQ(bundle.epoch, 1u);
+  auto old_keys = KeyStore::Create(provisioner.K1ForEpoch(0),
+                                   provisioner.K2ForEpoch(0))
+                      .ValueOrDie();
+  Bytes ct = old_keys->k1_ndet().Encrypt(rng.NextBytes(16), &rng);
+  EXPECT_FALSE(bundle.keys->k1_ndet().Decrypt(ct).ok());
+}
+
+TEST(ProvisioningTest, BadSeedRejected) {
+  EXPECT_FALSE(KeyProvisioner::Create(Bytes(8)).ok());
+}
+
+}  // namespace
+}  // namespace tcells::crypto

@@ -1,0 +1,479 @@
+// End-to-end protocol tests: every protocol must produce exactly the rows the
+// plaintext oracle produces, while the SSI's observations satisfy each
+// protocol's security claims. Also covers SIZE, dropouts, and discovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocol/discovery.h"
+#include "protocol/protocols.h"
+#include "protocol/reference.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+#include "crypto/encryption.h"
+#include "workload/smart_meter.h"
+
+namespace tcells::protocol {
+namespace {
+
+using storage::Tuple;
+using storage::Value;
+
+struct TestWorld {
+  std::shared_ptr<const crypto::KeyStore> keys;
+  std::shared_ptr<tds::Authority> authority;
+  std::unique_ptr<Fleet> fleet;
+  std::unique_ptr<Querier> querier;
+  sim::DeviceModel device;
+
+  static TestWorld Generic(const workload::GenericOptions& opts) {
+    TestWorld w;
+    w.keys = crypto::KeyStore::CreateForTest(2024);
+    w.authority = std::make_shared<tds::Authority>(Bytes(16, 0x11));
+    w.fleet = workload::BuildGenericFleet(opts, w.keys, w.authority,
+                                          tds::AccessPolicy::AllowAll())
+                  .ValueOrDie();
+    w.querier = std::make_unique<Querier>(
+        "tester", w.authority->Issue("tester"), w.keys);
+    return w;
+  }
+
+  static TestWorld SmartMeter(const workload::SmartMeterOptions& opts) {
+    TestWorld w;
+    w.keys = crypto::KeyStore::CreateForTest(2025);
+    w.authority = std::make_shared<tds::Authority>(Bytes(16, 0x22));
+    w.fleet = workload::BuildSmartMeterFleet(opts, w.keys, w.authority,
+                                             tds::AccessPolicy::AllowAll())
+                  .ValueOrDie();
+    w.querier = std::make_unique<Querier>(
+        "energy-co", w.authority->Issue("energy-co"), w.keys);
+    return w;
+  }
+
+  std::shared_ptr<const std::vector<Tuple>> GroupDomain(size_t num_groups) {
+    auto domain = std::make_shared<std::vector<Tuple>>();
+    for (size_t g = 0; g < num_groups; ++g) {
+      domain->push_back(Tuple({Value::String(workload::GroupName(g))}));
+    }
+    return domain;
+  }
+};
+
+RunOptions FastOptions() {
+  RunOptions opts;
+  opts.compute_availability = 0.2;
+  opts.seed = 99;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Correctness vs the oracle, across protocols and query shapes.
+
+struct E2eCase {
+  const char* name;
+  const char* sql;
+};
+
+class ProtocolOracleTest
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, E2eCase>> {};
+
+TEST_P(ProtocolOracleTest, MatchesPlaintextOracle) {
+  auto [kind, c] = GetParam();
+  workload::GenericOptions gopts;
+  gopts.num_tds = 60;
+  gopts.num_groups = 5;
+  gopts.group_skew = 0.7;
+  TestWorld w = TestWorld::Generic(gopts);
+
+  std::unique_ptr<Protocol> protocol;
+  switch (kind) {
+    case ProtocolKind::kSAgg:
+      protocol = std::make_unique<SAggProtocol>();
+      break;
+    case ProtocolKind::kRnfNoise:
+      protocol = std::make_unique<NoiseProtocol>(false, w.GroupDomain(5));
+      break;
+    case ProtocolKind::kCNoise:
+      protocol = std::make_unique<NoiseProtocol>(true, w.GroupDomain(5));
+      break;
+    case ProtocolKind::kEdHist: {
+      // Learn the true A_G distribution the way a deployment would: through
+      // the secure discovery protocol (itself an S_Agg round).
+      auto discovered = DiscoverDistribution(w.fleet.get(), *w.querier, 999,
+                                             c.sql, w.device, FastOptions())
+                            .ValueOrDie();
+      protocol = EdHistProtocol::FromDistribution(discovered.frequency, 2);
+      break;
+    }
+    default:
+      FAIL() << "unexpected protocol";
+  }
+
+  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 1, c.sql,
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  auto expected = ExecuteReference(*w.fleet, c.sql).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected))
+      << "protocol:\n" << outcome.result.ToString()
+      << "oracle:\n" << expected.ToString();
+  EXPECT_FALSE(expected.rows.empty());
+}
+
+constexpr E2eCase kAggCases[] = {
+    {"count", "SELECT grp, COUNT(*) FROM T GROUP BY grp"},
+    {"avg_sum",
+     "SELECT grp, AVG(val), SUM(cat) FROM T GROUP BY grp"},
+    {"minmax",
+     "SELECT grp, MIN(val), MAX(val) FROM T GROUP BY grp"},
+    {"having",
+     "SELECT grp, COUNT(*) FROM T GROUP BY grp HAVING COUNT(*) > 5"},
+    {"where",
+     "SELECT grp, COUNT(*) FROM T WHERE cat < 5 GROUP BY grp"},
+    {"distinct",
+     "SELECT grp, COUNT(DISTINCT cat) FROM T GROUP BY grp"},
+    {"median", "SELECT grp, MEDIAN(val) FROM T GROUP BY grp"},
+    {"multikey",
+     "SELECT grp, cat, COUNT(*), AVG(val) FROM T GROUP BY grp, cat"},
+    {"variance", "SELECT grp, VARIANCE(val) FROM T GROUP BY grp"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAllQueries, ProtocolOracleTest,
+    ::testing::Combine(::testing::Values(ProtocolKind::kSAgg,
+                                         ProtocolKind::kRnfNoise,
+                                         ProtocolKind::kCNoise,
+                                         ProtocolKind::kEdHist),
+                       ::testing::ValuesIn(kAggCases)),
+    [](const auto& info) {
+      return std::string(
+                 ProtocolKindToString(std::get<0>(info.param))) +
+             "_" + std::get<1>(info.param).name;
+    });
+
+// ---------------------------------------------------------------------------
+// Basic SFW protocol
+
+TEST(BasicSfwTest, MatchesOracleAndDropsDummies) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 40;
+  TestWorld w = TestWorld::Generic(gopts);
+  BasicSfwProtocol protocol;
+  const char* sql = "SELECT grp, val FROM T WHERE cat < 5";
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 2, sql,
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  auto expected = ExecuteReference(*w.fleet, sql).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected));
+  // TDSs whose WHERE matched nothing sent dummies: collection saw one item
+  // per TDS, the result has only true rows.
+  EXPECT_EQ(outcome.adversary.collection_items, w.fleet->size());
+  EXPECT_EQ(outcome.result.rows.size(), expected.rows.size());
+  EXPECT_LT(outcome.result.rows.size(), w.fleet->size());
+}
+
+TEST(BasicSfwTest, RejectsAggregationQuery) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 4;
+  TestWorld w = TestWorld::Generic(gopts);
+  BasicSfwProtocol protocol;
+  EXPECT_FALSE(RunQuery(protocol, w.fleet.get(), *w.querier, 3,
+                        "SELECT grp, COUNT(*) FROM T GROUP BY grp", w.device,
+                        FastOptions())
+                   .ok());
+}
+
+TEST(SAggTest, RejectsPlainSfwQuery) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 4;
+  TestWorld w = TestWorld::Generic(gopts);
+  SAggProtocol protocol;
+  EXPECT_FALSE(RunQuery(protocol, w.fleet.get(), *w.querier, 4,
+                        "SELECT grp FROM T", w.device, FastOptions())
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// SIZE clause
+
+TEST(SizeClauseTest, StopsCollectionEarly) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 50;
+  TestWorld w = TestWorld::Generic(gopts);
+  BasicSfwProtocol protocol;
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 5,
+                          "SELECT grp FROM T SIZE 10", w.device, FastOptions())
+                     .ValueOrDie();
+  EXPECT_EQ(outcome.adversary.collection_items, 10u);
+  EXPECT_LE(outcome.result.rows.size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Dropout resilience (§3.2 correctness: SSI re-dispatches partitions)
+
+TEST(DropoutTest, ResultStillCorrectUnderChurn) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 50;
+  gopts.num_groups = 4;
+  TestWorld w = TestWorld::Generic(gopts);
+  SAggProtocol protocol;
+  RunOptions opts = FastOptions();
+  opts.dropout_rate = 0.3;
+  const char* sql = "SELECT grp, SUM(val), COUNT(*) FROM T GROUP BY grp";
+  auto outcome =
+      RunQuery(protocol, w.fleet.get(), *w.querier, 6, sql, w.device, opts)
+          .ValueOrDie();
+  auto expected = ExecuteReference(*w.fleet, sql).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected));
+  uint64_t drops =
+      outcome.metrics.accountant.phase(sim::Phase::kAggregation).dropouts +
+      outcome.metrics.accountant.phase(sim::Phase::kFiltering).dropouts;
+  EXPECT_GT(drops, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Security: what the SSI sees
+
+TEST(AdversaryTest, SAggExposesNoTagsAndNoDuplicateBlobs) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 40;
+  gopts.num_groups = 3;
+  TestWorld w = TestWorld::Generic(gopts);
+  SAggProtocol protocol;
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 7,
+                          "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  // No routing tags at all: SSI cannot group anything.
+  EXPECT_TRUE(outcome.adversary.collection_tag_histogram.empty());
+  // All collection blobs have identical size (same tuple shape + nDet):
+  // nothing to distinguish tuples by.
+  std::set<size_t> sizes(outcome.adversary.collection_blob_sizes.begin(),
+                         outcome.adversary.collection_blob_sizes.end());
+  EXPECT_EQ(sizes.size(), 1u);
+}
+
+TEST(AdversaryTest, CNoiseTagHistogramIsFlat) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 60;
+  gopts.num_groups = 4;
+  gopts.group_skew = 1.2;  // heavily skewed true distribution
+  TestWorld w = TestWorld::Generic(gopts);
+  NoiseProtocol protocol(true, TestWorld::Generic(gopts).GroupDomain(4));
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 8,
+                          "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  // Every TDS emits exactly one tuple per domain value: perfectly flat.
+  const auto& hist = outcome.adversary.collection_tag_histogram;
+  ASSERT_EQ(hist.size(), 4u);
+  std::set<uint64_t> counts;
+  for (const auto& [tag, count] : hist) counts.insert(count);
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(*counts.begin(), w.fleet->size());
+}
+
+TEST(AdversaryTest, RnfNoiseHidesSkewBetterWithMoreNoise) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 80;
+  gopts.num_groups = 4;
+  gopts.group_skew = 1.5;
+  auto skew_of = [&](int nf) {
+    TestWorld w = TestWorld::Generic(gopts);
+    NoiseProtocol protocol(false, w.GroupDomain(4));
+    RunOptions opts = FastOptions();
+    opts.nf = nf;
+    auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 9,
+                            "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                            w.device, opts)
+                       .ValueOrDie();
+    const auto& hist = outcome.adversary.collection_tag_histogram;
+    uint64_t max_c = 0, min_c = UINT64_MAX;
+    for (const auto& [tag, count] : hist) {
+      max_c = std::max(max_c, count);
+      min_c = std::min(min_c, count);
+    }
+    return static_cast<double>(max_c) / static_cast<double>(min_c);
+  };
+  // More white noise -> flatter observed distribution (§4.3).
+  EXPECT_LT(skew_of(50), skew_of(1));
+}
+
+TEST(AdversaryTest, EdHistBucketsNearEquiDepth) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 200;
+  gopts.num_groups = 8;
+  gopts.group_skew = 1.0;
+  TestWorld w = TestWorld::Generic(gopts);
+
+  // Build the true distribution, then the histogram with 4 buckets.
+  std::map<Tuple, uint64_t> freq;
+  for (size_t i = 0; i < w.fleet->size(); ++i) {
+    auto rows = sql::CollectionTuples(
+                    w.fleet->at(i)->db(),
+                    sql::AnalyzeSql("SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                                    w.fleet->at(0)->db().catalog())
+                        .ValueOrDie())
+                    .ValueOrDie();
+    for (const auto& r : rows) freq[Tuple({r.at(0)})] += 1;
+  }
+  auto protocol = EdHistProtocol::FromDistribution(freq, 4);
+  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 10,
+                          "SELECT grp, AVG(val) FROM T GROUP BY grp",
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  const auto& hist = outcome.adversary.collection_tag_histogram;
+  ASSERT_GE(hist.size(), 2u);
+  uint64_t max_c = 0, min_c = UINT64_MAX;
+  for (const auto& [tag, count] : hist) {
+    max_c = std::max(max_c, count);
+    min_c = std::min(min_c, count);
+  }
+  // Nearly equi-depth: no bucket more than ~4x another (with 8 skewed values
+  // in 4 buckets, perfect equality is impossible; the paper says "nearly").
+  EXPECT_LE(static_cast<double>(max_c) / static_cast<double>(min_c), 4.0);
+}
+
+
+TEST(AdversaryTest, EdHistPhaseTwoRevealsOnlyGroupCount) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 100;
+  gopts.num_groups = 6;
+  TestWorld w = TestWorld::Generic(gopts);
+  const char* sql = "SELECT grp, COUNT(*) FROM T GROUP BY grp";
+  auto discovered = DiscoverDistribution(w.fleet.get(), *w.querier, 50, sql,
+                                         w.device, FastOptions())
+                        .ValueOrDie();
+  auto protocol = EdHistProtocol::FromDistribution(discovered.frequency, 2);
+  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 51, sql,
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  // The covering result carries one Det_Enc(group) tag per group: the SSI
+  // learns G (the paper accepts this — the querier sees G anyway) but the
+  // tags are SIV ciphertexts, not plaintext group names.
+  const auto& agg_tags = outcome.adversary.aggregation_tag_histogram;
+  EXPECT_EQ(agg_tags.size(), 6u);
+  for (const auto& [tag, count] : agg_tags) {
+    std::string as_str(tag.begin(), tag.end());
+    EXPECT_EQ(as_str.find("G0"), std::string::npos);  // no plaintext leaks
+  }
+}
+
+
+TEST(AdversaryTest, PayloadPaddingEqualizesNoiseBlobSizes) {
+  // In Det-tag mode, fake tuples carry NULL aggregate inputs and would be a
+  // few bytes shorter than true tuples; pad_payload_to removes the length
+  // side channel entirely.
+  workload::GenericOptions gopts;
+  gopts.num_tds = 30;
+  gopts.num_groups = 4;
+  TestWorld w = TestWorld::Generic(gopts);
+  NoiseProtocol protocol(false, w.GroupDomain(4));
+  RunOptions opts = FastOptions();
+  opts.pad_payload_to = 128;
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 60,
+                          "SELECT grp, AVG(val) FROM T GROUP BY grp",
+                          w.device, opts)
+                     .ValueOrDie();
+  std::set<size_t> sizes(outcome.adversary.collection_blob_sizes.begin(),
+                         outcome.adversary.collection_blob_sizes.end());
+  EXPECT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(*sizes.begin(), 128u + crypto::NDetEnc::kOverhead);
+  // And the result still matches the oracle (padding is transparent).
+  auto expected = ExecuteReference(
+      *w.fleet, "SELECT grp, AVG(val) FROM T GROUP BY grp").ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected));
+}
+
+TEST(AdversaryTest, WithoutPaddingNoiseBlobSizesDiffer) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 30;
+  gopts.num_groups = 4;
+  TestWorld w = TestWorld::Generic(gopts);
+  NoiseProtocol protocol(false, w.GroupDomain(4));
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 61,
+                          "SELECT grp, AVG(val) FROM T GROUP BY grp",
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  std::set<size_t> sizes(outcome.adversary.collection_blob_sizes.begin(),
+                         outcome.adversary.collection_blob_sizes.end());
+  // Documents why pad_payload_to exists: fakes are distinguishable by size.
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Discovery + the paper's flagship smart-meter query
+
+TEST(DiscoveryTest, RecoversTrueDistribution) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 50;
+  gopts.num_groups = 4;
+  gopts.group_skew = 0.9;
+  TestWorld w = TestWorld::Generic(gopts);
+  auto discovered = DiscoverDistribution(
+                        w.fleet.get(), *w.querier, 11,
+                        "SELECT grp, AVG(val) FROM T GROUP BY grp", w.device,
+                        FastOptions())
+                        .ValueOrDie();
+  // Compare against the oracle's COUNT(*) GROUP BY grp.
+  auto expected =
+      ExecuteReference(*w.fleet, "SELECT grp, COUNT(*) FROM T GROUP BY grp")
+          .ValueOrDie();
+  ASSERT_EQ(discovered.frequency.size(), expected.rows.size());
+  uint64_t total = 0;
+  for (const auto& [key, count] : discovered.frequency) total += count;
+  EXPECT_EQ(total, w.fleet->size());
+  EXPECT_EQ(discovered.Domain()->size(), discovered.frequency.size());
+}
+
+TEST(SmartMeterTest, FlagshipQueryEndToEndWithDiscoveryAndEdHist) {
+  workload::SmartMeterOptions mopts;
+  mopts.num_tds = 120;
+  mopts.num_districts = 6;
+  mopts.readings_per_tds = 2;
+  TestWorld w = TestWorld::SmartMeter(mopts);
+
+  const char* sql =
+      "SELECT C.district, AVG(P.cons) FROM Power P, Consumer C "
+      "WHERE C.accomodation = 'detached house' AND C.cid = P.cid "
+      "GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 5";
+
+  auto discovered =
+      DiscoverDistribution(w.fleet.get(), *w.querier, 12, sql, w.device,
+                           FastOptions())
+          .ValueOrDie();
+  auto protocol = EdHistProtocol::FromDistribution(discovered.frequency, 3);
+  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 13, sql,
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  auto expected = ExecuteReference(*w.fleet, sql).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected))
+      << "protocol:\n" << outcome.result.ToString()
+      << "oracle:\n" << expected.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics sanity
+
+TEST(MetricsTest, AccountingIsPopulated) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 30;
+  gopts.num_groups = 3;
+  TestWorld w = TestWorld::Generic(gopts);
+  SAggProtocol protocol;
+  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 14,
+                          "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                          w.device, FastOptions())
+                     .ValueOrDie();
+  const auto& m = outcome.metrics;
+  EXPECT_GT(m.Ptds(), 0u);
+  EXPECT_GT(m.LoadBytes(), 0u);
+  EXPECT_GT(m.Tq(), 0.0);
+  EXPECT_GT(m.Tlocal(w.device), 0.0);
+  EXPECT_GT(m.aggregation_rounds, 1u);  // iterative merging
+  EXPECT_GT(m.times.filtering_seconds, 0.0);
+  EXPECT_GT(
+      m.accountant.phase(sim::Phase::kCollection).bytes_uploaded, 0u);
+}
+
+}  // namespace
+}  // namespace tcells::protocol

@@ -1,0 +1,153 @@
+// Tests for QuerySession: concurrent queries through the querybox hub.
+#include <gtest/gtest.h>
+
+#include "protocol/reference.h"
+#include "protocol/session.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+#include "workload/health.h"
+
+namespace tcells::protocol {
+namespace {
+
+class SessionWorld {
+ public:
+  explicit SessionWorld(size_t n = 60) {
+    keys = crypto::KeyStore::CreateForTest(77);
+    authority = std::make_shared<tds::Authority>(Bytes(16, 0x21));
+    workload::GenericOptions gopts;
+    gopts.num_tds = n;
+    gopts.num_groups = 4;
+    fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                        tds::AccessPolicy::AllowAll())
+                .ValueOrDie();
+    querier = std::make_unique<Querier>("s", authority->Issue("s"), keys);
+  }
+
+  std::shared_ptr<const crypto::KeyStore> keys;
+  std::shared_ptr<tds::Authority> authority;
+  std::unique_ptr<Fleet> fleet;
+  std::unique_ptr<Querier> querier;
+  sim::DeviceModel device;
+};
+
+TEST(SessionTest, TwoConcurrentQueriesBothMatchOracle) {
+  SessionWorld w;
+  RunOptions opts;
+  opts.compute_availability = 0.3;
+  QuerySession session(w.fleet.get(), w.device, opts);
+
+  SAggProtocol s_agg;
+  BasicSfwProtocol basic;
+  const char* agg_sql = "SELECT grp, COUNT(*), AVG(val) FROM T GROUP BY grp";
+  const char* sfw_sql = "SELECT grp, cat FROM T WHERE cat < 4";
+  ASSERT_TRUE(session.Submit(1, w.querier.get(), &s_agg, agg_sql).ok());
+  ASSERT_TRUE(session.Submit(2, w.querier.get(), &basic, sfw_sql).ok());
+  EXPECT_EQ(session.num_pending(), 2u);
+
+  auto outcomes = session.RunAll().ValueOrDie();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes.at(1).result.SameRows(
+      ExecuteReference(*w.fleet, agg_sql).ValueOrDie()));
+  EXPECT_TRUE(outcomes.at(2).result.SameRows(
+      ExecuteReference(*w.fleet, sfw_sql).ValueOrDie()));
+  // Both queries collected from the full fleet.
+  EXPECT_EQ(outcomes.at(1).adversary.collection_items, w.fleet->size());
+  EXPECT_EQ(outcomes.at(2).adversary.collection_items, w.fleet->size());
+  EXPECT_EQ(session.num_pending(), 0u);
+}
+
+TEST(SessionTest, MixedProtocolsShareTheFleet) {
+  SessionWorld w;
+  RunOptions opts;
+  opts.compute_availability = 0.3;
+  QuerySession session(w.fleet.get(), w.device, opts);
+
+  auto domain = std::make_shared<std::vector<storage::Tuple>>();
+  for (size_t g = 0; g < 4; ++g) {
+    domain->push_back(
+        storage::Tuple({storage::Value::String(workload::GroupName(g))}));
+  }
+  SAggProtocol s_agg;
+  NoiseProtocol noise(true, domain);
+  const char* q1 = "SELECT grp, SUM(val) FROM T GROUP BY grp";
+  const char* q2 = "SELECT grp, MAX(cat) FROM T GROUP BY grp";
+  ASSERT_TRUE(session.Submit(10, w.querier.get(), &s_agg, q1).ok());
+  ASSERT_TRUE(session.Submit(11, w.querier.get(), &noise, q2).ok());
+  auto outcomes = session.RunAll().ValueOrDie();
+  EXPECT_TRUE(outcomes.at(10).result.SameRows(
+      ExecuteReference(*w.fleet, q1).ValueOrDie()));
+  EXPECT_TRUE(outcomes.at(11).result.SameRows(
+      ExecuteReference(*w.fleet, q2).ValueOrDie()));
+}
+
+TEST(SessionTest, PersonalQueryReachesOnlyItsTds) {
+  SessionWorld w;
+  QuerySession session(w.fleet.get(), w.device, {});
+  BasicSfwProtocol basic;
+  // Personal query to TDS 5: "get my own rows".
+  ASSERT_TRUE(session
+                  .SubmitPersonal(3, /*tds_id=*/5, w.querier.get(), &basic,
+                                  "SELECT grp, val FROM T")
+                  .ok());
+  auto outcomes = session.RunAll().ValueOrDie();
+  const auto& outcome = outcomes.at(3);
+  // Exactly one TDS answered (its own data only).
+  EXPECT_EQ(outcome.metrics.collection_participants, 1u);
+  auto local = sql::AnalyzeSql("SELECT grp, val FROM T",
+                               w.fleet->at(5)->db().catalog())
+                   .ValueOrDie();
+  auto expected = sql::ExecuteLocal(w.fleet->at(5)->db(), local).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected));
+}
+
+TEST(SessionTest, SizeBoundPerQuery) {
+  SessionWorld w;
+  QuerySession session(w.fleet.get(), w.device, {});
+  BasicSfwProtocol basic;
+  SAggProtocol s_agg;
+  ASSERT_TRUE(session.Submit(1, w.querier.get(), &basic,
+                             "SELECT grp FROM T SIZE 7").ok());
+  ASSERT_TRUE(session.Submit(2, w.querier.get(), &s_agg,
+                             "SELECT grp, COUNT(*) FROM T GROUP BY grp").ok());
+  auto outcomes = session.RunAll().ValueOrDie();
+  EXPECT_EQ(outcomes.at(1).adversary.collection_items, 7u);
+  EXPECT_EQ(outcomes.at(2).adversary.collection_items, w.fleet->size());
+}
+
+TEST(SessionTest, TickedCollectionWindow) {
+  SessionWorld w;
+  RunOptions opts;
+  opts.connect_prob_per_tick = 0.3;
+  opts.seed = 5;
+  QuerySession session(w.fleet.get(), w.device, opts);
+  SAggProtocol s_agg;
+  ASSERT_TRUE(session.Submit(1, w.querier.get(), &s_agg,
+                             "SELECT grp, COUNT(*) FROM T GROUP BY grp").ok());
+  auto outcomes = session.RunAll(/*max_ticks=*/3).ValueOrDie();
+  const auto& m = outcomes.at(1).metrics;
+  EXPECT_LE(m.collection_ticks, 3u);
+  EXPECT_LT(m.collection_participants, w.fleet->size());
+  EXPECT_GT(m.collection_participants, 0u);
+}
+
+TEST(SessionTest, DuplicateIdRejected) {
+  SessionWorld w;
+  QuerySession session(w.fleet.get(), w.device, {});
+  SAggProtocol s_agg;
+  const char* sql = "SELECT grp, COUNT(*) FROM T GROUP BY grp";
+  ASSERT_TRUE(session.Submit(1, w.querier.get(), &s_agg, sql).ok());
+  EXPECT_FALSE(session.Submit(1, w.querier.get(), &s_agg, sql).ok());
+}
+
+TEST(SessionTest, ProtocolShapeMismatchRejectedAtSubmit) {
+  SessionWorld w;
+  QuerySession session(w.fleet.get(), w.device, {});
+  BasicSfwProtocol basic;
+  EXPECT_FALSE(session.Submit(1, w.querier.get(), &basic,
+                              "SELECT grp, COUNT(*) FROM T GROUP BY grp")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tcells::protocol

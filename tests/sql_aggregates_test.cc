@@ -1,0 +1,304 @@
+// Tests for the mergeable aggregate states — the invariant the whole
+// distributed aggregation rests on: any way of splitting and merging a
+// multiset of inputs yields the same finalized value as accumulating it
+// in one pass.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/aggregates.h"
+
+namespace tcells::sql {
+namespace {
+
+using storage::Tuple;
+using storage::Value;
+
+AggSpec Spec(AggKind kind, bool distinct = false, int input = 0) {
+  AggSpec s;
+  s.kind = kind;
+  s.distinct = distinct;
+  s.input_index = input;
+  s.name = "test";
+  return s;
+}
+
+Value Finalize(const AggState& s) { return s.Finalize().ValueOrDie(); }
+
+TEST(AggStateTest, CountAndCountStar) {
+  AggSpec star = Spec(AggKind::kCount, false, -1);
+  AggState s(star);
+  ASSERT_TRUE(s.Accumulate(Value::Null()).ok());
+  ASSERT_TRUE(s.Accumulate(Value::Int64(5)).ok());
+  EXPECT_EQ(Finalize(s).AsInt64(), 2);  // COUNT(*) counts NULLs
+
+  AggState c(Spec(AggKind::kCount));
+  ASSERT_TRUE(c.Accumulate(Value::Null()).ok());
+  ASSERT_TRUE(c.Accumulate(Value::Int64(5)).ok());
+  EXPECT_EQ(Finalize(c).AsInt64(), 1);  // COUNT(col) skips NULLs
+}
+
+TEST(AggStateTest, CountDistinct) {
+  AggState s(Spec(AggKind::kCount, true));
+  for (int64_t v : {1, 2, 2, 3, 3, 3}) {
+    ASSERT_TRUE(s.Accumulate(Value::Int64(v)).ok());
+  }
+  EXPECT_EQ(Finalize(s).AsInt64(), 3);
+}
+
+TEST(AggStateTest, SumIntStaysInt) {
+  AggState s(Spec(AggKind::kSum));
+  for (int64_t v : {1, 2, 3}) ASSERT_TRUE(s.Accumulate(Value::Int64(v)).ok());
+  Value out = Finalize(s);
+  EXPECT_EQ(out.type(), storage::ValueType::kInt64);
+  EXPECT_EQ(out.AsInt64(), 6);
+}
+
+TEST(AggStateTest, SumMixedBecomesDouble) {
+  AggState s(Spec(AggKind::kSum));
+  ASSERT_TRUE(s.Accumulate(Value::Int64(1)).ok());
+  ASSERT_TRUE(s.Accumulate(Value::Double(0.5)).ok());
+  Value out = Finalize(s);
+  EXPECT_EQ(out.type(), storage::ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(out.AsDouble(), 1.5);
+}
+
+TEST(AggStateTest, SumOfNothingIsNull) {
+  AggState s(Spec(AggKind::kSum));
+  EXPECT_TRUE(Finalize(s).is_null());
+  ASSERT_TRUE(s.Accumulate(Value::Null()).ok());
+  EXPECT_TRUE(Finalize(s).is_null());
+}
+
+TEST(AggStateTest, SumIntOverflowFallsBackToDouble) {
+  AggState s(Spec(AggKind::kSum));
+  int64_t big = std::numeric_limits<int64_t>::max() - 1;
+  ASSERT_TRUE(s.Accumulate(Value::Int64(big)).ok());
+  ASSERT_TRUE(s.Accumulate(Value::Int64(big)).ok());
+  Value out = Finalize(s);
+  EXPECT_EQ(out.type(), storage::ValueType::kDouble);
+  EXPECT_NEAR(out.AsDouble(), 2.0 * static_cast<double>(big),
+              std::abs(out.AsDouble()) * 1e-12);
+}
+
+TEST(AggStateTest, Avg) {
+  AggState s(Spec(AggKind::kAvg));
+  for (int64_t v : {2, 4, 6}) ASSERT_TRUE(s.Accumulate(Value::Int64(v)).ok());
+  EXPECT_DOUBLE_EQ(Finalize(s).AsDouble(), 4.0);
+}
+
+TEST(AggStateTest, AvgDistinct) {
+  AggState s(Spec(AggKind::kAvg, true));
+  for (int64_t v : {2, 2, 4}) ASSERT_TRUE(s.Accumulate(Value::Int64(v)).ok());
+  EXPECT_DOUBLE_EQ(Finalize(s).AsDouble(), 3.0);
+}
+
+TEST(AggStateTest, MinMax) {
+  AggState lo(Spec(AggKind::kMin)), hi(Spec(AggKind::kMax));
+  for (int64_t v : {5, -3, 9, 0}) {
+    ASSERT_TRUE(lo.Accumulate(Value::Int64(v)).ok());
+    ASSERT_TRUE(hi.Accumulate(Value::Int64(v)).ok());
+  }
+  EXPECT_EQ(Finalize(lo).AsInt64(), -3);
+  EXPECT_EQ(Finalize(hi).AsInt64(), 9);
+}
+
+TEST(AggStateTest, MinMaxStrings) {
+  AggState lo(Spec(AggKind::kMin)), hi(Spec(AggKind::kMax));
+  for (const char* v : {"pear", "apple", "mango"}) {
+    ASSERT_TRUE(lo.Accumulate(Value::String(v)).ok());
+    ASSERT_TRUE(hi.Accumulate(Value::String(v)).ok());
+  }
+  EXPECT_EQ(Finalize(lo).AsString(), "apple");
+  EXPECT_EQ(Finalize(hi).AsString(), "pear");
+}
+
+TEST(AggStateTest, MinDistinctIsNoOp) {
+  AggState s(Spec(AggKind::kMin, true));
+  for (int64_t v : {4, 4, 2}) ASSERT_TRUE(s.Accumulate(Value::Int64(v)).ok());
+  EXPECT_EQ(Finalize(s).AsInt64(), 2);
+}
+
+TEST(AggStateTest, MedianOddAndEven) {
+  AggState odd(Spec(AggKind::kMedian));
+  for (int64_t v : {9, 1, 5}) ASSERT_TRUE(odd.Accumulate(Value::Int64(v)).ok());
+  EXPECT_EQ(Finalize(odd).AsInt64(), 5);
+
+  AggState even(Spec(AggKind::kMedian));
+  for (int64_t v : {1, 2, 3, 4}) {
+    ASSERT_TRUE(even.Accumulate(Value::Int64(v)).ok());
+  }
+  EXPECT_EQ(Finalize(even).AsInt64(), 2);  // lower median
+}
+
+TEST(AggStateTest, MedianWithMultiplicities) {
+  AggState s(Spec(AggKind::kMedian));
+  for (int64_t v : {1, 1, 1, 1, 7, 8, 9}) {
+    ASSERT_TRUE(s.Accumulate(Value::Int64(v)).ok());
+  }
+  EXPECT_EQ(Finalize(s).AsInt64(), 1);
+}
+
+// --- The core distributed-aggregation property -----------------------------
+
+class MergeEquivalence
+    : public ::testing::TestWithParam<std::tuple<AggKind, bool>> {};
+
+TEST_P(MergeEquivalence, AnySplitMatchesSinglePass) {
+  auto [kind, distinct] = GetParam();
+  AggSpec spec = Spec(kind, distinct);
+  Rng rng(1234 + static_cast<int>(kind) * 10 + distinct);
+
+  // Random multiset with duplicates and a NULL sprinkle.
+  std::vector<Value> inputs;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.NextBool(0.05)) {
+      inputs.push_back(Value::Null());
+    } else {
+      inputs.push_back(Value::Int64(rng.NextInRange(0, 20)));
+    }
+  }
+
+  AggState single(spec);
+  for (const auto& v : inputs) ASSERT_TRUE(single.Accumulate(v).ok());
+  Value expected = Finalize(single);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Split into 1..8 random partitions, accumulate each, merge in random
+    // order (optionally through intermediate merge trees).
+    size_t parts = 1 + rng.NextBelow(8);
+    std::vector<AggState> states;
+    for (size_t p = 0; p < parts; ++p) states.emplace_back(spec);
+    for (const auto& v : inputs) {
+      ASSERT_TRUE(states[rng.NextBelow(parts)].Accumulate(v).ok());
+    }
+    while (states.size() > 1) {
+      size_t i = rng.NextBelow(states.size());
+      size_t j = rng.NextBelow(states.size());
+      if (i == j) continue;
+      ASSERT_TRUE(states[i].Merge(states[j]).ok());
+      states.erase(states.begin() + static_cast<long>(j));
+    }
+    Value merged = Finalize(states[0]);
+    if (expected.is_null()) {
+      EXPECT_TRUE(merged.is_null());
+    } else if (expected.is_numeric()) {
+      EXPECT_NEAR(merged.ToDouble().ValueOrDie(),
+                  expected.ToDouble().ValueOrDie(), 1e-9);
+    } else {
+      EXPECT_TRUE(merged.IsSameGroup(expected));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, MergeEquivalence,
+    ::testing::Values(std::make_tuple(AggKind::kCount, false),
+                      std::make_tuple(AggKind::kCount, true),
+                      std::make_tuple(AggKind::kSum, false),
+                      std::make_tuple(AggKind::kSum, true),
+                      std::make_tuple(AggKind::kAvg, false),
+                      std::make_tuple(AggKind::kAvg, true),
+                      std::make_tuple(AggKind::kMin, false),
+                      std::make_tuple(AggKind::kMax, false),
+                      std::make_tuple(AggKind::kMedian, false)));
+
+// --- Serialization ----------------------------------------------------------
+
+class SerializationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<AggKind, bool>> {};
+
+TEST_P(SerializationRoundTrip, EncodeDecodePreservesState) {
+  auto [kind, distinct] = GetParam();
+  AggSpec spec = Spec(kind, distinct);
+  Rng rng(99);
+  AggState s(spec);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s.Accumulate(Value::Int64(rng.NextInRange(-5, 5))).ok());
+  }
+  Bytes buf;
+  s.EncodeTo(&buf);
+  ByteReader reader(buf);
+  AggState back = AggState::DecodeFrom(spec, &reader).ValueOrDie();
+  EXPECT_TRUE(reader.AtEnd());
+  Value a = Finalize(s), b = Finalize(back);
+  if (a.is_numeric()) {
+    EXPECT_DOUBLE_EQ(a.ToDouble().ValueOrDie(), b.ToDouble().ValueOrDie());
+  } else {
+    EXPECT_TRUE(a.IsSameGroup(b));
+  }
+  // And decoded state must still merge correctly.
+  ASSERT_TRUE(back.Merge(s).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, SerializationRoundTrip,
+    ::testing::Values(std::make_tuple(AggKind::kCount, false),
+                      std::make_tuple(AggKind::kCount, true),
+                      std::make_tuple(AggKind::kSum, false),
+                      std::make_tuple(AggKind::kAvg, false),
+                      std::make_tuple(AggKind::kMin, false),
+                      std::make_tuple(AggKind::kMax, false),
+                      std::make_tuple(AggKind::kMedian, false)));
+
+// --- GroupedAggregation ------------------------------------------------------
+
+TEST(GroupedAggregationTest, AccumulateAndGroupCount) {
+  std::vector<AggSpec> specs = {Spec(AggKind::kSum, false, 1)};
+  GroupedAggregation agg(specs);
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 4; ++i) {
+      Tuple t({Value::Int64(g), Value::Int64(i)});
+      ASSERT_TRUE(agg.AccumulateTuple(t, 1).ok());
+    }
+  }
+  EXPECT_EQ(agg.num_groups(), 3u);
+  for (const auto& [key, states] : agg.groups()) {
+    EXPECT_EQ(states[0].Finalize().ValueOrDie().AsInt64(), 0 + 1 + 2 + 3);
+  }
+}
+
+TEST(GroupedAggregationTest, EncodeDecodeMergeAll) {
+  std::vector<AggSpec> specs = {Spec(AggKind::kCount, false, -1),
+                                Spec(AggKind::kAvg, false, 1)};
+  GroupedAggregation a(specs), b(specs);
+  for (int i = 0; i < 10; ++i) {
+    Tuple t({Value::Int64(i % 2), Value::Int64(i)});
+    ASSERT_TRUE((i < 5 ? a : b).AccumulateTuple(t, 1).ok());
+  }
+  Bytes buf;
+  b.EncodeTo(&buf);
+  GroupedAggregation decoded =
+      GroupedAggregation::Decode(specs, buf).ValueOrDie();
+  ASSERT_TRUE(a.MergeAll(decoded).ok());
+  EXPECT_EQ(a.num_groups(), 2u);
+  int64_t total = 0;
+  for (const auto& [key, states] : a.groups()) {
+    total += states[0].Finalize().ValueOrDie().AsInt64();
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(GroupedAggregationTest, DecodeRejectsGarbage) {
+  std::vector<AggSpec> specs = {Spec(AggKind::kCount, false, -1)};
+  EXPECT_FALSE(GroupedAggregation::Decode(specs, Bytes{1, 2, 3}).ok());
+}
+
+TEST(GroupedAggregationTest, MemoryFootprintGrowsWithGroups) {
+  std::vector<AggSpec> specs = {Spec(AggKind::kCount, false, -1)};
+  GroupedAggregation agg(specs);
+  size_t before = agg.MemoryFootprint();
+  for (int g = 0; g < 100; ++g) {
+    ASSERT_TRUE(
+        agg.AccumulateTuple(Tuple({Value::Int64(g)}), 1).ok());
+  }
+  EXPECT_GT(agg.MemoryFootprint(), before + 100 * 32);
+}
+
+TEST(GroupedAggregationTest, ShortTupleRejected) {
+  std::vector<AggSpec> specs = {Spec(AggKind::kSum, false, 1)};
+  GroupedAggregation agg(specs);
+  EXPECT_FALSE(agg.AccumulateTuple(Tuple(), 1).ok());
+}
+
+}  // namespace
+}  // namespace tcells::sql

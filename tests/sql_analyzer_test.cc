@@ -1,0 +1,151 @@
+// Tests for semantic analysis: binding, validation, collection/output
+// layouts.
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "workload/smart_meter.h"
+
+namespace tcells::sql {
+namespace {
+
+storage::Catalog MakeCatalog() {
+  storage::Catalog cat;
+  EXPECT_TRUE(cat.AddTable("Consumer", workload::ConsumerSchema()).ok());
+  EXPECT_TRUE(cat.AddTable("Power", workload::PowerSchema()).ok());
+  return cat;
+}
+
+TEST(AnalyzerTest, PlainSfwBindsColumns) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql("SELECT cid, district FROM Consumer WHERE cid > 5", cat)
+               .ValueOrDie();
+  EXPECT_FALSE(q.is_aggregation);
+  ASSERT_EQ(q.select_row_exprs.size(), 2u);
+  EXPECT_EQ(q.select_row_exprs[0]->bound_index, 0);
+  EXPECT_EQ(q.select_row_exprs[1]->bound_index, 1);
+  EXPECT_EQ(q.result_schema.num_columns(), 2u);
+  EXPECT_EQ(q.result_schema.column(1).type, storage::ValueType::kString);
+}
+
+TEST(AnalyzerTest, StarExpansion) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql("SELECT * FROM Consumer", cat).ValueOrDie();
+  EXPECT_EQ(q.select_row_exprs.size(), 3u);
+  EXPECT_EQ(q.result_schema.column(0).name, "Consumer.cid");
+}
+
+TEST(AnalyzerTest, JoinCombinedSchema) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql(
+      "SELECT P.cons FROM Power P, Consumer C WHERE C.cid = P.cid", cat)
+      .ValueOrDie();
+  EXPECT_EQ(q.combined_schema.num_columns(), 6u);
+  // Power first: cons is combined index 1.
+  EXPECT_EQ(q.select_row_exprs[0]->bound_index, 1);
+  EXPECT_EQ(q.combined_origin[1].first, "Power");
+  EXPECT_EQ(q.combined_origin[3].first, "Consumer");
+}
+
+TEST(AnalyzerTest, AmbiguousColumnRejected) {
+  auto cat = MakeCatalog();
+  // cid exists in both tables.
+  EXPECT_FALSE(AnalyzeSql("SELECT cid FROM Power, Consumer", cat).ok());
+}
+
+TEST(AnalyzerTest, UnknownColumnAndTable) {
+  auto cat = MakeCatalog();
+  EXPECT_FALSE(AnalyzeSql("SELECT nope FROM Consumer", cat).ok());
+  EXPECT_FALSE(AnalyzeSql("SELECT cid FROM Nope", cat).ok());
+  EXPECT_FALSE(AnalyzeSql("SELECT X.cid FROM Consumer C", cat).ok());
+}
+
+TEST(AnalyzerTest, DuplicateTableAliasRejected) {
+  auto cat = MakeCatalog();
+  EXPECT_FALSE(AnalyzeSql("SELECT C.cid FROM Consumer C, Power C", cat).ok());
+}
+
+TEST(AnalyzerTest, AggregationLayout) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql(
+      "SELECT district, AVG(cons), COUNT(*) FROM Consumer, Power "
+      "WHERE Consumer.cid = Power.cid GROUP BY district", cat)
+      .ValueOrDie();
+  EXPECT_TRUE(q.is_aggregation);
+  EXPECT_EQ(q.key_arity, 1u);
+  // Collection tuple: [district, cons] — COUNT(*) needs no input column.
+  ASSERT_EQ(q.collection_exprs.size(), 2u);
+  ASSERT_EQ(q.agg_specs.size(), 2u);
+  EXPECT_EQ(q.agg_specs[0].kind, AggKind::kAvg);
+  EXPECT_EQ(q.agg_specs[0].input_index, 1);
+  EXPECT_EQ(q.agg_specs[1].kind, AggKind::kCount);
+  EXPECT_EQ(q.agg_specs[1].input_index, -1);
+  EXPECT_EQ(q.collection_schema.num_columns(), 2u);
+  EXPECT_EQ(q.result_schema.num_columns(), 3u);
+}
+
+TEST(AnalyzerTest, HavingAggregatesGetSlots) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql(
+      "SELECT district, AVG(cons) FROM Consumer, Power "
+      "WHERE Consumer.cid = Power.cid "
+      "GROUP BY district HAVING COUNT(DISTINCT Consumer.cid) > 10", cat)
+      .ValueOrDie();
+  // AVG + COUNT DISTINCT = two slots; collection carries district, cons, cid.
+  EXPECT_EQ(q.agg_specs.size(), 2u);
+  EXPECT_EQ(q.collection_exprs.size(), 3u);
+  ASSERT_NE(q.having, nullptr);
+}
+
+TEST(AnalyzerTest, NonGroupedColumnInSelectRejected) {
+  auto cat = MakeCatalog();
+  EXPECT_FALSE(AnalyzeSql(
+      "SELECT accomodation, AVG(cons) FROM Consumer, Power "
+      "GROUP BY district", cat).ok());
+}
+
+TEST(AnalyzerTest, GlobalAggregateWithoutGroupBy) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql("SELECT COUNT(*), MAX(cons) FROM Power", cat)
+               .ValueOrDie();
+  EXPECT_TRUE(q.is_aggregation);
+  EXPECT_EQ(q.key_arity, 0u);
+  EXPECT_EQ(q.agg_specs.size(), 2u);
+}
+
+TEST(AnalyzerTest, HavingWithoutAggregationRejected) {
+  auto cat = MakeCatalog();
+  EXPECT_FALSE(
+      AnalyzeSql("SELECT cid FROM Consumer HAVING cid > 1", cat).ok());
+}
+
+TEST(AnalyzerTest, AggregateInWhereRejected) {
+  auto cat = MakeCatalog();
+  EXPECT_FALSE(AnalyzeSql(
+      "SELECT district FROM Consumer WHERE COUNT(*) > 1 GROUP BY district",
+      cat).ok());
+}
+
+TEST(AnalyzerTest, StarInAggregationQueryRejected) {
+  auto cat = MakeCatalog();
+  EXPECT_FALSE(AnalyzeSql(
+      "SELECT *, COUNT(*) FROM Consumer GROUP BY district", cat).ok());
+}
+
+TEST(AnalyzerTest, SelectExpressionOverGroupKeyAndAggregate) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql(
+      "SELECT hour, MAX(cons) - MIN(cons) AS spread FROM Power GROUP BY hour",
+      cat).ValueOrDie();
+  EXPECT_EQ(q.agg_specs.size(), 2u);
+  EXPECT_EQ(q.result_schema.column(1).name, "spread");
+}
+
+TEST(AnalyzerTest, SizeClausePropagates) {
+  auto cat = MakeCatalog();
+  auto q = AnalyzeSql("SELECT cid FROM Consumer SIZE 42", cat).ValueOrDie();
+  ASSERT_TRUE(q.size.has_value());
+  EXPECT_EQ(q.size->max_tuples.value(), 42u);
+}
+
+}  // namespace
+}  // namespace tcells::sql

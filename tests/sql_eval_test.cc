@@ -1,0 +1,164 @@
+// Tests for expression evaluation, using a one-table catalog and directly
+// bound expressions.
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/eval.h"
+
+namespace tcells::sql {
+namespace {
+
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() {
+    EXPECT_TRUE(catalog_
+                    .AddTable("t", storage::Schema({
+                                       {"i", ValueType::kInt64},
+                                       {"d", ValueType::kDouble},
+                                       {"s", ValueType::kString},
+                                       {"b", ValueType::kBool},
+                                   }))
+                    .ok());
+  }
+
+  /// Evaluates `expr_sql` as a WHERE expression over the given row.
+  Result<Value> EvalExpr(const std::string& expr_sql, const Tuple& row) {
+    auto analyzed = AnalyzeSql("SELECT i FROM t WHERE " + expr_sql, catalog_);
+    if (!analyzed.ok()) return analyzed.status();
+    EvalContext ctx{&row, 0};
+    return Eval(*analyzed->where, ctx);
+  }
+
+  bool Pred(const std::string& expr_sql, const Tuple& row) {
+    auto analyzed =
+        AnalyzeSql("SELECT i FROM t WHERE " + expr_sql, catalog_).ValueOrDie();
+    EvalContext ctx{&row, 0};
+    return EvalPredicate(*analyzed.where, ctx).ValueOrDie();
+  }
+
+  storage::Catalog catalog_;
+  Tuple row_{{Value::Int64(10), Value::Double(2.5), Value::String("abc"),
+              Value::Bool(true)}};
+  Tuple null_row_{{Value::Null(), Value::Null(), Value::Null(), Value::Null()}};
+};
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(Pred("i = 10", row_));
+  EXPECT_FALSE(Pred("i <> 10", row_));
+  EXPECT_TRUE(Pred("i < 11", row_));
+  EXPECT_TRUE(Pred("i <= 10", row_));
+  EXPECT_TRUE(Pred("i > 9", row_));
+  EXPECT_TRUE(Pred("i >= 10", row_));
+  EXPECT_TRUE(Pred("s = 'abc'", row_));
+  EXPECT_TRUE(Pred("s < 'abd'", row_));
+}
+
+TEST_F(EvalTest, CrossTypeNumericComparison) {
+  EXPECT_TRUE(Pred("i > d", row_));       // 10 > 2.5
+  EXPECT_TRUE(Pred("d = 2.5", row_));
+  EXPECT_TRUE(Pred("i = 10.0", row_));
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(EvalExpr("i + 5", row_).ValueOrDie().AsInt64(), 15);
+  EXPECT_EQ(EvalExpr("i - 15", row_).ValueOrDie().AsInt64(), -5);
+  EXPECT_EQ(EvalExpr("i * 3", row_).ValueOrDie().AsInt64(), 30);
+  EXPECT_DOUBLE_EQ(EvalExpr("i / 4", row_).ValueOrDie().AsDouble(), 2.5);
+  EXPECT_EQ(EvalExpr("i % 3", row_).ValueOrDie().AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(EvalExpr("d * 2", row_).ValueOrDie().AsDouble(), 5.0);
+  EXPECT_EQ(EvalExpr("-i", row_).ValueOrDie().AsInt64(), -10);
+}
+
+TEST_F(EvalTest, DivisionAndModByZeroYieldNull) {
+  EXPECT_TRUE(EvalExpr("i / 0", row_).ValueOrDie().is_null());
+  EXPECT_TRUE(EvalExpr("i % 0", row_).ValueOrDie().is_null());
+}
+
+TEST_F(EvalTest, BooleanLogic) {
+  EXPECT_TRUE(Pred("i = 10 AND d = 2.5", row_));
+  EXPECT_FALSE(Pred("i = 10 AND d = 3.0", row_));
+  EXPECT_TRUE(Pred("i = 0 OR d = 2.5", row_));
+  EXPECT_TRUE(Pred("NOT i = 0", row_));
+  EXPECT_TRUE(Pred("b", row_));
+  EXPECT_FALSE(Pred("NOT b", row_));
+}
+
+TEST_F(EvalTest, NullPropagation) {
+  EXPECT_TRUE(EvalExpr("i + 1", null_row_).ValueOrDie().is_null());
+  EXPECT_TRUE(EvalExpr("i = 10", null_row_).ValueOrDie().is_null());
+  // Predicates over NULL are false.
+  EXPECT_FALSE(Pred("i = 10", null_row_));
+  EXPECT_FALSE(Pred("NOT i = 10", null_row_));
+}
+
+TEST_F(EvalTest, IsNull) {
+  EXPECT_TRUE(Pred("i IS NULL", null_row_));
+  EXPECT_FALSE(Pred("i IS NULL", row_));
+  EXPECT_TRUE(Pred("i IS NOT NULL", row_));
+}
+
+TEST_F(EvalTest, InList) {
+  EXPECT_TRUE(Pred("i IN (1, 10, 100)", row_));
+  EXPECT_FALSE(Pred("i IN (1, 2)", row_));
+  EXPECT_TRUE(Pred("s IN ('x', 'abc')", row_));
+  EXPECT_TRUE(Pred("i NOT IN (1, 2)", row_));
+  EXPECT_FALSE(Pred("i IN (1, 2)", null_row_));
+}
+
+TEST_F(EvalTest, Between) {
+  EXPECT_TRUE(Pred("i BETWEEN 5 AND 15", row_));
+  EXPECT_TRUE(Pred("i BETWEEN 10 AND 10", row_));
+  EXPECT_FALSE(Pred("i BETWEEN 11 AND 15", row_));
+  EXPECT_TRUE(Pred("i NOT BETWEEN 11 AND 15", row_));
+}
+
+
+TEST_F(EvalTest, Like) {
+  EXPECT_TRUE(Pred("s LIKE 'abc'", row_));
+  EXPECT_TRUE(Pred("s LIKE 'a%'", row_));
+  EXPECT_TRUE(Pred("s LIKE '%c'", row_));
+  EXPECT_TRUE(Pred("s LIKE '%b%'", row_));
+  EXPECT_TRUE(Pred("s LIKE 'a_c'", row_));
+  EXPECT_TRUE(Pred("s LIKE '___'", row_));
+  EXPECT_TRUE(Pred("s LIKE '%'", row_));
+  EXPECT_FALSE(Pred("s LIKE '____'", row_));
+  EXPECT_FALSE(Pred("s LIKE 'b%'", row_));
+  EXPECT_FALSE(Pred("s LIKE ''", row_));
+  EXPECT_TRUE(Pred("s NOT LIKE 'x%'", row_));
+  EXPECT_FALSE(Pred("s LIKE 'abc'", null_row_));  // NULL -> false predicate
+}
+
+TEST_F(EvalTest, LikeBacktracking) {
+  Tuple t({Value::Int64(0), Value::Double(0),
+           Value::String("aaaaaaaaaaaaaaaaaaab"), Value::Bool(true)});
+  EXPECT_TRUE(Pred("s LIKE '%a%b'", t));
+  EXPECT_FALSE(Pred("s LIKE '%a%c'", t));
+  EXPECT_TRUE(Pred("s LIKE '%%%b'", t));
+}
+
+TEST_F(EvalTest, LikeTypeErrors) {
+  EXPECT_FALSE(EvalExpr("i LIKE '1%'", row_).ok());
+  EXPECT_FALSE(EvalExpr("s LIKE 5", row_).ok());
+}
+
+TEST_F(EvalTest, TypeErrors) {
+  EXPECT_FALSE(EvalExpr("s + 1", row_).ok());
+  EXPECT_FALSE(EvalExpr("s < 10", row_).ok());
+  EXPECT_FALSE(EvalExpr("NOT i", row_).ok());
+  EXPECT_FALSE(EvalExpr("d % 2", row_).ok());
+}
+
+TEST_F(EvalTest, UnboundColumnIsError) {
+  Expr e;
+  e.kind = Expr::Kind::kColumnRef;
+  e.column = "i";
+  EvalContext ctx{&row_, 0};
+  EXPECT_TRUE(Eval(e, ctx).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace tcells::sql

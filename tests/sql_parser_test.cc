@@ -1,0 +1,203 @@
+// Tests for the SQL lexer and parser, including the paper's flagship query.
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace tcells::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("SELECT a, b FROM t WHERE x >= 1.5").ValueOrDie();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, NumberFormats) {
+  auto tokens = Lex("42 3.25 1e3 2.5E-2").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'detached house' 'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "detached house");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> != < <= > >= + - * / %").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "=");
+  EXPECT_EQ(tokens[1].text, "<>");
+  EXPECT_EQ(tokens[2].text, "<>");  // != normalizes
+  EXPECT_EQ(tokens[5].text, ">");
+  EXPECT_EQ(tokens[6].text, ">=");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+  EXPECT_FALSE(Lex("a # b").ok());
+  EXPECT_FALSE(Lex("1e").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = Parse("SELECT a, b FROM t").ValueOrDie();
+  ASSERT_EQ(stmt.select_list.size(), 2u);
+  EXPECT_EQ(stmt.select_list[0].expr->column, "a");
+  ASSERT_EQ(stmt.from.size(), 1u);
+  EXPECT_EQ(stmt.from[0].table, "t");
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(ParserTest, PaperFlagshipQuery) {
+  // §2.3, the energy company's query.
+  auto stmt = Parse(
+      "SELECT AVG(Cons) FROM Power P, Consumer C "
+      "WHERE C.accomodation='detached house' and C.cid = P.cid "
+      "GROUP BY C.district HAVING Count(distinct C.cid) > 100 SIZE 50000")
+      .ValueOrDie();
+  ASSERT_EQ(stmt.select_list.size(), 1u);
+  EXPECT_EQ(stmt.select_list[0].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(stmt.select_list[0].expr->agg_kind, AggKind::kAvg);
+  ASSERT_EQ(stmt.from.size(), 2u);
+  EXPECT_EQ(stmt.from[0].alias, "P");
+  ASSERT_NE(stmt.where, nullptr);
+  ASSERT_EQ(stmt.group_by.size(), 1u);
+  EXPECT_EQ(stmt.group_by[0]->column, "district");
+  ASSERT_NE(stmt.having, nullptr);
+  ASSERT_TRUE(stmt.size.has_value());
+  EXPECT_EQ(stmt.size->max_tuples.value(), 50000u);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = Parse("SELECT * FROM t").ValueOrDie();
+  EXPECT_EQ(stmt.select_list[0].expr->column, "*");
+}
+
+TEST(ParserTest, Aliases) {
+  auto stmt = Parse("SELECT a AS x, b y FROM t AS u, v w").ValueOrDie();
+  EXPECT_EQ(stmt.select_list[0].alias, "x");
+  EXPECT_EQ(stmt.select_list[1].alias, "y");
+  EXPECT_EQ(stmt.from[0].alias, "u");
+  EXPECT_EQ(stmt.from[1].alias, "w");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = Parse("SELECT a FROM t WHERE a + b * 2 = 7 OR NOT a < 1 AND b > 2")
+      .ValueOrDie();
+  // ((a + (b*2)) = 7) OR ((NOT (a<1)) AND (b>2))
+  const Expr& root = *stmt.where;
+  EXPECT_EQ(root.binary_op, BinaryOp::kOr);
+  EXPECT_EQ(root.children[1]->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(root.children[0]->binary_op, BinaryOp::kEq);
+  EXPECT_EQ(root.children[0]->children[0]->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(root.children[0]->children[0]->children[1]->binary_op,
+            BinaryOp::kMul);
+}
+
+TEST(ParserTest, InList) {
+  auto stmt = Parse("SELECT a FROM t WHERE a IN (1, 2, 3)").ValueOrDie();
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kInList);
+  EXPECT_EQ(stmt.where->children.size(), 4u);
+}
+
+TEST(ParserTest, NotInDesugarsToNot) {
+  auto stmt = Parse("SELECT a FROM t WHERE a NOT IN (1)").ValueOrDie();
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(stmt.where->children[0]->kind, Expr::Kind::kInList);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = Parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5").ValueOrDie();
+  EXPECT_EQ(stmt.where->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt.where->children[0]->binary_op, BinaryOp::kGe);
+  EXPECT_EQ(stmt.where->children[1]->binary_op, BinaryOp::kLe);
+}
+
+TEST(ParserTest, IsNull) {
+  auto stmt = Parse("SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL")
+      .ValueOrDie();
+  EXPECT_EQ(stmt.where->children[0]->kind, Expr::Kind::kIsNull);
+  EXPECT_FALSE(stmt.where->children[0]->negated);
+  EXPECT_TRUE(stmt.where->children[1]->negated);
+}
+
+TEST(ParserTest, AllAggregates) {
+  auto stmt = Parse(
+      "SELECT COUNT(*), COUNT(DISTINCT a), SUM(a), AVG(a), MIN(a), MAX(a), "
+      "MEDIAN(a) FROM t GROUP BY b")
+      .ValueOrDie();
+  ASSERT_EQ(stmt.select_list.size(), 7u);
+  EXPECT_TRUE(stmt.select_list[0].expr->star);
+  EXPECT_TRUE(stmt.select_list[1].expr->distinct);
+  EXPECT_EQ(stmt.select_list[6].expr->agg_kind, AggKind::kMedian);
+}
+
+TEST(ParserTest, SizeVariants) {
+  EXPECT_EQ(Parse("SELECT a FROM t SIZE 100").ValueOrDie()
+                .size->max_tuples.value(), 100u);
+  auto with_duration =
+      Parse("SELECT a FROM t SIZE DURATION 60").ValueOrDie();
+  EXPECT_FALSE(with_duration.size->max_tuples.has_value());
+  EXPECT_EQ(with_duration.size->max_duration_ticks.value(), 60u);
+  auto both = Parse("SELECT a FROM t SIZE 100 DURATION 60").ValueOrDie();
+  EXPECT_TRUE(both.size->max_tuples.has_value());
+  EXPECT_TRUE(both.size->max_duration_ticks.has_value());
+}
+
+
+TEST(ParserTest, Like) {
+  auto stmt = Parse("SELECT a FROM t WHERE a LIKE 'x%' AND b NOT LIKE '_y'")
+      .ValueOrDie();
+  const Expr& conj = *stmt.where;
+  EXPECT_EQ(conj.children[0]->kind, Expr::Kind::kLike);
+  EXPECT_FALSE(conj.children[0]->negated);
+  EXPECT_EQ(conj.children[1]->kind, Expr::Kind::kLike);
+  EXPECT_TRUE(conj.children[1]->negated);
+  auto again = Parse(stmt.ToString()).ValueOrDie();
+  EXPECT_EQ(stmt.ToString(), again.ToString());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* queries[] = {
+      "SELECT a, b FROM t WHERE a = 1",
+      "SELECT AVG(x) FROM t GROUP BY g HAVING COUNT(*) > 2 SIZE 10",
+      "SELECT t.a FROM t WHERE t.a IN (1, 2) OR t.a IS NULL",
+  };
+  for (const char* q : queries) {
+    auto stmt = Parse(q).ValueOrDie();
+    // Re-parsing the rendering must succeed and render identically (fixpoint).
+    auto stmt2 = Parse(stmt.ToString()).ValueOrDie();
+    EXPECT_EQ(stmt.ToString(), stmt2.ToString()) << q;
+  }
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a").ok());                       // no FROM
+  EXPECT_FALSE(Parse("SELECT a FROM t GROUP a").ok());        // missing BY
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t trailing garbage ,").ok());
+  EXPECT_FALSE(Parse("SELECT SUM(*) FROM t").ok());           // * only in COUNT
+  EXPECT_FALSE(Parse("SELECT COUNT(DISTINCT *) FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t SIZE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t GROUP BY a + 1").ok());  // col refs only
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES (1)").ok());
+}
+
+}  // namespace
+}  // namespace tcells::sql

@@ -1,0 +1,231 @@
+// Tests for the SSI: payload framing, partitioners, SIZE evaluation, and the
+// adversary-view instrumentation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ssi/messages.h"
+#include "ssi/ssi.h"
+
+namespace tcells::ssi {
+namespace {
+
+EncryptedItem Item(uint8_t fill, size_t n = 8,
+                   std::optional<Bytes> tag = std::nullopt) {
+  EncryptedItem item;
+  item.blob = Bytes(n, fill);
+  item.routing_tag = std::move(tag);
+  return item;
+}
+
+// ---------------------------------------------------------------------------
+// Payload framing
+
+TEST(PayloadTest, RoundTrip) {
+  Bytes body = {1, 2, 3};
+  Bytes encoded = EncodePayload(PayloadKind::kTrueTuple, body);
+  auto decoded = DecodePayload(encoded).ValueOrDie();
+  EXPECT_EQ(decoded.kind, PayloadKind::kTrueTuple);
+  EXPECT_EQ(decoded.body, body);
+}
+
+TEST(PayloadTest, PaddingHidesKindByLength) {
+  Bytes small = {1};
+  Bytes large = Bytes(40, 7);
+  Bytes a = EncodePayload(PayloadKind::kDummyTuple, small, 64);
+  Bytes b = EncodePayload(PayloadKind::kTrueTuple, large, 64);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(DecodePayload(a).ValueOrDie().body, small);
+  EXPECT_EQ(DecodePayload(b).ValueOrDie().body, large);
+}
+
+TEST(PayloadTest, PaddingNeverTruncates) {
+  Bytes body = Bytes(100, 1);
+  Bytes encoded = EncodePayload(PayloadKind::kTrueTuple, body, 16);
+  EXPECT_GT(encoded.size(), body.size());
+  EXPECT_EQ(DecodePayload(encoded).ValueOrDie().body, body);
+}
+
+TEST(PayloadTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodePayload({}).ok());
+  EXPECT_FALSE(DecodePayload({200}).ok());       // unknown kind
+  EXPECT_FALSE(DecodePayload({0, 9, 0, 0, 0}).ok());  // body length overruns
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning
+
+TEST(SsiTest, PartitionRandomlySplitsAndPreservesItems) {
+  Rng rng(1);
+  std::vector<EncryptedItem> items;
+  for (int i = 0; i < 10; ++i) items.push_back(Item(static_cast<uint8_t>(i)));
+  auto partitions = Ssi::PartitionRandomly(std::move(items), 3, &rng);
+  ASSERT_EQ(partitions.size(), 4u);  // 3+3+3+1
+  std::multiset<uint8_t> seen;
+  for (const auto& p : partitions) {
+    EXPECT_LE(p.items.size(), 3u);
+    for (const auto& item : p.items) seen.insert(item.blob[0]);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SsiTest, PartitionRandomlyShuffles) {
+  Rng rng(2);
+  std::vector<EncryptedItem> items;
+  for (int i = 0; i < 32; ++i) items.push_back(Item(static_cast<uint8_t>(i)));
+  auto partitions = Ssi::PartitionRandomly(std::move(items), 32, &rng);
+  ASSERT_EQ(partitions.size(), 1u);
+  bool any_moved = false;
+  for (size_t i = 0; i < partitions[0].items.size(); ++i) {
+    if (partitions[0].items[i].blob[0] != i) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(SsiTest, PartitionByTagGroups) {
+  std::vector<EncryptedItem> items;
+  for (int i = 0; i < 9; ++i) {
+    items.push_back(Item(static_cast<uint8_t>(i), 8,
+                         Bytes{static_cast<uint8_t>(i % 3)}));
+  }
+  auto partitions = Ssi::PartitionByTag(std::move(items)).ValueOrDie();
+  ASSERT_EQ(partitions.size(), 3u);
+  for (const auto& p : partitions) {
+    ASSERT_EQ(p.items.size(), 3u);
+    for (const auto& item : p.items) {
+      EXPECT_EQ(*item.routing_tag, *p.items[0].routing_tag);
+    }
+  }
+}
+
+TEST(SsiTest, PartitionByTagRejectsUntagged) {
+  std::vector<EncryptedItem> items = {Item(1)};
+  EXPECT_FALSE(Ssi::PartitionByTag(std::move(items)).ok());
+}
+
+TEST(SsiTest, SplitPartitionBalances) {
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.items.push_back(Item(1));
+  auto subs = Ssi::SplitPartition(std::move(p), 3);
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0].items.size(), 4u);
+  EXPECT_EQ(subs[1].items.size(), 3u);
+  EXPECT_EQ(subs[2].items.size(), 3u);
+}
+
+TEST(SsiTest, SplitPartitionMoreWaysThanItems) {
+  Partition p;
+  p.items.push_back(Item(1));
+  auto subs = Ssi::SplitPartition(std::move(p), 5);
+  EXPECT_EQ(subs.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SIZE + storage
+
+TEST(SsiTest, SizeClauseEvaluation) {
+  Ssi ssi;
+  QueryPost post;
+  post.size_max_tuples = 3;
+  ssi.PostQuery(post);
+  EXPECT_FALSE(ssi.SizeReached());
+  ssi.ReceiveCollectionItems({Item(1), Item(2)});
+  EXPECT_FALSE(ssi.SizeReached());
+  ssi.ReceiveCollectionItems({Item(3)});
+  EXPECT_TRUE(ssi.SizeReached());
+  EXPECT_EQ(ssi.NumCollected(), 3u);
+}
+
+TEST(SsiTest, NoSizeClauseNeverReached) {
+  Ssi ssi;
+  ssi.PostQuery({});
+  ssi.ReceiveCollectionItems({Item(1)});
+  EXPECT_FALSE(ssi.SizeReached());
+}
+
+TEST(SsiTest, TakeCollectedDrains) {
+  Ssi ssi;
+  ssi.ReceiveCollectionItems({Item(1), Item(2)});
+  auto items = ssi.TakeCollected();
+  EXPECT_EQ(items.size(), 2u);
+  EXPECT_EQ(ssi.NumCollected(), 0u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+
+TEST(WireTest, EncryptedItemRoundTrip) {
+  for (bool tagged : {false, true}) {
+    EncryptedItem item;
+    item.blob = Bytes{1, 2, 3, 4};
+    if (tagged) {
+      item.routing_tag = Bytes{9, 9};
+    }
+    Bytes buf;
+    item.EncodeTo(&buf);
+    ByteReader reader(buf);
+    auto back = EncryptedItem::DecodeFrom(&reader).ValueOrDie();
+    EXPECT_TRUE(reader.AtEnd());
+    EXPECT_EQ(back.blob, item.blob);
+    EXPECT_EQ(back.routing_tag.has_value(), tagged);
+    if (tagged) {
+      EXPECT_EQ(*back.routing_tag, *item.routing_tag);
+    }
+  }
+}
+
+TEST(WireTest, QueryPostRoundTrip) {
+  QueryPost post;
+  post.query_id = 77;
+  post.encrypted_query = Bytes{5, 6, 7};
+  post.querier_id = "energy-co";
+  post.credential_mac = Bytes(32, 0xaa);
+  post.size_max_tuples = 1000;
+  Bytes buf = post.Encode();
+  auto back = QueryPost::Decode(buf).ValueOrDie();
+  EXPECT_EQ(back.query_id, 77u);
+  EXPECT_EQ(back.querier_id, "energy-co");
+  EXPECT_EQ(back.size_max_tuples.value(), 1000u);
+  EXPECT_FALSE(back.size_max_duration_ticks.has_value());
+  // Tampered flags rejected.
+  buf.pop_back();
+  EXPECT_FALSE(QueryPost::Decode(buf).ok());
+}
+
+TEST(WireTest, PartitionRoundTrip) {
+  Partition p;
+  for (int i = 0; i < 5; ++i) {
+    EncryptedItem item;
+    item.blob = Bytes(8, static_cast<uint8_t>(i));
+    if (i % 2) item.routing_tag = Bytes{static_cast<uint8_t>(i)};
+    p.items.push_back(std::move(item));
+  }
+  auto back = Partition::Decode(p.Encode()).ValueOrDie();
+  ASSERT_EQ(back.items.size(), 5u);
+  EXPECT_EQ(back.WireSize(), p.WireSize());
+  EXPECT_FALSE(Partition::Decode(Bytes{1, 2}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adversary view
+
+TEST(SsiTest, AdversaryViewRecordsTagHistogram) {
+  Ssi ssi;
+  ssi.ReceiveCollectionItems({
+      Item(1, 8, Bytes{9}), Item(2, 8, Bytes{9}), Item(3, 8, Bytes{7}),
+      Item(4, 16),  // untagged
+  });
+  const auto& view = ssi.adversary_view();
+  EXPECT_EQ(view.collection_items, 4u);
+  ASSERT_EQ(view.collection_tag_histogram.size(), 2u);
+  EXPECT_EQ(view.collection_tag_histogram.at(Bytes{9}), 2u);
+  EXPECT_EQ(view.collection_tag_histogram.at(Bytes{7}), 1u);
+  ASSERT_EQ(view.collection_blob_sizes.size(), 4u);
+  EXPECT_EQ(view.collection_blob_sizes[3], 16u);
+}
+
+}  // namespace
+}  // namespace tcells::ssi

@@ -1,0 +1,194 @@
+// Tests for src/storage: Value semantics, tuple encoding, schema/catalog,
+// table type checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace tcells::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int64(-7).AsInt64(), -7);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_TRUE(Value::Int64(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Double(3.5)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::String("3")));
+}
+
+TEST(ValueTest, NullEqualitySemantics) {
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int64(0)));
+  EXPECT_TRUE(Value::Null().IsSameGroup(Value::Null()));
+  EXPECT_FALSE(Value::Null().IsSameGroup(Value::Int64(0)));
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)).ValueOrDie(), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)).ValueOrDie(), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")).ValueOrDie(), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)).ValueOrDie(), 0);
+  EXPECT_FALSE(Value::String("x").Compare(Value::Int64(1)).ok());
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_EQ(Value::Int64(4).ToDouble().ValueOrDie(), 4.0);
+  EXPECT_EQ(Value::Double(4.5).ToDouble().ValueOrDie(), 4.5);
+  EXPECT_FALSE(Value::String("4").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  std::vector<Value> values = {
+      Value::Null(), Value::Bool(false), Value::Bool(true),
+      Value::Int64(0), Value::Int64(-123456789), Value::Double(-0.25),
+      Value::String(""), Value::String("héllo wörld"),
+  };
+  for (const auto& v : values) {
+    Bytes buf;
+    v.EncodeTo(&buf);
+    ByteReader r(buf);
+    Value back = Value::DecodeFrom(&r).ValueOrDie();
+    EXPECT_TRUE(v.IsSameGroup(back)) << v.ToString();
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(ValueTest, EqualValuesEncodeIdentically) {
+  // Required by Det_Enc tags and bucket hashing.
+  Bytes a, b;
+  Value::String("district-9").EncodeTo(&a);
+  Value::String("district-9").EncodeTo(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, MapOrderingIsTotal) {
+  std::vector<Value> values = {Value::Null(), Value::Bool(true),
+                               Value::Int64(5), Value::Double(1.5),
+                               Value::String("s")};
+  for (const auto& a : values) {
+    for (const auto& b : values) {
+      int lt = a < b, gt = b < a;
+      if (a.IsSameGroup(b)) {
+        EXPECT_FALSE(lt || gt);
+      } else {
+        EXPECT_EQ(lt + gt, 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple
+
+TEST(TupleTest, EncodeDecodeRoundTrip) {
+  Tuple t({Value::Int64(1), Value::String("a"), Value::Null(),
+           Value::Double(2.5)});
+  Tuple back = Tuple::Decode(t.Encode()).ValueOrDie();
+  EXPECT_TRUE(t.IsSameGroup(back));
+}
+
+TEST(TupleTest, DecodeRejectsTrailingBytes) {
+  Bytes buf = Tuple({Value::Int64(1)}).Encode();
+  buf.push_back(0);
+  EXPECT_FALSE(Tuple::Decode(buf).ok());
+}
+
+TEST(TupleTest, Concat) {
+  Tuple a({Value::Int64(1)});
+  Tuple b({Value::String("x"), Value::Int64(2)});
+  Tuple c = Tuple::Concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(1).AsString(), "x");
+}
+
+TEST(TupleTest, GroupEquality) {
+  Tuple a({Value::Int64(1), Value::Null()});
+  Tuple b({Value::Int64(1), Value::Null()});
+  Tuple c({Value::Int64(1), Value::Int64(0)});
+  EXPECT_TRUE(a.IsSameGroup(b));
+  EXPECT_FALSE(a.IsSameGroup(c));
+  EXPECT_FALSE(a.IsSameGroup(Tuple({Value::Int64(1)})));
+}
+
+// ---------------------------------------------------------------------------
+// Schema / Catalog
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({{"Cid", ValueType::kInt64}, {"District", ValueType::kString}});
+  EXPECT_EQ(s.FindColumn("cid").value(), 0u);
+  EXPECT_EQ(s.FindColumn("DISTRICT").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a({{"x", ValueType::kInt64}});
+  Schema b({{"y", ValueType::kString}});
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.num_columns(), 2u);
+  EXPECT_EQ(c.column(1).name, "y");
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable("T", Schema({{"a", ValueType::kInt64}})).ok());
+  EXPECT_TRUE(cat.HasTable("t"));
+  EXPECT_TRUE(cat.GetSchema("T").ok());
+  EXPECT_FALSE(cat.GetSchema("U").ok());
+  EXPECT_FALSE(cat.AddTable("t", Schema()).ok());  // duplicate
+}
+
+// ---------------------------------------------------------------------------
+// Table / Database
+
+TEST(TableTest, InsertTypeChecking) {
+  Table t("T", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kString}}));
+  EXPECT_TRUE(t.Insert(Tuple({Value::Int64(1), Value::String("x")})).ok());
+  EXPECT_TRUE(t.Insert(Tuple({Value::Null(), Value::Null()})).ok());
+  EXPECT_FALSE(t.Insert(Tuple({Value::String("bad"), Value::String("x")})).ok());
+  EXPECT_FALSE(t.Insert(Tuple({Value::Int64(1)})).ok());  // arity
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+
+TEST(TableTest, NanRejectedAtStorageBoundary) {
+  Table t("T", Schema({{"d", ValueType::kDouble}}));
+  EXPECT_TRUE(t.Insert(Tuple({Value::Double(1.5)})).ok());
+  EXPECT_FALSE(
+      t.Insert(Tuple({Value::Double(std::nan(""))})).ok());
+  EXPECT_TRUE(
+      t.Insert(Tuple({Value::Double(
+                   std::numeric_limits<double>::infinity())}))
+          .ok());  // infinities order fine
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(DatabaseTest, CreateAndGet) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("A", Schema({{"x", ValueType::kInt64}})).ok());
+  ASSERT_TRUE(db.CreateTable("B", Schema({{"y", ValueType::kInt64}})).ok());
+  EXPECT_TRUE(db.GetTable("a").ok());
+  EXPECT_FALSE(db.GetTable("c").ok());
+  EXPECT_FALSE(db.CreateTable("A", Schema()).ok());
+  EXPECT_EQ(db.catalog().TableNames().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tcells::storage

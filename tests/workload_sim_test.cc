@@ -1,0 +1,445 @@
+// Tests for the workload generators, the device model/cost accountant, and
+// protocol plumbing (fleet sampling, querier, dropout exhaustion, discovery
+// validation).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/provisioning.h"
+#include "protocol/discovery.h"
+#include "protocol/factory.h"
+#include "protocol/protocols.h"
+#include "protocol/reference.h"
+#include "sim/cost_accountant.h"
+#include "sim/device_model.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+#include "workload/health.h"
+#include "workload/smart_meter.h"
+
+namespace tcells {
+namespace {
+
+using storage::ValueType;
+
+// ---------------------------------------------------------------------------
+// Workload generators
+
+TEST(SmartMeterWorkloadTest, SchemasMatchPaperExample) {
+  auto consumer = workload::ConsumerSchema();
+  EXPECT_TRUE(consumer.FindColumn("cid").has_value());
+  EXPECT_TRUE(consumer.FindColumn("district").has_value());
+  EXPECT_TRUE(consumer.FindColumn("accomodation").has_value());
+  auto power = workload::PowerSchema();
+  EXPECT_EQ(power.column(*power.FindColumn("cons")).type, ValueType::kDouble);
+}
+
+TEST(SmartMeterWorkloadTest, FleetShapeAndDeterminism) {
+  workload::SmartMeterOptions opts;
+  opts.num_tds = 25;
+  opts.readings_per_tds = 3;
+  auto keys = crypto::KeyStore::CreateForTest(1);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 1));
+  auto a = workload::BuildSmartMeterFleet(opts, keys, authority,
+                                          tds::AccessPolicy::AllowAll())
+               .ValueOrDie();
+  auto b = workload::BuildSmartMeterFleet(opts, keys, authority,
+                                          tds::AccessPolicy::AllowAll())
+               .ValueOrDie();
+  ASSERT_EQ(a->size(), 25u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    const auto* ta = a->at(i)->db().GetTable("Power").ValueOrDie();
+    const auto* tb = b->at(i)->db().GetTable("Power").ValueOrDie();
+    ASSERT_EQ(ta->num_rows(), 3u);
+    // Same seed -> identical data.
+    for (size_t r = 0; r < ta->num_rows(); ++r) {
+      EXPECT_TRUE(ta->row(r).IsSameGroup(tb->row(r)));
+    }
+    // cid matches the TDS id.
+    const auto* ca = a->at(i)->db().GetTable("Consumer").ValueOrDie();
+    EXPECT_EQ(ca->row(0).at(0).AsInt64(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(SmartMeterWorkloadTest, DistrictSkewShowsUp) {
+  workload::SmartMeterOptions opts;
+  opts.num_tds = 400;
+  opts.num_districts = 8;
+  opts.district_skew = 1.4;
+  auto keys = crypto::KeyStore::CreateForTest(2);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 2));
+  auto fleet = workload::BuildSmartMeterFleet(opts, keys, authority,
+                                              tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  std::map<std::string, int> counts;
+  for (size_t i = 0; i < fleet->size(); ++i) {
+    const auto* c = fleet->at(i)->db().GetTable("Consumer").ValueOrDie();
+    counts[c->row(0).at(1).AsString()]++;
+  }
+  int max_c = 0, min_c = 1 << 30;
+  for (const auto& [d, n] : counts) {
+    max_c = std::max(max_c, n);
+    min_c = std::min(min_c, n);
+  }
+  EXPECT_GT(max_c, 3 * std::max(1, min_c));
+}
+
+TEST(HealthWorkloadTest, ValuesInDomain) {
+  workload::HealthOptions opts;
+  opts.num_tds = 50;
+  auto keys = crypto::KeyStore::CreateForTest(3);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 3));
+  auto fleet = workload::BuildHealthFleet(opts, keys, authority,
+                                          tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  std::set<std::string> cities(opts.cities.begin(), opts.cities.end());
+  std::set<std::string> conditions(opts.conditions.begin(),
+                                   opts.conditions.end());
+  for (size_t i = 0; i < fleet->size(); ++i) {
+    const auto* p = fleet->at(i)->db().GetTable("Patient").ValueOrDie();
+    ASSERT_EQ(p->num_rows(), 1u);
+    EXPECT_TRUE(cities.count(p->row(0).at(2).AsString()));
+    EXPECT_TRUE(conditions.count(p->row(0).at(3).AsString()));
+    int64_t age = p->row(0).at(1).AsInt64();
+    EXPECT_GE(age, 1);
+    EXPECT_LE(age, 99);
+  }
+}
+
+TEST(GenericWorkloadTest, GroupsAndRowCount) {
+  workload::GenericOptions opts;
+  opts.num_tds = 30;
+  opts.num_groups = 4;
+  opts.rows_per_tds = 5;
+  auto keys = crypto::KeyStore::CreateForTest(4);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 4));
+  auto fleet = workload::BuildGenericFleet(opts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  std::set<std::string> groups;
+  for (size_t i = 0; i < fleet->size(); ++i) {
+    const auto* t = fleet->at(i)->db().GetTable("T").ValueOrDie();
+    ASSERT_EQ(t->num_rows(), 5u);
+    for (const auto& row : t->rows()) {
+      groups.insert(row.at(1).AsString());
+      // gid and grp are consistent.
+      EXPECT_EQ(workload::GroupName(
+                    static_cast<size_t>(row.at(0).AsInt64())),
+                row.at(1).AsString());
+    }
+  }
+  EXPECT_LE(groups.size(), 4u);
+  EXPECT_GE(groups.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Device model & accountant
+
+TEST(DeviceModelTest, LinearityAndMonotonicity) {
+  sim::DeviceModel dm;
+  EXPECT_DOUBLE_EQ(dm.TransferSeconds(0), 0.0);
+  EXPECT_NEAR(dm.TransferSeconds(2000), 2 * dm.TransferSeconds(1000), 1e-12);
+  EXPECT_GT(dm.CryptoSeconds(17), dm.CryptoSeconds(16));  // block rounding
+  EXPECT_EQ(dm.CryptoSeconds(1), dm.CryptoSeconds(16));
+  EXPECT_GT(dm.CpuSeconds(10), 0.0);
+}
+
+TEST(DeviceModelTest, CustomParams) {
+  sim::DeviceParams params;
+  params.transfer_bps = 1e6;
+  sim::DeviceModel dm(params);
+  EXPECT_DOUBLE_EQ(dm.TransferSeconds(125000), 1.0);  // 1 Mb / 1 Mbps
+}
+
+
+TEST(DeviceModelTest, SmartMeterProfileIsFaster) {
+  sim::DeviceModel token{sim::DeviceParams::PaperBoard()};
+  sim::DeviceModel meter{sim::DeviceParams::SmartMeter()};
+  EXPECT_LT(meter.PerTupleSeconds(16), token.PerTupleSeconds(16) / 3);
+  EXPECT_LT(meter.TransferSeconds(4096), token.TransferSeconds(4096));
+  // Per §6.2 the internal-cost conclusion is hardware-independent: transfer
+  // still dominates on the faster device.
+  EXPECT_GT(meter.TransferSeconds(4096), meter.CryptoSeconds(4096));
+}
+
+TEST(CostAccountantTest, TalliesAndDerivedMetrics) {
+  sim::CostAccountant acc;
+  acc.RecordPartition(sim::Phase::kAggregation, /*tds=*/1, 100, 50, 10);
+  acc.RecordPartition(sim::Phase::kAggregation, /*tds=*/2, 200, 50, 20);
+  acc.RecordPartition(sim::Phase::kFiltering, /*tds=*/1, 10, 10, 1);
+  acc.RecordIteration(sim::Phase::kAggregation);
+  acc.RecordDropout(sim::Phase::kAggregation);
+
+  const auto& agg = acc.phase(sim::Phase::kAggregation);
+  EXPECT_EQ(agg.bytes_downloaded, 300u);
+  EXPECT_EQ(agg.bytes_uploaded, 100u);
+  EXPECT_EQ(agg.tuples_processed, 30u);
+  EXPECT_EQ(agg.partitions, 2u);
+  EXPECT_EQ(agg.iterations, 1u);
+  EXPECT_EQ(agg.dropouts, 1u);
+  EXPECT_EQ(acc.DistinctTds(), 2u);
+  EXPECT_EQ(acc.TotalBytes(), 420u);
+
+  sim::DeviceModel dm;
+  EXPECT_GT(acc.AverageTdsSeconds(dm), 0.0);
+  EXPECT_GE(acc.MaxTdsSeconds(dm), acc.AverageTdsSeconds(dm));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol plumbing
+
+class PlumbingWorld {
+ public:
+  PlumbingWorld(size_t n = 30) {
+    keys = crypto::KeyStore::CreateForTest(9);
+    authority = std::make_shared<tds::Authority>(Bytes(16, 9));
+    workload::GenericOptions gopts;
+    gopts.num_tds = n;
+    fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                        tds::AccessPolicy::AllowAll())
+                .ValueOrDie();
+    querier = std::make_unique<protocol::Querier>("p", authority->Issue("p"),
+                                                  keys);
+  }
+  std::shared_ptr<const crypto::KeyStore> keys;
+  std::shared_ptr<tds::Authority> authority;
+  std::unique_ptr<protocol::Fleet> fleet;
+  std::unique_ptr<protocol::Querier> querier;
+};
+
+TEST(FleetTest, SampleAvailableBounds) {
+  PlumbingWorld w(40);
+  Rng rng(1);
+  EXPECT_EQ(w.fleet->SampleAvailable(0.0, &rng).size(), 1u);   // at least one
+  EXPECT_EQ(w.fleet->SampleAvailable(1.0, &rng).size(), 40u);
+  auto half = w.fleet->SampleAvailable(0.5, &rng);
+  EXPECT_EQ(half.size(), 20u);
+  std::set<uint64_t> distinct;
+  for (auto* s : half) distinct.insert(s->id());
+  EXPECT_EQ(distinct.size(), 20u);  // no duplicates
+}
+
+TEST(QuerierTest, PostCarriesSizeInCleartextAndSqlEncrypted) {
+  PlumbingWorld w;
+  Rng rng(2);
+  auto post = w.querier->MakePost(9, "SELECT grp FROM T SIZE 12 DURATION 4",
+                                  &rng)
+                  .ValueOrDie();
+  EXPECT_EQ(post.query_id, 9u);
+  EXPECT_EQ(post.size_max_tuples.value(), 12u);
+  EXPECT_EQ(post.size_max_duration_ticks.value(), 4u);
+  // The SQL text is not visible in the encrypted blob.
+  std::string blob(post.encrypted_query.begin(), post.encrypted_query.end());
+  EXPECT_EQ(blob.find("SELECT"), std::string::npos);
+  // TDSs (sharing k1) can decrypt it.
+  auto plain = w.keys->k1_ndet().Decrypt(post.encrypted_query).ValueOrDie();
+  EXPECT_EQ(std::string(plain.begin(), plain.end()),
+            "SELECT grp FROM T SIZE 12 DURATION 4");
+}
+
+TEST(QuerierTest, MalformedSqlRejectedAtPostTime) {
+  PlumbingWorld w;
+  Rng rng(3);
+  EXPECT_FALSE(w.querier->MakePost(1, "DROP TABLE T", &rng).ok());
+}
+
+TEST(RunnerTest, WorstCaseChurnStillCompletes) {
+  // §3.2 correctness: the SSI re-sends a lost partition until some TDS
+  // completes it. Even with every first assignment dropping, the run
+  // finishes — it just pays the timeout penalty each time.
+  PlumbingWorld w;
+  protocol::SAggProtocol protocol;
+  protocol::RunOptions opts;
+  opts.dropout_rate = 1.0;  // every retryable assignment fails
+  opts.max_dropout_retries = 3;
+  opts.dropout_timeout_seconds = 2.0;
+  auto outcome = protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
+                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                                    sim::DeviceModel(), opts)
+                     .ValueOrDie();
+  const auto& agg = outcome.metrics.accountant.phase(sim::Phase::kAggregation);
+  EXPECT_EQ(agg.dropouts, agg.partitions * opts.max_dropout_retries);
+  // Each partition waited out 3 timeouts before succeeding.
+  EXPECT_GE(outcome.metrics.times.aggregation_seconds,
+            3 * opts.dropout_timeout_seconds);
+  EXPECT_FALSE(outcome.result.rows.empty());
+}
+
+
+TEST(RunnerTest, SameSeedSameOutcome) {
+  // Whole-run determinism: identical seeds give byte-identical metrics and
+  // results (the property that makes every bench and test reproducible).
+  auto run_once = [] {
+    PlumbingWorld w;
+    protocol::SAggProtocol protocol;
+    protocol::RunOptions opts;
+    opts.seed = 123;
+    opts.dropout_rate = 0.1;
+    return protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
+                              "SELECT grp, SUM(val) FROM T GROUP BY grp",
+                              sim::DeviceModel(), opts)
+        .ValueOrDie();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.metrics.LoadBytes(), b.metrics.LoadBytes());
+  EXPECT_EQ(a.metrics.Ptds(), b.metrics.Ptds());
+  EXPECT_DOUBLE_EQ(a.metrics.Tq(), b.metrics.Tq());
+  ASSERT_EQ(a.result.rows.size(), b.result.rows.size());
+  EXPECT_TRUE(a.result.SameRows(b.result));
+}
+
+TEST(RunnerTest, EmptyFleetRejected) {
+  PlumbingWorld w;
+  protocol::Fleet empty;
+  protocol::SAggProtocol protocol;
+  auto outcome = protocol::RunQuery(protocol, &empty, *w.querier, 1,
+                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                                    sim::DeviceModel(), {});
+  EXPECT_FALSE(outcome.ok());
+}
+
+
+TEST(FactoryTest, NamesAndKinds) {
+  using protocol::ProtocolKind;
+  EXPECT_EQ(protocol::ProtocolKindFromName("s_agg").ValueOrDie(),
+            ProtocolKind::kSAgg);
+  EXPECT_EQ(protocol::ProtocolKindFromName("ED_HIST").ValueOrDie(),
+            ProtocolKind::kEdHist);
+  EXPECT_EQ(protocol::ProtocolKindFromName("Basic").ValueOrDie(),
+            ProtocolKind::kBasicSfw);
+  EXPECT_FALSE(protocol::ProtocolKindFromName("nope").ok());
+}
+
+TEST(FactoryTest, InputRequirementsEnforced) {
+  using protocol::ProtocolKind;
+  EXPECT_TRUE(protocol::MakeProtocol(ProtocolKind::kSAgg).ok());
+  EXPECT_TRUE(protocol::MakeProtocol(ProtocolKind::kBasicSfw).ok());
+  EXPECT_FALSE(protocol::MakeProtocol(ProtocolKind::kEdHist).ok());
+  EXPECT_FALSE(protocol::MakeProtocol(ProtocolKind::kRnfNoise).ok());
+
+  protocol::ProtocolInputs inputs;
+  inputs.distribution[storage::Tuple({storage::Value::String("G00")})] = 3;
+  inputs.distribution[storage::Tuple({storage::Value::String("G01")})] = 5;
+  // A distribution is sufficient for both ED_Hist and Noise (domain derived).
+  EXPECT_TRUE(protocol::MakeProtocol(ProtocolKind::kEdHist, inputs).ok());
+  EXPECT_TRUE(protocol::MakeProtocol(ProtocolKind::kCNoise, inputs).ok());
+}
+
+TEST(FactoryTest, DiscoverInputsEndToEnd) {
+  PlumbingWorld w;
+  const char* sql = "SELECT grp, AVG(val) FROM T GROUP BY grp";
+  auto inputs = protocol::DiscoverInputs(w.fleet.get(), *w.querier, 5, sql,
+                                         sim::DeviceModel(), {})
+                    .ValueOrDie();
+  EXPECT_FALSE(inputs.distribution.empty());
+  ASSERT_NE(inputs.group_domain, nullptr);
+  EXPECT_EQ(inputs.group_domain->size(), inputs.distribution.size());
+
+  auto protocol =
+      protocol::MakeProtocol(protocol::ProtocolKind::kEdHist, inputs)
+          .ValueOrDie();
+  auto outcome = protocol::RunQuery(*protocol, w.fleet.get(), *w.querier, 6,
+                                    sql, sim::DeviceModel(), {})
+                     .ValueOrDie();
+  auto expected = protocol::ExecuteReference(*w.fleet, sql).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected));
+}
+
+TEST(DiscoveryTest, RequiresGroupBy) {
+  PlumbingWorld w;
+  auto result = protocol::DiscoverDistribution(
+      w.fleet.get(), *w.querier, 1, "SELECT grp FROM T", sim::DeviceModel(),
+      {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(NoiseProtocolTest, MissingDomainIsFailedPrecondition) {
+  PlumbingWorld w;
+  protocol::NoiseProtocol protocol(false, nullptr);
+  auto outcome = protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
+                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                                    sim::DeviceModel(), {});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsFailedPrecondition());
+}
+
+TEST(EdHistProtocolTest, MissingHistogramIsFailedPrecondition) {
+  PlumbingWorld w;
+  protocol::EdHistProtocol protocol(nullptr);
+  auto outcome = protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
+                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+                                    sim::DeviceModel(), {});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsFailedPrecondition());
+}
+
+
+TEST(ProvisioningIntegrationTest, ProvisionedFleetAnswersQueries) {
+  // Full footnote-7 flow: every device unwraps the deployment keys from its
+  // burn-time key; the querier uses the operator's copy. Everything must
+  // interoperate end to end.
+  Rng rng(31);
+  auto provisioner =
+      crypto::KeyProvisioner::Create(rng.NextBytes(16)).ValueOrDie();
+  provisioner.Rotate();  // deployments rarely run on epoch 0
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x61));
+
+  auto fleet = std::make_unique<protocol::Fleet>();
+  workload::GenericOptions gopts;
+  gopts.num_groups = 3;
+  Rng data_rng(32);
+  for (uint64_t i = 0; i < 40; ++i) {
+    Bytes burn_key = rng.NextBytes(16);  // unique per device
+    Bytes wrapped = provisioner.WrapFor(burn_key, &rng);
+    auto bundle =
+        crypto::KeyProvisioner::Unwrap(burn_key, wrapped).ValueOrDie();
+    ASSERT_EQ(bundle.epoch, 1u);
+    auto server = std::make_unique<tds::TrustedDataServer>(
+        i, bundle.keys, authority, tds::AccessPolicy::AllowAll());
+    ASSERT_TRUE(
+        workload::PopulateGenericDb(&server->db(), i, gopts, &data_rng).ok());
+    fleet->Add(std::move(server));
+  }
+
+  protocol::Querier querier("op", authority->Issue("op"),
+                            provisioner.CurrentKeys().ValueOrDie());
+  protocol::SAggProtocol s_agg;
+  const char* sql = "SELECT grp, COUNT(*), AVG(val) FROM T GROUP BY grp";
+  auto outcome = protocol::RunQuery(s_agg, fleet.get(), querier, 1, sql,
+                                    sim::DeviceModel(), {})
+                     .ValueOrDie();
+  auto expected = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
+  EXPECT_TRUE(outcome.result.SameRows(expected));
+}
+
+TEST(ProvisioningIntegrationTest, StaleEpochDeviceCannotParticipate) {
+  // A device still on epoch 0 cannot read an epoch-1 query post — its
+  // collection step fails to decrypt rather than leaking anything.
+  Rng rng(33);
+  auto provisioner =
+      crypto::KeyProvisioner::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes burn_key = rng.NextBytes(16);
+  Bytes old_wrap = provisioner.WrapFor(burn_key, &rng);  // epoch 0
+  provisioner.Rotate();
+
+  auto stale =
+      crypto::KeyProvisioner::Unwrap(burn_key, old_wrap).ValueOrDie();
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x62));
+  tds::TrustedDataServer server(0, stale.keys, authority,
+                                tds::AccessPolicy::AllowAll());
+  workload::GenericOptions gopts;
+  Rng data_rng(34);
+  ASSERT_TRUE(
+      workload::PopulateGenericDb(&server.db(), 0, gopts, &data_rng).ok());
+
+  protocol::Querier querier("op", authority->Issue("op"),
+                            provisioner.CurrentKeys().ValueOrDie());
+  auto post = querier.MakePost(1, "SELECT grp FROM T", &rng).ValueOrDie();
+  tds::CollectionConfig config;
+  EXPECT_FALSE(server.ProcessCollection(post, config, &rng).ok());
+}
+
+}  // namespace
+}  // namespace tcells
