@@ -5,6 +5,10 @@
 //   ./run_query "SELECT grp, AVG(val) FROM T GROUP BY grp"
 //       [--protocol=s_agg|r_noise|c_noise|ed_hist|basic]
 //       [--tds=N] [--groups=G] [--skew=Z] [--availability=F] [--dropout=P]
+//       [--threads=N]
+//
+// --threads sets the parallel fleet engine's worker count (0 = all hardware
+// threads, 1 = serial). The result is bit-identical for any value.
 //
 // The fleet schema is the generic workload: T(gid INT, grp STRING,
 // val DOUBLE, cat INT), one row per TDS by default.
@@ -38,7 +42,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s \"<SQL>\" [--protocol=...] [--tds=N] "
-                 "[--groups=G] [--skew=Z] [--availability=F] [--dropout=P]\n",
+                 "[--groups=G] [--skew=Z] [--availability=F] [--dropout=P] "
+                 "[--threads=N]\n",
                  argv[0]);
     return 2;
   }
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--skew", &v)) gopts.group_skew = std::strtod(v.c_str(), nullptr);
     else if (FlagValue(argv[i], "--availability", &v)) ropts.compute_availability = std::strtod(v.c_str(), nullptr);
     else if (FlagValue(argv[i], "--dropout", &v)) ropts.dropout_rate = std::strtod(v.c_str(), nullptr);
+    else if (FlagValue(argv[i], "--threads", &v)) ropts.num_threads = std::strtoul(v.c_str(), nullptr, 10);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;

@@ -35,6 +35,14 @@ class Rng {
   /// `n` random bytes.
   Bytes NextBytes(size_t n);
 
+  /// Derives an independent child generator by drawing one value from this
+  /// stream (the child re-expands it through splitmix64 seeding, so parent
+  /// and child sequences are well separated). Forking serially and handing
+  /// each partition/TDS its own child stream makes parallel fan-out
+  /// bit-identical to serial execution: the bits any task draws depend only
+  /// on the fork order, never on thread scheduling.
+  Rng Fork() { return Rng(Next()); }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

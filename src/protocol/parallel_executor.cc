@@ -1,0 +1,16 @@
+#include "protocol/parallel_executor.h"
+
+namespace tcells::protocol {
+
+Status ParallelExecutor::ForEachIndex(size_t n,
+                                      const std::function<Status(size_t)>& job) {
+  if (n == 0) return Status::OK();
+  std::vector<Status> statuses(n);
+  pool_.ParallelFor(n, [&](size_t i) { statuses[i] = job(i); });
+  for (auto& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace tcells::protocol

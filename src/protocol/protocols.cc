@@ -24,15 +24,15 @@ const char* ProtocolKindToString(ProtocolKind kind) {
 
 namespace {
 
-/// Partition processor running the aggregation step on a TDS.
+/// Partition processor running the aggregation step on a TDS. Draws from the
+/// partition's private Rng stream so partitions can run concurrently.
 RunContext::PartitionFn AggregateFn(const sql::AnalyzedQuery& query,
                                     OutputTagPolicy policy,
-                                    const CollectionConfig& config,
-                                    RunContext& ctx) {
-  return [&query, policy, &config, &ctx](tds::TrustedDataServer* server,
-                                         const Partition& partition) {
+                                    const CollectionConfig& config) {
+  return [&query, policy, &config](tds::TrustedDataServer* server,
+                                   const Partition& partition, Rng* rng) {
     return server->ProcessAggregationPartition(query, partition, policy,
-                                               config, &ctx.rng());
+                                               config, rng);
   };
 }
 
@@ -116,8 +116,8 @@ Result<std::vector<EncryptedItem>> SAggProtocol::RunAggregation(
         ssi::Ssi::PartitionRandomly(std::move(items), chunk, &ctx.rng());
     TCELLS_ASSIGN_OR_RETURN(
         items, ctx.RunRound(sim::Phase::kAggregation, partitions,
-                            AggregateFn(query, OutputTagPolicy::kNone, config,
-                                        ctx)));
+                            AggregateFn(query, OutputTagPolicy::kNone,
+                                        config)));
     if (items.empty()) break;  // nothing but dummies collected
   }
   return items;
@@ -163,16 +163,15 @@ Result<std::vector<EncryptedItem>> NoiseProtocol::RunAggregation(
   TCELLS_ASSIGN_OR_RETURN(
       std::vector<EncryptedItem> partials,
       ctx.RunRound(sim::Phase::kAggregation, step1,
-                   AggregateFn(query, OutputTagPolicy::kPreserve, config,
-                               ctx)));
+                   AggregateFn(query, OutputTagPolicy::kPreserve,
+                               config)));
   if (n_nb <= 1) return partials;
 
   // Step 2: merge the n_NB partials of each group on a single TDS.
   TCELLS_ASSIGN_OR_RETURN(std::vector<Partition> step2,
                           ssi::Ssi::PartitionByTag(std::move(partials)));
   return ctx.RunRound(sim::Phase::kAggregation, step2,
-                      AggregateFn(query, OutputTagPolicy::kPreserve, config,
-                                  ctx));
+                      AggregateFn(query, OutputTagPolicy::kPreserve, config));
 }
 
 // ---------------------------------------------------------------------------
@@ -220,15 +219,14 @@ Result<std::vector<EncryptedItem>> EdHistProtocol::RunAggregation(
   TCELLS_ASSIGN_OR_RETURN(
       std::vector<EncryptedItem> partials,
       ctx.RunRound(sim::Phase::kAggregation, step1,
-                   AggregateFn(query, OutputTagPolicy::kPerGroupDet, config,
-                               ctx)));
+                   AggregateFn(query, OutputTagPolicy::kPerGroupDet,
+                               config)));
 
   // Step 2: per-group partitions (Det_Enc(group) tags) -> final aggregates.
   TCELLS_ASSIGN_OR_RETURN(std::vector<Partition> step2,
                           ssi::Ssi::PartitionByTag(std::move(partials)));
   return ctx.RunRound(sim::Phase::kAggregation, step2,
-                      AggregateFn(query, OutputTagPolicy::kPreserve, config,
-                                  ctx));
+                      AggregateFn(query, OutputTagPolicy::kPreserve, config));
 }
 
 // ---------------------------------------------------------------------------
@@ -243,10 +241,10 @@ Result<std::vector<EncryptedItem>> RunFilteringPhase(
   std::vector<Partition> partitions =
       ssi::Ssi::PartitionRandomly(std::move(covering), chunk, &ctx.rng());
   return ctx.RunRound(sim::Phase::kFiltering, partitions,
-                      [&query, &ctx](tds::TrustedDataServer* server,
-                                     const Partition& partition) {
+                      [&query](tds::TrustedDataServer* server,
+                               const Partition& partition, Rng* rng) {
                         return server->ProcessFiltering(query, partition,
-                                                        &ctx.rng());
+                                                        rng);
                       });
 }
 
@@ -280,6 +278,13 @@ Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
   // DURATION bound this is a single full pass in random order; with one,
   // each remaining TDS connects per tick with connect_prob_per_tick
   // (seldom-connected tokens, §2.3's PCEHR scenario).
+  //
+  // Per tick: who connects is decided serially from the run Rng, each
+  // connector is handed its own forked stream, their local query evaluation
+  // and encryption fan out across the worker threads, and the contributions
+  // are folded into the SSI serially in connection order (the SIZE bound
+  // truncates at fold time). Every step that touches shared state is serial,
+  // so the ciphertext population is bit-identical for any thread count.
   {
     std::vector<size_t> remaining(fleet->size());
     for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
@@ -287,34 +292,48 @@ Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
     const bool tick_mode = post.size_max_duration_ticks.has_value();
     const uint64_t max_ticks =
         tick_mode ? *post.size_max_duration_ticks : 1;
-    auto contribute = [&](size_t idx) -> Status {
-      tds::TrustedDataServer* server = fleet->at(idx);
-      TCELLS_ASSIGN_OR_RETURN(
-          std::vector<EncryptedItem> items,
-          server->ProcessCollection(ssi.query_post(), config, &ctx.rng()));
-      uint64_t bytes = 0;
-      for (const auto& item : items) bytes += item.WireSize();
-      ctx.RecordCollection(server->id(), bytes, items.size());
-      ssi.ReceiveCollectionItems(std::move(items));
-      ctx.metrics().collection_participants += 1;
-      return Status::OK();
-    };
     for (uint64_t tick = 0;
          tick < max_ticks && !remaining.empty() && !ssi.SizeReached();
          ++tick) {
       ctx.metrics().collection_ticks += 1;
       std::vector<size_t> still_offline;
+      std::vector<size_t> connectors;
       for (size_t idx : remaining) {
-        if (ssi.SizeReached()) {
-          still_offline.push_back(idx);
-          continue;
-        }
         if (tick_mode &&
             !ctx.rng().NextBool(options.connect_prob_per_tick)) {
           still_offline.push_back(idx);
+        } else {
+          connectors.push_back(idx);
+        }
+      }
+      std::vector<Rng> streams;
+      streams.reserve(connectors.size());
+      for (size_t i = 0; i < connectors.size(); ++i) {
+        streams.push_back(ctx.rng().Fork());
+      }
+      std::vector<std::vector<EncryptedItem>> produced(connectors.size());
+      TCELLS_RETURN_IF_ERROR(ctx.executor().ForEachIndex(
+          connectors.size(), [&](size_t i) -> Status {
+            TCELLS_ASSIGN_OR_RETURN(
+                produced[i],
+                fleet->at(connectors[i])
+                    ->ProcessCollection(ssi.query_post(), config,
+                                        &streams[i]));
+            return Status::OK();
+          }));
+      for (size_t i = 0; i < connectors.size(); ++i) {
+        if (ssi.SizeReached()) {
+          // The SSI closed the storage area mid-tick: later connectors are
+          // turned away with their contribution unused.
+          still_offline.push_back(connectors[i]);
           continue;
         }
-        TCELLS_RETURN_IF_ERROR(contribute(idx));
+        tds::TrustedDataServer* server = fleet->at(connectors[i]);
+        uint64_t bytes = 0;
+        for (const auto& item : produced[i]) bytes += item.WireSize();
+        ctx.RecordCollection(server->id(), bytes, produced[i].size());
+        ssi.ReceiveCollectionItems(std::move(produced[i]));
+        ctx.metrics().collection_participants += 1;
       }
       remaining.swap(still_offline);
     }

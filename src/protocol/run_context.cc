@@ -11,7 +11,8 @@ RunContext::RunContext(Fleet* fleet, ssi::Ssi* ssi,
       ssi_(ssi),
       device_(device),
       options_(options),
-      rng_(options.seed) {}
+      rng_(options.seed),
+      executor_(options.num_threads) {}
 
 const std::vector<tds::TrustedDataServer*>& RunContext::compute_pool() {
   if (!pool_sampled_) {
@@ -26,52 +27,77 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     sim::Phase phase, const std::vector<ssi::Partition>& partitions,
     const PartitionFn& process) {
   const auto& pool = compute_pool();
-  std::vector<ssi::EncryptedItem> outputs;
-  double slowest_partition_seconds = 0;
+  const size_t n = partitions.size();
 
-  for (const auto& partition : partitions) {
-    uint64_t bytes_in = partition.WireSize();
-    uint64_t tuples = partition.items.size();
+  // Serial prelude: fork one private Rng stream per partition. This is the
+  // only master-Rng consumption of the round, so it is independent of the
+  // thread count — and everything a task draws comes from its own stream.
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (size_t i = 0; i < n; ++i) streams.push_back(rng_.Fork());
+
+  // Per-partition results, filled by the fan-out into disjoint slots.
+  struct PartitionRun {
+    std::vector<ssi::EncryptedItem> items;
+    uint64_t server_id = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t tuples = 0;
+    uint64_t dropouts = 0;
+    double seconds = 0;
+  };
+  std::vector<PartitionRun> runs(n);
+
+  TCELLS_RETURN_IF_ERROR(executor_.ForEachIndex(n, [&](size_t i) -> Status {
+    const ssi::Partition& partition = partitions[i];
+    Rng& prng = streams[i];
+    PartitionRun& run = runs[i];
+    run.bytes_in = partition.WireSize();
+    run.tuples = partition.items.size();
 
     // Fault injection: a TDS may drop mid-partition; the SSI re-dispatches
     // after a timeout until a TDS completes it (§3.2 Correctness).
-    double partition_seconds = 0;
-    std::vector<ssi::EncryptedItem> result_items;
-    bool done = false;
     for (size_t attempt = 0; attempt <= options_.max_dropout_retries;
          ++attempt) {
-      tds::TrustedDataServer* server =
-          pool[rng_.NextBelow(pool.size())];
-      bool drops = rng_.NextBool(options_.dropout_rate) &&
+      tds::TrustedDataServer* server = pool[prng.NextBelow(pool.size())];
+      bool drops = prng.NextBool(options_.dropout_rate) &&
                    attempt < options_.max_dropout_retries;
       if (drops) {
-        metrics_.accountant.RecordDropout(phase);
-        partition_seconds += options_.dropout_timeout_seconds;
+        run.dropouts += 1;
+        run.seconds += options_.dropout_timeout_seconds;
         continue;
       }
-      TCELLS_ASSIGN_OR_RETURN(result_items, process(server, partition));
-      uint64_t bytes_out = 0;
-      for (const auto& item : result_items) bytes_out += item.WireSize();
-      metrics_.accountant.RecordPartition(phase, server->id(), bytes_in,
-                                          bytes_out, tuples);
-      partition_seconds += device_.TransferSeconds(bytes_in + bytes_out) +
-                           device_.CryptoSeconds(bytes_in + bytes_out) +
-                           device_.CpuSeconds(tuples);
-      done = true;
-      break;
+      TCELLS_ASSIGN_OR_RETURN(run.items, process(server, partition, &prng));
+      run.server_id = server->id();
+      for (const auto& item : run.items) run.bytes_out += item.WireSize();
+      run.seconds += device_.TransferSeconds(run.bytes_in + run.bytes_out) +
+                     device_.CryptoSeconds(run.bytes_in + run.bytes_out) +
+                     device_.CpuSeconds(run.tuples);
+      return Status::OK();
     }
-    if (!done) {
-      return Status::ResourceExhausted(
-          "partition could not be placed after max dropout retries");
+    return Status::ResourceExhausted(
+        "partition could not be placed after max dropout retries");
+  }));
+
+  // Serial epilogue: fold outputs and accounting in partition order, so the
+  // accountant's tallies and the item concatenation are identical whatever
+  // the completion order of the tasks above was.
+  std::vector<ssi::EncryptedItem> outputs;
+  double slowest_partition_seconds = 0;
+  for (PartitionRun& run : runs) {
+    for (uint64_t d = 0; d < run.dropouts; ++d) {
+      metrics_.accountant.RecordDropout(phase);
     }
+    metrics_.accountant.RecordPartition(phase, run.server_id, run.bytes_in,
+                                        run.bytes_out, run.tuples);
     slowest_partition_seconds =
-        std::max(slowest_partition_seconds, partition_seconds);
-    for (auto& item : result_items) outputs.push_back(std::move(item));
+        std::max(slowest_partition_seconds, run.seconds);
+    for (auto& item : run.items) outputs.push_back(std::move(item));
   }
 
   // Critical path: partitions run in parallel across the pool; more
   // partitions than TDSs serialize into waves.
-  double waves = std::ceil(static_cast<double>(partitions.size()) /
+  double waves = std::ceil(static_cast<double>(n) /
                            static_cast<double>(std::max<size_t>(1, pool.size())));
   double round_seconds = slowest_partition_seconds * waves;
   metrics_.accountant.RecordIteration(phase);

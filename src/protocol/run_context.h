@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "protocol/fleet.h"
+#include "protocol/parallel_executor.h"
 #include "sim/cost_accountant.h"
 #include "sim/device_model.h"
 #include "ssi/ssi.h"
@@ -57,6 +58,14 @@ struct RunOptions {
   /// (seldom-connected tokens: low; always-on meters: 1.0). Queries without
   /// a DURATION bound do a single full pass.
   double connect_prob_per_tick = 0.2;
+
+  /// Worker threads for the parallel fleet engine: the collection pass and
+  /// every aggregation/filtering round fan their partitions out across this
+  /// many threads (the calling thread included). 1 = fully serial; 0 = use
+  /// std::thread::hardware_concurrency(). Results are bit-identical for any
+  /// value: each TDS/partition draws from its own Rng stream forked serially
+  /// from the run seed, so thread scheduling can never reach the bits.
+  size_t num_threads = 0;
 
   uint64_t seed = 42;
 };
@@ -107,17 +116,26 @@ class RunContext {
   const sim::DeviceModel& device() const { return device_; }
   RunMetrics& metrics() { return metrics_; }
 
+  /// The fan-out engine shared by every phase of this run.
+  ParallelExecutor& executor() { return executor_; }
+
   /// The compute-phase TDS pool, sampled once per run.
   const std::vector<tds::TrustedDataServer*>& compute_pool();
 
-  /// Processor invoked per partition: returns the TDS's output items.
+  /// Processor invoked per partition: returns the TDS's output items. The
+  /// Rng is the partition's private stream — implementations must draw all
+  /// their randomness from it, never from ctx.rng(), so that partitions can
+  /// run concurrently without perturbing each other's bits.
   using PartitionFn = std::function<Result<std::vector<ssi::EncryptedItem>>(
-      tds::TrustedDataServer*, const ssi::Partition&)>;
+      tds::TrustedDataServer*, const ssi::Partition&, Rng*)>;
 
   /// Runs one round: every partition is assigned to a TDS from the compute
-  /// pool (with dropout/retry injection), outputs are concatenated, cost and
-  /// critical-path time are recorded under `phase`. `tuples_of` reports how
-  /// many logical tuples a partition carries (for CPU accounting).
+  /// pool (with dropout/retry injection) and processed — across the worker
+  /// threads when options.num_threads allows — then outputs are concatenated
+  /// in partition order, and cost and critical-path time are recorded under
+  /// `phase` in partition order. Deterministic for any thread count: each
+  /// partition's TDS choice, dropout schedule and processing randomness come
+  /// from a per-partition stream forked from the run Rng before the fan-out.
   Result<std::vector<ssi::EncryptedItem>> RunRound(
       sim::Phase phase, const std::vector<ssi::Partition>& partitions,
       const PartitionFn& process);
@@ -131,6 +149,7 @@ class RunContext {
   sim::DeviceModel device_;
   RunOptions options_;
   Rng rng_;
+  ParallelExecutor executor_;
   RunMetrics metrics_;
   std::vector<tds::TrustedDataServer*> pool_;
   bool pool_sampled_ = false;

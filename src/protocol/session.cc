@@ -64,6 +64,15 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
   const bool tick_mode = max_ticks > 1;
 
   // ---- Interleaved collection over the querybox hub ----
+  //
+  // Per tick: connectors and their pending downloads are decided serially
+  // (hub state is single-threaded), each (connector, query) pair gets a
+  // private Rng stream forked from its query's context in a fixed order,
+  // local evaluation fans out across the worker threads — parallel across
+  // connectors, serial within one connector, since a TDS serves its queries
+  // one after another — and the contributions are folded into the per-query
+  // storage areas serially. Bit-identical for any thread count.
+  ParallelExecutor session_executor(options_.num_threads);
   for (uint64_t tick = 0; tick < max_ticks; ++tick) {
     bool any_open = false;
     for (auto& [id, q] : queries_) {
@@ -75,33 +84,70 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     std::vector<size_t> order(fleet_->size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     session_rng.Shuffle(&order);
-    bool any_tick_work = false;
+
+    // One serve = one query downloaded by one connecting TDS.
+    struct Serve {
+      const ssi::QueryPost* post;
+      PendingQuery* query;
+      Rng rng{0};
+      std::vector<EncryptedItem> items;
+    };
+    struct Connector {
+      tds::TrustedDataServer* server;
+      std::vector<Serve> serves;
+    };
+    std::vector<Connector> connectors;
     for (size_t idx : order) {
       if (tick_mode &&
           !session_rng.NextBool(options_.connect_prob_per_tick)) {
         continue;
       }
       tds::TrustedDataServer* server = fleet_->at(idx);
+      Connector connector;
+      connector.server = server;
       // Step 2: the connecting TDS downloads its pending queries.
       for (const ssi::QueryPost* post : hub_.Fetch(server->id())) {
         auto it = queries_.find(post->query_id);
         if (it == queries_.end()) continue;
-        PendingQuery& q = it->second;
+        Serve serve;
+        serve.post = post;
+        serve.query = &it->second;
+        serve.rng = it->second.ctx->rng().Fork();
+        connector.serves.push_back(std::move(serve));
+      }
+      if (!connector.serves.empty()) {
+        connectors.push_back(std::move(connector));
+      }
+    }
+
+    TCELLS_RETURN_IF_ERROR(session_executor.ForEachIndex(
+        connectors.size(), [&](size_t i) -> Status {
+          Connector& connector = connectors[i];
+          for (Serve& serve : connector.serves) {
+            TCELLS_ASSIGN_OR_RETURN(
+                serve.items,
+                connector.server->ProcessCollection(
+                    *serve.post, serve.query->config, &serve.rng));
+          }
+          return Status::OK();
+        }));
+
+    bool any_tick_work = false;
+    for (Connector& connector : connectors) {
+      for (Serve& serve : connector.serves) {
         TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage,
-                                hub_.StorageFor(post->query_id));
+                                hub_.StorageFor(serve.post->query_id));
         if (storage->SizeReached()) {
-          hub_.Acknowledge(server->id(), post->query_id);
+          hub_.Acknowledge(connector.server->id(), serve.post->query_id);
           continue;
         }
-        TCELLS_ASSIGN_OR_RETURN(
-            std::vector<EncryptedItem> items,
-            server->ProcessCollection(*post, q.config, &q.ctx->rng()));
         uint64_t bytes = 0;
-        for (const auto& item : items) bytes += item.WireSize();
-        q.ctx->RecordCollection(server->id(), bytes, items.size());
-        q.ctx->metrics().collection_participants += 1;
-        storage->ReceiveCollectionItems(std::move(items));
-        hub_.Acknowledge(server->id(), post->query_id);
+        for (const auto& item : serve.items) bytes += item.WireSize();
+        serve.query->ctx->RecordCollection(connector.server->id(), bytes,
+                                           serve.items.size());
+        serve.query->ctx->metrics().collection_participants += 1;
+        storage->ReceiveCollectionItems(std::move(serve.items));
+        hub_.Acknowledge(connector.server->id(), serve.post->query_id);
         any_tick_work = true;
       }
     }

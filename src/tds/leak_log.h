@@ -11,38 +11,69 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "storage/tuple.h"
 
 namespace tcells::tds {
 
-/// Shared by all compromised TDSs of one experiment. Not thread-safe (the
-/// simulation is single-threaded).
+/// Shared by all compromised TDSs of one experiment. Thread-safe: several
+/// compromised TDSs may process partitions concurrently under the parallel
+/// fleet engine, and their appends must not be lost. The leaked sets are
+/// order-insensitive by construction, so concurrent runs record exactly what
+/// a serial run records.
 class LeakLog {
  public:
   void RecordRawTuple(uint64_t tds_id, const storage::Tuple& tuple) {
+    std::lock_guard<std::mutex> lock(mu_);
     raw_tuples_.insert(tuple);
     per_tds_raw_[tds_id] += 1;
   }
   void RecordGroupAggregate(uint64_t tds_id, const storage::Tuple& key) {
+    std::lock_guard<std::mutex> lock(mu_);
     group_keys_.insert(key);
     per_tds_groups_[tds_id] += 1;
   }
   void RecordResultRow(uint64_t tds_id, const storage::Tuple& row) {
+    std::lock_guard<std::mutex> lock(mu_);
     result_rows_.insert(row);
     (void)tds_id;
   }
 
   /// Distinct raw collection tuples an attacker learned in plaintext.
-  size_t NumLeakedRawTuples() const { return raw_tuples_.size(); }
+  size_t NumLeakedRawTuples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return raw_tuples_.size();
+  }
   /// Distinct groups whose (partial or final) aggregate the attacker saw.
-  size_t NumLeakedGroups() const { return group_keys_.size(); }
-  size_t NumLeakedResultRows() const { return result_rows_.size(); }
+  size_t NumLeakedGroups() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return group_keys_.size();
+  }
+  size_t NumLeakedResultRows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return result_rows_.size();
+  }
 
-  const std::set<storage::Tuple>& raw_tuples() const { return raw_tuples_; }
+  /// Total appends seen per kind (counts duplicates the sets deduplicate);
+  /// the concurrency regression test asserts no append is ever lost.
+  uint64_t NumRawAppends() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& [id, n] : per_tds_raw_) total += n;
+    return total;
+  }
+
+  /// Snapshot of the leaked raw tuples. Returns a copy: the log may still be
+  /// appended to from other threads while the caller inspects the result.
+  std::set<storage::Tuple> raw_tuples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return raw_tuples_;
+  }
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     raw_tuples_.clear();
     group_keys_.clear();
     result_rows_.clear();
@@ -51,6 +82,7 @@ class LeakLog {
   }
 
  private:
+  mutable std::mutex mu_;
   std::set<storage::Tuple> raw_tuples_;
   std::set<storage::Tuple> group_keys_;
   std::set<storage::Tuple> result_rows_;

@@ -20,6 +20,8 @@ struct GridPoint {
   size_t num_groups;
   double skew;
   double availability;
+  /// Worker threads for the parallel fleet engine (1 = serial).
+  size_t num_threads = 1;
 };
 
 class ProtocolGridTest
@@ -81,6 +83,7 @@ TEST_P(ProtocolGridTest, MatchesOracleEverywhere) {
   opts.compute_availability = grid.availability;
   opts.expected_groups = grid.num_groups;
   opts.seed = gopts.seed + 1;
+  opts.num_threads = grid.num_threads;
 
   const char* sql =
       "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), MAX(val) "
@@ -106,6 +109,9 @@ std::string GridName(
   name += "_g" + std::to_string(grid.num_groups);
   name += grid.skew > 0 ? "_zipf" : "_uniform";
   name += "_a" + std::to_string(static_cast<int>(grid.availability * 100));
+  if (grid.num_threads != 1) {
+    name += "_t" + std::to_string(grid.num_threads);
+  }
   return name;
 }
 
@@ -118,7 +124,14 @@ INSTANTIATE_TEST_SUITE_P(
                           GridPoint{40, 3, 0.0, 0.1},    // uniform, scarce
                           GridPoint{40, 12, 1.2, 0.5},   // skewed, many groups
                           GridPoint{120, 6, 0.8, 0.02},  // near-starved
-                          GridPoint{60, 6, 0.0, 1.0})),  // abundant
+                          GridPoint{60, 6, 0.0, 1.0},    // abundant
+                          // Same invariant under the parallel fleet engine:
+                          // fan-out must not perturb correctness anywhere on
+                          // the grid.
+                          GridPoint{40, 3, 0.0, 0.1, 2},
+                          GridPoint{40, 12, 1.2, 0.5, 8},
+                          GridPoint{120, 6, 0.8, 0.02, 8},
+                          GridPoint{60, 6, 0.0, 1.0, 2})),
     GridName);
 
 
