@@ -4,9 +4,16 @@
 // against the plaintext oracle. Complements the analytical Fig 10 benches:
 // the shapes (who parallelizes, who pays for noise, how S_Agg iterates) are
 // measured rather than modeled here.
+//
+// After the human-readable table, two machine-readable CSV blocks follow:
+// one row per (G, protocol) run, and the engine-wide MetricsRegistry dump
+// (counters + histograms) accumulated across all runs.
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocol/discovery.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
@@ -19,6 +26,11 @@ int main() {
   const size_t kTds = 600;
   sim::DeviceModel device;
   bool all_match = true;
+  obs::MetricsRegistry registry;
+  obs::Telemetry telemetry{&registry, nullptr};
+  std::string run_csv =
+      "groups,protocol,match,p_tds,load_bytes,tq_seconds,tlocal_seconds,"
+      "rounds\n";
 
   std::printf("=== e2e simulation: N_t=%zu TDSs, functional protocols ===\n",
               kTds);
@@ -75,7 +87,8 @@ int main() {
     uint64_t query_id = 10;
     for (auto& e : entries) {
       auto outcome = protocol::RunQuery(*e.protocol, fleet.get(), querier,
-                                        query_id++, sql, device, opts);
+                                        query_id++, sql, device, opts,
+                                        telemetry);
       if (!outcome.ok()) {
         std::printf("%-6zu %-10s ERROR %s\n", groups, e.name,
                     outcome.status().ToString().c_str());
@@ -89,8 +102,17 @@ int main() {
                   e.name, match ? "yes" : "NO", m.Ptds(),
                   static_cast<unsigned long long>(m.LoadBytes()), m.Tq(),
                   m.Tlocal(device), m.aggregation_rounds);
+      run_csv += std::to_string(groups) + "," + e.name + "," +
+                 (match ? "1" : "0") + "," + std::to_string(m.Ptds()) + "," +
+                 std::to_string(m.LoadBytes()) + "," +
+                 obs::FormatDouble(m.Tq()) + "," +
+                 obs::FormatDouble(m.Tlocal(device)) + "," +
+                 std::to_string(m.aggregation_rounds) + "\n";
     }
   }
+
+  std::printf("\n--- per-run metrics (csv) ---\n%s", run_csv.c_str());
+  std::printf("\n--- engine metrics (csv) ---\n%s", registry.ToCsv().c_str());
 
   std::printf("\nall protocol results match the plaintext oracle: %s\n",
               all_match ? "yes" : "NO");

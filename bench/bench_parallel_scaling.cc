@@ -2,19 +2,25 @@
 // executed with 1/2/4/8 worker threads. Reports wall-clock per thread count
 // and the speedup over the serial run, and verifies the engine's determinism
 // contract on real ciphertext volume: every thread count must produce the
-// same result rows and the same Load_Q down to the byte.
+// same result rows, the same Load_Q down to the byte, and a byte-identical
+// telemetry trace (obs/trace.h).
 //
 // Speedup depends on the machine: the fan-out covers the collection pass and
 // every aggregation/filtering round, so on a multicore host the 8-thread run
 // should be >= 2x the serial one. On a single-core container all thread
 // counts degenerate to roughly serial time (and the determinism check is the
 // part that still bites).
+//
+// The summary table is followed by a machine-readable CSV block
+// (threads,wall_seconds,speedup,load_bytes,identical) for plotting scripts.
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/trace.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
 #include "tds/access_control.h"
@@ -47,13 +53,23 @@ int main() {
   std::printf(
       "=== parallel scaling: N_t=%zu, G=%zu, S_Agg, hardware threads=%u ===\n",
       kTds, kGroups, std::thread::hardware_concurrency());
-  std::printf("%-8s %12s %9s %-6s %12s\n", "threads", "wall(s)", "speedup",
-              "match", "Load_Q(B)");
+  std::printf("%-8s %12s %9s %-6s %12s %-6s\n", "threads", "wall(s)",
+              "speedup", "match", "Load_Q(B)", "trace");
 
   double serial_seconds = 0;
   std::string serial_result;
+  std::string serial_trace;
   uint64_t serial_load = 0;
   bool ok = true;
+
+  struct Row {
+    size_t threads;
+    double seconds;
+    double speedup;
+    uint64_t load;
+    bool identical;
+  };
+  std::vector<Row> rows;
 
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     protocol::SAggProtocol protocol;
@@ -63,9 +79,18 @@ int main() {
     opts.seed = 7;
     opts.num_threads = threads;
 
+    // One tracer per run; the default JSON export omits wall times, so the
+    // serialized trace must be byte-identical for every thread count.
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    obs::Telemetry telemetry{&registry, &tracer};
+
     auto t0 = std::chrono::steady_clock::now();
-    auto outcome = protocol::RunQuery(protocol, fleet.get(), querier, threads,
-                                      sql, device, opts);
+    // The query id (and thus the derived per-query seed) must be the same
+    // for every thread count or the runs would not be comparable.
+    auto outcome = protocol::RunQuery(protocol, fleet.get(), querier,
+                                      /*query_id=*/1, sql, device, opts,
+                                      telemetry);
     auto t1 = std::chrono::steady_clock::now();
     double seconds = std::chrono::duration<double>(t1 - t0).count();
     if (!outcome.ok()) {
@@ -76,20 +101,38 @@ int main() {
 
     bool match = outcome->result.SameRows(oracle);
     uint64_t load = outcome->metrics.LoadBytes();
+    std::string trace_json =
+        outcome->trace ? outcome->trace->ToJson() : std::string();
+    bool trace_identical = true;
     if (threads == 1) {
       serial_seconds = seconds;
       serial_result = outcome->result.ToString();
       serial_load = load;
+      serial_trace = trace_json;
     } else {
-      // The determinism contract: bit-identical rows and byte-identical
-      // traffic at every thread count.
+      // The determinism contract: bit-identical rows, byte-identical
+      // traffic and a byte-identical span tree at every thread count.
+      trace_identical = trace_json == serial_trace;
       match = match && outcome->result.ToString() == serial_result &&
-              load == serial_load;
+              load == serial_load && trace_identical;
     }
     ok = ok && match;
-    std::printf("%-8zu %12.3f %8.2fx %-6s %12llu\n", threads, seconds,
+    std::printf("%-8zu %12.3f %8.2fx %-6s %12llu %-6s\n", threads, seconds,
                 serial_seconds / seconds, match ? "yes" : "NO",
-                static_cast<unsigned long long>(load));
+                static_cast<unsigned long long>(load),
+                trace_identical ? "same" : "DIFF");
+    rows.push_back({threads, seconds, serial_seconds / seconds, load,
+                    trace_identical});
+  }
+
+  std::printf("\n--- machine-readable (csv) ---\n");
+  std::printf("threads,wall_seconds,speedup,load_bytes,trace_identical\n");
+  for (const Row& r : rows) {
+    std::printf("%zu,%s,%s,%llu,%d\n", r.threads,
+                obs::FormatDouble(r.seconds).c_str(),
+                obs::FormatDouble(r.speedup).c_str(),
+                static_cast<unsigned long long>(r.load),
+                r.identical ? 1 : 0);
   }
 
   std::printf("\nall thread counts bit-identical and oracle-correct: %s\n",

@@ -1,14 +1,19 @@
 // run_query: a small CLI that executes an arbitrary SQL query of the
 // supported dialect over a simulated fleet with a chosen protocol, printing
 // the result, the oracle check, the cost metrics and the adversary view.
+// Built on the tcells::Engine facade, so every run records telemetry: a
+// per-query span tree (exportable with --trace-json) and engine-wide
+// counters/histograms.
 //
 //   ./run_query "SELECT grp, AVG(val) FROM T GROUP BY grp"
 //       [--protocol=s_agg|r_noise|c_noise|ed_hist|basic]
 //       [--tds=N] [--groups=G] [--skew=Z] [--availability=F] [--dropout=P]
-//       [--threads=N]
+//       [--threads=N] [--trace-json=PATH] [--metrics-json=PATH]
 //
 // --threads sets the parallel fleet engine's worker count (0 = all hardware
-// threads, 1 = serial). The result is bit-identical for any value.
+// threads, 1 = serial). The result is bit-identical for any value — and so
+// is the --trace-json output (wall times are excluded by default; see
+// obs/trace.h).
 //
 // The fleet schema is the generic workload: T(gid INT, grp STRING,
 // val DOUBLE, cat INT), one row per TDS by default.
@@ -17,9 +22,8 @@
 #include <cstring>
 #include <string>
 
-#include "protocol/factory.h"
-#include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -36,6 +40,13 @@ bool FlagValue(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  return std::fclose(f) == 0 && written == content.size();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,16 +54,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s \"<SQL>\" [--protocol=...] [--tds=N] "
                  "[--groups=G] [--skew=Z] [--availability=F] [--dropout=P] "
-                 "[--threads=N]\n",
+                 "[--threads=N] [--trace-json=PATH] [--metrics-json=PATH]\n",
                  argv[0]);
     return 2;
   }
   std::string sql = argv[1];
   std::string protocol_name = "s_agg";
+  std::string trace_json_path;
+  std::string metrics_json_path;
   workload::GenericOptions gopts;
   gopts.num_tds = 200;
   gopts.num_groups = 6;
-  protocol::RunOptions ropts;
+  Engine::Config config;
 
   for (int i = 2; i < argc; ++i) {
     std::string v;
@@ -60,9 +73,13 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--tds", &v)) gopts.num_tds = std::strtoul(v.c_str(), nullptr, 10);
     else if (FlagValue(argv[i], "--groups", &v)) gopts.num_groups = std::strtoul(v.c_str(), nullptr, 10);
     else if (FlagValue(argv[i], "--skew", &v)) gopts.group_skew = std::strtod(v.c_str(), nullptr);
-    else if (FlagValue(argv[i], "--availability", &v)) ropts.compute_availability = std::strtod(v.c_str(), nullptr);
-    else if (FlagValue(argv[i], "--dropout", &v)) ropts.dropout_rate = std::strtod(v.c_str(), nullptr);
-    else if (FlagValue(argv[i], "--threads", &v)) ropts.num_threads = std::strtoul(v.c_str(), nullptr, 10);
+    else if (FlagValue(argv[i], "--availability", &v)) config.options.compute_availability = std::strtod(v.c_str(), nullptr);
+    else if (FlagValue(argv[i], "--dropout", &v)) config.options.dropout_rate = std::strtod(v.c_str(), nullptr);
+    else if (FlagValue(argv[i], "--threads", &v)) config.options.num_threads = std::strtoul(v.c_str(), nullptr, 10);
+    else if (FlagValue(argv[i], "--trace-json", &v)) trace_json_path = v;
+    else if (FlagValue(argv[i], "--metrics-json", &v)) metrics_json_path = v;
+    else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) trace_json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) metrics_json_path = argv[++i];
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -77,10 +94,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fleet: %s\n", fleet_or.status().ToString().c_str());
     return 1;
   }
-  auto fleet = std::move(fleet_or).ValueOrDie();
   protocol::Querier querier("cli", authority->Issue("cli"), keys);
-  sim::DeviceModel device;
-  ropts.expected_groups = gopts.num_groups;
+  config.options.expected_groups = gopts.num_groups;
+
+  auto engine_or = Engine::Create(std::move(fleet_or).ValueOrDie(), config);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 2;
+  }
+  Engine& engine = **engine_or;
 
   // Protocol selection via the factory; ED_Hist and the Noise protocols get
   // their prior knowledge from a secure discovery round.
@@ -94,9 +117,7 @@ int main(int argc, char** argv) {
   if (kind == protocol::ProtocolKind::kEdHist ||
       kind == protocol::ProtocolKind::kRnfNoise ||
       kind == protocol::ProtocolKind::kCNoise) {
-    auto discovered = protocol::DiscoverInputs(fleet.get(), querier,
-                                               /*query_id=*/1, sql, device,
-                                               ropts);
+    auto discovered = engine.DiscoverInputs(querier, /*query_id=*/1, sql);
     if (!discovered.ok()) {
       std::fprintf(stderr, "discovery: %s\n",
                    discovered.status().ToString().c_str());
@@ -111,17 +132,17 @@ int main(int argc, char** argv) {
   }
   auto protocol = std::move(protocol_or).ValueOrDie();
 
-  auto outcome = protocol::RunQuery(*protocol, fleet.get(), querier,
-                                    /*query_id=*/2, sql, device, ropts);
+  auto outcome = engine.Run(*protocol, querier, /*query_id=*/2, sql);
   if (!outcome.ok()) {
     std::fprintf(stderr, "run: %s\n", outcome.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("%s over %zu TDSs via %s:\n\n%s\n", sql.c_str(), fleet->size(),
-              protocol->name(), outcome->result.ToString().c_str());
+  std::printf("%s over %zu TDSs via %s:\n\n%s\n", sql.c_str(),
+              engine.fleet().size(), protocol->name(),
+              outcome->result.ToString().c_str());
 
-  auto oracle = protocol::ExecuteReference(*fleet, sql);
+  auto oracle = protocol::ExecuteReference(engine.fleet(), sql);
   bool match = oracle.ok() && outcome->result.SameRows(*oracle);
   std::printf("matches plaintext oracle: %s\n", match ? "yes" : "NO");
 
@@ -129,12 +150,33 @@ int main(int argc, char** argv) {
   std::printf("P_TDS=%zu  Load_Q=%llu B  T_Q=%.5f s  T_local=%.6f s  "
               "rounds=%zu  dropped-and-redispatched=%llu\n",
               m.Ptds(), static_cast<unsigned long long>(m.LoadBytes()),
-              m.Tq(), m.Tlocal(device), m.aggregation_rounds,
+              m.Tq(), m.Tlocal(engine.device()), m.aggregation_rounds,
               static_cast<unsigned long long>(
                   m.accountant.phase(sim::Phase::kAggregation).dropouts));
   std::printf("SSI view: %llu collection items, %zu distinct routing tags\n",
               static_cast<unsigned long long>(
                   outcome->adversary.collection_items),
               outcome->adversary.collection_tag_histogram.size());
+
+  if (!trace_json_path.empty()) {
+    if (!outcome->trace) {
+      std::fprintf(stderr, "trace: no trace recorded\n");
+      return 1;
+    }
+    if (!WriteFile(trace_json_path, outcome->trace->ToJson())) {
+      std::fprintf(stderr, "trace: cannot write %s\n",
+                   trace_json_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_json_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    if (!WriteFile(metrics_json_path, engine.metrics().ToJson())) {
+      std::fprintf(stderr, "metrics: cannot write %s\n",
+                   metrics_json_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_json_path.c_str());
+  }
   return match ? 0 : 1;
 }

@@ -4,12 +4,16 @@
 
 namespace tcells::protocol {
 
-std::shared_ptr<const std::vector<storage::Tuple>>
+Result<std::shared_ptr<const std::vector<storage::Tuple>>>
 DiscoveredDistribution::Domain() const {
+  if (frequency.empty()) {
+    return Status::FailedPrecondition(
+        "discovered distribution is empty; cannot derive the A_G domain");
+  }
   auto domain = std::make_shared<std::vector<storage::Tuple>>();
   domain->reserve(frequency.size());
   for (const auto& [key, count] : frequency) domain->push_back(key);
-  return domain;
+  return std::shared_ptr<const std::vector<storage::Tuple>>(std::move(domain));
 }
 
 Result<DiscoveredDistribution> DiscoverDistribution(

@@ -24,8 +24,10 @@ struct DiscoveredDistribution {
   std::map<storage::Tuple, uint64_t> frequency;
   RunMetrics metrics;
 
-  /// The distinct key domain (for the Noise protocols).
-  std::shared_ptr<const std::vector<storage::Tuple>> Domain() const;
+  /// The distinct key domain (for the Noise protocols). FailedPrecondition
+  /// when the discovery run surfaced no groups at all — an empty domain would
+  /// make the Noise protocols silently drop every tuple.
+  Result<std::shared_ptr<const std::vector<storage::Tuple>>> Domain() const;
 };
 
 /// Runs "SELECT A_G..., COUNT(*) FROM <same tables> GROUP BY A_G..." with

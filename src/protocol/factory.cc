@@ -62,7 +62,7 @@ Result<ProtocolInputs> DiscoverInputs(Fleet* fleet, const Querier& querier,
       DiscoverDistribution(fleet, querier, query_id, target_sql, device,
                            options));
   ProtocolInputs inputs;
-  inputs.group_domain = discovered.Domain();
+  TCELLS_ASSIGN_OR_RETURN(inputs.group_domain, discovered.Domain());
   inputs.distribution = std::move(discovered.frequency);
   return inputs;
 }

@@ -248,115 +248,7 @@ Result<std::vector<EncryptedItem>> RunFilteringPhase(
                       });
 }
 
-Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
-                            const Querier& querier, uint64_t query_id,
-                            const std::string& sql,
-                            const sim::DeviceModel& device,
-                            const RunOptions& options) {
-  if (fleet->size() == 0) {
-    return Status::InvalidArgument("empty fleet");
-  }
-  ssi::Ssi ssi;
-  RunContext ctx(fleet, &ssi, device, options);
-
-  // Step 1: the querier posts the encrypted query + credential + SIZE.
-  TCELLS_ASSIGN_OR_RETURN(ssi::QueryPost post,
-                          querier.MakePost(query_id, sql, &ctx.rng()));
-  ssi.PostQuery(post);
-
-  // The querier analyzes against the public common catalog (any TDS's
-  // catalog is a copy of it).
-  TCELLS_ASSIGN_OR_RETURN(
-      sql::AnalyzedQuery query,
-      querier.AnalyzeAgainst(sql, fleet->at(0)->db().catalog()));
-
-  TCELLS_ASSIGN_OR_RETURN(CollectionConfig config,
-                          protocol.MakeCollectionConfig(ctx, query));
-
-  // Collection phase: TDSs connect and contribute until the SIZE bound is
-  // met, the DURATION window closes, or everyone answered. Without a
-  // DURATION bound this is a single full pass in random order; with one,
-  // each remaining TDS connects per tick with connect_prob_per_tick
-  // (seldom-connected tokens, §2.3's PCEHR scenario).
-  //
-  // Per tick: who connects is decided serially from the run Rng, each
-  // connector is handed its own forked stream, their local query evaluation
-  // and encryption fan out across the worker threads, and the contributions
-  // are folded into the SSI serially in connection order (the SIZE bound
-  // truncates at fold time). Every step that touches shared state is serial,
-  // so the ciphertext population is bit-identical for any thread count.
-  {
-    std::vector<size_t> remaining(fleet->size());
-    for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
-    ctx.rng().Shuffle(&remaining);
-    const bool tick_mode = post.size_max_duration_ticks.has_value();
-    const uint64_t max_ticks =
-        tick_mode ? *post.size_max_duration_ticks : 1;
-    for (uint64_t tick = 0;
-         tick < max_ticks && !remaining.empty() && !ssi.SizeReached();
-         ++tick) {
-      ctx.metrics().collection_ticks += 1;
-      std::vector<size_t> still_offline;
-      std::vector<size_t> connectors;
-      for (size_t idx : remaining) {
-        if (tick_mode &&
-            !ctx.rng().NextBool(options.connect_prob_per_tick)) {
-          still_offline.push_back(idx);
-        } else {
-          connectors.push_back(idx);
-        }
-      }
-      std::vector<Rng> streams;
-      streams.reserve(connectors.size());
-      for (size_t i = 0; i < connectors.size(); ++i) {
-        streams.push_back(ctx.rng().Fork());
-      }
-      std::vector<std::vector<EncryptedItem>> produced(connectors.size());
-      TCELLS_RETURN_IF_ERROR(ctx.executor().ForEachIndex(
-          connectors.size(), [&](size_t i) -> Status {
-            TCELLS_ASSIGN_OR_RETURN(
-                produced[i],
-                fleet->at(connectors[i])
-                    ->ProcessCollection(ssi.query_post(), config,
-                                        &streams[i]));
-            return Status::OK();
-          }));
-      for (size_t i = 0; i < connectors.size(); ++i) {
-        if (ssi.SizeReached()) {
-          // The SSI closed the storage area mid-tick: later connectors are
-          // turned away with their contribution unused.
-          still_offline.push_back(connectors[i]);
-          continue;
-        }
-        tds::TrustedDataServer* server = fleet->at(connectors[i]);
-        uint64_t bytes = 0;
-        for (const auto& item : produced[i]) bytes += item.WireSize();
-        ctx.RecordCollection(server->id(), bytes, produced[i].size());
-        ssi.ReceiveCollectionItems(std::move(produced[i]));
-        ctx.metrics().collection_participants += 1;
-      }
-      remaining.swap(still_offline);
-    }
-  }
-
-  // Aggregation phase (empty for Basic_SFW).
-  std::vector<EncryptedItem> covering = ssi.TakeCollected();
-  TCELLS_ASSIGN_OR_RETURN(
-      covering, protocol.RunAggregation(ctx, query, config, std::move(covering)));
-  ssi.ObserveAggregationItems(covering);
-
-  TCELLS_ASSIGN_OR_RETURN(
-      std::vector<EncryptedItem> result_items,
-      RunFilteringPhase(ctx, query, std::move(covering)));
-  ssi.ObserveFilteringItems(result_items);
-
-  // Step 13: the querier downloads and decrypts.
-  RunOutcome outcome;
-  TCELLS_ASSIGN_OR_RETURN(outcome.result,
-                          querier.DecryptResult(query, result_items));
-  outcome.metrics = ctx.metrics();
-  outcome.adversary = ssi.adversary_view();
-  return outcome;
-}
+// RunQuery — the single-query entry point — is defined in session.cc as a
+// wrapper over QuerySession, so both operating modes share one engine.
 
 }  // namespace tcells::protocol

@@ -127,6 +127,9 @@ struct RunOutcome {
   sql::QueryResult result;
   RunMetrics metrics;
   ssi::AdversaryView adversary;
+  /// The query's span tree, when the run was handed a Tracer (null
+  /// otherwise). See obs/trace.h for the determinism contract.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// Filtering phase (§3.2 steps 9-12): spreads the covering result over the
@@ -137,13 +140,20 @@ Result<std::vector<ssi::EncryptedItem>> RunFilteringPhase(
     std::vector<ssi::EncryptedItem> covering);
 
 /// Executes one query end to end: post -> collection over the whole fleet
-/// (bounded by the SIZE clause) -> protocol aggregation -> filtering ->
-/// result decryption by the querier.
+/// (bounded by the SIZE/DURATION clauses) -> protocol aggregation ->
+/// filtering -> result decryption by the querier.
+///
+/// This is a thin wrapper over the QuerySession path (session.h): it submits
+/// the single query to a fresh session and runs it to completion, so the
+/// single-query and concurrent-query modes share one engine. The optional
+/// `telemetry` sinks receive the run's metrics and span tree (outcome.trace).
+/// Defined in session.cc.
 Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
                             const Querier& querier, uint64_t query_id,
                             const std::string& sql,
                             const sim::DeviceModel& device,
-                            const RunOptions& options);
+                            const RunOptions& options,
+                            obs::Telemetry telemetry = {});
 
 }  // namespace tcells::protocol
 

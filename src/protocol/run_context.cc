@@ -1,18 +1,63 @@
 #include "protocol/run_context.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace tcells::protocol {
 
+namespace {
+
+Status BadOption(const char* what) {
+  return Status::InvalidArgument(std::string("RunOptions: ") + what);
+}
+
+double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Status RunOptions::Validate() const {
+  if (!(compute_availability > 0.0) || compute_availability > 1.0) {
+    return BadOption("compute_availability must be in (0, 1]");
+  }
+  if (dropout_rate < 0.0 || dropout_rate > 1.0) {
+    return BadOption("dropout_rate must be in [0, 1]");
+  }
+  if (dropout_rate > 0.0 && max_dropout_retries == 0) {
+    return BadOption(
+        "max_dropout_retries must be positive when dropout_rate > 0");
+  }
+  if (dropout_timeout_seconds < 0.0) {
+    return BadOption("dropout_timeout_seconds must be >= 0");
+  }
+  if (!(alpha > 1.0)) {
+    return BadOption("alpha must be > 1 (merge rounds must shrink the set)");
+  }
+  if (nf < 0) {
+    return BadOption("nf must be >= 0");
+  }
+  if (!(connect_prob_per_tick > 0.0) || connect_prob_per_tick > 1.0) {
+    return BadOption("connect_prob_per_tick must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
 RunContext::RunContext(Fleet* fleet, ssi::Ssi* ssi,
-                       const sim::DeviceModel& device, RunOptions options)
+                       const sim::DeviceModel& device, RunOptions options,
+                       obs::MetricsRegistry* metrics_registry,
+                       obs::Trace* trace)
     : fleet_(fleet),
       ssi_(ssi),
       device_(device),
       options_(options),
       rng_(options.seed),
-      executor_(options.num_threads) {}
+      executor_(options.num_threads),
+      metrics_registry_(metrics_registry),
+      trace_(trace) {}
 
 const std::vector<tds::TrustedDataServer*>& RunContext::compute_pool() {
   if (!pool_sampled_) {
@@ -23,9 +68,20 @@ const std::vector<tds::TrustedDataServer*>& RunContext::compute_pool() {
   return pool_;
 }
 
+obs::Span* RunContext::EnsureCollectionSpan() {
+  if (trace_ == nullptr) return nullptr;
+  if (collection_span_ == nullptr) {
+    collection_span_ = trace_->StartSpan(nullptr, obs::kSpanCollection);
+    collection_span_->labels["phase"] =
+        sim::PhaseToString(sim::Phase::kCollection);
+  }
+  return collection_span_;
+}
+
 Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     sim::Phase phase, const std::vector<ssi::Partition>& partitions,
     const PartitionFn& process) {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto& pool = compute_pool();
   const size_t n = partitions.size();
 
@@ -79,10 +135,13 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
         "partition could not be placed after max dropout retries");
   }));
 
-  // Serial epilogue: fold outputs and accounting in partition order, so the
-  // accountant's tallies and the item concatenation are identical whatever
-  // the completion order of the tasks above was.
+  // Serial epilogue: fold outputs, accounting and telemetry in partition
+  // order, so the accountant's tallies, the span tree and the item
+  // concatenation are identical whatever the completion order of the tasks
+  // above was.
   std::vector<ssi::EncryptedItem> outputs;
+  uint64_t round_bytes_in = 0, round_bytes_out = 0;
+  uint64_t round_tuples = 0, round_dropouts = 0;
   double slowest_partition_seconds = 0;
   for (PartitionRun& run : runs) {
     for (uint64_t d = 0; d < run.dropouts; ++d) {
@@ -90,8 +149,17 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     }
     metrics_.accountant.RecordPartition(phase, run.server_id, run.bytes_in,
                                         run.bytes_out, run.tuples);
+    round_bytes_in += run.bytes_in;
+    round_bytes_out += run.bytes_out;
+    round_tuples += run.tuples;
+    round_dropouts += run.dropouts;
     slowest_partition_seconds =
         std::max(slowest_partition_seconds, run.seconds);
+    if (metrics_registry_ != nullptr) {
+      metrics_registry_->histogram("engine.partition_bytes_out",
+                                   obs::Histogram::DefaultSizeBounds())
+          .Record(static_cast<double>(run.bytes_out));
+    }
     for (auto& item : run.items) outputs.push_back(std::move(item));
   }
 
@@ -113,6 +181,47 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
       metrics_.times.filtering_seconds += round_seconds;
       break;
   }
+
+  if (trace_ != nullptr) {
+    const char* span_name = obs::kSpanCollection;
+    if (phase == sim::Phase::kAggregation) {
+      span_name = obs::kSpanAggregationRound;
+    } else if (phase == sim::Phase::kFiltering) {
+      span_name = obs::kSpanFilteringRound;
+    }
+    obs::Span* span = trace_->StartSpan(nullptr, span_name);
+    span->labels["phase"] = sim::PhaseToString(phase);
+    span->sim_begin_seconds = sim_now_seconds_;
+    span->sim_end_seconds = sim_now_seconds_ + round_seconds;
+    span->wall_micros = WallMicrosSince(t0);
+    span->counts["partitions"] = n;
+    span->counts["bytes_in"] = round_bytes_in;
+    span->counts["bytes_out"] = round_bytes_out;
+    span->counts["tuples"] = round_tuples;
+    span->counts["dropouts"] = round_dropouts;
+    span->counts["compute_pool"] = pool.size();
+    span->values["sim_seconds"] = round_seconds;
+    span->values["waves"] = waves;
+  }
+  sim_now_seconds_ += round_seconds;
+
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->counter("engine.rounds").Increment();
+    metrics_registry_->counter("engine.partitions").Add(n);
+    metrics_registry_->counter("engine.bytes_downloaded").Add(round_bytes_in);
+    metrics_registry_->counter("engine.bytes_uploaded").Add(round_bytes_out);
+    metrics_registry_->counter("engine.tuples_processed").Add(round_tuples);
+    metrics_registry_->counter("engine.dropout_redispatches")
+        .Add(round_dropouts);
+    metrics_registry_
+        ->histogram("engine.round_sim_seconds",
+                    obs::Histogram::DefaultLatencyBounds())
+        .Record(round_seconds);
+    metrics_registry_
+        ->histogram("engine.round_wall_micros",
+                    obs::Histogram::ExponentialBounds(1.0, 8, 10))
+        .Record(WallMicrosSince(t0));
+  }
   return outputs;
 }
 
@@ -120,6 +229,16 @@ void RunContext::RecordCollection(uint64_t tds_id, uint64_t bytes_up,
                                   uint64_t tuples) {
   metrics_.accountant.RecordPartition(sim::Phase::kCollection, tds_id,
                                       /*bytes_in=*/0, bytes_up, tuples);
+  if (obs::Span* span = EnsureCollectionSpan()) {
+    span->AddCount("partitions", 1);
+    span->AddCount("bytes_out", bytes_up);
+    span->AddCount("tuples", tuples);
+  }
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->counter("engine.collection_contributions").Increment();
+    metrics_registry_->counter("engine.bytes_uploaded").Add(bytes_up);
+    metrics_registry_->counter("engine.tuples_processed").Add(tuples);
+  }
 }
 
 }  // namespace tcells::protocol

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "protocol/fleet.h"
 #include "protocol/parallel_executor.h"
 #include "sim/cost_accountant.h"
@@ -68,6 +69,12 @@ struct RunOptions {
   size_t num_threads = 0;
 
   uint64_t seed = 42;
+
+  /// Sanity-checks the knob values (rates in range, alpha above the fixed
+  /// point, retry budget consistent with the dropout rate). Invoked at query
+  /// submit time — by QuerySession::Submit and Engine::Create — so malformed
+  /// configurations fail fast instead of deep inside a round.
+  Status Validate() const;
 };
 
 /// Simulated wall-clock per phase, computed on the critical path: each round
@@ -106,8 +113,14 @@ struct RunMetrics {
 /// Shared execution state handed to protocol implementations.
 class RunContext {
  public:
+  /// `metrics_registry` and `trace` are optional telemetry sinks (may be
+  /// null). The trace is this query's span tree: RunRound appends one span
+  /// per aggregation/filtering round, RecordCollection accumulates into the
+  /// collection span, always from serial sections so the tree is
+  /// bit-identical for any thread count.
   RunContext(Fleet* fleet, ssi::Ssi* ssi, const sim::DeviceModel& device,
-             RunOptions options);
+             RunOptions options, obs::MetricsRegistry* metrics_registry = nullptr,
+             obs::Trace* trace = nullptr);
 
   Fleet& fleet() { return *fleet_; }
   ssi::Ssi& ssi() { return *ssi_; }
@@ -115,6 +128,14 @@ class RunContext {
   const RunOptions& options() const { return options_; }
   const sim::DeviceModel& device() const { return device_; }
   RunMetrics& metrics() { return metrics_; }
+
+  /// This query's span tree (null when tracing is off).
+  obs::Trace* trace() { return trace_; }
+  /// The collection span of the trace, created on first use (null when
+  /// tracing is off).
+  obs::Span* EnsureCollectionSpan();
+  /// Simulated clock: total critical-path seconds accumulated so far.
+  double sim_now_seconds() const { return sim_now_seconds_; }
 
   /// The fan-out engine shared by every phase of this run.
   ParallelExecutor& executor() { return executor_; }
@@ -151,6 +172,10 @@ class RunContext {
   Rng rng_;
   ParallelExecutor executor_;
   RunMetrics metrics_;
+  obs::MetricsRegistry* metrics_registry_;
+  obs::Trace* trace_;
+  obs::Span* collection_span_ = nullptr;
+  double sim_now_seconds_ = 0;
   std::vector<tds::TrustedDataServer*> pool_;
   bool pool_sampled_ = false;
 };

@@ -1,10 +1,23 @@
 #include "protocol/session.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <set>
 
 namespace tcells::protocol {
 
 using ssi::EncryptedItem;
+
+namespace {
+
+double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 Status QuerySession::Submit(uint64_t query_id, const Querier* querier,
                             Protocol* protocol, const std::string& sql) {
@@ -18,6 +31,10 @@ Status QuerySession::SubmitPersonal(uint64_t query_id, uint64_t tds_id,
   return SubmitInternal(query_id, tds_id, querier, protocol, sql);
 }
 
+size_t QuerySession::EligibleServers(const PendingQuery& query) const {
+  return query.personal_tds ? 1 : fleet_->size();
+}
+
 Status QuerySession::SubmitInternal(uint64_t query_id,
                                     std::optional<uint64_t> tds_id,
                                     const Querier* querier,
@@ -27,6 +44,7 @@ Status QuerySession::SubmitInternal(uint64_t query_id,
   if (queries_.count(query_id)) {
     return Status::InvalidArgument("duplicate query id");
   }
+  TCELLS_RETURN_IF_ERROR(options_.Validate());
 
   PendingQuery pending;
   pending.querier = querier;
@@ -44,24 +62,82 @@ Status QuerySession::SubmitInternal(uint64_t query_id,
   Rng post_rng(opts.seed ^ 0xabcdef);
   TCELLS_ASSIGN_OR_RETURN(ssi::QueryPost post,
                           querier->MakePost(query_id, sql, &post_rng));
+  pending.duration_ticks = post.size_max_duration_ticks;
   if (tds_id) {
     TCELLS_RETURN_IF_ERROR(hub_.PostPersonal(*tds_id, std::move(post)));
   } else {
     TCELLS_RETURN_IF_ERROR(hub_.PostGlobal(std::move(post)));
   }
   TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(query_id));
-  pending.ctx = std::make_unique<RunContext>(fleet_, storage, device_, opts);
-  TCELLS_ASSIGN_OR_RETURN(
-      pending.config,
-      pending.protocol->MakeCollectionConfig(*pending.ctx, pending.analyzed));
+
+  if (telemetry_.tracer != nullptr) {
+    pending.trace = telemetry_.tracer->StartTrace(query_id);
+    obs::Span* root = pending.trace->root();
+    root->labels["protocol"] = protocol->name();
+    root->labels["scope"] = tds_id ? "personal" : "global";
+    // Note: the worker-thread count is deliberately NOT recorded — a trace
+    // must be byte-identical for any --threads value (obs/trace.h).
+    root->counts["seed"] = opts.seed;
+    root->counts["fleet_size"] = fleet_->size();
+  }
+  pending.ctx = std::make_unique<RunContext>(
+      fleet_, storage, device_, opts, telemetry_.metrics,
+      pending.trace ? pending.trace.get() : nullptr);
+  Result<tds::CollectionConfig> config_result =
+      pending.protocol->MakeCollectionConfig(*pending.ctx, pending.analyzed);
+  if (!config_result.ok()) {
+    // Roll the hub post back so a rejected query leaves no active storage.
+    (void)hub_.Retire(query_id);
+    return config_result.status();
+  }
+  pending.config = std::move(config_result).ValueOrDie();
+
+  // Tag the root span with the protocol's noise/histogram configuration —
+  // notably the expected fake-tuple ratio of Rnf_Noise (nf fakes per true
+  // tuple, §4.3).
+  if (pending.trace != nullptr) {
+    obs::Span* root = pending.trace->root();
+    const auto& noise = pending.config.noise;
+    if (pending.protocol->kind() == ProtocolKind::kRnfNoise) {
+      root->counts["nf"] = static_cast<uint64_t>(std::max(0, noise.nf));
+      root->values["expected_fake_ratio"] =
+          static_cast<double>(noise.nf) / static_cast<double>(noise.nf + 1);
+    }
+    if (noise.group_domain) {
+      root->counts["group_domain_size"] = noise.group_domain->size();
+    }
+    if (pending.config.histogram) {
+      root->counts["histogram_buckets"] =
+          pending.config.histogram->num_buckets();
+    }
+  }
   queries_.emplace(query_id, std::move(pending));
   return Status::OK();
 }
 
 Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     uint64_t max_ticks) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
   Rng session_rng(options_.seed ^ 0x5e5510f);
-  const bool tick_mode = max_ticks > 1;
+
+  // Collection window per query, in connection ticks. `max_ticks == 0`
+  // derives it from each query's own DURATION bound (see the header);
+  // an explicit max_ticks forces one shared window.
+  constexpr uint64_t kUnbounded = std::numeric_limits<uint64_t>::max();
+  bool tick_mode = false;
+  std::map<uint64_t, uint64_t> window;
+  if (max_ticks == 0) {
+    for (const auto& [id, q] : queries_) {
+      if (q.duration_ticks.has_value()) tick_mode = true;
+    }
+    for (const auto& [id, q] : queries_) {
+      window[id] =
+          q.duration_ticks ? *q.duration_ticks : (tick_mode ? kUnbounded : 1);
+    }
+  } else {
+    tick_mode = max_ticks > 1;
+    for (const auto& [id, q] : queries_) window[id] = max_ticks;
+  }
 
   // ---- Interleaved collection over the querybox hub ----
   //
@@ -73,13 +149,21 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
   // one after another — and the contributions are folded into the per-query
   // storage areas serially. Bit-identical for any thread count.
   ParallelExecutor session_executor(options_.num_threads);
-  for (uint64_t tick = 0; tick < max_ticks; ++tick) {
-    bool any_open = false;
+  for (uint64_t tick = 0;; ++tick) {
+    // A query stays open while its window has ticks left, its SIZE bound is
+    // not met and some eligible TDS has yet to serve it.
+    std::set<uint64_t> open;
     for (auto& [id, q] : queries_) {
+      if (tick >= window.at(id)) continue;
       TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(id));
-      if (!storage->SizeReached()) any_open = true;
+      if (storage->SizeReached()) continue;
+      if (hub_.NumAcknowledged(id) >= EligibleServers(q)) continue;
+      open.insert(id);
     }
-    if (!any_open) break;
+    if (open.empty()) break;
+    for (uint64_t id : open) {
+      queries_.at(id).ctx->metrics().collection_ticks += 1;
+    }
 
     std::vector<size_t> order(fleet_->size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -105,8 +189,9 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       tds::TrustedDataServer* server = fleet_->at(idx);
       Connector connector;
       connector.server = server;
-      // Step 2: the connecting TDS downloads its pending queries.
+      // Step 2: the connecting TDS downloads its pending open queries.
       for (const ssi::QueryPost* post : hub_.Fetch(server->id())) {
+        if (!open.count(post->query_id)) continue;
         auto it = queries_.find(post->query_id);
         if (it == queries_.end()) continue;
         Serve serve;
@@ -132,13 +217,15 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
           return Status::OK();
         }));
 
-    bool any_tick_work = false;
     for (Connector& connector : connectors) {
       for (Serve& serve : connector.serves) {
         TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage,
                                 hub_.StorageFor(serve.post->query_id));
         if (storage->SizeReached()) {
-          hub_.Acknowledge(connector.server->id(), serve.post->query_id);
+          // The SSI closed the storage area mid-tick: later connectors are
+          // turned away with their contribution unused.
+          TCELLS_RETURN_IF_ERROR(hub_.Acknowledge(connector.server->id(),
+                                                  serve.post->query_id));
           continue;
         }
         uint64_t bytes = 0;
@@ -147,18 +234,21 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
                                            serve.items.size());
         serve.query->ctx->metrics().collection_participants += 1;
         storage->ReceiveCollectionItems(std::move(serve.items));
-        hub_.Acknowledge(connector.server->id(), serve.post->query_id);
-        any_tick_work = true;
+        TCELLS_RETURN_IF_ERROR(
+            hub_.Acknowledge(connector.server->id(), serve.post->query_id));
       }
     }
-    for (auto& [id, q] : queries_) q.ctx->metrics().collection_ticks += 1;
-    if (!any_tick_work && !tick_mode) break;
   }
 
   // ---- Per-query aggregation + filtering + decryption ----
   std::map<uint64_t, RunOutcome> outcomes;
   for (auto& [id, q] : queries_) {
     TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(id));
+    if (obs::Span* collection = q.ctx->EnsureCollectionSpan()) {
+      collection->counts["ticks"] = q.ctx->metrics().collection_ticks;
+      collection->counts["participants"] =
+          q.ctx->metrics().collection_participants;
+    }
     std::vector<EncryptedItem> covering = storage->TakeCollected();
     TCELLS_ASSIGN_OR_RETURN(
         covering, q.protocol->RunAggregation(*q.ctx, q.analyzed, q.config,
@@ -169,16 +259,58 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
         RunFilteringPhase(*q.ctx, q.analyzed, std::move(covering)));
     storage->ObserveFilteringItems(result_items);
 
+    // Step 13: the querier downloads and decrypts.
     RunOutcome outcome;
+    const auto decrypt_t0 = std::chrono::steady_clock::now();
     TCELLS_ASSIGN_OR_RETURN(outcome.result,
                             q.querier->DecryptResult(q.analyzed, result_items));
+    if (q.trace != nullptr) {
+      obs::Span* decrypt = q.trace->StartSpan(nullptr, obs::kSpanDecrypt);
+      decrypt->sim_begin_seconds = q.ctx->sim_now_seconds();
+      decrypt->sim_end_seconds = q.ctx->sim_now_seconds();
+      decrypt->wall_micros = WallMicrosSince(decrypt_t0);
+      decrypt->counts["result_rows"] = outcome.result.rows.size();
+      uint64_t result_bytes = 0;
+      for (const auto& item : result_items) result_bytes += item.WireSize();
+      decrypt->counts["bytes_in"] = result_bytes;
+
+      obs::Span* root = q.trace->root();
+      root->sim_end_seconds = q.ctx->sim_now_seconds();
+      root->wall_micros = WallMicrosSince(wall_t0);
+      outcome.trace = q.trace;
+    }
+    if (telemetry_.metrics != nullptr) {
+      telemetry_.metrics->counter("engine.queries_completed").Increment();
+    }
     outcome.metrics = q.ctx->metrics();
     outcome.adversary = storage->adversary_view();
     outcomes.emplace(id, std::move(outcome));
   }
-  for (const auto& [id, outcome] : outcomes) hub_.Retire(id);
+  for (const auto& [id, outcome] : outcomes) {
+    TCELLS_RETURN_IF_ERROR(hub_.Retire(id));
+  }
   queries_.clear();
   return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// Single-query entry point (declared in protocols.h): a fresh one-query
+// session, so RunQuery and QuerySession share one execution engine.
+
+Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
+                            const Querier& querier, uint64_t query_id,
+                            const std::string& sql,
+                            const sim::DeviceModel& device,
+                            const RunOptions& options,
+                            obs::Telemetry telemetry) {
+  QuerySession session(fleet, device, options, telemetry);
+  TCELLS_RETURN_IF_ERROR(session.Submit(query_id, &querier, &protocol, sql));
+  TCELLS_ASSIGN_OR_RETURN(auto outcomes, session.RunAll());
+  auto it = outcomes.find(query_id);
+  if (it == outcomes.end()) {
+    return Status::Internal("query produced no outcome");
+  }
+  return std::move(it->second);
 }
 
 }  // namespace tcells::protocol

@@ -4,7 +4,9 @@
 // the per-query protocol phases then complete independently.
 //
 // This is the "many queries in flight" operating mode the paper's Load_Q
-// metric is about; RunQuery (protocols.h) is the single-query special case.
+// metric is about. The single-query RunQuery (protocols.h) is a thin wrapper
+// over this path, so there is exactly one execution engine; the tcells::Engine
+// facade (tcells/engine.h) adds telemetry plumbing on top.
 #ifndef TCELLS_PROTOCOL_SESSION_H_
 #define TCELLS_PROTOCOL_SESSION_H_
 
@@ -12,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "protocol/protocols.h"
 #include "ssi/querybox.h"
 
@@ -19,13 +22,20 @@ namespace tcells::protocol {
 
 class QuerySession {
  public:
+  /// `telemetry` carries optional sinks: when a Tracer is present every
+  /// submitted query records a span tree (returned in its RunOutcome), and a
+  /// MetricsRegistry accumulates engine counters/histograms across queries.
   QuerySession(Fleet* fleet, const sim::DeviceModel& device,
-               RunOptions options)
-      : fleet_(fleet), device_(device), options_(options) {}
+               RunOptions options, obs::Telemetry telemetry = {})
+      : fleet_(fleet),
+        device_(device),
+        options_(options),
+        telemetry_(telemetry) {}
 
   /// Registers a query addressed to the whole crowd. `querier` and
-  /// `protocol` must outlive the session. Fails on duplicate id or when the
-  /// protocol rejects the query shape.
+  /// `protocol` must outlive the session. Fails on duplicate id, invalid
+  /// RunOptions (RunOptions::Validate), or when the protocol rejects the
+  /// query shape.
   Status Submit(uint64_t query_id, const Querier* querier, Protocol* protocol,
                 const std::string& sql);
 
@@ -36,11 +46,21 @@ class QuerySession {
 
   size_t num_pending() const { return queries_.size(); }
 
-  /// Runs interleaved collection (TDSs connect per tick with
-  /// options.connect_prob_per_tick and serve every fetched query), bounded
-  /// by `max_ticks`, then completes aggregation + filtering per query.
-  /// Returns one outcome per submitted query id.
-  Result<std::map<uint64_t, RunOutcome>> RunAll(uint64_t max_ticks = 1);
+  /// Runs interleaved collection over the querybox hub, then completes
+  /// aggregation + filtering + decryption per query. Returns one outcome per
+  /// submitted query id.
+  ///
+  /// `max_ticks == 0` (the default) derives each query's collection window
+  /// from its own SIZE ... DURATION clause: a query with `DURATION d` stays
+  /// open for d connection ticks, a query without one does a single full
+  /// pass (everyone connects once) — unless some other query in the batch is
+  /// DURATION-bounded, in which case the batch runs in ticked mode and the
+  /// unbounded query stays open until every TDS has served it. An explicit
+  /// `max_ticks > 0` forces one shared window of that many ticks for all
+  /// queries (ticked connectivity when max_ticks > 1). A query also closes
+  /// early when its SIZE bound is reached or all eligible TDSs have served
+  /// it.
+  Result<std::map<uint64_t, RunOutcome>> RunAll(uint64_t max_ticks = 0);
 
  private:
   struct PendingQuery {
@@ -51,15 +71,23 @@ class QuerySession {
     tds::CollectionConfig config;
     std::unique_ptr<RunContext> ctx;
     std::optional<uint64_t> personal_tds;
+    /// The post's SIZE ... DURATION bound, captured at submit time.
+    std::optional<uint64_t> duration_ticks;
+    /// This query's span tree (null when the session has no Tracer).
+    std::shared_ptr<obs::Trace> trace;
   };
 
   Status SubmitInternal(uint64_t query_id, std::optional<uint64_t> tds_id,
                         const Querier* querier, Protocol* protocol,
                         const std::string& sql);
 
+  /// TDSs that can possibly serve the query (fleet for global, 1 personal).
+  size_t EligibleServers(const PendingQuery& query) const;
+
   Fleet* fleet_;
   sim::DeviceModel device_;
   RunOptions options_;
+  obs::Telemetry telemetry_;
   ssi::QueryboxHub hub_;
   std::map<uint64_t, PendingQuery> queries_;
 };

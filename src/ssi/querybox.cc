@@ -34,9 +34,18 @@ std::vector<const QueryPost*> QueryboxHub::Fetch(uint64_t tds_id) const {
   return out;
 }
 
-void QueryboxHub::Acknowledge(uint64_t tds_id, uint64_t query_id) {
+Status QueryboxHub::Acknowledge(uint64_t tds_id, uint64_t query_id) {
   auto it = queries_.find(query_id);
-  if (it != queries_.end()) it->second.acknowledged.insert(tds_id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no active query " + std::to_string(query_id));
+  }
+  it->second.acknowledged.insert(tds_id);
+  return Status::OK();
+}
+
+size_t QueryboxHub::NumAcknowledged(uint64_t query_id) const {
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? 0 : it->second.acknowledged.size();
 }
 
 Result<Ssi*> QueryboxHub::StorageFor(uint64_t query_id) {
@@ -47,6 +56,11 @@ Result<Ssi*> QueryboxHub::StorageFor(uint64_t query_id) {
   return it->second.storage.get();
 }
 
-void QueryboxHub::Retire(uint64_t query_id) { queries_.erase(query_id); }
+Status QueryboxHub::Retire(uint64_t query_id) {
+  if (queries_.erase(query_id) == 0) {
+    return Status::NotFound("no active query " + std::to_string(query_id));
+  }
+  return Status::OK();
+}
 
 }  // namespace tcells::ssi

@@ -31,13 +31,20 @@ class QueryboxHub {
   std::vector<const QueryPost*> Fetch(uint64_t tds_id) const;
 
   /// Marks a query as served by this TDS (it will not be fetched again).
-  void Acknowledge(uint64_t tds_id, uint64_t query_id);
+  /// NotFound when the query is not active.
+  Status Acknowledge(uint64_t tds_id, uint64_t query_id);
+
+  /// Number of distinct TDSs that have acknowledged the query (0 when the
+  /// query is unknown). A global query is fully served once this reaches the
+  /// fleet size; a personal one once it reaches 1.
+  size_t NumAcknowledged(uint64_t query_id) const;
 
   /// Per-query temporary storage area / protocol state.
   Result<Ssi*> StorageFor(uint64_t query_id);
 
-  /// Closes a finished query and frees its storage.
-  void Retire(uint64_t query_id);
+  /// Closes a finished query and frees its storage. NotFound when the query
+  /// is not active.
+  Status Retire(uint64_t query_id);
 
   size_t num_active() const { return queries_.size(); }
 

@@ -1,0 +1,54 @@
+#include "tcells/engine.h"
+
+namespace tcells {
+
+Engine::Engine(std::unique_ptr<protocol::Fleet> fleet, Config config)
+    : fleet_(std::move(fleet)), config_(std::move(config)) {}
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    std::unique_ptr<protocol::Fleet> fleet, Config config) {
+  if (!fleet || fleet->size() == 0) {
+    return Status::InvalidArgument("Engine needs a non-empty fleet");
+  }
+  TCELLS_RETURN_IF_ERROR(config.options.Validate());
+  return std::unique_ptr<Engine>(
+      new Engine(std::move(fleet), std::move(config)));
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    std::unique_ptr<protocol::Fleet> fleet) {
+  return Create(std::move(fleet), Config());
+}
+
+obs::Telemetry Engine::telemetry() {
+  obs::Telemetry t;
+  t.metrics = &metrics_;
+  t.tracer = config_.tracing ? &tracer_ : nullptr;
+  return t;
+}
+
+Result<protocol::RunOutcome> Engine::Run(protocol::Protocol& protocol,
+                                         const protocol::Querier& querier,
+                                         uint64_t query_id,
+                                         const std::string& sql) {
+  return protocol::RunQuery(protocol, fleet_.get(), querier, query_id, sql,
+                            config_.device, config_.options, telemetry());
+}
+
+protocol::QuerySession Engine::NewSession() {
+  return protocol::QuerySession(fleet_.get(), config_.device, config_.options,
+                                telemetry());
+}
+
+Result<protocol::ProtocolInputs> Engine::DiscoverInputs(
+    const protocol::Querier& querier, uint64_t query_id,
+    const std::string& target_sql) {
+  return protocol::DiscoverInputs(fleet_.get(), querier, query_id, target_sql,
+                                  config_.device, config_.options);
+}
+
+std::shared_ptr<const obs::Trace> Engine::TraceFor(uint64_t query_id) const {
+  return tracer_.TraceFor(query_id);
+}
+
+}  // namespace tcells

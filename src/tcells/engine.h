@@ -1,0 +1,88 @@
+// tcells::Engine — the unified entry point of the library.
+//
+// An Engine owns the fleet, the run options and the telemetry sinks
+// (a MetricsRegistry plus, optionally, a Tracer collecting per-query span
+// trees), and exposes the two operating modes over one shared execution
+// engine:
+//
+//   * Run(...)        — one query end to end (the RunQuery special case);
+//   * NewSession()    — several concurrent queries over the querybox hub.
+//
+// Options are validated once at Create, so a malformed configuration fails
+// before any query is posted. See docs/OBSERVABILITY.md for the telemetry
+// model and migration notes from the free functions.
+#ifndef TCELLS_TCELLS_ENGINE_H_
+#define TCELLS_TCELLS_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "protocol/factory.h"
+#include "protocol/protocols.h"
+#include "protocol/session.h"
+
+namespace tcells {
+
+class Engine {
+ public:
+  struct Config {
+    sim::DeviceModel device;
+    protocol::RunOptions options;
+    /// Collect a span tree per query (obs/trace.h). Metrics are always on.
+    bool tracing = true;
+  };
+
+  /// Validates `config.options` (RunOptions::Validate) and takes ownership
+  /// of the fleet. InvalidArgument on a null/empty fleet or bad options.
+  static Result<std::unique_ptr<Engine>> Create(
+      std::unique_ptr<protocol::Fleet> fleet, Config config);
+  /// Create with all-default configuration.
+  static Result<std::unique_ptr<Engine>> Create(
+      std::unique_ptr<protocol::Fleet> fleet);
+
+  protocol::Fleet& fleet() { return *fleet_; }
+  const protocol::RunOptions& options() const { return config_.options; }
+  const sim::DeviceModel& device() const { return config_.device; }
+
+  /// Engine-wide counters/histograms, accumulated across all queries.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// All span trees recorded so far (empty forever when tracing is off).
+  obs::Tracer& tracer() { return tracer_; }
+  /// The sink bundle handed to execution (tracer omitted when tracing off).
+  obs::Telemetry telemetry();
+
+  /// Runs one query end to end; the outcome carries its span tree when
+  /// tracing is on.
+  Result<protocol::RunOutcome> Run(protocol::Protocol& protocol,
+                                   const protocol::Querier& querier,
+                                   uint64_t query_id, const std::string& sql);
+
+  /// A session for several concurrent queries sharing this engine's fleet,
+  /// options and telemetry sinks. The session borrows the engine; it must
+  /// not outlive it.
+  protocol::QuerySession NewSession();
+
+  /// Runs the discovery protocol (§4.4) for `target_sql`'s grouping
+  /// attributes and returns inputs sufficient for every protocol kind.
+  Result<protocol::ProtocolInputs> DiscoverInputs(
+      const protocol::Querier& querier, uint64_t query_id,
+      const std::string& target_sql);
+
+  /// Latest trace recorded for `query_id` (null when unknown or tracing is
+  /// off).
+  std::shared_ptr<const obs::Trace> TraceFor(uint64_t query_id) const;
+
+ private:
+  Engine(std::unique_ptr<protocol::Fleet> fleet, Config config);
+
+  std::unique_ptr<protocol::Fleet> fleet_;
+  Config config_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+};
+
+}  // namespace tcells
+
+#endif  // TCELLS_TCELLS_ENGINE_H_

@@ -2,9 +2,12 @@
 //
 //   #include "tcells/tcells.h"
 //
-// pulls in everything a typical embedder needs — fleet construction, the
-// querying protocols, the analysis tools and the workload generators. Fine-
-// grained headers remain available for targeted use.
+// pulls in what a typical embedder needs: the tcells::Engine facade (which
+// transitively exposes the querying protocols, sessions and telemetry),
+// fleet construction, key provisioning, the SQL front end and the analysis
+// tooling. Engine internals — the SSI querybox hub, the discovery machinery,
+// the plaintext reference executor — are deliberately NOT exported here;
+// include their fine-grained headers directly for targeted/test use.
 #ifndef TCELLS_TCELLS_H_
 #define TCELLS_TCELLS_H_
 
@@ -27,14 +30,8 @@
 #include "storage/secure_store.h"
 #include "storage/table.h"
 
-// The distributed system: trusted servers, untrusted infrastructure,
-// protocols.
-#include "protocol/discovery.h"
-#include "protocol/factory.h"
-#include "protocol/protocols.h"
-#include "protocol/reference.h"
-#include "protocol/session.h"
-#include "ssi/querybox.h"
+// The facade: Engine + protocols + sessions + telemetry (obs/).
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "tds/tds.h"
 

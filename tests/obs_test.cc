@@ -1,0 +1,340 @@
+// Telemetry subsystem tests: metrics instruments, span trees, exporters —
+// and the two engine-level contracts:
+//   (a) the span tree's per-phase partition/byte totals agree with the
+//       CostAccountant tallies for end-to-end runs of all five protocols;
+//   (b) the exported trace is byte-identical across worker-thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "protocol/reference.h"
+#include "tcells/engine.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+
+namespace tcells {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST(MetricsTest, CounterAccumulates) {
+  obs::MetricsRegistry registry;
+  registry.counter("a").Increment();
+  registry.counter("a").Add(4);
+  registry.counter("b").Add(2);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+  EXPECT_EQ(registry.counter("b").value(), 2u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);    // <= 1
+  h.Record(1.0);    // <= 1 (inclusive upper bound)
+  h.Record(7.0);    // <= 10
+  h.Record(1000.0); // overflow
+  auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 1008.5);
+}
+
+TEST(MetricsTest, ExponentialBounds) {
+  auto bounds = obs::Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsTest, FormatDoubleRoundTripsAndIsShort) {
+  EXPECT_EQ(obs::FormatDouble(0.1), "0.1");
+  EXPECT_EQ(obs::FormatDouble(42), "42");
+  EXPECT_EQ(obs::FormatDouble(0), "0");
+  // A value needing full precision still round-trips.
+  double v = 1.0 / 3.0;
+  EXPECT_EQ(std::strtod(obs::FormatDouble(v).c_str(), nullptr), v);
+}
+
+TEST(MetricsTest, JsonAndCsvExports) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.partitions").Add(3);
+  registry.histogram("lat", {1.0, 2.0}).Record(1.5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"engine.partitions\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("counter,engine.partitions,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,le_2,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,le_inf,0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Span trees
+
+TEST(TraceTest, SpanTreeStructureAndSums) {
+  obs::Trace trace(7);
+  obs::Span* a = trace.StartSpan(nullptr, "round");
+  a->counts["bytes"] = 10;
+  obs::Span* b = trace.StartSpan(nullptr, "round");
+  b->counts["bytes"] = 32;
+  obs::Span* child = trace.StartSpan(a, "inner");
+  child->counts["bytes"] = 1;
+  EXPECT_EQ(trace.SumCount("round", "bytes"), 42u);
+  EXPECT_EQ(trace.CountSpans("round"), 2u);
+  EXPECT_EQ(trace.CountSpans("inner"), 1u);
+  // Pre-order traversal, ids in creation order, parent links correct.
+  std::vector<uint64_t> ids;
+  trace.ForEach([&](const obs::Span& s, int) { ids.push_back(s.id); });
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 4, 3}));
+  EXPECT_EQ(child->parent_id, a->id);
+}
+
+TEST(TraceTest, WallTimeExcludedFromExportByDefault) {
+  obs::Trace trace(1);
+  obs::Span* s = trace.StartSpan(nullptr, "round");
+  s->wall_micros = 123.5;
+  EXPECT_EQ(trace.ToJson().find("wall_micros"), std::string::npos);
+  EXPECT_EQ(trace.ToCsv().find("wall_micros"), std::string::npos);
+  obs::TraceExportOptions with_wall;
+  with_wall.include_wall_time = true;
+  EXPECT_NE(trace.ToJson(with_wall).find("wall_micros"), std::string::npos);
+  EXPECT_NE(trace.ToCsv(with_wall).find("wall_micros"), std::string::npos);
+}
+
+TEST(TraceTest, TracerKeepsLatestPerQueryId) {
+  obs::Tracer tracer;
+  auto first = tracer.StartTrace(9);
+  auto second = tracer.StartTrace(9);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.TraceFor(9).get(), second.get());
+  EXPECT_EQ(tracer.TraceFor(1), nullptr);
+  (void)first;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level contracts
+
+struct ObsWorld {
+  ObsWorld() : ObsWorld(Engine::Config()) {}
+  explicit ObsWorld(Engine::Config config) {
+    keys = crypto::KeyStore::CreateForTest(91);
+    authority = std::make_shared<tds::Authority>(Bytes(16, 0x31));
+    workload::GenericOptions gopts;
+    gopts.num_tds = 80;
+    gopts.num_groups = 4;
+    auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                             tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
+    config.options.compute_availability = 0.2;
+    config.options.expected_groups = 4;
+    engine = Engine::Create(std::move(fleet), config).ValueOrDie();
+    querier = std::make_unique<protocol::Querier>("obs",
+                                                  authority->Issue("obs"),
+                                                  keys);
+  }
+
+  std::shared_ptr<const crypto::KeyStore> keys;
+  std::shared_ptr<tds::Authority> authority;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<protocol::Querier> querier;
+};
+
+constexpr char kAggSql[] = "SELECT grp, COUNT(*), AVG(val) FROM T GROUP BY grp";
+constexpr char kSfwSql[] = "SELECT grp, cat FROM T WHERE cat < 4";
+
+/// Runs one protocol kind end to end through the Engine (discovery for the
+/// kinds that need prior knowledge) and returns the outcome.
+protocol::RunOutcome RunKind(ObsWorld& w, protocol::ProtocolKind kind,
+                             uint64_t query_id) {
+  const bool aggregation = kind != protocol::ProtocolKind::kBasicSfw;
+  protocol::ProtocolInputs inputs;
+  if (kind != protocol::ProtocolKind::kBasicSfw &&
+      kind != protocol::ProtocolKind::kSAgg) {
+    inputs = w.engine->DiscoverInputs(*w.querier, 1000 + query_id, kAggSql)
+                 .ValueOrDie();
+  }
+  auto protocol = protocol::MakeProtocol(kind, inputs).ValueOrDie();
+  return w.engine
+      ->Run(*protocol, *w.querier, query_id, aggregation ? kAggSql : kSfwSql)
+      .ValueOrDie();
+}
+
+/// (a) The span tree's totals must equal the CostAccountant's, phase by
+/// phase. The two are accumulated independently (spans in the trace hooks,
+/// tallies in RecordPartition), so this is a genuine cross-check.
+void CheckTraceAgainstAccountant(const protocol::RunOutcome& outcome) {
+  ASSERT_NE(outcome.trace, nullptr);
+  const obs::Trace& trace = *outcome.trace;
+  const sim::CostAccountant& acc = outcome.metrics.accountant;
+
+  const auto& coll = acc.phase(sim::Phase::kCollection);
+  EXPECT_EQ(trace.SumCount(obs::kSpanCollection, "partitions"),
+            coll.partitions);
+  EXPECT_EQ(trace.SumCount(obs::kSpanCollection, "bytes_out"),
+            coll.bytes_uploaded);
+  EXPECT_EQ(trace.SumCount(obs::kSpanCollection, "tuples"),
+            coll.tuples_processed);
+
+  const auto& agg = acc.phase(sim::Phase::kAggregation);
+  EXPECT_EQ(trace.SumCount(obs::kSpanAggregationRound, "partitions"),
+            agg.partitions);
+  EXPECT_EQ(trace.SumCount(obs::kSpanAggregationRound, "bytes_in"),
+            agg.bytes_downloaded);
+  EXPECT_EQ(trace.SumCount(obs::kSpanAggregationRound, "bytes_out"),
+            agg.bytes_uploaded);
+  EXPECT_EQ(trace.SumCount(obs::kSpanAggregationRound, "dropouts"),
+            agg.dropouts);
+  EXPECT_EQ(trace.CountSpans(obs::kSpanAggregationRound), agg.iterations);
+
+  const auto& filt = acc.phase(sim::Phase::kFiltering);
+  EXPECT_EQ(trace.SumCount(obs::kSpanFilteringRound, "partitions"),
+            filt.partitions);
+  EXPECT_EQ(trace.SumCount(obs::kSpanFilteringRound, "bytes_in"),
+            filt.bytes_downloaded);
+  EXPECT_EQ(trace.SumCount(obs::kSpanFilteringRound, "bytes_out"),
+            filt.bytes_uploaded);
+  EXPECT_EQ(trace.CountSpans(obs::kSpanFilteringRound), filt.iterations);
+}
+
+TEST(ObsEngineTest, SpanTotalsMatchAccountantForAllProtocols) {
+  const protocol::ProtocolKind kinds[] = {
+      protocol::ProtocolKind::kBasicSfw, protocol::ProtocolKind::kSAgg,
+      protocol::ProtocolKind::kRnfNoise, protocol::ProtocolKind::kCNoise,
+      protocol::ProtocolKind::kEdHist};
+  uint64_t query_id = 2;
+  for (protocol::ProtocolKind kind : kinds) {
+    ObsWorld w;
+    protocol::RunOutcome outcome = RunKind(w, kind, query_id++);
+    SCOPED_TRACE(protocol::ProtocolKindToString(kind));
+    CheckTraceAgainstAccountant(outcome);
+    // The engine also kept the trace addressable by query id.
+    EXPECT_NE(w.engine->TraceFor(query_id - 1), nullptr);
+  }
+}
+
+TEST(ObsEngineTest, SpanTotalsMatchAccountantUnderDropouts) {
+  Engine::Config config;
+  config.options.dropout_rate = 0.15;
+  config.options.seed = 11;
+  ObsWorld w(config);
+  protocol::RunOutcome outcome =
+      RunKind(w, protocol::ProtocolKind::kSAgg, 3);
+  EXPECT_GT(outcome.metrics.accountant.phase(sim::Phase::kAggregation)
+                .dropouts,
+            0u);
+  CheckTraceAgainstAccountant(outcome);
+}
+
+TEST(ObsEngineTest, RootSpanCarriesProtocolTags) {
+  ObsWorld w;
+  protocol::RunOutcome outcome =
+      RunKind(w, protocol::ProtocolKind::kRnfNoise, 4);
+  const obs::Span* root = outcome.trace->root();
+  EXPECT_EQ(root->name, obs::kSpanQuery);
+  EXPECT_EQ(root->labels.at("protocol"), std::string("Rnf_Noise"));
+  // nf fakes per true tuple -> expected fake ratio nf/(nf+1).
+  ASSERT_TRUE(root->counts.count("nf"));
+  uint64_t nf = root->counts.at("nf");
+  EXPECT_DOUBLE_EQ(root->values.at("expected_fake_ratio"),
+                   static_cast<double>(nf) / static_cast<double>(nf + 1));
+  EXPECT_GT(root->counts.at("group_domain_size"), 0u);
+  EXPECT_GT(root->sim_end_seconds, 0.0);
+}
+
+TEST(ObsEngineTest, MetricsRegistryAgreesWithAccountant) {
+  ObsWorld w;
+  protocol::RunOutcome outcome = RunKind(w, protocol::ProtocolKind::kSAgg, 5);
+  const sim::CostAccountant& acc = outcome.metrics.accountant;
+  uint64_t uploaded = 0, downloaded = 0;
+  for (sim::Phase phase : {sim::Phase::kCollection, sim::Phase::kAggregation,
+                           sim::Phase::kFiltering}) {
+    uploaded += acc.phase(phase).bytes_uploaded;
+    downloaded += acc.phase(phase).bytes_downloaded;
+  }
+  obs::MetricsRegistry& m = w.engine->metrics();
+  EXPECT_EQ(m.counter("engine.bytes_uploaded").value(), uploaded);
+  EXPECT_EQ(m.counter("engine.bytes_downloaded").value(), downloaded);
+  EXPECT_EQ(m.counter("engine.queries_completed").value(), 1u);
+  EXPECT_GT(m.counter("engine.rounds").value(), 0u);
+}
+
+/// (b) The exported trace must be byte-identical for any worker-thread
+/// count: spans are only written from the engine's serial sections, and the
+/// default export omits wall times.
+TEST(ObsEngineTest, TraceExportsIdenticalAcrossThreadCounts) {
+  std::string baseline_json, baseline_csv;
+  for (size_t threads : {1u, 2u, 8u}) {
+    Engine::Config config;
+    config.options.num_threads = threads;
+    config.options.dropout_rate = 0.1;
+    config.options.seed = 29;
+    ObsWorld w(config);
+    protocol::RunOutcome outcome =
+        RunKind(w, protocol::ProtocolKind::kSAgg, 6);
+    ASSERT_NE(outcome.trace, nullptr);
+    std::string json = outcome.trace->ToJson();
+    std::string csv = outcome.trace->ToCsv();
+    if (threads == 1) {
+      baseline_json = json;
+      baseline_csv = csv;
+      continue;
+    }
+    EXPECT_EQ(json, baseline_json) << "threads=" << threads;
+    EXPECT_EQ(csv, baseline_csv) << "threads=" << threads;
+  }
+}
+
+TEST(ObsEngineTest, SessionTracesConcurrentQueriesIndependently) {
+  ObsWorld w;
+  protocol::SAggProtocol s_agg;
+  protocol::BasicSfwProtocol basic;
+  auto session = w.engine->NewSession();
+  ASSERT_TRUE(session.Submit(21, w.querier.get(), &s_agg, kAggSql).ok());
+  ASSERT_TRUE(session.Submit(22, w.querier.get(), &basic, kSfwSql).ok());
+  auto outcomes = session.RunAll().ValueOrDie();
+  ASSERT_EQ(outcomes.size(), 2u);
+  CheckTraceAgainstAccountant(outcomes.at(21));
+  CheckTraceAgainstAccountant(outcomes.at(22));
+  EXPECT_EQ(outcomes.at(21).trace->query_id(), 21u);
+  EXPECT_EQ(outcomes.at(22).trace->query_id(), 22u);
+  // Basic_SFW has no aggregation phase; its trace must say so too.
+  EXPECT_EQ(outcomes.at(22).trace->CountSpans(obs::kSpanAggregationRound),
+            0u);
+  EXPECT_EQ(outcomes.at(21).trace->CountSpans(obs::kSpanDecrypt), 1u);
+}
+
+TEST(ObsEngineTest, TracingOffYieldsNoTraces) {
+  Engine::Config config;
+  config.tracing = false;
+  ObsWorld w(config);
+  protocol::RunOutcome outcome = RunKind(w, protocol::ProtocolKind::kSAgg, 8);
+  EXPECT_EQ(outcome.trace, nullptr);
+  EXPECT_EQ(w.engine->tracer().size(), 0u);
+  // Metrics still accumulate.
+  EXPECT_GT(w.engine->metrics().counter("engine.partitions").value(), 0u);
+}
+
+TEST(ObsEngineTest, EngineCreateValidatesOptions) {
+  auto keys = crypto::KeyStore::CreateForTest(91);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x31));
+  workload::GenericOptions gopts;
+  gopts.num_tds = 4;
+  auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  Engine::Config config;
+  config.options.alpha = 1.0;  // merge rounds would never shrink the set
+  EXPECT_FALSE(Engine::Create(std::move(fleet), config).ok());
+  EXPECT_FALSE(Engine::Create(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace tcells

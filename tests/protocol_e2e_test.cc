@@ -422,7 +422,8 @@ TEST(DiscoveryTest, RecoversTrueDistribution) {
   uint64_t total = 0;
   for (const auto& [key, count] : discovered.frequency) total += count;
   EXPECT_EQ(total, w.fleet->size());
-  EXPECT_EQ(discovered.Domain()->size(), discovered.frequency.size());
+  EXPECT_EQ(discovered.Domain().ValueOrDie()->size(),
+            discovered.frequency.size());
 }
 
 TEST(SmartMeterTest, FlagshipQueryEndToEndWithDiscoveryAndEdHist) {

@@ -149,5 +149,58 @@ TEST(SessionTest, ProtocolShapeMismatchRejectedAtSubmit) {
                    .ok());
 }
 
+// Malformed RunOptions fail RunOptions::Validate and are rejected at Submit
+// time, before any post reaches the hub.
+TEST(SessionTest, InvalidOptionsRejectedAtSubmit) {
+  SessionWorld w;
+  const char* sql = "SELECT grp, COUNT(*) FROM T GROUP BY grp";
+  SAggProtocol s_agg;
+
+  auto rejects = [&](RunOptions opts) {
+    EXPECT_FALSE(opts.Validate().ok());
+    QuerySession session(w.fleet.get(), w.device, opts);
+    Status s = session.Submit(1, w.querier.get(), &s_agg, sql);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(session.num_pending(), 0u);
+  };
+
+  RunOptions opts;
+  opts.alpha = 1.0;  // merge fan-in must exceed 1 or S_Agg never converges
+  rejects(opts);
+  opts = RunOptions();
+  opts.alpha = 0.5;
+  rejects(opts);
+  opts = RunOptions();
+  opts.dropout_rate = 1.5;
+  rejects(opts);
+  opts = RunOptions();
+  opts.dropout_rate = -0.1;
+  rejects(opts);
+  opts = RunOptions();
+  opts.dropout_rate = 0.2;  // losses possible but no redispatch budget
+  opts.max_dropout_retries = 0;
+  rejects(opts);
+  opts = RunOptions();
+  opts.compute_availability = 0.0;
+  rejects(opts);
+  opts = RunOptions();
+  opts.compute_availability = 1.5;
+  rejects(opts);
+  opts = RunOptions();
+  opts.connect_prob_per_tick = 0.0;
+  rejects(opts);
+  opts = RunOptions();
+  opts.dropout_timeout_seconds = -1.0;
+  rejects(opts);
+  opts = RunOptions();
+  opts.nf = -1;
+  rejects(opts);
+
+  // Defaults are valid, and a valid config still submits fine.
+  EXPECT_TRUE(RunOptions().Validate().ok());
+  QuerySession session(w.fleet.get(), w.device, {});
+  EXPECT_TRUE(session.Submit(1, w.querier.get(), &s_agg, sql).ok());
+}
+
 }  // namespace
 }  // namespace tcells::protocol
