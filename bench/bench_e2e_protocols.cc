@@ -7,7 +7,10 @@
 //
 // After the human-readable table, two machine-readable CSV blocks follow:
 // one row per (G, protocol) run, and the engine-wide MetricsRegistry dump
-// (counters + histograms) accumulated across all runs.
+// (counters + histograms) accumulated across all runs. A JSON summary with
+// per-protocol wall time and ns/tuple is also written to BENCH_e2e.json (or
+// argv[1]).
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -22,7 +25,7 @@
 
 using namespace tcells;
 
-int main() {
+int main(int argc, char** argv) {
   const size_t kTds = 600;
   sim::DeviceModel device;
   bool all_match = true;
@@ -31,6 +34,9 @@ int main() {
   std::string run_csv =
       "groups,protocol,match,p_tds,load_bytes,tq_seconds,tlocal_seconds,"
       "rounds\n";
+  // One JSON object per (G, protocol) run: wall time around RunQuery and
+  // the engine.tuples_processed delta give real ns per sealed tuple.
+  std::string json_runs;
 
   std::printf("=== e2e simulation: N_t=%zu TDSs, functional protocols ===\n",
               kTds);
@@ -86,9 +92,18 @@ int main() {
 
     uint64_t query_id = 10;
     for (auto& e : entries) {
+      const uint64_t tuples_before =
+          registry.counter("engine.tuples_processed").value();
+      const auto wall0 = std::chrono::steady_clock::now();
       auto outcome = protocol::RunQuery(*e.protocol, fleet.get(), querier,
                                         query_id++, sql, device, opts,
                                         telemetry);
+      const double wall_ns =
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - wall0)
+              .count();
+      const uint64_t tuples =
+          registry.counter("engine.tuples_processed").value() - tuples_before;
       if (!outcome.ok()) {
         std::printf("%-6zu %-10s ERROR %s\n", groups, e.name,
                     outcome.status().ToString().c_str());
@@ -108,11 +123,37 @@ int main() {
                  obs::FormatDouble(m.Tq()) + "," +
                  obs::FormatDouble(m.Tlocal(device)) + "," +
                  std::to_string(m.aggregation_rounds) + "\n";
+      char json_row[512];
+      std::snprintf(
+          json_row, sizeof(json_row),
+          "    {\"groups\": %zu, \"protocol\": \"%s\", \"match\": %s, "
+          "\"wall_ms\": %.3f, \"tuples_processed\": %llu, "
+          "\"ns_per_tuple\": %.1f, \"p_tds\": %zu, \"load_bytes\": %llu, "
+          "\"tq_seconds\": %.6f, \"rounds\": %zu}",
+          groups, e.name, match ? "true" : "false", wall_ns / 1e6,
+          static_cast<unsigned long long>(tuples),
+          tuples == 0 ? 0.0 : wall_ns / static_cast<double>(tuples),
+          m.Ptds(), static_cast<unsigned long long>(m.LoadBytes()), m.Tq(),
+          m.aggregation_rounds);
+      if (!json_runs.empty()) json_runs += ",\n";
+      json_runs += json_row;
     }
   }
 
   std::printf("\n--- per-run metrics (csv) ---\n%s", run_csv.c_str());
   std::printf("\n--- engine metrics (csv) ---\n%s", registry.ToCsv().c_str());
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_e2e.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_e2e_protocols\",\n");
+    std::fprintf(f, "  \"num_tds\": %zu,\n", kTds);
+    std::fprintf(f, "  \"all_match\": %s,\n", all_match ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n%s\n  ]\n}\n", json_runs.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::printf("could not write %s\n", json_path);
+  }
 
   std::printf("\nall protocol results match the plaintext oracle: %s\n",
               all_match ? "yes" : "NO");

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "crypto/aes.h"
+#include "crypto/aes_dispatch.h"
 #include "crypto/encryption.h"
 #include "crypto/hmac.h"
 #include "crypto/keystore.h"
@@ -16,7 +17,29 @@
 namespace tcells {
 namespace {
 
+// Backend-parameterized benchmarks take an arg 0 = portable, 1 = AES-NI.
+// Returns false (and skips the benchmark) when the requested backend is not
+// available on this machine; restores default dispatch at benchmark teardown
+// via the caller-side ForceAesBackend(nullopt) below.
+bool SelectBackend(benchmark::State& state, int64_t which) {
+  if (which == 0) {
+    crypto::ForceAesBackend(crypto::AesBackend::kPortable);
+    state.SetLabel("portable");
+    return true;
+  }
+  if (!crypto::AesNiAvailable()) {
+    state.SkipWithError("AES-NI not available");
+    return false;
+  }
+  crypto::ForceAesBackend(crypto::AesBackend::kAesNi);
+  state.SetLabel("aesni");
+  return true;
+}
+
+void RestoreBackend() { crypto::ForceAesBackend(std::nullopt); }
+
 void BM_AesBlockEncrypt(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
   Rng rng(1);
   auto aes = crypto::Aes128::Create(rng.NextBytes(16)).ValueOrDie();
   uint8_t block[16] = {0};
@@ -25,8 +48,67 @@ void BM_AesBlockEncrypt(benchmark::State& state) {
     benchmark::DoNotOptimize(block);
   }
   state.SetBytesProcessed(state.iterations() * 16);
+  RestoreBackend();
 }
-BENCHMARK(BM_AesBlockEncrypt);
+BENCHMARK(BM_AesBlockEncrypt)->Arg(0)->Arg(1);
+
+void BM_AesBlockDecrypt(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
+  Rng rng(1);
+  auto aes = crypto::Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.DecryptBlock(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+  RestoreBackend();
+}
+BENCHMARK(BM_AesBlockDecrypt)->Arg(0)->Arg(1);
+
+void BM_AesEncryptBlocks64(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
+  Rng rng(1);
+  auto aes = crypto::Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes buf = rng.NextBytes(64 * 16);
+  for (auto _ : state) {
+    aes.EncryptBlocks(buf.data(), buf.data(), 64);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 16);
+  RestoreBackend();
+}
+BENCHMARK(BM_AesEncryptBlocks64)->Arg(0)->Arg(1);
+
+void BM_AesDecryptBlocks64(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
+  Rng rng(1);
+  auto aes = crypto::Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes buf = rng.NextBytes(64 * 16);
+  for (auto _ : state) {
+    aes.DecryptBlocks(buf.data(), buf.data(), 64);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 16);
+  RestoreBackend();
+}
+BENCHMARK(BM_AesDecryptBlocks64)->Arg(0)->Arg(1);
+
+void BM_CtrXor4k(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
+  Rng rng(1);
+  auto aes = crypto::Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes iv = rng.NextBytes(16);
+  Bytes in = rng.NextBytes(4096);
+  Bytes out(in.size());
+  for (auto _ : state) {
+    crypto::CtrXor(aes, iv.data(), in.data(), in.size(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+  RestoreBackend();
+}
+BENCHMARK(BM_CtrXor4k)->Arg(0)->Arg(1);
 
 void BM_Sha256(benchmark::State& state) {
   Rng rng(2);
@@ -50,41 +132,97 @@ void BM_HmacSha256(benchmark::State& state) {
 }
 BENCHMARK(BM_HmacSha256);
 
+void BM_HmacStateMac(benchmark::State& state) {
+  Rng rng(3);
+  crypto::HmacState mac(rng.NextBytes(16));
+  Bytes data = rng.NextBytes(64);
+  for (auto _ : state) {
+    auto d = mac.Mac(data);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_HmacStateMac);
+
+// Scheme benchmarks take Args({size, backend}).
 void BM_NDetEncrypt(benchmark::State& state) {
   Rng rng(4);
   auto scheme = crypto::NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
   Bytes pt = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  const int64_t size = state.range(0);
+  if (!SelectBackend(state, state.range(1))) return;
+  Bytes ct;
   for (auto _ : state) {
-    Bytes ct = scheme.Encrypt(pt, &rng);
+    scheme.Encrypt(pt.data(), pt.size(), &rng, &ct);
     benchmark::DoNotOptimize(ct);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * size);
+  RestoreBackend();
 }
-BENCHMARK(BM_NDetEncrypt)->Arg(16)->Arg(4096);
+BENCHMARK(BM_NDetEncrypt)
+    ->Args({16, 0})->Args({16, 1})->Args({4096, 0})->Args({4096, 1});
 
 void BM_NDetDecrypt(benchmark::State& state) {
   Rng rng(5);
   auto scheme = crypto::NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
   Bytes ct = scheme.Encrypt(rng.NextBytes(static_cast<size_t>(state.range(0))),
                             &rng);
+  const int64_t size = state.range(0);
+  if (!SelectBackend(state, state.range(1))) return;
+  Bytes pt;
   for (auto _ : state) {
-    auto pt = scheme.Decrypt(ct);
+    benchmark::DoNotOptimize(scheme.Decrypt(ct.data(), ct.size(), &pt).ok());
     benchmark::DoNotOptimize(pt);
   }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * size);
+  RestoreBackend();
 }
-BENCHMARK(BM_NDetDecrypt)->Arg(16)->Arg(4096);
+BENCHMARK(BM_NDetDecrypt)
+    ->Args({16, 0})->Args({16, 1})->Args({4096, 0})->Args({4096, 1});
 
 void BM_DetEncrypt(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
   Rng rng(6);
   auto scheme = crypto::DetEnc::Create(rng.NextBytes(16)).ValueOrDie();
   Bytes pt = rng.NextBytes(32);
+  Bytes ct;
   for (auto _ : state) {
-    Bytes ct = scheme.Encrypt(pt);
+    scheme.Encrypt(pt.data(), pt.size(), &ct);
     benchmark::DoNotOptimize(ct);
   }
+  RestoreBackend();
 }
-BENCHMARK(BM_DetEncrypt);
+BENCHMARK(BM_DetEncrypt)->Arg(0)->Arg(1);
+
+void BM_DetDecrypt(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
+  Rng rng(6);
+  auto scheme = crypto::DetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes ct = scheme.Encrypt(rng.NextBytes(1024));
+  Bytes pt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.Decrypt(ct.data(), ct.size(), &pt).ok());
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+  RestoreBackend();
+}
+BENCHMARK(BM_DetDecrypt)->Arg(0)->Arg(1);
+
+void BM_DetRoundtrip(benchmark::State& state) {
+  if (!SelectBackend(state, state.range(0))) return;
+  Rng rng(6);
+  auto scheme = crypto::DetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  Bytes pt = rng.NextBytes(1024);
+  Bytes ct, back;
+  for (auto _ : state) {
+    scheme.Encrypt(pt.data(), pt.size(), &ct);
+    benchmark::DoNotOptimize(scheme.Decrypt(ct.data(), ct.size(), &back).ok());
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+  RestoreBackend();
+}
+BENCHMARK(BM_DetRoundtrip)->Arg(0)->Arg(1);
 
 void BM_TupleCodec(benchmark::State& state) {
   storage::Tuple t({storage::Value::String("D042"),

@@ -55,6 +55,11 @@ bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
 
 Bytes Rng::NextBytes(size_t n) {
   Bytes out(n);
+  FillBytes(out.data(), n);
+  return out;
+}
+
+void Rng::FillBytes(uint8_t* out, size_t n) {
   size_t i = 0;
   while (i + 8 <= n) {
     uint64_t r = Next();
@@ -67,7 +72,6 @@ Bytes Rng::NextBytes(size_t n) {
       r >>= 8;
     }
   }
-  return out;
 }
 
 ZipfSampler::ZipfSampler(size_t n, double s) {

@@ -35,6 +35,11 @@ class Rng {
   /// `n` random bytes.
   Bytes NextBytes(size_t n);
 
+  /// Writes `n` random bytes to `out` — the identical byte stream NextBytes
+  /// would return, without the allocation (hot seal paths draw one IV per
+  /// tuple).
+  void FillBytes(uint8_t* out, size_t n);
+
   /// Derives an independent child generator by drawing one value from this
   /// stream (the child re-expands it through splitmix64 seeding, so parent
   /// and child sequences are well separated). Forking serially and handing

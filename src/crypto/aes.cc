@@ -1,8 +1,27 @@
 #include "crypto/aes.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 
+#include "crypto/aes_dispatch.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define TCELLS_AES_X86_64 1
+#endif
+
 namespace tcells::crypto {
+
+#if TCELLS_HAVE_AESNI_TU
+// Implemented in aes_ni.cc (compiled with -maes).
+namespace aesni {
+void EncryptBlocks(const uint8_t schedule[Aes128::kScheduleBytes],
+                   const uint8_t* in, uint8_t* out, size_t nblocks);
+void DecryptBlocks(const uint8_t schedule[Aes128::kScheduleBytes],
+                   const uint8_t* in, uint8_t* out, size_t nblocks);
+}  // namespace aesni
+#endif
 
 namespace {
 
@@ -57,11 +76,11 @@ constexpr uint8_t kInvSbox[256] = {
 constexpr uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
                                0x20, 0x40, 0x80, 0x1b, 0x36};
 
-uint8_t Xtime(uint8_t x) {
+constexpr uint8_t Xtime(uint8_t x) {
   return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
-uint8_t Mul(uint8_t x, uint8_t y) {
+constexpr uint8_t Mul(uint8_t x, uint8_t y) {
   uint8_t r = 0;
   while (y) {
     if (y & 1) r ^= x;
@@ -71,14 +90,210 @@ uint8_t Mul(uint8_t x, uint8_t y) {
   return r;
 }
 
+constexpr uint32_t RotR(uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+// T-tables (generated at compile time): Te0[x] is MixColumns applied to the
+// column (S[x], 0, 0, 0) packed big-endian, so one lookup covers SubBytes +
+// MixColumns for one byte; Te1..Te3 are byte rotations of Te0. Td0 is the
+// decryption analogue built on InvSbox and the InvMixColumns matrix.
+struct AesTables {
+  uint32_t te0[256];
+  uint32_t td0[256];
+};
+
+constexpr AesTables MakeTables() {
+  AesTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t s = kSbox[i];
+    t.te0[i] = (static_cast<uint32_t>(Xtime(s)) << 24) |
+               (static_cast<uint32_t>(s) << 16) |
+               (static_cast<uint32_t>(s) << 8) |
+               static_cast<uint32_t>(static_cast<uint8_t>(Xtime(s) ^ s));
+    const uint8_t is = kInvSbox[i];
+    t.td0[i] = (static_cast<uint32_t>(Mul(is, 14)) << 24) |
+               (static_cast<uint32_t>(Mul(is, 9)) << 16) |
+               (static_cast<uint32_t>(Mul(is, 13)) << 8) |
+               static_cast<uint32_t>(Mul(is, 11));
+  }
+  return t;
+}
+
+constexpr AesTables kT = MakeTables();
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+void PortableEncryptBlock(const uint32_t rk[44], const uint8_t in[16],
+                          uint8_t out[16]) {
+  uint32_t s0 = LoadBe32(in) ^ rk[0];
+  uint32_t s1 = LoadBe32(in + 4) ^ rk[1];
+  uint32_t s2 = LoadBe32(in + 8) ^ rk[2];
+  uint32_t s3 = LoadBe32(in + 12) ^ rk[3];
+  for (int round = 1; round < 10; ++round) {
+    const uint32_t* k = rk + 4 * round;
+    uint32_t t0 = kT.te0[s0 >> 24] ^ RotR(kT.te0[(s1 >> 16) & 0xff], 8) ^
+                  RotR(kT.te0[(s2 >> 8) & 0xff], 16) ^
+                  RotR(kT.te0[s3 & 0xff], 24) ^ k[0];
+    uint32_t t1 = kT.te0[s1 >> 24] ^ RotR(kT.te0[(s2 >> 16) & 0xff], 8) ^
+                  RotR(kT.te0[(s3 >> 8) & 0xff], 16) ^
+                  RotR(kT.te0[s0 & 0xff], 24) ^ k[1];
+    uint32_t t2 = kT.te0[s2 >> 24] ^ RotR(kT.te0[(s3 >> 16) & 0xff], 8) ^
+                  RotR(kT.te0[(s0 >> 8) & 0xff], 16) ^
+                  RotR(kT.te0[s1 & 0xff], 24) ^ k[2];
+    uint32_t t3 = kT.te0[s3 >> 24] ^ RotR(kT.te0[(s0 >> 16) & 0xff], 8) ^
+                  RotR(kT.te0[(s1 >> 8) & 0xff], 16) ^
+                  RotR(kT.te0[s2 & 0xff], 24) ^ k[3];
+    s0 = t0; s1 = t1; s2 = t2; s3 = t3;
+  }
+  const uint32_t* k = rk + 40;
+  uint32_t o0 = (static_cast<uint32_t>(kSbox[s0 >> 24]) << 24 |
+                 static_cast<uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kSbox[s3 & 0xff])) ^ k[0];
+  uint32_t o1 = (static_cast<uint32_t>(kSbox[s1 >> 24]) << 24 |
+                 static_cast<uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kSbox[s0 & 0xff])) ^ k[1];
+  uint32_t o2 = (static_cast<uint32_t>(kSbox[s2 >> 24]) << 24 |
+                 static_cast<uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kSbox[s1 & 0xff])) ^ k[2];
+  uint32_t o3 = (static_cast<uint32_t>(kSbox[s3 >> 24]) << 24 |
+                 static_cast<uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kSbox[s2 & 0xff])) ^ k[3];
+  StoreBe32(out, o0);
+  StoreBe32(out + 4, o1);
+  StoreBe32(out + 8, o2);
+  StoreBe32(out + 12, o3);
+}
+
+// Equivalent inverse cipher: the round keys already carry InvMixColumns, so
+// each round is four Td0 lookups per word — no GF(2^8) multiply loops.
+void PortableDecryptBlock(const uint32_t rk[44], const uint8_t in[16],
+                          uint8_t out[16]) {
+  uint32_t s0 = LoadBe32(in) ^ rk[0];
+  uint32_t s1 = LoadBe32(in + 4) ^ rk[1];
+  uint32_t s2 = LoadBe32(in + 8) ^ rk[2];
+  uint32_t s3 = LoadBe32(in + 12) ^ rk[3];
+  for (int round = 1; round < 10; ++round) {
+    const uint32_t* k = rk + 4 * round;
+    uint32_t t0 = kT.td0[s0 >> 24] ^ RotR(kT.td0[(s3 >> 16) & 0xff], 8) ^
+                  RotR(kT.td0[(s2 >> 8) & 0xff], 16) ^
+                  RotR(kT.td0[s1 & 0xff], 24) ^ k[0];
+    uint32_t t1 = kT.td0[s1 >> 24] ^ RotR(kT.td0[(s0 >> 16) & 0xff], 8) ^
+                  RotR(kT.td0[(s3 >> 8) & 0xff], 16) ^
+                  RotR(kT.td0[s2 & 0xff], 24) ^ k[1];
+    uint32_t t2 = kT.td0[s2 >> 24] ^ RotR(kT.td0[(s1 >> 16) & 0xff], 8) ^
+                  RotR(kT.td0[(s0 >> 8) & 0xff], 16) ^
+                  RotR(kT.td0[s3 & 0xff], 24) ^ k[2];
+    uint32_t t3 = kT.td0[s3 >> 24] ^ RotR(kT.td0[(s2 >> 16) & 0xff], 8) ^
+                  RotR(kT.td0[(s1 >> 8) & 0xff], 16) ^
+                  RotR(kT.td0[s0 & 0xff], 24) ^ k[3];
+    s0 = t0; s1 = t1; s2 = t2; s3 = t3;
+  }
+  const uint32_t* k = rk + 40;
+  uint32_t o0 = (static_cast<uint32_t>(kInvSbox[s0 >> 24]) << 24 |
+                 static_cast<uint32_t>(kInvSbox[(s3 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kInvSbox[(s2 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kInvSbox[s1 & 0xff])) ^ k[0];
+  uint32_t o1 = (static_cast<uint32_t>(kInvSbox[s1 >> 24]) << 24 |
+                 static_cast<uint32_t>(kInvSbox[(s0 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kInvSbox[(s3 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kInvSbox[s2 & 0xff])) ^ k[1];
+  uint32_t o2 = (static_cast<uint32_t>(kInvSbox[s2 >> 24]) << 24 |
+                 static_cast<uint32_t>(kInvSbox[(s1 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kInvSbox[(s0 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kInvSbox[s3 & 0xff])) ^ k[2];
+  uint32_t o3 = (static_cast<uint32_t>(kInvSbox[s3 >> 24]) << 24 |
+                 static_cast<uint32_t>(kInvSbox[(s2 >> 16) & 0xff]) << 16 |
+                 static_cast<uint32_t>(kInvSbox[(s1 >> 8) & 0xff]) << 8 |
+                 static_cast<uint32_t>(kInvSbox[s0 & 0xff])) ^ k[3];
+  StoreBe32(out, o0);
+  StoreBe32(out + 4, o1);
+  StoreBe32(out + 8, o2);
+  StoreBe32(out + 12, o3);
+}
+
+// ---------------------------------------------------------------------------
+// Backend resolution
+
+bool CpuHasAesNi() {
+#if defined(TCELLS_AES_X86_64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 25)) != 0;
+#else
+  return false;
+#endif
+}
+
+AesBackend ResolveDefaultBackend() {
+  const char* force = std::getenv("TCELLS_FORCE_PORTABLE_AES");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return AesBackend::kPortable;
+  }
+  return AesNiAvailable() ? AesBackend::kAesNi : AesBackend::kPortable;
+}
+
+// kPortable/kAesNi encoded as 1/2 so 0 can mean "not yet resolved".
+std::atomic<int> g_backend{0};
+
 }  // namespace
+
+bool AesNiAvailable() {
+#if TCELLS_HAVE_AESNI_TU
+  static const bool supported = CpuHasAesNi();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+AesBackend ActiveAesBackend() {
+  int v = g_backend.load(std::memory_order_acquire);
+  if (v == 0) {
+    v = ResolveDefaultBackend() == AesBackend::kAesNi ? 2 : 1;
+    g_backend.store(v, std::memory_order_release);
+  }
+  return v == 2 ? AesBackend::kAesNi : AesBackend::kPortable;
+}
+
+void ForceAesBackend(std::optional<AesBackend> backend) {
+  if (!backend.has_value()) {
+    g_backend.store(0, std::memory_order_release);
+    return;
+  }
+  AesBackend b = *backend;
+  if (b == AesBackend::kAesNi && !AesNiAvailable()) b = AesBackend::kPortable;
+  g_backend.store(b == AesBackend::kAesNi ? 2 : 1, std::memory_order_release);
+}
+
+const char* AesBackendName(AesBackend backend) {
+  return backend == AesBackend::kAesNi ? "aesni" : "portable";
+}
+
+// ---------------------------------------------------------------------------
+// Aes128
 
 Result<Aes128> Aes128::Create(const Bytes& key) {
   if (key.size() != kKeySize) {
     return Status::InvalidArgument("AES-128 key must be 16 bytes");
   }
   Aes128 aes;
-  uint8_t* rk = aes.round_keys_.data();
+  uint8_t* rk = aes.enc_keys_.data();
   std::memcpy(rk, key.data(), kKeySize);
   for (int i = 4; i < 44; ++i) {
     uint8_t temp[4];
@@ -95,61 +310,69 @@ Result<Aes128> Aes128::Create(const Bytes& key) {
       rk[4 * i + k] = rk[4 * (i - 4) + k] ^ temp[k];
     }
   }
+
+  // Equivalent-inverse-cipher schedule: reverse the round-key order and fold
+  // InvMixColumns into the nine middle keys, once per key instead of per
+  // block (this is also exactly the AESIMC transform the hardware path
+  // expects).
+  uint8_t* dk = aes.dec_keys_.data();
+  std::memcpy(dk, rk + 160, 16);
+  std::memcpy(dk + 160, rk, 16);
+  for (int round = 1; round < 10; ++round) {
+    const uint8_t* src = rk + 16 * (10 - round);
+    uint8_t* dst = dk + 16 * round;
+    for (int c = 0; c < 4; ++c) {
+      const uint8_t a0 = src[4 * c], a1 = src[4 * c + 1];
+      const uint8_t a2 = src[4 * c + 2], a3 = src[4 * c + 3];
+      dst[4 * c] = static_cast<uint8_t>(Mul(a0, 14) ^ Mul(a1, 11) ^
+                                        Mul(a2, 13) ^ Mul(a3, 9));
+      dst[4 * c + 1] = static_cast<uint8_t>(Mul(a0, 9) ^ Mul(a1, 14) ^
+                                            Mul(a2, 11) ^ Mul(a3, 13));
+      dst[4 * c + 2] = static_cast<uint8_t>(Mul(a0, 13) ^ Mul(a1, 9) ^
+                                            Mul(a2, 14) ^ Mul(a3, 11));
+      dst[4 * c + 3] = static_cast<uint8_t>(Mul(a0, 11) ^ Mul(a1, 13) ^
+                                            Mul(a2, 9) ^ Mul(a3, 14));
+    }
+  }
+
+  for (int i = 0; i < 44; ++i) {
+    aes.enc_words_[i] = LoadBe32(rk + 4 * i);
+    aes.dec_words_[i] = LoadBe32(dk + 4 * i);
+  }
   return aes;
 }
 
-void Aes128::EncryptBlock(uint8_t s[kBlockSize]) const {
-  const uint8_t* rk = round_keys_.data();
-  for (size_t i = 0; i < kBlockSize; ++i) s[i] ^= rk[i];
-  for (int round = 1; round <= 10; ++round) {
-    // SubBytes.
-    for (size_t i = 0; i < kBlockSize; ++i) s[i] = kSbox[s[i]];
-    // ShiftRows (state is column-major: s[row + 4*col]).
-    uint8_t t;
-    t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
-    t = s[2]; s[2] = s[10]; s[10] = t; t = s[6]; s[6] = s[14]; s[14] = t;
-    t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
-    // MixColumns (skipped in the final round).
-    if (round != 10) {
-      for (int c = 0; c < 4; ++c) {
-        uint8_t* col = s + 4 * c;
-        uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        uint8_t all = a0 ^ a1 ^ a2 ^ a3;
-        col[0] ^= all ^ Xtime(a0 ^ a1);
-        col[1] ^= all ^ Xtime(a1 ^ a2);
-        col[2] ^= all ^ Xtime(a2 ^ a3);
-        col[3] ^= all ^ Xtime(a3 ^ a0);
-      }
-    }
-    // AddRoundKey.
-    for (size_t i = 0; i < kBlockSize; ++i) s[i] ^= rk[16 * round + i];
+void Aes128::EncryptBlock(uint8_t block[kBlockSize]) const {
+  EncryptBlocks(block, block, 1);
+}
+
+void Aes128::DecryptBlock(uint8_t block[kBlockSize]) const {
+  DecryptBlocks(block, block, 1);
+}
+
+void Aes128::EncryptBlocks(const uint8_t* in, uint8_t* out,
+                           size_t nblocks) const {
+#if TCELLS_HAVE_AESNI_TU
+  if (ActiveAesBackend() == AesBackend::kAesNi) {
+    aesni::EncryptBlocks(enc_keys_.data(), in, out, nblocks);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < nblocks; ++b) {
+    PortableEncryptBlock(enc_words_.data(), in + 16 * b, out + 16 * b);
   }
 }
 
-void Aes128::DecryptBlock(uint8_t s[kBlockSize]) const {
-  const uint8_t* rk = round_keys_.data();
-  for (size_t i = 0; i < kBlockSize; ++i) s[i] ^= rk[160 + i];
-  for (int round = 9; round >= 0; --round) {
-    // InvShiftRows.
-    uint8_t t;
-    t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
-    t = s[2]; s[2] = s[10]; s[10] = t; t = s[6]; s[6] = s[14]; s[14] = t;
-    t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
-    // InvSubBytes.
-    for (size_t i = 0; i < kBlockSize; ++i) s[i] = kInvSbox[s[i]];
-    // AddRoundKey.
-    for (size_t i = 0; i < kBlockSize; ++i) s[i] ^= rk[16 * round + i];
-    // InvMixColumns (skipped for the round key 0 step).
-    if (round != 0) {
-      for (int c = 0; c < 4; ++c) {
-        uint8_t* col = s + 4 * c;
-        uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        col[0] = static_cast<uint8_t>(Mul(a0, 14) ^ Mul(a1, 11) ^ Mul(a2, 13) ^ Mul(a3, 9));
-        col[1] = static_cast<uint8_t>(Mul(a0, 9) ^ Mul(a1, 14) ^ Mul(a2, 11) ^ Mul(a3, 13));
-        col[2] = static_cast<uint8_t>(Mul(a0, 13) ^ Mul(a1, 9) ^ Mul(a2, 14) ^ Mul(a3, 11));
-        col[3] = static_cast<uint8_t>(Mul(a0, 11) ^ Mul(a1, 13) ^ Mul(a2, 9) ^ Mul(a3, 14));
-      }
-    }
+void Aes128::DecryptBlocks(const uint8_t* in, uint8_t* out,
+                           size_t nblocks) const {
+#if TCELLS_HAVE_AESNI_TU
+  if (ActiveAesBackend() == AesBackend::kAesNi) {
+    aesni::DecryptBlocks(dec_keys_.data(), in, out, nblocks);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < nblocks; ++b) {
+    PortableDecryptBlock(dec_words_.data(), in + 16 * b, out + 16 * b);
   }
 }
 

@@ -2,35 +2,47 @@
 
 #include <cstring>
 
-#include "crypto/hmac.h"
-
 namespace tcells::crypto {
+
+namespace {
+
+// Big-endian increment of the low 64 bits of a counter block (the tail
+// wraps within the low half; IV collisions across 2^64 blocks are out of
+// scope).
+inline void IncrementCounter(uint8_t counter[16]) {
+  for (int i = 15; i >= 8; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+}  // namespace
 
 void CtrXor(const Aes128& aes, const uint8_t iv[16], const uint8_t* in,
             size_t n, uint8_t* out) {
+  uint8_t counters[16 * kCtrBatchBlocks];
+  uint8_t keystream[16 * kCtrBatchBlocks];
   uint8_t counter[16];
   std::memcpy(counter, iv, 16);
-  uint8_t keystream[16];
   size_t pos = 0;
   while (pos < n) {
-    std::memcpy(keystream, counter, 16);
-    aes.EncryptBlock(keystream);
-    size_t take = std::min<size_t>(16, n - pos);
+    const size_t blocks =
+        std::min(kCtrBatchBlocks, (n - pos + 15) / 16);
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + 16 * b, counter, 16);
+      IncrementCounter(counter);
+    }
+    aes.EncryptBlocks(counters, keystream, blocks);
+    const size_t take = std::min(n - pos, blocks * 16);
     for (size_t i = 0; i < take; ++i) out[pos + i] = in[pos + i] ^ keystream[i];
     pos += take;
-    // Increment the low 64 bits of the counter (big-endian within the block
-    // tail); IV collisions across 2^64 blocks are out of scope.
-    for (int i = 15; i >= 8; --i) {
-      if (++counter[i] != 0) break;
-    }
   }
 }
 
 // ---------------------------------------------------------------------------
 // NDetEnc
 
-NDetEnc::NDetEnc(Aes128 aes, Bytes mac_key)
-    : aes_(aes), mac_key_(std::move(mac_key)) {}
+NDetEnc::NDetEnc(Aes128 aes, HmacState mac)
+    : aes_(aes), mac_(std::move(mac)) {}
 
 Result<NDetEnc> NDetEnc::Create(const Bytes& master_key) {
   if (master_key.size() != Aes128::kKeySize) {
@@ -39,39 +51,51 @@ Result<NDetEnc> NDetEnc::Create(const Bytes& master_key) {
   Bytes enc_key = DeriveKey(master_key, "ndet-enc");
   Bytes mac_key = DeriveKey(master_key, "ndet-mac");
   TCELLS_ASSIGN_OR_RETURN(Aes128 aes, Aes128::Create(enc_key));
-  return NDetEnc(aes, std::move(mac_key));
+  return NDetEnc(aes, HmacState(mac_key));
+}
+
+void NDetEnc::Encrypt(const uint8_t* plaintext, size_t n, Rng* rng,
+                      Bytes* out) const {
+  out->resize(kIvSize + n + kTagSize);
+  rng->FillBytes(out->data(), kIvSize);
+  CtrXor(aes_, out->data(), plaintext, n, out->data() + kIvSize);
+  auto tag = mac_.Mac(out->data(), kIvSize + n);
+  std::memcpy(out->data() + kIvSize + n, tag.data(), kTagSize);
 }
 
 Bytes NDetEnc::Encrypt(const Bytes& plaintext, Rng* rng) const {
-  Bytes out = rng->NextBytes(kIvSize);
-  out.resize(kIvSize + plaintext.size());
-  CtrXor(aes_, out.data(), plaintext.data(), plaintext.size(),
-         out.data() + kIvSize);
-  auto tag = HmacSha256(mac_key_, out);
-  out.insert(out.end(), tag.begin(), tag.begin() + kTagSize);
+  Bytes out;
+  Encrypt(plaintext.data(), plaintext.size(), rng, &out);
   return out;
 }
 
-Result<Bytes> NDetEnc::Decrypt(const Bytes& ciphertext) const {
-  if (ciphertext.size() < kOverhead) {
+Status NDetEnc::Decrypt(const uint8_t* ciphertext, size_t n,
+                        Bytes* out) const {
+  if (n < kOverhead) {
     return Status::Corruption("nDet ciphertext too short");
   }
-  Bytes body(ciphertext.begin(), ciphertext.end() - kTagSize);
-  auto tag = HmacSha256(mac_key_, body);
-  if (!std::equal(tag.begin(), tag.begin() + kTagSize,
-                  ciphertext.end() - kTagSize)) {
+  // MAC straight over the IV || ciphertext prefix — no body copy.
+  const size_t body_size = n - kTagSize;
+  auto tag = mac_.Mac(ciphertext, body_size);
+  if (!ConstantTimeEqual(tag.data(), ciphertext + body_size, kTagSize)) {
     return Status::Corruption("nDet tag mismatch");
   }
-  Bytes plain(body.size() - kIvSize);
-  CtrXor(aes_, body.data(), body.data() + kIvSize, plain.size(), plain.data());
+  out->resize(body_size - kIvSize);
+  CtrXor(aes_, ciphertext, ciphertext + kIvSize, out->size(), out->data());
+  return Status::OK();
+}
+
+Result<Bytes> NDetEnc::Decrypt(const Bytes& ciphertext) const {
+  Bytes plain;
+  TCELLS_RETURN_IF_ERROR(Decrypt(ciphertext.data(), ciphertext.size(), &plain));
   return plain;
 }
 
 // ---------------------------------------------------------------------------
 // DetEnc
 
-DetEnc::DetEnc(Aes128 aes, Bytes mac_key)
-    : aes_(aes), mac_key_(std::move(mac_key)) {}
+DetEnc::DetEnc(Aes128 aes, HmacState mac)
+    : aes_(aes), mac_(std::move(mac)) {}
 
 Result<DetEnc> DetEnc::Create(const Bytes& master_key) {
   if (master_key.size() != Aes128::kKeySize) {
@@ -80,30 +104,40 @@ Result<DetEnc> DetEnc::Create(const Bytes& master_key) {
   Bytes enc_key = DeriveKey(master_key, "det-enc");
   Bytes mac_key = DeriveKey(master_key, "det-siv");
   TCELLS_ASSIGN_OR_RETURN(Aes128 aes, Aes128::Create(enc_key));
-  return DetEnc(aes, std::move(mac_key));
+  return DetEnc(aes, HmacState(mac_key));
+}
+
+void DetEnc::Encrypt(const uint8_t* plaintext, size_t n, Bytes* out) const {
+  auto siv_full = mac_.Mac(plaintext, n);
+  out->resize(kIvSize + n);
+  std::memcpy(out->data(), siv_full.data(), kIvSize);
+  CtrXor(aes_, out->data(), plaintext, n, out->data() + kIvSize);
 }
 
 Bytes DetEnc::Encrypt(const Bytes& plaintext) const {
-  auto siv_full = HmacSha256(mac_key_, plaintext);
-  Bytes out(kIvSize + plaintext.size());
-  std::memcpy(out.data(), siv_full.data(), kIvSize);
-  CtrXor(aes_, out.data(), plaintext.data(), plaintext.size(),
-         out.data() + kIvSize);
+  Bytes out;
+  Encrypt(plaintext.data(), plaintext.size(), &out);
   return out;
 }
 
-Result<Bytes> DetEnc::Decrypt(const Bytes& ciphertext) const {
-  if (ciphertext.size() < kOverhead) {
+Status DetEnc::Decrypt(const uint8_t* ciphertext, size_t n,
+                       Bytes* out) const {
+  if (n < kOverhead) {
     return Status::Corruption("Det ciphertext too short");
   }
-  Bytes plain(ciphertext.size() - kIvSize);
-  CtrXor(aes_, ciphertext.data(), ciphertext.data() + kIvSize, plain.size(),
-         plain.data());
-  auto siv_full = HmacSha256(mac_key_, plain);
-  if (!std::equal(siv_full.begin(), siv_full.begin() + kIvSize,
-                  ciphertext.begin())) {
+  out->resize(n - kIvSize);
+  CtrXor(aes_, ciphertext, ciphertext + kIvSize, out->size(), out->data());
+  auto siv_full = mac_.Mac(out->data(), out->size());
+  if (!ConstantTimeEqual(siv_full.data(), ciphertext, kIvSize)) {
+    out->clear();
     return Status::Corruption("Det SIV mismatch");
   }
+  return Status::OK();
+}
+
+Result<Bytes> DetEnc::Decrypt(const Bytes& ciphertext) const {
+  Bytes plain;
+  TCELLS_RETURN_IF_ERROR(Decrypt(ciphertext.data(), ciphertext.size(), &plain));
   return plain;
 }
 

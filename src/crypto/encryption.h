@@ -12,7 +12,13 @@
 //    as an authenticator on decryption.
 //
 // Both schemes are key-separated from a single 16-byte master key via
-// DeriveKey labels.
+// DeriveKey labels, and both precompute their HMAC key state at Create time
+// so the per-tuple MAC costs two compression calls, not four.
+//
+// Every Encrypt/Decrypt has a span-in, buffer-out form that reuses the
+// output vector's capacity — the hot paths (TDS seal/open of every tuple in
+// every partition) call these with a per-partition scratch buffer and never
+// allocate once the buffer has grown to the partition's item size.
 #ifndef TCELLS_CRYPTO_ENCRYPTION_H_
 #define TCELLS_CRYPTO_ENCRYPTION_H_
 
@@ -23,6 +29,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "crypto/aes.h"
+#include "crypto/hmac.h"
 
 namespace tcells::crypto {
 
@@ -41,15 +48,20 @@ class NDetEnc {
   /// Encrypts with a fresh IV drawn from `rng` (the simulation's reproducible
   /// entropy source standing in for the token's hardware TRNG).
   Bytes Encrypt(const Bytes& plaintext, Rng* rng) const;
+  /// Same, into `out` (overwritten; capacity reused).
+  void Encrypt(const uint8_t* plaintext, size_t n, Rng* rng, Bytes* out) const;
 
   /// Decrypts and verifies the tag; Corruption on any mismatch.
   Result<Bytes> Decrypt(const Bytes& ciphertext) const;
+  /// Same, into `out` (overwritten; capacity reused). `out` is untouched on
+  /// authentication failure.
+  Status Decrypt(const uint8_t* ciphertext, size_t n, Bytes* out) const;
 
  private:
-  NDetEnc(Aes128 aes, Bytes mac_key);
+  NDetEnc(Aes128 aes, HmacState mac);
 
   Aes128 aes_;
-  Bytes mac_key_;
+  HmacState mac_;
 };
 
 /// Deterministic authenticated encryption (Det_Enc in the paper), SIV-style.
@@ -63,20 +75,30 @@ class DetEnc {
 
   /// Same plaintext (under the same key) always produces the same bytes.
   Bytes Encrypt(const Bytes& plaintext) const;
+  /// Same, into `out` (overwritten; capacity reused).
+  void Encrypt(const uint8_t* plaintext, size_t n, Bytes* out) const;
 
   /// Decrypts and recomputes the SIV; Corruption on mismatch.
   Result<Bytes> Decrypt(const Bytes& ciphertext) const;
+  /// Same, into `out` (overwritten; capacity reused). `out` holds the
+  /// candidate plaintext even on SIV mismatch (it is cleared then).
+  Status Decrypt(const uint8_t* ciphertext, size_t n, Bytes* out) const;
 
  private:
-  DetEnc(Aes128 aes, Bytes mac_key);
+  DetEnc(Aes128 aes, HmacState mac);
 
   Aes128 aes_;
-  Bytes mac_key_;
+  HmacState mac_;
 };
 
-/// AES-CTR keystream XOR shared by both schemes (exposed for tests).
+/// AES-CTR keystream XOR shared by both schemes (exposed for tests). The
+/// keystream is generated in batches of blocks (see kCtrBatchBlocks) straight
+/// into a stack buffer; output is identical to block-at-a-time CTR.
 void CtrXor(const Aes128& aes, const uint8_t iv[16], const uint8_t* in,
             size_t n, uint8_t* out);
+
+/// Number of keystream blocks CtrXor generates per cipher call.
+inline constexpr size_t kCtrBatchBlocks = 8;
 
 }  // namespace tcells::crypto
 

@@ -2,11 +2,9 @@
 
 #include <cstring>
 
-#include "crypto/sha256.h"
-
 namespace tcells::crypto {
 
-std::array<uint8_t, 32> HmacSha256(const Bytes& key, const Bytes& data) {
+HmacState::HmacState(const Bytes& key) {
   uint8_t block_key[Sha256::kBlockSize] = {0};
   if (key.size() > Sha256::kBlockSize) {
     auto digest = Sha256::Hash(key);
@@ -14,25 +12,34 @@ std::array<uint8_t, 32> HmacSha256(const Bytes& key, const Bytes& data) {
   } else {
     std::memcpy(block_key, key.data(), key.size());
   }
-  uint8_t ipad[Sha256::kBlockSize];
-  uint8_t opad[Sha256::kBlockSize];
-  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
-    ipad[i] = block_key[i] ^ 0x36;
-    opad[i] = block_key[i] ^ 0x5c;
-  }
-  Sha256 inner;
-  inner.Update(ipad, sizeof(ipad));
-  inner.Update(data);
+  uint8_t pad[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = block_key[i] ^ 0x36;
+  inner_.Update(pad, sizeof(pad));
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = block_key[i] ^ 0x5c;
+  outer_.Update(pad, sizeof(pad));
+}
+
+std::array<uint8_t, 32> HmacState::Mac(const uint8_t* data, size_t n) const {
+  Sha256 inner = inner_;
+  inner.Update(data, n);
   auto inner_digest = inner.Finish();
-  Sha256 outer;
-  outer.Update(opad, sizeof(opad));
+  Sha256 outer = outer_;
   outer.Update(inner_digest.data(), inner_digest.size());
   return outer.Finish();
 }
 
+std::array<uint8_t, 32> HmacSha256(const Bytes& key, const uint8_t* data,
+                                   size_t n) {
+  return HmacState(key).Mac(data, n);
+}
+
+std::array<uint8_t, 32> HmacSha256(const Bytes& key, const Bytes& data) {
+  return HmacState(key).Mac(data.data(), data.size());
+}
+
 Bytes DeriveKey(const Bytes& master, std::string_view label) {
-  Bytes label_bytes(label.begin(), label.end());
-  auto digest = HmacSha256(master, label_bytes);
+  auto digest = HmacSha256(
+      master, reinterpret_cast<const uint8_t*>(label.data()), label.size());
   return Bytes(digest.begin(), digest.begin() + 16);
 }
 
@@ -41,6 +48,12 @@ uint64_t KeyedHash64(const Bytes& key, const Bytes& data) {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(digest[i]) << (8 * i);
   return v;
+}
+
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < n; ++i) diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
 }
 
 }  // namespace tcells::crypto

@@ -1,5 +1,10 @@
 // HMAC-SHA-256 (RFC 2104) and helpers built on it: key derivation and the
 // keyed bucket hash used by the ED_Hist protocol.
+//
+// Per-key work (deriving the ipad/opad blocks and absorbing them into the
+// compression function) is factored into HmacState, which the encryption
+// schemes precompute once at Create time: tagging a short message then costs
+// two SHA-256 compression calls instead of four plus the pad derivation.
 #ifndef TCELLS_CRYPTO_HMAC_H_
 #define TCELLS_CRYPTO_HMAC_H_
 
@@ -8,10 +13,35 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "crypto/sha256.h"
 
 namespace tcells::crypto {
 
-/// HMAC-SHA-256 of `data` under `key` (any key length).
+/// Precomputed HMAC-SHA-256 key state: SHA-256 midstates with the ipad and
+/// opad blocks already absorbed. Copy-cheap (a few hundred bytes) and
+/// immutable after construction, so one instance can serve any number of
+/// Mac() calls (including concurrently).
+class HmacState {
+ public:
+  HmacState() = default;
+  /// Any key length (keys longer than the SHA-256 block are hashed first).
+  explicit HmacState(const Bytes& key);
+
+  /// HMAC-SHA-256 of `data` under the precomputed key.
+  std::array<uint8_t, 32> Mac(const uint8_t* data, size_t n) const;
+  std::array<uint8_t, 32> Mac(const Bytes& data) const {
+    return Mac(data.data(), data.size());
+  }
+
+ private:
+  Sha256 inner_;  ///< midstate after absorbing key ^ ipad
+  Sha256 outer_;  ///< midstate after absorbing key ^ opad
+};
+
+/// HMAC-SHA-256 of `data` under `key` (any key length). One-shot; prefer a
+/// cached HmacState when the same key authenticates many messages.
+std::array<uint8_t, 32> HmacSha256(const Bytes& key, const uint8_t* data,
+                                   size_t n);
 std::array<uint8_t, 32> HmacSha256(const Bytes& key, const Bytes& data);
 
 /// Derives a 16-byte subkey from a master key and a label, so that the
@@ -21,6 +51,10 @@ Bytes DeriveKey(const Bytes& master, std::string_view label);
 /// Keyed 64-bit hash (HMAC truncated). ED_Hist's h(bucketId): reveals nothing
 /// about the bucket's position in the A_G domain to a party without the key.
 uint64_t KeyedHash64(const Bytes& key, const Bytes& data);
+
+/// Branch-free byte comparison for authenticator tags: the run time depends
+/// only on `n`, never on where the first mismatch is.
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t n);
 
 }  // namespace tcells::crypto
 

@@ -140,6 +140,9 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
   // concatenation are identical whatever the completion order of the tasks
   // above was.
   std::vector<ssi::EncryptedItem> outputs;
+  size_t total_items = 0;
+  for (const PartitionRun& run : runs) total_items += run.items.size();
+  outputs.reserve(total_items);
   uint64_t round_bytes_in = 0, round_bytes_out = 0;
   uint64_t round_tuples = 0, round_dropouts = 0;
   double slowest_partition_seconds = 0;

@@ -334,8 +334,13 @@ void GroupedAggregation::EncodeTo(Bytes* out) const {
 
 Result<GroupedAggregation> GroupedAggregation::Decode(
     const std::vector<AggSpec>& specs, const Bytes& data) {
+  return Decode(specs, data.data(), data.size());
+}
+
+Result<GroupedAggregation> GroupedAggregation::Decode(
+    const std::vector<AggSpec>& specs, const uint8_t* data, size_t size) {
   GroupedAggregation agg(specs);
-  ByteReader reader(data);
+  ByteReader reader(data, size);
   TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
   for (uint32_t i = 0; i < n; ++i) {
     TCELLS_ASSIGN_OR_RETURN(storage::Tuple key,

@@ -109,6 +109,9 @@ class GroupedAggregation {
   void EncodeTo(Bytes* out) const;
   static Result<GroupedAggregation> Decode(const std::vector<AggSpec>& specs,
                                            const Bytes& data);
+  /// Span form for decoding straight out of a decryption scratch buffer.
+  static Result<GroupedAggregation> Decode(const std::vector<AggSpec>& specs,
+                                           const uint8_t* data, size_t n);
 
  private:
   std::vector<AggSpec> specs_;

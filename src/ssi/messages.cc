@@ -84,25 +84,56 @@ Result<Partition> Partition::Decode(const Bytes& data) {
 }
 
 Bytes EncodePayload(PayloadKind kind, const Bytes& body, size_t pad_to) {
+  return EncodePayload(kind, body.data(), body.size(), pad_to);
+}
+
+Bytes EncodePayload(PayloadKind kind, const uint8_t* body, size_t body_size,
+                    size_t pad_to) {
   Bytes out;
-  out.reserve(std::max(pad_to, 5 + body.size()));
+  out.reserve(std::max(pad_to, 5 + body_size));
   ByteWriter w(&out);
   w.PutU8(static_cast<uint8_t>(kind));
-  w.PutBytes(body);
+  w.PutU32(static_cast<uint32_t>(body_size));
+  w.PutRaw(body, body_size);
   if (out.size() < pad_to) out.resize(pad_to, 0);
   return out;
 }
 
 Result<DecodedPayload> DecodePayload(const Bytes& payload) {
-  ByteReader reader(payload);
+  TCELLS_ASSIGN_OR_RETURN(PayloadView view, DecodePayloadView(payload));
+  DecodedPayload out;
+  out.kind = view.kind;
+  out.body = view.ToBytes();
+  return out;
+}
+
+Result<PayloadView> DecodePayloadView(const uint8_t* payload, size_t n) {
+  ByteReader reader(payload, n);
   TCELLS_ASSIGN_OR_RETURN(uint8_t kind, reader.GetU8());
   if (kind > static_cast<uint8_t>(PayloadKind::kResultRow)) {
     return Status::Corruption("unknown payload kind");
   }
-  DecodedPayload out;
-  out.kind = static_cast<PayloadKind>(kind);
-  TCELLS_ASSIGN_OR_RETURN(out.body, reader.GetBytes());
-  return out;
+  TCELLS_ASSIGN_OR_RETURN(uint32_t body_size, reader.GetU32());
+  if (body_size > reader.remaining()) {
+    return Status::Corruption("payload body overruns buffer");
+  }
+  PayloadView view;
+  view.kind = static_cast<PayloadKind>(kind);
+  view.body = payload + (n - reader.remaining());
+  view.body_size = body_size;
+  return view;
+}
+
+Status OpenAll(const crypto::NDetEnc& enc,
+               std::span<const EncryptedItem> items,
+               std::vector<Bytes>* plains) {
+  plains->resize(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    TCELLS_RETURN_IF_ERROR(
+        enc.Decrypt(items[i].blob.data(), items[i].blob.size(),
+                    &(*plains)[i]));
+  }
+  return Status::OK();
 }
 
 }  // namespace tcells::ssi

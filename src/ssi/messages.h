@@ -5,11 +5,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "crypto/encryption.h"
 #include "storage/tuple.h"
 
 namespace tcells::ssi {
@@ -49,12 +51,38 @@ enum class PayloadKind : uint8_t {
 /// payloads the same plaintext length as true ones, so that ciphertext
 /// lengths leak nothing.
 Bytes EncodePayload(PayloadKind kind, const Bytes& body, size_t pad_to = 0);
+Bytes EncodePayload(PayloadKind kind, const uint8_t* body, size_t body_size,
+                    size_t pad_to = 0);
 
 struct DecodedPayload {
   PayloadKind kind;
   Bytes body;
 };
 Result<DecodedPayload> DecodePayload(const Bytes& payload);
+
+/// Zero-copy view of a decoded payload: `body` points into the buffer handed
+/// to DecodePayloadView and is valid only while that buffer is unchanged.
+/// The TDS open paths decode every partition item through this view so the
+/// body bytes are never copied out of the decryption scratch buffer.
+struct PayloadView {
+  PayloadKind kind;
+  const uint8_t* body = nullptr;
+  size_t body_size = 0;
+
+  Bytes ToBytes() const { return Bytes(body, body + body_size); }
+};
+Result<PayloadView> DecodePayloadView(const uint8_t* payload, size_t n);
+inline Result<PayloadView> DecodePayloadView(const Bytes& payload) {
+  return DecodePayloadView(payload.data(), payload.size());
+}
+
+/// Batch-opens every item blob under `enc` into `plains` (resized to
+/// items.size(); each element's capacity is reused across calls, so a
+/// caller that keeps the vector alive across partitions stops allocating
+/// once the buffers have grown). Returns the first decryption failure.
+Status OpenAll(const crypto::NDetEnc& enc,
+               std::span<const EncryptedItem> items,
+               std::vector<Bytes>* plains);
 
 /// What the querier posts on the SSI (§3.2 step 1): the encrypted query, the
 /// querier's credential (signed by an authority), and the SIZE clause in

@@ -32,7 +32,11 @@ Result<Tuple> Tuple::DecodeFrom(ByteReader* reader) {
 }
 
 Result<Tuple> Tuple::Decode(const Bytes& data) {
-  ByteReader reader(data);
+  return Decode(data.data(), data.size());
+}
+
+Result<Tuple> Tuple::Decode(const uint8_t* data, size_t n) {
+  ByteReader reader(data, n);
   TCELLS_ASSIGN_OR_RETURN(Tuple t, DecodeFrom(&reader));
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after tuple");

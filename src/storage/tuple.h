@@ -31,6 +31,8 @@ class Tuple {
   void EncodeTo(Bytes* out) const;
   Bytes Encode() const;
   static Result<Tuple> Decode(const Bytes& data);
+  /// Span form for decoding straight out of a decryption scratch buffer.
+  static Result<Tuple> Decode(const uint8_t* data, size_t n);
   static Result<Tuple> DecodeFrom(::tcells::ByteReader* reader);
 
   /// Grouping equality across all positions.

@@ -33,10 +33,19 @@ TrustedDataServer::TrustedDataServer(
       policy_(std::move(policy)),
       options_(options) {}
 
+std::map<uint64_t, TrustedDataServer::CachedQuery>::iterator
+TrustedDataServer::TouchCached(
+    std::map<uint64_t, CachedQuery>::iterator it) {
+  lru_order_.splice(lru_order_.begin(), lru_order_, it->second.lru_pos);
+  return it;
+}
+
 Result<const sql::AnalyzedQuery*> TrustedDataServer::OpenQuery(
     const ssi::QueryPost& post) {
   auto it = query_cache_.find(post.query_id);
-  if (it == query_cache_.end()) {
+  if (it != query_cache_.end()) {
+    TouchCached(it);
+  } else {
     // Decrypt the query text with k1 (step 3).
     TCELLS_ASSIGN_OR_RETURN(Bytes sql_bytes,
                             keys_->k1_ndet().Decrypt(post.encrypted_query));
@@ -52,6 +61,16 @@ Result<const sql::AnalyzedQuery*> TrustedDataServer::OpenQuery(
     } else {
       cached.access = policy_.CheckQuery(cached.query, post.querier_id);
     }
+    // Insert as most-recently-used, evicting the coldest entry beyond the
+    // capacity — a TDS in a long-lived fleet must not grow per distinct
+    // query_id forever.
+    if (options_.query_cache_capacity > 0 &&
+        query_cache_.size() >= options_.query_cache_capacity) {
+      query_cache_.erase(lru_order_.back());
+      lru_order_.pop_back();
+    }
+    lru_order_.push_front(post.query_id);
+    cached.lru_pos = lru_order_.begin();
     it = query_cache_.emplace(post.query_id, std::move(cached)).first;
   }
   if (!it->second.access.ok()) return it->second.access;
@@ -218,13 +237,18 @@ TrustedDataServer::ProcessAggregationPartition(
   }
   sql::GroupedAggregation agg(query.agg_specs);
   size_t since_check = 0;
-  for (const EncryptedItem& item : partition.items) {
-    TCELLS_ASSIGN_OR_RETURN(Bytes plain, keys_->k2_ndet().Decrypt(item.blob));
-    TCELLS_ASSIGN_OR_RETURN(ssi::DecodedPayload payload,
-                            ssi::DecodePayload(plain));
+  // Batch-open the whole partition (zero-copy: payload bodies are decoded
+  // as views into the decrypted buffers, never copied out).
+  std::vector<Bytes> plains;
+  TCELLS_RETURN_IF_ERROR(
+      ssi::OpenAll(keys_->k2_ndet(), partition.items, &plains));
+  for (const Bytes& plain : plains) {
+    TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
+                            ssi::DecodePayloadView(plain));
     switch (payload.kind) {
       case PayloadKind::kTrueTuple: {
-        TCELLS_ASSIGN_OR_RETURN(Tuple t, Tuple::Decode(payload.body));
+        TCELLS_ASSIGN_OR_RETURN(
+            Tuple t, Tuple::Decode(payload.body, payload.body_size));
         if (options_.leak_log) options_.leak_log->RecordRawTuple(id_, t);
         TCELLS_RETURN_IF_ERROR(agg.AccumulateTuple(t, query.key_arity));
         break;
@@ -235,7 +259,8 @@ TrustedDataServer::ProcessAggregationPartition(
       case PayloadKind::kPartialAgg: {
         TCELLS_ASSIGN_OR_RETURN(
             sql::GroupedAggregation partial,
-            sql::GroupedAggregation::Decode(query.agg_specs, payload.body));
+            sql::GroupedAggregation::Decode(query.agg_specs, payload.body,
+                                            payload.body_size));
         if (options_.leak_log) {
           for (const auto& [key, states] : partial.groups()) {
             options_.leak_log->RecordGroupAggregate(id_, key);
@@ -302,12 +327,14 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
     const sql::AnalyzedQuery& query, const ssi::Partition& partition,
     Rng* rng) {
   std::vector<EncryptedItem> out;
+  std::vector<Bytes> plains;
+  TCELLS_RETURN_IF_ERROR(
+      ssi::OpenAll(keys_->k2_ndet(), partition.items, &plains));
   if (query.is_aggregation) {
     sql::GroupedAggregation agg(query.agg_specs);
-    for (const EncryptedItem& item : partition.items) {
-      TCELLS_ASSIGN_OR_RETURN(Bytes plain, keys_->k2_ndet().Decrypt(item.blob));
-      TCELLS_ASSIGN_OR_RETURN(ssi::DecodedPayload payload,
-                              ssi::DecodePayload(plain));
+    for (const Bytes& plain : plains) {
+      TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
+                              ssi::DecodePayloadView(plain));
       if (payload.kind == PayloadKind::kDummyTuple ||
           payload.kind == PayloadKind::kFakeTuple) {
         continue;
@@ -317,7 +344,8 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
       }
       TCELLS_ASSIGN_OR_RETURN(
           sql::GroupedAggregation partial,
-          sql::GroupedAggregation::Decode(query.agg_specs, payload.body));
+          sql::GroupedAggregation::Decode(query.agg_specs, payload.body,
+                                          payload.body_size));
       TCELLS_RETURN_IF_ERROR(agg.MergeAll(partial));
     }
     // Finalize + HAVING + projection happen inside the enclave (step 11).
@@ -339,10 +367,9 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
   }
 
   // Plain SFW: drop dummies, re-encrypt true tuples under k1 (step 11-12).
-  for (const EncryptedItem& item : partition.items) {
-    TCELLS_ASSIGN_OR_RETURN(Bytes plain, keys_->k2_ndet().Decrypt(item.blob));
-    TCELLS_ASSIGN_OR_RETURN(ssi::DecodedPayload payload,
-                            ssi::DecodePayload(plain));
+  for (const Bytes& plain : plains) {
+    TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
+                            ssi::DecodePayloadView(plain));
     if (payload.kind == PayloadKind::kDummyTuple ||
         payload.kind == PayloadKind::kFakeTuple) {
       continue;
@@ -351,11 +378,12 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
       return Status::Corruption("filtering expected collection tuples");
     }
     if (options_.leak_log) {
-      TCELLS_ASSIGN_OR_RETURN(Tuple t, Tuple::Decode(payload.body));
+      TCELLS_ASSIGN_OR_RETURN(
+          Tuple t, Tuple::Decode(payload.body, payload.body_size));
       options_.leak_log->RecordRawTuple(id_, t);
     }
-    Bytes out_payload =
-        ssi::EncodePayload(PayloadKind::kResultRow, payload.body);
+    Bytes out_payload = ssi::EncodePayload(PayloadKind::kResultRow,
+                                           payload.body, payload.body_size);
     EncryptedItem out_item;
     out_item.blob = keys_->k1_ndet().Encrypt(out_payload, rng);
     out.push_back(std::move(out_item));

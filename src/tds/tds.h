@@ -17,6 +17,7 @@
 #define TCELLS_TDS_TDS_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -40,6 +41,10 @@ struct TdsOptions {
   /// RAM budget for the partial aggregate structure; 0 = unlimited. The
   /// paper's board has 64 KB (§6.2); S_Agg's feasibility depends on it.
   size_t ram_budget_bytes = 0;
+  /// Max distinct query_ids whose analyzed form is cached; least-recently
+  /// used entries are evicted beyond this, so a long-lived TDS serving an
+  /// unbounded stream of queries holds bounded memory. 0 = unlimited.
+  size_t query_cache_capacity = 64;
   /// Non-null marks the TDS as COMPROMISED (threat-model extension): it
   /// follows the protocol but records every plaintext it decrypts into the
   /// log, modeling an attacker who extracted k2 from the device.
@@ -80,15 +85,22 @@ class TrustedDataServer {
                             storage::SecureDatabase::Open(image, storage_key));
     db_ = std::move(db);
     query_cache_.clear();
+    lru_order_.clear();
     return Status::OK();
   }
 
   /// Decrypts + parses + analyzes the posted query against the local catalog,
   /// verifies the credential, and checks the access policy. Cached per
-  /// query_id. PermissionDenied comes back as a status; ProcessCollection
-  /// turns it into a dummy answer instead of an error (the SSI must not learn
-  /// who denied).
+  /// query_id in a small LRU (TdsOptions::query_cache_capacity); the
+  /// returned pointer stays valid until this query_id is evicted, i.e. at
+  /// least until `capacity` other queries have been opened since.
+  /// PermissionDenied comes back as a status; ProcessCollection turns it
+  /// into a dummy answer instead of an error (the SSI must not learn who
+  /// denied).
   Result<const sql::AnalyzedQuery*> OpenQuery(const ssi::QueryPost& post);
+
+  /// Number of cached analyzed queries (bounded by query_cache_capacity).
+  size_t query_cache_size() const { return query_cache_.size(); }
 
   /// Collection phase (§3.2 steps 2-4 / §4 collection). Returns the items to
   /// upload: true tuples (plus noise under kDetTag) or a single dummy when
@@ -134,8 +146,16 @@ class TrustedDataServer {
   struct CachedQuery {
     sql::AnalyzedQuery query;
     Status access;  // OK or PermissionDenied
+    /// Position in lru_order_ (for O(1) touch on cache hits).
+    std::list<uint64_t>::iterator lru_pos;
   };
+  /// Marks `it` most-recently-used and returns it.
+  std::map<uint64_t, CachedQuery>::iterator TouchCached(
+      std::map<uint64_t, CachedQuery>::iterator it);
+
   std::map<uint64_t, CachedQuery> query_cache_;
+  /// query_ids, most-recently-used first.
+  std::list<uint64_t> lru_order_;
 };
 
 }  // namespace tcells::tds

@@ -7,6 +7,7 @@
 #include "common/hex.h"
 #include "common/rng.h"
 #include "crypto/aes.h"
+#include "crypto/aes_dispatch.h"
 #include "crypto/encryption.h"
 #include "crypto/hmac.h"
 #include "crypto/keystore.h"
@@ -50,6 +51,171 @@ TEST(AesTest, EncryptDecryptRoundTripRandom) {
 TEST(AesTest, RejectsWrongKeySize) {
   EXPECT_FALSE(Aes128::Create(Bytes(15)).ok());
   EXPECT_FALSE(Aes128::Create(Bytes(32)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Backend-parameterized known-answer tests: every KAT below runs once per
+// dispatch path, so the T-table cipher and the AES-NI cipher are both pinned
+// to the published vectors on machines that have the hardware.
+
+class AesBackendTest : public ::testing::TestWithParam<AesBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == AesBackend::kAesNi && !AesNiAvailable()) {
+      GTEST_SKIP() << "AES-NI not available on this machine";
+    }
+    ForceAesBackend(GetParam());
+    ASSERT_EQ(ActiveAesBackend(), GetParam());
+  }
+  void TearDown() override { ForceAesBackend(std::nullopt); }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AesBackendTest,
+                         ::testing::Values(AesBackend::kPortable,
+                                           AesBackend::kAesNi),
+                         [](const auto& info) {
+                           return std::string(AesBackendName(info.param));
+                         });
+
+TEST_P(AesBackendTest, Fips197Vector) {
+  Bytes key = Hex("000102030405060708090a0b0c0d0e0f");
+  Bytes pt = Hex("00112233445566778899aabbccddeeff");
+  auto aes = Aes128::Create(key).ValueOrDie();
+  uint8_t block[16];
+  std::copy(pt.begin(), pt.end(), block);
+  aes.EncryptBlock(block);
+  EXPECT_EQ(ToHex(block, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.DecryptBlock(block);
+  EXPECT_EQ(Bytes(block, block + 16), pt);
+}
+
+TEST_P(AesBackendTest, Sp800_38aCtrVector) {
+  // NIST SP 800-38A F.5.1/F.5.2: AES-128-CTR, four-block message.
+  Bytes key = Hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes counter = Hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = Hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Bytes want_ct = Hex(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  auto aes = Aes128::Create(key).ValueOrDie();
+  Bytes got(pt.size());
+  CtrXor(aes, counter.data(), pt.data(), pt.size(), got.data());
+  EXPECT_EQ(ToHex(got.data(), got.size()), ToHex(want_ct.data(), want_ct.size()));
+  // Decryption is the same XOR.
+  Bytes back(pt.size());
+  CtrXor(aes, counter.data(), got.data(), got.size(), back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST_P(AesBackendTest, BatchMatchesBlockAtATime) {
+  Rng rng(11);
+  auto aes = Aes128::Create(rng.NextBytes(16)).ValueOrDie();
+  // Odd batch sizes cover the 4-wide AES-NI pipeline plus its scalar tail.
+  for (size_t nblocks : {1u, 2u, 4u, 5u, 7u, 8u, 13u}) {
+    Bytes in = rng.NextBytes(nblocks * 16);
+    Bytes batch(in.size()), single = in;
+    aes.EncryptBlocks(in.data(), batch.data(), nblocks);
+    for (size_t b = 0; b < nblocks; ++b) aes.EncryptBlock(single.data() + 16 * b);
+    EXPECT_EQ(batch, single) << "encrypt, nblocks=" << nblocks;
+    aes.DecryptBlocks(batch.data(), batch.data(), nblocks);
+    EXPECT_EQ(batch, in) << "decrypt, nblocks=" << nblocks;
+  }
+}
+
+TEST_P(AesBackendTest, SchemesRoundTripSpanForms) {
+  Rng rng(12);
+  auto ndet = NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  auto det = DetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  // Sizes straddling the CTR batch width (8 blocks = 128 bytes).
+  for (size_t n : {0u, 1u, 15u, 16u, 100u, 127u, 128u, 129u, 1000u}) {
+    Bytes pt = rng.NextBytes(n);
+    Bytes ct, back;
+    ndet.Encrypt(pt.data(), pt.size(), &rng, &ct);
+    ASSERT_TRUE(ndet.Decrypt(ct.data(), ct.size(), &back).ok()) << n;
+    EXPECT_EQ(back, pt) << n;
+    det.Encrypt(pt.data(), pt.size(), &ct);
+    ASSERT_TRUE(det.Decrypt(ct.data(), ct.size(), &back).ok()) << n;
+    EXPECT_EQ(back, pt) << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Portable-vs-hardware differential: on AES-NI machines, both paths must
+// produce byte-identical output for random keys and messages. (This is the
+// property that makes dispatch invisible to the obs byte-identity suite.)
+
+TEST(AesDispatchTest, BackendsAgreeOnRandomInputs) {
+  if (!AesNiAvailable()) GTEST_SKIP() << "AES-NI not available";
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes key = rng.NextBytes(16);
+    auto aes = Aes128::Create(key).ValueOrDie();
+    size_t nblocks = 1 + rng.NextBelow(16);
+    Bytes in = rng.NextBytes(nblocks * 16);
+    Bytes iv = rng.NextBytes(16);
+    Bytes msg = rng.NextBytes(1 + rng.NextBelow(300));
+
+    ForceAesBackend(AesBackend::kPortable);
+    Bytes enc_p(in.size()), dec_p(in.size()), ctr_p(msg.size());
+    aes.EncryptBlocks(in.data(), enc_p.data(), nblocks);
+    aes.DecryptBlocks(in.data(), dec_p.data(), nblocks);
+    CtrXor(aes, iv.data(), msg.data(), msg.size(), ctr_p.data());
+
+    ForceAesBackend(AesBackend::kAesNi);
+    Bytes enc_n(in.size()), dec_n(in.size()), ctr_n(msg.size());
+    aes.EncryptBlocks(in.data(), enc_n.data(), nblocks);
+    aes.DecryptBlocks(in.data(), dec_n.data(), nblocks);
+    CtrXor(aes, iv.data(), msg.data(), msg.size(), ctr_n.data());
+
+    ForceAesBackend(std::nullopt);
+    EXPECT_EQ(enc_p, enc_n) << "trial " << trial;
+    EXPECT_EQ(dec_p, dec_n) << "trial " << trial;
+    EXPECT_EQ(ctr_p, ctr_n) << "trial " << trial;
+  }
+}
+
+TEST(AesDispatchTest, SchemesAgreeAcrossBackends) {
+  if (!AesNiAvailable()) GTEST_SKIP() << "AES-NI not available";
+  Rng rng(14);
+  Bytes master = rng.NextBytes(16);
+  auto ndet = NDetEnc::Create(master).ValueOrDie();
+  auto det = DetEnc::Create(master).ValueOrDie();
+  for (int trial = 0; trial < 10; ++trial) {
+    Bytes pt = rng.NextBytes(1 + rng.NextBelow(500));
+    uint64_t iv_seed = rng.Next();
+
+    // Identical Rng streams so nDet draws the same IV on both paths.
+    ForceAesBackend(AesBackend::kPortable);
+    Rng iv_rng_p(iv_seed);
+    Bytes nct_p = ndet.Encrypt(pt, &iv_rng_p);
+    Bytes dct_p = det.Encrypt(pt);
+
+    ForceAesBackend(AesBackend::kAesNi);
+    Rng iv_rng_n(iv_seed);
+    Bytes nct_n = ndet.Encrypt(pt, &iv_rng_n);
+    Bytes dct_n = det.Encrypt(pt);
+    // Cross-decrypt: hardware-made ciphertext opened by the portable path.
+    ForceAesBackend(AesBackend::kPortable);
+    EXPECT_EQ(ndet.Decrypt(nct_n).ValueOrDie(), pt);
+    EXPECT_EQ(det.Decrypt(dct_n).ValueOrDie(), pt);
+
+    ForceAesBackend(std::nullopt);
+    EXPECT_EQ(nct_p, nct_n) << "trial " << trial;
+    EXPECT_EQ(dct_p, dct_n) << "trial " << trial;
+  }
+}
+
+TEST(AesDispatchTest, ForcingUnavailableBackendFallsBack) {
+  if (AesNiAvailable()) GTEST_SKIP() << "only meaningful without AES-NI";
+  ForceAesBackend(AesBackend::kAesNi);
+  EXPECT_EQ(ActiveAesBackend(), AesBackend::kPortable);
+  ForceAesBackend(std::nullopt);
 }
 
 // ---------------------------------------------------------------------------
@@ -122,6 +288,62 @@ TEST(HmacTest, LongKeyIsHashedFirst) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case4) {
+  Bytes key = Hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  Bytes data(50, 0xcd);
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacStateTest, MatchesOneShotHmac) {
+  Rng rng(30);
+  for (size_t key_len : {0u, 4u, 16u, 64u, 131u}) {
+    Bytes key = rng.NextBytes(key_len);
+    HmacState state(key);
+    for (size_t n : {0u, 1u, 55u, 64u, 200u}) {
+      Bytes data = rng.NextBytes(n);
+      auto cached = state.Mac(data);
+      auto oneshot = HmacSha256(key, data);
+      EXPECT_EQ(ToHex(cached.data(), cached.size()),
+                ToHex(oneshot.data(), oneshot.size()))
+          << "key_len=" << key_len << " n=" << n;
+    }
+  }
+}
+
+TEST(HmacStateTest, ReusableAcrossMessages) {
+  Rng rng(31);
+  HmacState state(rng.NextBytes(16));
+  Bytes a = rng.NextBytes(20), b = rng.NextBytes(20);
+  auto ma1 = state.Mac(a);
+  auto mb = state.Mac(b);
+  auto ma2 = state.Mac(a);  // midstates not consumed by earlier Mac calls
+  EXPECT_EQ(ToHex(ma1.data(), ma1.size()), ToHex(ma2.data(), ma2.size()));
+  EXPECT_NE(ToHex(ma1.data(), ma1.size()), ToHex(mb.data(), mb.size()));
+}
+
+TEST(ConstantTimeEqualTest, ComparesCorrectly) {
+  Rng rng(32);
+  Bytes a = rng.NextBytes(32);
+  Bytes b = a;
+  EXPECT_TRUE(ConstantTimeEqual(a.data(), b.data(), a.size()));
+  EXPECT_TRUE(ConstantTimeEqual(a.data(), b.data(), 0));
+  for (size_t pos : {0u, 15u, 31u}) {
+    Bytes c = a;
+    c[pos] ^= 0x40;
+    EXPECT_FALSE(ConstantTimeEqual(a.data(), c.data(), a.size())) << pos;
+  }
+}
+
 TEST(KeyDerivationTest, LabelsSeparateKeys) {
   Rng rng(3);
   Bytes master = rng.NextBytes(16);
@@ -186,6 +408,16 @@ TEST_F(NDetTest, TruncationDetected) {
   ct.resize(ct.size() - 1);
   EXPECT_FALSE(scheme_->Decrypt(ct).ok());
   EXPECT_FALSE(scheme_->Decrypt(Bytes(5)).ok());
+}
+
+TEST_F(NDetTest, SpanDecryptLeavesOutputUntouchedOnAuthFailure) {
+  Bytes ct = scheme_->Encrypt(rng_.NextBytes(40), &rng_);
+  Bytes bad = ct;
+  bad[bad.size() / 2] ^= 0x01;
+  Bytes out = {0xde, 0xad};
+  EXPECT_FALSE(scheme_->Decrypt(bad.data(), bad.size(), &out).ok());
+  EXPECT_EQ(out, Bytes({0xde, 0xad}));  // no plaintext released before auth
+  EXPECT_TRUE(scheme_->Decrypt(ct.data(), ct.size(), &out).ok());
 }
 
 TEST_F(NDetTest, WrongKeyFails) {

@@ -54,6 +54,74 @@ TEST(PayloadTest, RejectsGarbage) {
   EXPECT_FALSE(DecodePayload({0, 9, 0, 0, 0}).ok());  // body length overruns
 }
 
+TEST(PayloadTest, ViewPointsIntoSourceBuffer) {
+  Bytes body = {9, 8, 7, 6};
+  Bytes encoded = EncodePayload(PayloadKind::kPartialAgg, body, 32);
+  auto view = DecodePayloadView(encoded).ValueOrDie();
+  EXPECT_EQ(view.kind, PayloadKind::kPartialAgg);
+  EXPECT_EQ(view.body_size, body.size());
+  // Zero-copy: the body pointer aims at the framing header's tail, inside
+  // the encoded buffer itself.
+  EXPECT_EQ(view.body, encoded.data() + 5);
+  EXPECT_EQ(view.ToBytes(), body);
+}
+
+TEST(PayloadTest, ViewRejectsMalformed) {
+  EXPECT_FALSE(DecodePayloadView(nullptr, 0).ok());
+  Bytes truncated = {0, 9, 0, 0, 0};  // claims 9-byte body, has none
+  EXPECT_FALSE(DecodePayloadView(truncated).ok());
+}
+
+TEST(PayloadTest, SpanEncodeMatchesBytesEncode) {
+  Rng rng(41);
+  for (size_t n : {0u, 1u, 30u}) {
+    Bytes body = rng.NextBytes(n);
+    EXPECT_EQ(EncodePayload(PayloadKind::kResultRow, body, 64),
+              EncodePayload(PayloadKind::kResultRow, body.data(), body.size(),
+                            64));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch open
+
+TEST(OpenAllTest, DecryptsEveryItemAndReusesBuffers) {
+  Rng rng(42);
+  auto enc = crypto::NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  std::vector<Bytes> plaintexts;
+  std::vector<EncryptedItem> items;
+  for (int i = 0; i < 8; ++i) {
+    plaintexts.push_back(rng.NextBytes(10 + 7 * i));
+    EncryptedItem item;
+    item.blob = enc.Encrypt(plaintexts.back(), &rng);
+    items.push_back(std::move(item));
+  }
+  std::vector<Bytes> plains;
+  ASSERT_TRUE(OpenAll(enc, items, &plains).ok());
+  ASSERT_EQ(plains.size(), items.size());
+  for (size_t i = 0; i < plains.size(); ++i) {
+    EXPECT_EQ(plains[i], plaintexts[i]) << i;
+  }
+  // A second partition through the same vector reuses the grown buffers.
+  ASSERT_TRUE(OpenAll(enc, std::span(items).subspan(0, 3), &plains).ok());
+  EXPECT_EQ(plains.size(), 3u);
+  EXPECT_EQ(plains[2], plaintexts[2]);
+}
+
+TEST(OpenAllTest, ReportsFirstFailure) {
+  Rng rng(43);
+  auto enc = crypto::NDetEnc::Create(rng.NextBytes(16)).ValueOrDie();
+  std::vector<EncryptedItem> items;
+  for (int i = 0; i < 3; ++i) {
+    EncryptedItem item;
+    item.blob = enc.Encrypt(rng.NextBytes(16), &rng);
+    items.push_back(std::move(item));
+  }
+  items[1].blob[4] ^= 0x20;
+  std::vector<Bytes> plains;
+  EXPECT_FALSE(OpenAll(enc, items, &plains).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Partitioning
 

@@ -573,5 +573,55 @@ TEST_F(TdsTest, QueryCacheReusesAnalysis) {
   EXPECT_EQ(again.size(), 1u);
 }
 
+TEST_F(TdsTest, QueryCacheEvictsLeastRecentlyUsed) {
+  TdsOptions options;
+  options.query_cache_capacity = 3;
+  TrustedDataServer server(/*id=*/7, keys_, authority_,
+                           AccessPolicy::AllowAll(), options);
+  workload::GenericOptions gopts;
+  gopts.num_groups = 4;
+  Rng data_rng(9);
+  ASSERT_TRUE(workload::PopulateGenericDb(&server.db(), 7, gopts, &data_rng)
+                  .ok());
+
+  CollectionConfig config;
+  auto Run = [&](uint64_t query_id) {
+    return server
+        .ProcessCollection(Post("SELECT grp FROM T", "q", query_id), config,
+                           &rng_)
+        .ok();
+  };
+  for (uint64_t id = 1; id <= 3; ++id) ASSERT_TRUE(Run(id));
+  EXPECT_EQ(server.query_cache_size(), 3u);
+  // Touch query 1 so query 2 becomes the LRU entry, then overflow: the cache
+  // must stay at capacity whatever the stream length.
+  ASSERT_TRUE(Run(1));
+  for (uint64_t id = 4; id <= 20; ++id) ASSERT_TRUE(Run(id));
+  EXPECT_EQ(server.query_cache_size(), 3u);
+  // Evicted ids still work — they are just re-analyzed.
+  ASSERT_TRUE(Run(2));
+  EXPECT_EQ(server.query_cache_size(), 3u);
+}
+
+TEST_F(TdsTest, QueryCacheCapacityZeroIsUnlimited) {
+  TdsOptions options;
+  options.query_cache_capacity = 0;
+  TrustedDataServer server(/*id=*/8, keys_, authority_,
+                           AccessPolicy::AllowAll(), options);
+  workload::GenericOptions gopts;
+  gopts.num_groups = 4;
+  Rng data_rng(9);
+  ASSERT_TRUE(workload::PopulateGenericDb(&server.db(), 8, gopts, &data_rng)
+                  .ok());
+  CollectionConfig config;
+  for (uint64_t id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(server
+                    .ProcessCollection(Post("SELECT grp FROM T", "q", id),
+                                       config, &rng_)
+                    .ok());
+  }
+  EXPECT_EQ(server.query_cache_size(), 100u);
+}
+
 }  // namespace
 }  // namespace tcells::tds
