@@ -1,0 +1,51 @@
+// Canned aggregation queries shared by the storage fuzz harness and the
+// corpus generator. GroupedAggregation encodings are only decodable against
+// the AggSpec list of the query that produced them, so both sides must agree
+// on the spec sets: make_corpus tags each captured body with the index of the
+// query it came from, and fuzz_storage decodes with the matching specs.
+#ifndef TCELLS_FUZZ_FUZZ_SPECS_H_
+#define TCELLS_FUZZ_FUZZ_SPECS_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/aggregates.h"
+#include "sql/analyzer.h"
+#include "storage/schema.h"
+#include "workload/generic.h"
+
+namespace tcells::fuzz {
+
+/// Aggregation queries over the generic table T(gid, grp, val, cat),
+/// covering algebraic aggregates, the holistic ones (MEDIAN / DISTINCT,
+/// which serialize value multisets), and the no-GROUP-BY global case.
+inline std::vector<std::string> SpecQueries() {
+  return {
+      "SELECT grp, COUNT(*) FROM T GROUP BY grp",
+      "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), MAX(val) FROM T "
+      "GROUP BY grp",
+      "SELECT grp, MEDIAN(val), COUNT(DISTINCT cat), VARIANCE(val), "
+      "STDDEV(val) FROM T GROUP BY grp",
+      "SELECT SUM(val), COUNT(*) FROM T",
+  };
+}
+
+/// AggSpec list of SpecQueries()[i], bound against the generic catalog.
+/// Dies if the canned queries stop analyzing — that is a build-time bug,
+/// not an input-dependent condition.
+inline std::vector<std::vector<sql::AggSpec>> SpecSets() {
+  storage::Catalog catalog;
+  Status s = catalog.AddTable("T", workload::GenericSchema());
+  if (!s.ok()) std::abort();
+  std::vector<std::vector<sql::AggSpec>> sets;
+  for (const std::string& query : SpecQueries()) {
+    Result<sql::AnalyzedQuery> analyzed = sql::AnalyzeSql(query, catalog);
+    if (!analyzed.ok()) std::abort();
+    sets.push_back(analyzed->agg_specs);
+  }
+  return sets;
+}
+
+}  // namespace tcells::fuzz
+
+#endif  // TCELLS_FUZZ_FUZZ_SPECS_H_

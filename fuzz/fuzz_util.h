@@ -1,0 +1,25 @@
+// Shared helpers for the fuzz harnesses.
+#ifndef TCELLS_FUZZ_FUZZ_UTIL_H_
+#define TCELLS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant check inside a harness: unlike assert(), active in every build
+// type, and aborts so both libFuzzer and the standalone driver flag the input
+// as a crash.
+#define FUZZ_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Every harness implements the libFuzzer entry point; the standalone driver
+// links against the same symbol.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // TCELLS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,277 @@
+// Regenerates the committed seed corpus under fuzz/corpus/ from one e2e run
+// of each of the 5 protocols over a small generic fleet.
+//
+// Every stage of a real run is captured in the exact shape the matching
+// harness consumes (selector byte + encoding, see the fuzz_*.cc headers):
+// query posts, partitions, item streams and decrypted payloads for fuzz_ssi;
+// k1/k2 ciphertext blobs for fuzz_crypto; collection/result tuples and
+// GroupedAggregation bodies (tagged with their fuzz_specs.h query index) for
+// fuzz_storage; and the query texts plus edge-case statements for fuzz_sql.
+//
+// Everything is deterministic — fixed seeds, content-hash file names — so
+// re-running the tool over an unchanged protocol stack reproduces the corpus
+// bit-for-bit, and wire-format changes show up as a corpus diff.
+//
+// Usage: make_corpus [OUT_DIR]   (default: fuzz/corpus)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hex.h"
+#include "crypto/keystore.h"
+#include "crypto/sha256.h"
+#include "fuzz_specs.h"
+#include "protocol/factory.h"
+#include "protocol/protocols.h"
+#include "sim/device_model.h"
+#include "ssi/ssi.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+
+namespace tcells::fuzz {
+namespace {
+
+using protocol::ProtocolKind;
+using ssi::EncryptedItem;
+using ssi::Partition;
+using storage::Tuple;
+using storage::Value;
+
+// Must match the keystore seed in fuzz_crypto.cc so the captured blobs are
+// valid ciphertexts under the harness's keys.
+constexpr uint64_t kKeySeed = 7;
+
+class CorpusWriter {
+ public:
+  explicit CorpusWriter(std::filesystem::path root) : root_(std::move(root)) {}
+
+  /// Writes `body` (prefixed with `selector` if >= 0) under
+  /// `<root>/<harness>/<sha256 prefix>`. Content-addressed names make the
+  /// corpus order-independent and deduplicate identical captures.
+  void Add(const std::string& harness, int selector, const Bytes& body) {
+    Bytes content;
+    content.reserve(body.size() + 1);
+    if (selector >= 0) content.push_back(static_cast<uint8_t>(selector));
+    for (uint8_t b : body) content.push_back(b);
+    auto digest = crypto::Sha256::Hash(content);
+    std::string name = ToHex(digest.data(), 8);
+    std::filesystem::path dir = root_ / harness;
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir / name, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(content.data()),
+              static_cast<std::streamsize>(content.size()));
+    ++written_;
+  }
+
+  void AddText(const std::string& harness, const std::string& text) {
+    Add(harness, -1, Bytes(text.begin(), text.end()));
+  }
+
+  size_t written() const { return written_; }
+
+ private:
+  std::filesystem::path root_;
+  size_t written_ = 0;
+};
+
+#define CHECK_OK(expr)                                                \
+  do {                                                                \
+    auto _status_like = (expr);                                       \
+    if (!_status_like.ok()) {                                         \
+      std::fprintf(stderr, "make_corpus: %s failed: %s\n", #expr,     \
+                   _status_like.status().ToString().c_str());         \
+      std::exit(1);                                                   \
+    }                                                                 \
+  } while (0)
+
+// Payloads a TDS decrypts with k2 during aggregation/filtering; payloads the
+// querier decrypts with k1 at the end.
+void CaptureItems(CorpusWriter* w, const crypto::KeyStore& keys,
+                  const std::vector<EncryptedItem>& items, bool under_k1,
+                  int storage_selector, size_t max_items) {
+  size_t captured = 0;
+  for (const EncryptedItem& item : items) {
+    if (captured++ >= max_items) break;
+    w->Add("crypto", under_k1 ? 2 : 0, item.blob);
+    if (item.routing_tag) w->Add("crypto", 1, *item.routing_tag);
+    const crypto::NDetEnc& enc = under_k1 ? keys.k1_ndet() : keys.k2_ndet();
+    Result<Bytes> plain = enc.Decrypt(item.blob);
+    if (!plain.ok()) continue;  // Det-tagged histogram blobs etc.
+    w->Add("ssi", 3, *plain);
+    Result<ssi::PayloadView> view =
+        ssi::DecodePayloadView(plain->data(), plain->size());
+    if (!view.ok()) continue;
+    Bytes body(view->body, view->body + view->body_size);
+    if (view->kind == ssi::PayloadKind::kPartialAgg) {
+      if (storage_selector > 0) w->Add("storage", storage_selector, body);
+    } else {
+      w->Add("storage", 0, body);
+    }
+  }
+}
+
+int Run(const std::filesystem::path& out_dir) {
+  CorpusWriter writer(out_dir);
+
+  workload::GenericOptions gopts;
+  gopts.num_tds = 6;
+  gopts.num_groups = 3;
+  gopts.rows_per_tds = 2;
+  gopts.seed = kKeySeed;
+  auto keys = crypto::KeyStore::CreateForTest(kKeySeed);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x55));
+  auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  protocol::Querier querier("fz", authority->Issue("fz"), keys);
+  const auto& catalog = fleet->at(0)->db().catalog();
+
+  // Prior knowledge for the Noise/ED_Hist protocols, as in the test suites.
+  auto domain = std::make_shared<std::vector<Tuple>>();
+  std::map<Tuple, uint64_t> freq;
+  for (size_t g = 0; g < gopts.num_groups; ++g) {
+    domain->push_back(Tuple({Value::String(workload::GroupName(g))}));
+  }
+  auto count_q =
+      sql::AnalyzeSql("SELECT grp, COUNT(*) FROM T GROUP BY grp", catalog)
+          .ValueOrDie();
+  for (size_t i = 0; i < fleet->size(); ++i) {
+    auto rows =
+        sql::CollectionTuples(fleet->at(i)->db(), count_q).ValueOrDie();
+    for (const auto& r : rows) freq[Tuple({r.at(0)})] += 1;
+  }
+
+  const std::vector<std::string> queries = SpecQueries();
+  struct Case {
+    ProtocolKind kind;
+    /// Index into SpecQueries(), or -1 for the plain SFW query.
+    int query_idx;
+  };
+  const std::vector<Case> cases = {
+      {ProtocolKind::kBasicSfw, -1}, {ProtocolKind::kSAgg, 1},
+      {ProtocolKind::kRnfNoise, 2},  {ProtocolKind::kCNoise, 0},
+      {ProtocolKind::kEdHist, 1},
+  };
+
+  uint64_t query_id = 100;
+  for (const Case& c : cases) {
+    const std::string sql =
+        c.query_idx < 0 ? "SELECT grp, val FROM T WHERE cat < 5"
+                        : queries[static_cast<size_t>(c.query_idx)];
+    writer.AddText("sql", sql);
+
+    std::unique_ptr<protocol::Protocol> proto;
+    switch (c.kind) {
+      case ProtocolKind::kBasicSfw:
+        proto = std::make_unique<protocol::BasicSfwProtocol>();
+        break;
+      case ProtocolKind::kSAgg:
+        proto = std::make_unique<protocol::SAggProtocol>();
+        break;
+      case ProtocolKind::kRnfNoise:
+        proto = std::make_unique<protocol::NoiseProtocol>(false, domain);
+        break;
+      case ProtocolKind::kCNoise:
+        proto = std::make_unique<protocol::NoiseProtocol>(true, domain);
+        break;
+      case ProtocolKind::kEdHist:
+        proto = protocol::EdHistProtocol::FromDistribution(freq, 2);
+        break;
+    }
+
+    auto analyzed = sql::AnalyzeSql(sql, catalog);
+    CHECK_OK(analyzed);
+
+    protocol::RunOptions opts;
+    opts.compute_availability = 1.0;
+    opts.expected_groups = gopts.num_groups;
+    opts.seed = 1000 + query_id;
+    opts.num_threads = 1;
+
+    ssi::Ssi ssi_instance;
+    protocol::RunContext ctx(fleet.get(), &ssi_instance, sim::DeviceModel(),
+                             opts);
+
+    auto post = querier.MakePost(query_id, sql, &ctx.rng());
+    CHECK_OK(post);
+    writer.Add("ssi", 0, post->Encode());
+
+    auto config = proto->MakeCollectionConfig(ctx, *analyzed);
+    CHECK_OK(config);
+
+    Rng collect_rng(opts.seed ^ 0xc011ec7);
+    std::vector<EncryptedItem> items;
+    for (size_t i = 0; i < fleet->size(); ++i) {
+      auto contribution =
+          fleet->at(i)->ProcessCollection(*post, *config, &collect_rng);
+      CHECK_OK(contribution);
+      items.insert(items.end(), contribution->begin(), contribution->end());
+    }
+
+    Partition collected;
+    collected.items = items;
+    writer.Add("ssi", 1, collected.Encode());
+    // A short item stream for the streaming decoder mode.
+    Bytes stream;
+    for (size_t i = 0; i < items.size() && i < 3; ++i) {
+      items[i].EncodeTo(&stream);
+    }
+    writer.Add("ssi", 2, stream);
+    CaptureItems(&writer, *keys, items, /*under_k1=*/false,
+                 /*storage_selector=*/-1, /*max_items=*/4);
+
+    auto aggregated =
+        proto->RunAggregation(ctx, *analyzed, *config, std::move(items));
+    CHECK_OK(aggregated);
+    CaptureItems(&writer, *keys, *aggregated, /*under_k1=*/false,
+                 1 + c.query_idx, /*max_items=*/4);
+
+    Partition covering;
+    covering.items = *aggregated;
+    Rng filter_rng(opts.seed ^ 0xf117e4);
+    auto result_items =
+        fleet->at(0)->ProcessFiltering(*analyzed, covering, &filter_rng);
+    CHECK_OK(result_items);
+    CaptureItems(&writer, *keys, *result_items, /*under_k1=*/true,
+                 /*storage_selector=*/-1, /*max_items=*/4);
+
+    ++query_id;
+  }
+
+  // SQL-only seeds: the WHERE-feature set exercised by the property suite
+  // plus statements that pin lexer/parser edge cases.
+  const std::vector<std::string> extra_sql = {
+      "SELECT grp, COUNT(*) FROM T WHERE cat < 5 GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat BETWEEN 2 AND 7 GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat IN (0, 3, 9) GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat NOT IN (1, 2) GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE grp LIKE 'G0_' GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE grp NOT LIKE '%2' GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE grp IS NOT NULL AND val > 10.0 "
+      "GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE NOT (cat = 0 OR cat = 1) GROUP BY "
+      "grp",
+      "SELECT grp, COUNT(*) FROM T WHERE val / 2 + 1 > cat * 3 GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat % 3 = 0 OR FALSE GROUP BY grp",
+      "SELECT DISTINCT grp FROM T ORDER BY grp DESC LIMIT 2",
+      "SELECT t.grp AS g, -val FROM T t WHERE t.grp = 'it''s' SIZE 10",
+      "SELECT ((((val))))+1.5e2 FROM T HAVING COUNT(*) > 0",
+  };
+  for (const std::string& s : extra_sql) writer.AddText("sql", s);
+
+  std::printf("make_corpus: wrote %zu files under %s\n", writer.written(),
+              out_dir.string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcells::fuzz
+
+int main(int argc, char** argv) {
+  std::filesystem::path out = argc > 1 ? argv[1] : "fuzz/corpus";
+  return tcells::fuzz::Run(out);
+}

@@ -1,0 +1,97 @@
+#include "mutator.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcells::fuzz {
+
+namespace {
+
+// Values that stress bounds checks when written into a length field.
+uint32_t InterestingLength(Rng* rng, uint32_t old_value, size_t buf_size) {
+  switch (rng->NextBelow(7)) {
+    case 0: return 0;
+    case 1: return old_value + 1;
+    case 2: return old_value ? old_value - 1 : 1;
+    case 3: return old_value * 2 + 1;
+    case 4: return static_cast<uint32_t>(buf_size);
+    case 5: return 0x7fffffff;
+    default: return 0xffffffff;
+  }
+}
+
+uint8_t InterestingByte(Rng* rng) {
+  static constexpr uint8_t kBytes[] = {0x00, 0x01, 0x02, 0x7f, 0x80, 0xfe, 0xff};
+  return kBytes[rng->NextBelow(sizeof(kBytes))];
+}
+
+}  // namespace
+
+Bytes Mutate(const Bytes& seed, Rng* rng) {
+  Bytes out = seed;
+  if (out.empty()) out.push_back(static_cast<uint8_t>(rng->Next()));
+  // Stack one to three transformations so mutants reach past single-field
+  // damage (e.g. truncate *and* bump a count field).
+  const int rounds = 1 + static_cast<int>(rng->NextBelow(3));
+  for (int round = 0; round < rounds; ++round) {
+    const size_t n = out.size();
+    switch (rng->NextBelow(8)) {
+      case 0: {  // Flip one bit.
+        size_t pos = rng->NextBelow(n);
+        out[pos] ^= static_cast<uint8_t>(1u << rng->NextBelow(8));
+        break;
+      }
+      case 1: {  // Overwrite a byte with an interesting value.
+        out[rng->NextBelow(n)] = InterestingByte(rng);
+        break;
+      }
+      case 2: {  // Truncate at a random point (keep at least one byte).
+        out.resize(1 + rng->NextBelow(n));
+        break;
+      }
+      case 3: {  // Extend with random bytes.
+        size_t grow = 1 + rng->NextBelow(64);
+        grow = std::min(grow, kMaxMutantSize - std::min(kMaxMutantSize, n));
+        for (size_t i = 0; i < grow; ++i) {
+          out.push_back(static_cast<uint8_t>(rng->Next()));
+        }
+        break;
+      }
+      case 4: {  // Splice: copy a chunk of the input over another offset.
+        if (n < 2) break;
+        size_t len = 1 + rng->NextBelow(std::min<size_t>(n - 1, 32));
+        size_t src = rng->NextBelow(n - len + 1);
+        size_t dst = rng->NextBelow(n - len + 1);
+        std::memmove(out.data() + dst, out.data() + src, len);
+        break;
+      }
+      case 5: {  // Tweak a 32-bit little-endian field (length prefixes).
+        if (n < 4) break;
+        size_t pos = rng->NextBelow(n - 3);
+        uint32_t old_value = 0;
+        std::memcpy(&old_value, out.data() + pos, 4);
+        uint32_t v = InterestingLength(rng, old_value, n);
+        std::memcpy(out.data() + pos, &v, 4);
+        break;
+      }
+      case 6: {  // Tweak a 16-bit little-endian field (tuple arities).
+        if (n < 2) break;
+        size_t pos = rng->NextBelow(n - 1);
+        uint16_t v = static_cast<uint16_t>(InterestingLength(
+            rng, static_cast<uint16_t>(out[pos]), n));
+        std::memcpy(out.data() + pos, &v, 2);
+        break;
+      }
+      default: {  // Zero-fill a range.
+        size_t len = 1 + rng->NextBelow(std::min<size_t>(n, 32));
+        size_t pos = rng->NextBelow(n - len + 1);
+        std::fill(out.begin() + pos, out.begin() + pos + len, 0);
+        break;
+      }
+    }
+    if (out.size() > kMaxMutantSize) out.resize(kMaxMutantSize);
+  }
+  return out;
+}
+
+}  // namespace tcells::fuzz

@@ -1,0 +1,30 @@
+// Structure-aware mutation of wire encodings for the fuzz harnesses.
+//
+// The mutator starts from a valid encoding captured out of a real protocol
+// run (see make_corpus.cc) and applies the transformations that historically
+// break length-prefixed codecs: bit flips, truncation, extension, splicing a
+// chunk of the input over another offset, and targeted tweaks of 16/32-bit
+// little-endian length fields. Used both by the libFuzzer custom mutator and
+// by the standalone replay driver, which derives a deterministic batch of
+// mutants from every corpus seed so plain `ctest -L fuzz` exercises hostile
+// inputs without libFuzzer.
+#ifndef TCELLS_FUZZ_MUTATOR_H_
+#define TCELLS_FUZZ_MUTATOR_H_
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace tcells::fuzz {
+
+/// Hard cap on mutant size: big enough to grow any corpus seed, small enough
+/// that a runaway extension cannot OOM the harness.
+inline constexpr size_t kMaxMutantSize = 1 << 16;
+
+/// Returns a mutated copy of `seed`. Draws every decision from `rng`, so the
+/// same (seed, rng state) pair always yields the same mutant. The result is
+/// non-empty whenever `seed` is, and never exceeds kMaxMutantSize bytes.
+Bytes Mutate(const Bytes& seed, Rng* rng);
+
+}  // namespace tcells::fuzz
+
+#endif  // TCELLS_FUZZ_MUTATOR_H_

@@ -1,0 +1,123 @@
+// libFuzzer-free driver for the fuzz harnesses (the `fuzz_smoke` path).
+//
+// Replays every file under the given paths through LLVMFuzzerTestOneInput,
+// then derives a deterministic batch of structure-aware mutants from each
+// seed (see mutator.cc) and replays those too. Runs under whatever sanitizers
+// the build type enables, so plain `ctest -L fuzz` gets hostile-input
+// coverage on toolchains without libFuzzer (GCC). With Clang and
+// -DCMAKE_BUILD_TYPE=Fuzz the harnesses link libFuzzer instead and this file
+// is not compiled in.
+//
+// Usage: <harness> [--mutants N] [--seed S] [--max-seconds T] PATH...
+//   PATH       corpus file or directory (directories are scanned, sorted).
+//   --mutants  mutants generated per seed file (default 64).
+//   --seed     base RNG seed for mutant derivation (default 1).
+//   --max-seconds  stop generating mutants after this budget (default off);
+//                  used for timed local fuzzing sessions.
+#ifndef TCELLS_LIBFUZZER
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "fuzz_util.h"
+#include "mutator.h"
+
+namespace {
+
+tcells::Bytes ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return tcells::Bytes(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+// Deterministic content hash so each seed file gets its own mutant stream
+// regardless of argument order.
+uint64_t Fnv1a(const tcells::Bytes& data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t mutants_per_seed = 64;
+  uint64_t base_seed = 1;
+  double max_seconds = -1;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--mutants" && i + 1 < argc) {
+      mutants_per_seed = static_cast<size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      base_seed = std::stoull(argv[++i]);
+    } else if (arg == "--max-seconds" && i + 1 < argc) {
+      max_seconds = std::stod(argv[++i]);
+    } else if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      inputs.insert(inputs.end(), files.begin(), files.end());
+    } else if (std::filesystem::is_regular_file(arg)) {
+      inputs.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "no such corpus path: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutants N] [--seed S] [--max-seconds T] "
+                 "CORPUS_PATH...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_budget = [&] {
+    if (max_seconds < 0) return false;
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= max_seconds;
+  };
+
+  size_t replayed = 0, mutated = 0;
+  std::vector<tcells::Bytes> seeds;
+  seeds.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    seeds.push_back(ReadFile(path));
+    LLVMFuzzerTestOneInput(seeds.back().data(), seeds.back().size());
+    ++replayed;
+  }
+  // Round-robin over seeds so a time budget spreads mutants evenly.
+  for (size_t round = 0; round < mutants_per_seed || max_seconds >= 0;
+       ++round) {
+    if (out_of_budget()) break;
+    if (max_seconds < 0 && round >= mutants_per_seed) break;
+    for (const auto& seed : seeds) {
+      tcells::Rng rng(base_seed ^ Fnv1a(seed) ^ (0x9e3779b97f4a7c15ull * (round + 1)));
+      tcells::Bytes mutant = tcells::fuzz::Mutate(seed, &rng);
+      LLVMFuzzerTestOneInput(mutant.data(), mutant.size());
+      ++mutated;
+      if (out_of_budget()) break;
+    }
+  }
+  std::printf("fuzz_smoke: replayed %zu corpus inputs, %zu mutants, 0 crashes\n",
+              replayed, mutated);
+  return 0;
+}
+
+#endif  // !TCELLS_LIBFUZZER

@@ -98,6 +98,22 @@ Result<Bytes> ByteReader::GetBytes() {
   return out;
 }
 
+Result<uint32_t> ByteReader::GetCountU32(size_t min_bytes_per_element) {
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  if (n > remaining() / min_bytes_per_element) {
+    return Status::Corruption("declared element count exceeds buffer size");
+  }
+  return n;
+}
+
+Result<uint16_t> ByteReader::GetCountU16(size_t min_bytes_per_element) {
+  TCELLS_ASSIGN_OR_RETURN(uint16_t n, GetU16());
+  if (n > remaining() / min_bytes_per_element) {
+    return Status::Corruption("declared element count exceeds buffer size");
+  }
+  return n;
+}
+
 Result<std::string> ByteReader::GetString() {
   TCELLS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
   TCELLS_RETURN_IF_ERROR(Need(n));

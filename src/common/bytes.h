@@ -55,6 +55,15 @@ class ByteReader {
   Result<Bytes> GetBytes();
   Result<std::string> GetString();
 
+  /// Reads a u32 element count and rejects it (Corruption) unless at least
+  /// `count * min_bytes_per_element` bytes remain. Every decoder that loops
+  /// over a declared count reads it through this, so hostile length fields
+  /// fail fast instead of driving huge reservations or long error-path
+  /// loops. `min_bytes_per_element` must be > 0.
+  Result<uint32_t> GetCountU32(size_t min_bytes_per_element);
+  /// Same for a u16 count (tuple arities).
+  Result<uint16_t> GetCountU16(size_t min_bytes_per_element);
+
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 

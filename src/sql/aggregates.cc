@@ -95,6 +95,12 @@ Status AggState::Accumulate(const Value& v) {
 }
 
 Status AggState::Merge(const AggState& other) {
+  // Honest states count actual accumulated rows, so these sums fit; only
+  // forged wire states (duplicate-key rows with huge counts/multiplicities)
+  // can overflow, and signed overflow is UB.
+  if (AddOverflows(count_, other.count_)) {
+    return Status::Corruption("aggregate row count overflows");
+  }
   count_ += other.count_;
   sum_double_ += other.sum_double_;
   sum_squares_ += other.sum_squares_;
@@ -112,7 +118,13 @@ Status AggState::Merge(const AggState& other) {
             ? Accumulate(other.extreme_)
             : Status::OK());
   }
-  for (const auto& [v, mult] : other.values_) values_[v] += mult;
+  for (const auto& [v, mult] : other.values_) {
+    int64_t& slot = values_[v];
+    if (AddOverflows(slot, mult)) {
+      return Status::Corruption("value multiplicity overflows");
+    }
+    slot += mult;
+  }
   return Status::OK();
 }
 
@@ -195,7 +207,16 @@ Result<Value> AggState::Finalize() const {
     case AggKind::kMedian: {
       if (values_.empty()) return Value::Null();
       int64_t total = 0;
-      for (const auto& [v, mult] : values_) total += spec_.distinct ? 1 : mult;
+      for (const auto& [v, mult] : values_) {
+        int64_t step = spec_.distinct ? 1 : mult;
+        if (AddOverflows(total, step)) {
+          // Honest states count actual accumulated rows, so the total fits;
+          // only a forged wire state can overflow here (the prefix walk
+          // below sums the same steps, so it is covered by this check too).
+          return Status::Corruption("median multiplicity total overflows");
+        }
+        total += step;
+      }
       // Lower median of the sorted multiset (exact, order via Value::operator<
       // on the numerically-keyed map).
       int64_t target = (total - 1) / 2;
@@ -230,6 +251,9 @@ Result<AggState> AggState::DecodeFrom(const AggSpec& spec,
                                       ByteReader* reader) {
   AggState s(spec);
   TCELLS_ASSIGN_OR_RETURN(s.count_, reader->GetI64());
+  if (s.count_ < 0) {
+    return Status::Corruption("negative aggregate row count");
+  }
   TCELLS_ASSIGN_OR_RETURN(s.sum_double_, reader->GetDouble());
   TCELLS_ASSIGN_OR_RETURN(s.sum_squares_, reader->GetDouble());
   TCELLS_ASSIGN_OR_RETURN(s.sum_int_, reader->GetI64());
@@ -237,10 +261,18 @@ Result<AggState> AggState::DecodeFrom(const AggSpec& spec,
   s.saw_double_ = flags & 1;
   s.sum_int_overflow_ = flags & 2;
   TCELLS_ASSIGN_OR_RETURN(s.extreme_, Value::DecodeFrom(reader));
-  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader->GetU32());
+  // Each value-set entry is at least 9 bytes (1-byte value tag + i64
+  // multiplicity), so a larger declared count cannot fit in the buffer.
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader->GetCountU32(9));
   for (uint32_t i = 0; i < n; ++i) {
     TCELLS_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(reader));
     TCELLS_ASSIGN_OR_RETURN(int64_t mult, reader->GetI64());
+    if (mult <= 0) {
+      // Honest encoders only serialize entries that were accumulated at
+      // least once; non-positive multiplicities would corrupt COUNT(DISTINCT)
+      // and make MEDIAN's rank walk run past the set.
+      return Status::Corruption("non-positive value multiplicity");
+    }
     s.values_[std::move(v)] = mult;
   }
   return s;
@@ -341,7 +373,11 @@ Result<GroupedAggregation> GroupedAggregation::Decode(
     const std::vector<AggSpec>& specs, const uint8_t* data, size_t size) {
   GroupedAggregation agg(specs);
   ByteReader reader(data, size);
-  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  // A row is a key tuple (>= 2 bytes for the arity) plus one AggState per
+  // spec; the fixed AggState fields alone encode to 38 bytes. Reject row
+  // counts the buffer cannot possibly hold before looping.
+  const size_t min_row_bytes = 2 + 38 * specs.size();
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(min_row_bytes));
   for (uint32_t i = 0; i < n; ++i) {
     TCELLS_ASSIGN_OR_RETURN(storage::Tuple key,
                             storage::Tuple::DecodeFrom(&reader));

@@ -105,11 +105,27 @@ ExprPtr MakeAggregate(AggKind kind, bool distinct, ExprPtr arg) {
   return e;
 }
 
+namespace {
+
+// Renders a string literal in SQL syntax, doubling embedded quotes so the
+// output lexes back to the same value ('a''b' round-trips as a'b).
+std::string QuoteStringLiteral(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    out.push_back(c);
+    if (c == '\'') out.push_back('\'');
+  }
+  out.push_back('\'');
+  return out;
+}
+
+}  // namespace
+
 std::string Expr::ToString() const {
   switch (kind) {
     case Kind::kLiteral:
       return literal.type() == storage::ValueType::kString
-                 ? "'" + literal.ToString() + "'"
+                 ? QuoteStringLiteral(literal.ToString())
                  : literal.ToString();
     case Kind::kColumnRef:
       return qualifier.empty() ? column : qualifier + "." + column;

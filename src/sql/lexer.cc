@@ -1,6 +1,8 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace tcells::sql {
@@ -58,10 +60,22 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       t.position = start;
       if (is_double) {
         t.type = TokenType::kDoubleLiteral;
+        errno = 0;
         t.double_value = std::strtod(text.c_str(), nullptr);
+        if (errno == ERANGE && !std::isfinite(t.double_value)) {
+          // Overflowing literals would otherwise silently become +/-inf,
+          // which ast::ToString cannot render back into parseable SQL.
+          return Status::InvalidArgument("double literal out of range at offset " +
+                                         std::to_string(start));
+        }
       } else {
         t.type = TokenType::kIntLiteral;
+        errno = 0;
         t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument("integer literal out of range at offset " +
+                                         std::to_string(start));
+        }
       }
       tokens.push_back(std::move(t));
       i = j;

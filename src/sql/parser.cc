@@ -201,8 +201,21 @@ class Parser {
     return size;
   }
 
-  // Expression grammar, loosest first.
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  // Expression grammar, loosest first. Recursion depth is bounded so hostile
+  // inputs like ten thousand nested parentheses or NOT chains return a parse
+  // error instead of overflowing the stack; 400 comfortably covers any query
+  // a client would write (and the 200-deep nesting pinned in
+  // robustness_test.cc) while keeping worst-case stack use in the tens of
+  // kilobytes even under sanitizers.
+  static constexpr int kMaxExprDepth = 400;
+
+  Result<ExprPtr> ParseExpr() {
+    if (depth_ >= kMaxExprDepth) return Error("expression nesting too deep");
+    ++depth_;
+    auto result = ParseOr();
+    --depth_;
+    return result;
+  }
 
   Result<ExprPtr> ParseOr() {
     TCELLS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
@@ -224,8 +237,14 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (ConsumeKeywordIf("NOT")) {
-      TCELLS_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
-      return MakeUnary(UnaryOp::kNot, std::move(child));
+      // Counts toward the same depth budget as ParseExpr: NOT chains recurse
+      // here without passing through ParseExpr.
+      if (depth_ >= kMaxExprDepth) return Error("expression nesting too deep");
+      ++depth_;
+      auto child = ParseNot();
+      --depth_;
+      TCELLS_RETURN_IF_ERROR(child.status());
+      return MakeUnary(UnaryOp::kNot, std::move(child).ValueOrDie());
     }
     return ParseComparison();
   }
@@ -330,8 +349,13 @@ class Parser {
   Result<ExprPtr> ParseUnary() {
     if (Peek().type == TokenType::kOperator && Peek().text == "-") {
       Advance();
-      TCELLS_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
-      return MakeUnary(UnaryOp::kNeg, std::move(child));
+      // Same depth budget as ParseExpr: minus chains recurse here directly.
+      if (depth_ >= kMaxExprDepth) return Error("expression nesting too deep");
+      ++depth_;
+      auto child = ParseUnary();
+      --depth_;
+      TCELLS_RETURN_IF_ERROR(child.status());
+      return MakeUnary(UnaryOp::kNeg, std::move(child).ValueOrDie());
     }
     return ParsePrimary();
   }
@@ -407,6 +431,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -71,7 +71,10 @@ Bytes Partition::Encode() const {
 Result<Partition> Partition::Decode(const Bytes& data) {
   ByteReader reader(data);
   Partition partition;
-  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  // Smallest possible item is 5 bytes (tag flag + empty blob length), so a
+  // count larger than remaining/5 cannot be satisfied by the buffer.
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(5));
+  partition.items.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     TCELLS_ASSIGN_OR_RETURN(EncryptedItem item,
                             EncryptedItem::DecodeFrom(&reader));

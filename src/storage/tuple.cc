@@ -21,7 +21,10 @@ Bytes Tuple::Encode() const {
 }
 
 Result<Tuple> Tuple::DecodeFrom(ByteReader* reader) {
-  TCELLS_ASSIGN_OR_RETURN(uint16_t n, reader->GetU16());
+  // Every encoded Value is at least 1 byte (its type tag), so an arity larger
+  // than the bytes left is rejected before the reserve below can amplify a
+  // 2-byte input into a multi-megabyte allocation.
+  TCELLS_ASSIGN_OR_RETURN(uint16_t n, reader->GetCountU16(1));
   std::vector<Value> values;
   values.reserve(n);
   for (uint16_t i = 0; i < n; ++i) {

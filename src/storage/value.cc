@@ -102,6 +102,11 @@ Result<Value> Value::DecodeFrom(ByteReader* reader) {
       return Value::Null();
     case ValueType::kBool: {
       TCELLS_ASSIGN_OR_RETURN(uint8_t b, reader->GetU8());
+      if (b > 1) {
+        // EncodeTo only ever emits 0 or 1; accepting other bytes would make
+        // the codec non-canonical (decode/re-encode changes the bytes).
+        return Status::Corruption("non-canonical bool encoding");
+      }
       return Value::Bool(b != 0);
     }
     case ValueType::kInt64: {

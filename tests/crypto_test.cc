@@ -427,6 +427,27 @@ TEST_F(NDetTest, WrongKeyFails) {
   EXPECT_FALSE(other.Decrypt(ct).ok());
 }
 
+// Hostile-input hardening regressions (pinned by fuzz/fuzz_crypto.cc):
+// ciphertexts shorter than the IV+tag framing — including the "tag length
+// zero" family where the buffer ends inside or right at the tag — must be
+// rejected via Status, never read out of bounds.
+TEST_F(NDetTest, UndersizedCiphertextsRejected) {
+  // kOverhead = IV(16) + tag(8) = 24: everything below that cannot even hold
+  // the framing. 24 exact-size garbage fails authentication instead.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{15}, size_t{16}, size_t{17},
+                   size_t{23}}) {
+    auto result = scheme_->Decrypt(Bytes(n, 0xab));
+    ASSERT_FALSE(result.ok()) << "n=" << n;
+    EXPECT_TRUE(result.status().IsCorruption()) << "n=" << n;
+  }
+  EXPECT_FALSE(scheme_->Decrypt(Bytes(NDetEnc::kOverhead, 0xab)).ok());
+
+  // A valid ciphertext truncated to exactly IV size (tag and body gone).
+  Bytes ct = scheme_->Encrypt(rng_.NextBytes(8), &rng_);
+  ct.resize(NDetEnc::kIvSize);
+  EXPECT_FALSE(scheme_->Decrypt(ct).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Det_Enc
 
@@ -463,6 +484,17 @@ TEST_F(DetTest, TamperingDetected) {
   Bytes bad = ct;
   bad[ct.size() / 2] ^= 0x80;
   EXPECT_FALSE(scheme_->Decrypt(bad).ok());
+}
+
+TEST_F(DetTest, UndersizedCiphertextsRejected) {
+  // kOverhead = SIV(16): shorter buffers cannot hold the synthetic IV.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{8}, size_t{15}}) {
+    auto result = scheme_->Decrypt(Bytes(n, 0xab));
+    ASSERT_FALSE(result.ok()) << "n=" << n;
+    EXPECT_TRUE(result.status().IsCorruption()) << "n=" << n;
+  }
+  // Exactly SIV-sized garbage (empty-body claim) fails SIV verification.
+  EXPECT_FALSE(scheme_->Decrypt(Bytes(DetEnc::kOverhead, 0xab)).ok());
 }
 
 TEST_F(DetTest, KeySeparatedFromNDet) {

@@ -300,5 +300,148 @@ TEST(GroupedAggregationTest, ShortTupleRejected) {
   EXPECT_FALSE(agg.AccumulateTuple(Tuple(), 1).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Hostile-input hardening regressions (pinned by fuzz/fuzz_storage.cc)
+
+TEST(GroupedAggregationTest, RowCountLargerThanBufferRejected) {
+  // Header claims 2^32-1 rows with no row bytes behind it; the decoder must
+  // fail on the count instead of looping until underflow.
+  std::vector<AggSpec> specs = {Spec(AggKind::kCount, false, -1)};
+  Bytes hostile = {0xff, 0xff, 0xff, 0xff};
+  auto result = GroupedAggregation::Decode(specs, hostile);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+
+  // One encoded row cannot satisfy a claimed count of 1000 either.
+  GroupedAggregation agg(specs);
+  ASSERT_TRUE(agg.AccumulateTuple(Tuple({Value::Int64(1)}), 1).ok());
+  Bytes buf;
+  agg.EncodeTo(&buf);
+  buf[0] = 0xe8;  // 1000 little-endian
+  buf[1] = 0x03;
+  EXPECT_FALSE(GroupedAggregation::Decode(specs, buf).ok());
+}
+
+TEST(AggStateTest, ValueSetCountLargerThanBufferRejected) {
+  // MEDIAN serializes its value multiset; a hostile count there must be
+  // checked against the remaining bytes.
+  AggSpec spec = Spec(AggKind::kMedian);
+  AggState s(spec);
+  ASSERT_TRUE(s.Accumulate(Value::Int64(5)).ok());
+  Bytes buf;
+  s.EncodeTo(&buf);
+  // An empty state encodes all the fixed fields followed by the count, so
+  // the count field sits at (empty size - 4). Claim 2^31-ish entries.
+  AggState empty(spec);
+  Bytes empty_buf;
+  empty.EncodeTo(&empty_buf);
+  const size_t count_pos = empty_buf.size() - 4;
+  buf[count_pos] = 0xff;
+  buf[count_pos + 1] = 0xff;
+  buf[count_pos + 2] = 0xff;
+  buf[count_pos + 3] = 0x7f;
+  ByteReader reader(buf);
+  auto result = AggState::DecodeFrom(spec, &reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(AggStateTest, NonPositiveMultiplicityRejected) {
+  // A compromised SSI handing back a value-set entry with multiplicity 0 or
+  // -1 would corrupt COUNT(DISTINCT) and MEDIAN's rank walk; the decoder
+  // rejects it outright.
+  AggSpec spec = Spec(AggKind::kMedian);
+  AggState s(spec);
+  ASSERT_TRUE(s.Accumulate(Value::Int64(5)).ok());
+  Bytes buf;
+  s.EncodeTo(&buf);
+  // The entry's i64 multiplicity is the trailing 8 bytes.
+  for (uint8_t zero_then_neg : {0, 1}) {
+    Bytes tampered = buf;
+    for (size_t i = tampered.size() - 8; i < tampered.size(); ++i) {
+      tampered[i] = zero_then_neg ? 0xff : 0x00;  // -1 or 0
+    }
+    ByteReader reader(tampered);
+    auto result = AggState::DecodeFrom(spec, &reader);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsCorruption());
+  }
+}
+
+TEST(AggStateTest, MedianMultiplicityTotalOverflowRejected) {
+  // Two entries with multiplicity INT64_MAX decode fine individually but
+  // their rank-walk total overflows int64; Finalize must reject the state
+  // instead of summing with UB (found by fuzz_storage under UBSan).
+  AggSpec spec = Spec(AggKind::kMedian);
+  AggState s(spec);
+  ASSERT_TRUE(s.Accumulate(Value::Int64(5)).ok());
+  ASSERT_TRUE(s.Accumulate(Value::Int64(6)).ok());
+  Bytes buf;
+  s.EncodeTo(&buf);
+  // Entries are value(tag 1 + i64 8) + mult(i64 8) = 17 bytes; the two mult
+  // fields are the trailing 8 bytes of each entry.
+  const Bytes max_i64 = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  for (size_t entry_end : {buf.size(), buf.size() - 17}) {
+    for (size_t i = 0; i < 8; ++i) buf[entry_end - 8 + i] = max_i64[i];
+  }
+  ByteReader reader(buf);
+  auto decoded = AggState::DecodeFrom(spec, &reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto finalized = decoded->Finalize();
+  ASSERT_FALSE(finalized.ok());
+  EXPECT_TRUE(finalized.status().IsCorruption());
+}
+
+TEST(AggStateTest, NegativeRowCountRejected) {
+  // count_ is the leading i64 of the encoding; honest states never go
+  // negative.
+  AggSpec spec = Spec(AggKind::kCount);
+  AggState s(spec);
+  ASSERT_TRUE(s.Accumulate(Value::Int64(5)).ok());
+  Bytes buf;
+  s.EncodeTo(&buf);
+  for (size_t i = 0; i < 8; ++i) buf[i] = 0xff;  // count_ = -1
+  ByteReader reader(buf);
+  auto result = AggState::DecodeFrom(spec, &reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(AggStateTest, MergeOverflowsRejectedNotUb) {
+  // Merging two forged states whose row counts (or shared-value
+  // multiplicities) sum past INT64_MAX must fail cleanly — signed overflow
+  // is UB. Reachable from GroupedAggregation::Decode via duplicate-key rows.
+  AggSpec count_spec = Spec(AggKind::kCount);
+  AggState a(count_spec);
+  ASSERT_TRUE(a.Accumulate(Value::Int64(1)).ok());
+  Bytes buf;
+  a.EncodeTo(&buf);
+  // Patch count_ (leading i64) to INT64_MAX.
+  const Bytes max_i64 = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  for (size_t i = 0; i < 8; ++i) buf[i] = max_i64[i];
+  ByteReader r1(buf), r2(buf);
+  auto x = AggState::DecodeFrom(count_spec, &r1);
+  auto y = AggState::DecodeFrom(count_spec, &r2);
+  ASSERT_TRUE(x.ok() && y.ok());
+  Status merged = x->Merge(*y);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.IsCorruption());
+
+  // Same for the value-set multiplicities of a MEDIAN state.
+  AggSpec med_spec = Spec(AggKind::kMedian);
+  AggState m(med_spec);
+  ASSERT_TRUE(m.Accumulate(Value::Int64(5)).ok());
+  Bytes mbuf;
+  m.EncodeTo(&mbuf);
+  for (size_t i = 0; i < 8; ++i) mbuf[mbuf.size() - 8 + i] = max_i64[i];
+  ByteReader r3(mbuf), r4(mbuf);
+  auto p = AggState::DecodeFrom(med_spec, &r3);
+  auto q = AggState::DecodeFrom(med_spec, &r4);
+  ASSERT_TRUE(p.ok() && q.ok());
+  Status med_merged = p->Merge(*q);
+  ASSERT_FALSE(med_merged.ok());
+  EXPECT_TRUE(med_merged.IsCorruption());
+}
+
 }  // namespace
 }  // namespace tcells::sql

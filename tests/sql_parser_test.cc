@@ -1,6 +1,10 @@
 // Tests for the SQL lexer and parser, including the paper's flagship query.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 
@@ -197,6 +201,106 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(Parse("SELECT a FROM t SIZE").ok());
   EXPECT_FALSE(Parse("SELECT a FROM t GROUP BY a + 1").ok());  // col refs only
   EXPECT_FALSE(Parse("INSERT INTO t VALUES (1)").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input hardening regressions (pinned by fuzz/fuzz_sql.cc)
+
+TEST(LexerTest, OverflowingIntegerLiteralRejected) {
+  // strtoll used to clamp silently to INT64_MAX; overflow is now an error.
+  EXPECT_FALSE(Lex("99999999999999999999").ok());
+  EXPECT_FALSE(Parse("SELECT 99999999999999999999 FROM t").ok());
+  // INT64_MAX itself still lexes.
+  auto tokens = Lex("9223372036854775807").ValueOrDie();
+  EXPECT_EQ(tokens[0].int_value, 9223372036854775807LL);
+}
+
+TEST(LexerTest, OverflowingDoubleLiteralRejected) {
+  // 1e999 would become +inf, which ToString cannot render back into SQL.
+  EXPECT_FALSE(Lex("1e999").ok());
+  // Underflow to 0 is representable and fine.
+  EXPECT_TRUE(Lex("1e-999").ok());
+}
+
+TEST(ParserTest, ExcessiveNestingRejectedNotCrashed) {
+  // 200 levels must keep parsing (robustness_test pins this); a hostile
+  // 100k-level input must fail with a parse error, not a stack overflow.
+  for (size_t depth : {size_t{200}, size_t{100000}}) {
+    std::string sql = "SELECT ";
+    sql.append(depth, '(');
+    sql += "1";
+    sql.append(depth, ')');
+    sql += " FROM t";
+    auto parsed = Parse(sql);
+    EXPECT_EQ(parsed.ok(), depth == 200) << "depth=" << depth;
+  }
+  // Same budget for NOT and unary-minus chains, which recurse separately.
+  std::string nots = "SELECT a FROM t WHERE ";
+  for (int i = 0; i < 100000; ++i) nots += "NOT ";
+  nots += "a";
+  EXPECT_FALSE(Parse(nots).ok());
+  std::string minuses = "SELECT ";
+  minuses.append(100000, '-');
+  minuses += "1 FROM t";
+  EXPECT_FALSE(Parse(minuses).ok());
+}
+
+TEST(ParserTest, EmbeddedQuoteLiteralRoundTrips) {
+  auto parsed = Parse("SELECT a FROM t WHERE a = 'it''s'").ValueOrDie();
+  std::string rendered = parsed.ToString();
+  auto reparsed = Parse(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(reparsed->ToString(), rendered);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: render/reparse fixpoint on the property-grid query set,
+// and no crash/accept on seeded random byte strings.
+
+TEST(ParserPropertyTest, PropertyGridQueriesRoundTrip) {
+  const std::vector<std::string> grid = {
+      "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), MAX(val) FROM T "
+      "GROUP BY grp",
+      "SELECT grp, MEDIAN(val), COUNT(DISTINCT cat), VARIANCE(val), "
+      "STDDEV(val) FROM T GROUP BY grp",
+      "SELECT SUM(val), COUNT(*) FROM T",
+      "SELECT grp, COUNT(*) FROM T WHERE cat < 5 GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat BETWEEN 2 AND 7 GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat IN (0, 3, 9) GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat NOT IN (1, 2) GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE grp LIKE 'G0_' GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE grp NOT LIKE '%2' GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE grp IS NOT NULL AND val > 10.0 "
+      "GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE NOT (cat = 0 OR cat = 1) GROUP BY "
+      "grp",
+      "SELECT grp, COUNT(*) FROM T WHERE val / 2 + 1 > cat * 3 GROUP BY grp",
+      "SELECT grp, COUNT(*) FROM T WHERE cat % 3 = 0 OR FALSE GROUP BY grp",
+      "SELECT DISTINCT grp FROM T ORDER BY grp DESC LIMIT 2",
+      "SELECT grp, val FROM T WHERE cat < 5 SIZE 100 DURATION 60",
+  };
+  for (const std::string& sql : grid) {
+    auto parsed = Parse(sql);
+    ASSERT_TRUE(parsed.ok()) << sql << "\n" << parsed.status().ToString();
+    // The first rendering may normalize; it must then be a fixpoint.
+    std::string rendered = parsed->ToString();
+    auto reparsed = Parse(rendered);
+    ASSERT_TRUE(reparsed.ok()) << sql << "\nrendered: " << rendered;
+    EXPECT_EQ(reparsed->ToString(), rendered) << sql;
+  }
+}
+
+TEST(ParserPropertyTest, RandomByteStringsNeverCrashOrParse) {
+  // 10k fully random byte strings: the parser must return an error for each
+  // (random bytes do not spell SELECT ... FROM ...) and never crash.
+  Rng rng(20260807);
+  for (int i = 0; i < 10000; ++i) {
+    size_t len = rng.NextBelow(128);
+    Bytes raw = rng.NextBytes(len);
+    std::string sql(raw.begin(), raw.end());
+    auto parsed = Parse(sql);
+    EXPECT_FALSE(parsed.ok()) << "accepted random input: " << sql;
+  }
 }
 
 }  // namespace

@@ -278,6 +278,66 @@ TEST(WireTest, PartitionRoundTrip) {
 }
 
 // ---------------------------------------------------------------------------
+// Hostile-input hardening regressions (pinned by the fuzz harnesses; see
+// fuzz/fuzz_ssi.cc and docs/TESTING.md)
+
+TEST(WireTest, PartitionDeclaringMoreItemsThanBytesRejected) {
+  // Count field claims 4B items but the buffer holds none: the decoder must
+  // reject on the count itself instead of looping/allocating towards it.
+  Bytes hostile = {0xff, 0xff, 0xff, 0xff};
+  auto result = Partition::Decode(hostile);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+
+  // A single valid item cannot satisfy a count of 10 either.
+  Partition p;
+  p.items.push_back(Item(1));
+  Bytes encoded = p.Encode();
+  encoded[0] = 10;
+  EXPECT_FALSE(Partition::Decode(encoded).ok());
+}
+
+TEST(WireTest, EncryptedItemTruncatedTagLengthRejected) {
+  // has_tag=1 followed by a tag length field claiming 100 bytes of tag with
+  // only 2 present.
+  Bytes hostile = {1, 100, 0, 0, 0, 0xaa, 0xbb};
+  ByteReader reader(hostile);
+  EXPECT_FALSE(EncryptedItem::DecodeFrom(&reader).ok());
+
+  // The length field itself cut short.
+  Bytes truncated = {1, 100, 0};
+  ByteReader reader2(truncated);
+  EXPECT_FALSE(EncryptedItem::DecodeFrom(&reader2).ok());
+}
+
+TEST(WireTest, EncryptedItemBadTagFlagRejected) {
+  Bytes hostile = {2, 0, 0, 0, 0};
+  ByteReader reader(hostile);
+  auto result = EncryptedItem::DecodeFrom(&reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(WireTest, QueryPostHostileFlagsAndTrailersRejected) {
+  QueryPost post;
+  post.query_id = 9;
+  post.encrypted_query = Bytes{1};
+  post.querier_id = "q";
+  post.credential_mac = Bytes(8, 0xcc);
+  Bytes buf = post.Encode();
+
+  // Unknown flag bits.
+  Bytes bad_flags = buf;
+  bad_flags.back() = 4;
+  EXPECT_FALSE(QueryPost::Decode(bad_flags).ok());
+
+  // Trailing bytes after a well-formed post.
+  Bytes trailing = buf;
+  trailing.push_back(0);
+  EXPECT_FALSE(QueryPost::Decode(trailing).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Adversary view
 
 TEST(SsiTest, AdversaryViewRecordsTagHistogram) {

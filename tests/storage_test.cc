@@ -180,6 +180,53 @@ TEST(TableTest, NanRejectedAtStorageBoundary) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Hostile-input hardening regressions (pinned by fuzz/fuzz_storage.cc)
+
+TEST(TupleWireTest, ArityLargerThanBufferRejectedBeforeReserve) {
+  // A 2-byte input declaring 65535 values used to reserve ~3MB of Value
+  // slots before the first read failed; the decoder must now reject the
+  // arity against the remaining bytes up front.
+  Bytes hostile = {0xff, 0xff};
+  auto result = Tuple::Decode(hostile);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+
+  // Arity 3 with only one encoded value present.
+  Tuple one(std::vector<Value>{Value::Int64(7)});
+  Bytes encoded = one.Encode();
+  encoded[0] = 3;
+  EXPECT_FALSE(Tuple::Decode(encoded).ok());
+}
+
+TEST(TupleWireTest, TrailingBytesRejected) {
+  Tuple t(std::vector<Value>{Value::Int64(7), Value::String("x")});
+  Bytes encoded = t.Encode();
+  encoded.push_back(0);
+  EXPECT_FALSE(Tuple::Decode(encoded).ok());
+}
+
+TEST(TupleWireTest, NonCanonicalBoolByteRejected) {
+  // EncodeTo writes bools as exactly 0 or 1. The decoder used to accept any
+  // nonzero payload byte as true, so {..., 2} decoded fine but re-encoded to
+  // {..., 1} — a non-canonical accepted encoding found by fuzz_storage's
+  // re-encode assert.
+  Tuple t(std::vector<Value>{Value::Bool(true)});
+  Bytes encoded = t.Encode();
+  EXPECT_TRUE(Tuple::Decode(encoded).ok());
+  encoded.back() = 2;
+  auto result = Tuple::Decode(encoded);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(TupleWireTest, UnknownValueTagRejected) {
+  Bytes hostile = {1, 0, 250};  // arity 1, value tag 250
+  auto result = Tuple::Decode(hostile);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
 TEST(DatabaseTest, CreateAndGet) {
   Database db;
   ASSERT_TRUE(db.CreateTable("A", Schema({{"x", ValueType::kInt64}})).ok());
