@@ -1,0 +1,221 @@
+// Loopback-vs-TCP transport throughput harness: times framed request/reply
+// round trips through both Channel backends at several payload sizes (the
+// codec-only floor vs real socket syscalls), plus one end-to-end S_Agg query
+// per backend, and writes the results to BENCH_transport.json (or argv[1]).
+//
+// Timing is hand-rolled (steady_clock, calibrated batch loops) so the target
+// stays dependency-light and emits machine-readable JSON directly.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/loopback.h"
+#include "net/ssi_client.h"
+#include "net/ssi_node.h"
+#include "net/tcp.h"
+#include "protocol/protocols.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+
+namespace tcells {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Row {
+  std::string name;
+  std::string transport;
+  size_t bytes_per_op = 0;
+  double ns_per_op = 0;
+  double ops_per_sec = 0;
+  double mb_per_sec = 0;
+};
+
+/// Round-trip `payload` through `channel` in calibrated batches until the
+/// sample window exceeds ~80 ms, then report the per-op cost. One op moves
+/// the payload out and back, so bytes_per_op counts both directions.
+Row MeasureRoundTrip(const std::string& size_name,
+                     const std::string& transport_name, net::Channel* channel,
+                     const Bytes& payload) {
+  net::CallOptions opts;
+  opts.deadline_seconds = 30.0;
+  for (int i = 0; i < 3; ++i) {
+    (void)channel->Call(payload, opts).ValueOrDie();
+  }
+  size_t batch = 1;
+  double elapsed = 0;
+  size_t total_ops = 0;
+  double start = NowSeconds();
+  while (elapsed < 0.08) {
+    for (size_t i = 0; i < batch; ++i) {
+      (void)channel->Call(payload, opts).ValueOrDie();
+    }
+    total_ops += batch;
+    batch *= 2;
+    elapsed = NowSeconds() - start;
+  }
+  Row row;
+  row.name = "roundtrip_" + size_name;
+  row.transport = transport_name;
+  row.bytes_per_op = 2 * payload.size();
+  row.ns_per_op = elapsed / static_cast<double>(total_ops) * 1e9;
+  row.ops_per_sec = static_cast<double>(total_ops) / elapsed;
+  row.mb_per_sec = static_cast<double>(row.bytes_per_op) *
+                   static_cast<double>(total_ops) / elapsed / (1024 * 1024);
+  return row;
+}
+
+/// One S_Agg query over a small fleet through the given transport; reports
+/// wall time of the best of three runs plus the run's own frame telemetry.
+struct E2eRow {
+  std::string transport;
+  double best_ms = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;
+};
+
+E2eRow MeasureE2e(net::TransportKind transport_kind) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 24;
+  gopts.num_groups = 4;
+  gopts.rows_per_tds = 2;
+  gopts.seed = 77;
+  auto keys = crypto::KeyStore::CreateForTest(2026);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x77));
+  auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  protocol::Querier querier("bench", authority->Issue("bench"), keys);
+  protocol::SAggProtocol protocol;
+  protocol::RunOptions opts;
+  opts.expected_groups = gopts.num_groups;
+  opts.seed = 7;
+
+  E2eRow row;
+  row.transport = net::TransportKindToString(transport_kind);
+  row.best_ms = 1e18;
+  const char* sql = "SELECT grp, COUNT(*), AVG(val) FROM T GROUP BY grp";
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::MetricsRegistry metrics;
+    obs::Telemetry telemetry;
+    telemetry.metrics = &metrics;
+    double start = NowSeconds();
+    if (transport_kind == net::TransportKind::kLoopback) {
+      (void)protocol::RunQuery(protocol, fleet.get(), querier, 1, sql,
+                               sim::DeviceModel(), opts, telemetry)
+          .ValueOrDie();
+    } else {
+      net::SsiNode node;
+      net::TcpServer server;
+      Status started = server.Start(node.handler());
+      if (!started.ok()) {
+        std::fprintf(stderr, "bench_transport: %s\n",
+                     started.ToString().c_str());
+        std::exit(1);
+      }
+      net::TcpTransport transport("127.0.0.1", server.port());
+      net::SsiClient client(&transport, protocol::TransportRetryPolicy(opts),
+                            &metrics);
+      (void)protocol::RunQuery(protocol, fleet.get(), querier, 1, sql,
+                               sim::DeviceModel(), opts, telemetry, &client)
+          .ValueOrDie();
+    }
+    double ms = (NowSeconds() - start) * 1e3;
+    if (ms < row.best_ms) row.best_ms = ms;
+    auto counters = metrics.snapshot().counters;
+    auto it = counters.find("net.frames_sent");
+    if (it != counters.end()) row.frames_sent = it->second;
+    it = counters.find("net.bytes_sent");
+    if (it != counters.end()) row.bytes_sent = it->second;
+  }
+  return row;
+}
+
+int Run(const std::string& out_path) {
+  // Echo handler: isolates the transport + frame codec from any SSI work.
+  net::Handler echo = [](const Bytes& request) -> Result<Bytes> {
+    return request;
+  };
+
+  const std::map<std::string, size_t> sizes = {
+      {"64B", 64}, {"64KB", 64u << 10}, {"1MB", 1u << 20}};
+
+  std::vector<Row> rows;
+  {
+    net::LoopbackTransport transport(echo);
+    auto channel = transport.Connect().ValueOrDie();
+    for (const auto& [size_name, n] : sizes) {
+      rows.push_back(
+          MeasureRoundTrip(size_name, "loopback", channel.get(), Bytes(n, 0x5A)));
+    }
+  }
+  {
+    net::TcpServer server;
+    Status started = server.Start(echo);
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_transport: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    net::TcpTransport transport("127.0.0.1", server.port());
+    auto channel = transport.Connect().ValueOrDie();
+    for (const auto& [size_name, n] : sizes) {
+      rows.push_back(
+          MeasureRoundTrip(size_name, "tcp", channel.get(), Bytes(n, 0x5A)));
+    }
+  }
+
+  E2eRow e2e_loopback = MeasureE2e(net::TransportKind::kLoopback);
+  E2eRow e2e_tcp = MeasureE2e(net::TransportKind::kTcp);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_transport\",\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"transport\": \"%s\", "
+                 "\"bytes_per_op\": %zu, \"ns_per_op\": %.2f, "
+                 "\"ops_per_sec\": %.0f, \"mb_per_sec\": %.2f}%s\n",
+                 r.name.c_str(), r.transport.c_str(), r.bytes_per_op,
+                 r.ns_per_op, r.ops_per_sec, r.mb_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"e2e_s_agg\": [\n");
+  for (const E2eRow* r : {&e2e_loopback, &e2e_tcp}) {
+    std::fprintf(f,
+                 "    {\"transport\": \"%s\", \"best_ms\": %.2f, "
+                 "\"frames_sent\": %llu, \"bytes_sent\": %llu}%s\n",
+                 r->transport.c_str(), r->best_ms,
+                 static_cast<unsigned long long>(r->frames_sent),
+                 static_cast<unsigned long long>(r->bytes_sent),
+                 r == &e2e_tcp ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr,
+               "wrote %s (e2e s_agg: loopback %.1f ms, tcp %.1f ms)\n",
+               out_path.c_str(), e2e_loopback.best_ms, e2e_tcp.best_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcells
+
+int main(int argc, char** argv) {
+  return tcells::Run(argc > 1 ? argv[1] : "BENCH_transport.json");
+}

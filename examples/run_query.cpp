@@ -8,12 +8,18 @@
 //   ./run_query "SELECT grp, AVG(val) FROM T GROUP BY grp"
 //       [--protocol=s_agg|r_noise|c_noise|ed_hist|basic]
 //       [--tds=N] [--groups=G] [--skew=Z] [--availability=F] [--dropout=P]
-//       [--threads=N] [--trace-json=PATH] [--metrics-json=PATH]
+//       [--threads=N] [--transport=loopback|tcp]
+//       [--trace-json=PATH] [--metrics-json=PATH]
 //
 // --threads sets the parallel fleet engine's worker count (0 = all hardware
 // threads, 1 = serial). The result is bit-identical for any value — and so
 // is the --trace-json output (wall times are excluded by default; see
 // obs/trace.h).
+//
+// --transport selects the SSI channel backend (docs/TRANSPORT.md): loopback
+// keeps every exchange in-process (the default); tcp starts a real SSI
+// server on 127.0.0.1 and routes every exchange through framed sockets.
+// Results are bit-identical either way.
 //
 // The fleet schema is the generic workload: T(gid INT, grp STRING,
 // val DOUBLE, cat INT), one row per TDS by default.
@@ -54,7 +60,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s \"<SQL>\" [--protocol=...] [--tds=N] "
                  "[--groups=G] [--skew=Z] [--availability=F] [--dropout=P] "
-                 "[--threads=N] [--trace-json=PATH] [--metrics-json=PATH]\n",
+                 "[--threads=N] [--transport=loopback|tcp] "
+                 "[--trace-json=PATH] [--metrics-json=PATH]\n",
                  argv[0]);
     return 2;
   }
@@ -76,6 +83,14 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--availability", &v)) config.options.compute_availability = std::strtod(v.c_str(), nullptr);
     else if (FlagValue(argv[i], "--dropout", &v)) config.options.dropout_rate = std::strtod(v.c_str(), nullptr);
     else if (FlagValue(argv[i], "--threads", &v)) config.options.num_threads = std::strtoul(v.c_str(), nullptr, 10);
+    else if (FlagValue(argv[i], "--transport", &v)) {
+      auto kind_or = net::TransportKindFromName(v);
+      if (!kind_or.ok()) {
+        std::fprintf(stderr, "%s\n", kind_or.status().ToString().c_str());
+        return 2;
+      }
+      config.transport = *kind_or;
+    }
     else if (FlagValue(argv[i], "--trace-json", &v)) trace_json_path = v;
     else if (FlagValue(argv[i], "--metrics-json", &v)) metrics_json_path = v;
     else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) trace_json_path = argv[++i];
@@ -104,6 +119,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   Engine& engine = **engine_or;
+  if (config.transport == net::TransportKind::kTcp) {
+    std::printf("SSI serving on 127.0.0.1:%u (tcp transport)\n",
+                static_cast<unsigned>(engine.ssi_port()));
+  }
 
   // Protocol selection via the factory; ED_Hist and the Noise protocols get
   // their prior knowledge from a secure discovery round.

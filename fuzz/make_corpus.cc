@@ -4,9 +4,12 @@
 // Every stage of a real run is captured in the exact shape the matching
 // harness consumes (selector byte + encoding, see the fuzz_*.cc headers):
 // query posts, partitions, item streams and decrypted payloads for fuzz_ssi;
-// k1/k2 ciphertext blobs for fuzz_crypto; collection/result tuples and
-// GroupedAggregation bodies (tagged with their fuzz_specs.h query index) for
-// fuzz_storage; and the query texts plus edge-case statements for fuzz_sql.
+// k1/k2 ciphertext blobs for fuzz_crypto; collection/result tuples,
+// GroupedAggregation bodies (tagged with their fuzz_specs.h query index) and
+// histogram encodings — including the forged frames the Decode hardening
+// rejects — for fuzz_storage; frame streams, request frames and reply
+// envelopes for fuzz_net; and the query texts plus edge-case statements for
+// fuzz_sql.
 //
 // Everything is deterministic — fixed seeds, content-hash file names — so
 // re-running the tool over an unchanged protocol stack reproduces the corpus
@@ -25,6 +28,12 @@
 #include "crypto/keystore.h"
 #include "crypto/sha256.h"
 #include "fuzz_specs.h"
+#include "net/frame.h"
+#include "net/loopback.h"
+#include "net/ssi_client.h"
+#include "net/ssi_node.h"
+#include "net/ssi_wire.h"
+#include "tds/histogram.h"
 #include "protocol/factory.h"
 #include "protocol/protocols.h"
 #include "sim/device_model.h"
@@ -192,9 +201,11 @@ int Run(const std::filesystem::path& out_dir) {
     opts.seed = 1000 + query_id;
     opts.num_threads = 1;
 
-    ssi::Ssi ssi_instance;
-    protocol::RunContext ctx(fleet.get(), &ssi_instance, sim::DeviceModel(),
-                             opts);
+    net::SsiNode node;
+    net::LoopbackTransport transport(node.handler());
+    net::SsiClient client(&transport);
+    protocol::RunContext ctx(fleet.get(), &client, query_id,
+                             sim::DeviceModel(), opts);
 
     auto post = querier.MakePost(query_id, sql, &ctx.rng());
     CHECK_OK(post);
@@ -262,6 +273,96 @@ int Run(const std::filesystem::path& out_dir) {
       "SELECT ((((val))))+1.5e2 FROM T HAVING COUNT(*) > 0",
   };
   for (const std::string& s : extra_sql) writer.AddText("sql", s);
+
+  // ---- fuzz_net seeds: frame streams, request frames, reply envelopes ----
+  {
+    ssi::EncryptedItem tagged;
+    tagged.blob = Bytes(12, 0xA1);
+    tagged.routing_tag = Bytes(4, 0x5C);
+    ssi::EncryptedItem plain;
+    plain.blob = Bytes(8, 0xB2);
+    Partition partition;
+    partition.items = {tagged, plain};
+    Bytes partition_bytes = partition.Encode();
+
+    // Selector 0: receive-buffer streams. Two complete frames plus a
+    // truncated third (needs-more-bytes path), and a hostile length prefix
+    // (the pre-allocation rejection path).
+    Bytes stream;
+    net::AppendFrame(&stream, partition_bytes);
+    net::AppendFrame(&stream, Bytes());
+    Bytes truncated;
+    net::AppendFrame(&truncated, partition_bytes);
+    truncated.resize(truncated.size() - 3);
+    for (uint8_t b : truncated) stream.push_back(b);
+    writer.Add("net", 0, stream);
+    writer.Add("net", 0, Bytes{0xff, 0xff, 0xff, 0xff, 0x00});
+
+    // Selector 1: request frames in the exact shapes SsiClient emits (u8
+    // message type + fields), plus an unknown-type frame.
+    auto request = [&](net::MsgType type, const Bytes& body) {
+      Bytes req;
+      ByteWriter w(&req);
+      w.PutU8(static_cast<uint8_t>(type));
+      w.PutRaw(body.data(), body.size());
+      writer.Add("net", 1, req);
+    };
+    Rng post_rng(kKeySeed);
+    auto net_post = querier.MakePost(900, "SELECT grp, val FROM T", &post_rng);
+    CHECK_OK(net_post);
+    request(net::MsgType::kPostGlobal, net_post->Encode());
+    Bytes stage_body;
+    {
+      ByteWriter w(&stage_body);
+      w.PutU64(900);
+      w.PutU64(0);
+      w.PutRaw(partition_bytes.data(), partition_bytes.size());
+    }
+    request(net::MsgType::kStagePartition, stage_body);
+    Bytes qid_body;
+    ByteWriter(&qid_body).PutU64(900);
+    request(net::MsgType::kNumAcknowledged, qid_body);
+    request(net::MsgType::kRetire, qid_body);
+    writer.Add("net", 1, Bytes{0xEE, 0x01, 0x02, 0x03});
+
+    // Selector 2: reply envelopes — OK wrapping a partition, an encoded
+    // application error, and a garbage status code.
+    writer.Add("net", 2, net::EncodeReplyOk(partition_bytes));
+    writer.Add("net", 2,
+               net::EncodeReplyError(Status::NotFound("no such query")));
+    writer.Add("net", 2, Bytes{99, 0x41, 0x42});
+  }
+
+  // ---- Histogram seeds (fuzz_storage selector 0xFF) ----
+  {
+    Bytes valid;
+    tds::EquiDepthHistogram::Build(freq, 2).EncodeTo(&valid);
+    writer.Add("storage", 0xFF, valid);
+
+    // The forged frame behind the Decode hardening: claims zero distinct
+    // keys while carrying two buckets (num_keys_ < upper_bounds_.size()),
+    // which used to slip through and corrupt CollisionFactor downstream.
+    Bytes forged_keys;
+    {
+      ByteWriter w(&forged_keys);
+      w.PutU64(0);
+      w.PutU32(2);
+      (*domain)[0].EncodeTo(&forged_keys);
+      (*domain)[1].EncodeTo(&forged_keys);
+    }
+    writer.Add("storage", 0xFF, forged_keys);
+
+    // Unsorted bounds: breaks BucketOf's lower_bound contract.
+    Bytes forged_order;
+    {
+      ByteWriter w(&forged_order);
+      w.PutU64(10);
+      w.PutU32(2);
+      (*domain)[1].EncodeTo(&forged_order);
+      (*domain)[0].EncodeTo(&forged_order);
+    }
+    writer.Add("storage", 0xFF, forged_order);
+  }
 
   std::printf("make_corpus: wrote %zu files under %s\n", writer.written(),
               out_dir.string().c_str());

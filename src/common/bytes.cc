@@ -98,6 +98,13 @@ Result<Bytes> ByteReader::GetBytes() {
   return out;
 }
 
+Result<Bytes> ByteReader::GetRaw(size_t n) {
+  TCELLS_RETURN_IF_ERROR(Need(n));
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
 Result<uint32_t> ByteReader::GetCountU32(size_t min_bytes_per_element) {
   TCELLS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
   if (n > remaining() / min_bytes_per_element) {

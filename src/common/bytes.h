@@ -54,6 +54,9 @@ class ByteReader {
   Result<double> GetDouble();
   Result<Bytes> GetBytes();
   Result<std::string> GetString();
+  /// `n` raw bytes with no length prefix (the caller validated `n`);
+  /// Corruption on underflow, checked before the copy allocates.
+  Result<Bytes> GetRaw(size_t n);
 
   /// Reads a u32 element count and rejects it (Corruption) unless at least
   /// `count * min_bytes_per_element` bytes remain. Every decoder that loops

@@ -13,6 +13,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition,///< API called in the wrong state.
   kUnimplemented,     ///< Feature not (yet) supported.
   kInternal,          ///< Invariant violation inside the library.
+  kUnavailable,       ///< Transport/peer failure; safe to retry.
+  kDeadlineExceeded,  ///< Per-message deadline expired; safe to retry.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -57,6 +59,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +78,8 @@ class Status {
   bool IsFailedPrecondition() const { return code_ == StatusCode::kFailedPrecondition; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,21 @@
+#include "net/channel.h"
+
+namespace tcells::net {
+
+const char* TransportKindToString(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kLoopback:
+      return "loopback";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "unknown";
+}
+
+Result<TransportKind> TransportKindFromName(std::string_view name) {
+  if (name == "loopback") return TransportKind::kLoopback;
+  if (name == "tcp") return TransportKind::kTcp;
+  return Status::InvalidArgument("unknown transport (expected loopback|tcp)");
+}
+
+}  // namespace tcells::net

@@ -1,0 +1,58 @@
+// Channel/Transport: the pluggable message boundary between the trusted side
+// (querier + TDS fleet) and the untrusted SSI. A Channel carries one framed
+// request/response exchange at a time; a Transport manufactures channels
+// against a serving endpoint. Two backends exist: the in-process loopback
+// (loopback.h, default — bit-identical to direct calls) and a real TCP
+// socket pair (tcp.h), so the same protocol engine runs against either a
+// simulated or a genuinely remote SSI.
+#ifndef TCELLS_NET_CHANNEL_H_
+#define TCELLS_NET_CHANNEL_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace tcells::net {
+
+/// Per-call knobs. The deadline covers the whole exchange (send + wait +
+/// receive); expiry surfaces as DeadlineExceeded, which callers may retry.
+struct CallOptions {
+  double deadline_seconds = 5.0;
+};
+
+/// One bidirectional, ordered frame pipe to the SSI. Not thread-safe: a
+/// channel carries one outstanding call at a time (SsiClient serializes).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends `request` as one frame and returns the peer's reply frame.
+  /// Unavailable on connection loss / peer close, DeadlineExceeded when
+  /// `opts.deadline_seconds` elapses first. Both are retryable; any other
+  /// status is not.
+  virtual Result<Bytes> Call(const Bytes& request, const CallOptions& opts) = 0;
+};
+
+/// Server-side request processor: one complete request frame in, one
+/// complete response frame out.
+using Handler = std::function<Result<Bytes>(const Bytes&)>;
+
+/// Channel factory bound to one serving endpoint.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<std::unique_ptr<Channel>> Connect() = 0;
+  virtual const char* name() const = 0;
+};
+
+enum class TransportKind { kLoopback, kTcp };
+
+const char* TransportKindToString(TransportKind kind);
+Result<TransportKind> TransportKindFromName(std::string_view name);
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_CHANNEL_H_

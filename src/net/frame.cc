@@ -1,0 +1,41 @@
+#include "net/frame.h"
+
+namespace tcells::net {
+
+void AppendFrame(Bytes* out, const uint8_t* payload, size_t n) {
+  ByteWriter w(out);
+  w.PutU32(static_cast<uint32_t>(n));
+  w.PutRaw(payload, n);
+}
+
+Result<Bytes> DecodeFrame(ByteReader* reader) {
+  TCELLS_ASSIGN_OR_RETURN(uint32_t len, reader->GetU32());
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("frame length exceeds cap");
+  }
+  if (len > reader->remaining()) {
+    return Status::Corruption("frame length exceeds remaining bytes");
+  }
+  return reader->GetRaw(len);
+}
+
+bool TryExtractFrame(Bytes* buf, Bytes* frame, Status* error) {
+  *error = Status::OK();
+  if (buf->size() < 4) return false;
+  uint32_t len = static_cast<uint32_t>((*buf)[0]) |
+                 (static_cast<uint32_t>((*buf)[1]) << 8) |
+                 (static_cast<uint32_t>((*buf)[2]) << 16) |
+                 (static_cast<uint32_t>((*buf)[3]) << 24);
+  if (len > kMaxFramePayload) {
+    // Reject before any allocation: the peer claimed a payload the protocol
+    // never produces, so this is either corruption or an attack.
+    *error = Status::Corruption("frame length exceeds cap");
+    return false;
+  }
+  if (buf->size() < FrameWireSize(len)) return false;
+  frame->assign(buf->begin() + 4, buf->begin() + 4 + len);
+  buf->erase(buf->begin(), buf->begin() + 4 + len);
+  return true;
+}
+
+}  // namespace tcells::net

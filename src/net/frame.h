@@ -1,0 +1,48 @@
+// Length-prefixed message framing for the SSI transport layer. Every message
+// crossing the TDS↔SSI boundary travels as one frame: a u32 little-endian
+// payload length followed by the payload bytes. The decoder enforces the same
+// hostile-length discipline as the ByteReader count getters: a length prefix
+// is rejected *before* any allocation when it exceeds the hard cap or the
+// bytes actually present, so a malicious peer cannot drive oversized
+// reserves with a 4-byte header.
+#ifndef TCELLS_NET_FRAME_H_
+#define TCELLS_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace tcells::net {
+
+/// Hard upper bound on one frame's payload. Generously above any partition
+/// the engine produces, far below what a forged 32-bit length could claim.
+inline constexpr size_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+/// Bytes a frame of `payload_size` occupies on the wire.
+inline constexpr size_t FrameWireSize(size_t payload_size) {
+  return 4 + payload_size;
+}
+
+/// Appends one frame (u32 LE length + payload) to `out`.
+void AppendFrame(Bytes* out, const uint8_t* payload, size_t n);
+inline void AppendFrame(Bytes* out, const Bytes& payload) {
+  AppendFrame(out, payload.data(), payload.size());
+}
+
+/// Decodes the next frame from a complete buffer. Corruption when the length
+/// prefix exceeds kMaxFramePayload or the bytes remaining in the reader —
+/// both checked before the payload is copied out.
+Result<Bytes> DecodeFrame(ByteReader* reader);
+
+/// Streaming variant for socket receive buffers: if `buf` starts with a
+/// complete frame, moves its payload into `*frame`, erases the consumed bytes
+/// and returns true. Returns false when more bytes are needed. Fails with
+/// Corruption (via `*error`) on a hostile length prefix; the connection must
+/// then be dropped, since the stream can no longer be re-synchronized.
+bool TryExtractFrame(Bytes* buf, Bytes* frame, Status* error);
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_FRAME_H_

@@ -1,0 +1,46 @@
+#include "net/loopback.h"
+
+#include "net/frame.h"
+
+namespace tcells::net {
+
+namespace {
+
+class LoopbackChannel : public Channel {
+ public:
+  explicit LoopbackChannel(LoopbackTransport* transport)
+      : transport_(transport) {}
+
+  Result<Bytes> Call(const Bytes& request, const CallOptions&) override {
+    return transport_->DoCall(request);
+  }
+
+ private:
+  LoopbackTransport* transport_;
+};
+
+}  // namespace
+
+Result<Bytes> LoopbackTransport::DoCall(const Bytes& request) {
+  if (injected_failures_ > 0) {
+    --injected_failures_;
+    return injected_error_;
+  }
+  // Round-trip both directions through the real frame codec so the loopback
+  // path carries exactly the wire bytes the TCP backend would.
+  Bytes wire;
+  AppendFrame(&wire, request);
+  ByteReader reader(wire);
+  TCELLS_ASSIGN_OR_RETURN(Bytes delivered, DecodeFrame(&reader));
+  TCELLS_ASSIGN_OR_RETURN(Bytes reply, handler_(delivered));
+  Bytes reply_wire;
+  AppendFrame(&reply_wire, reply);
+  ByteReader reply_reader(reply_wire);
+  return DecodeFrame(&reply_reader);
+}
+
+Result<std::unique_ptr<Channel>> LoopbackTransport::Connect() {
+  return std::unique_ptr<Channel>(new LoopbackChannel(this));
+}
+
+}  // namespace tcells::net

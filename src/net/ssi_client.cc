@@ -1,0 +1,279 @@
+#include "net/ssi_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/frame.h"
+#include "net/ssi_wire.h"
+
+namespace tcells::net {
+
+using ssi::EncryptedItem;
+using ssi::Partition;
+using ssi::QueryPost;
+
+namespace {
+
+Bytes EncodeItems(const std::vector<EncryptedItem>& items) {
+  Partition p;
+  p.items = items;
+  return p.Encode();
+}
+
+Result<std::vector<EncryptedItem>> ItemsFromBody(const Bytes& body) {
+  TCELLS_ASSIGN_OR_RETURN(Partition p, Partition::Decode(body));
+  return std::move(p.items);
+}
+
+void BeginRequest(Bytes* out, MsgType type) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(type));
+}
+
+}  // namespace
+
+Result<Bytes> SsiClient::Call(const Bytes& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CallOptions opts;
+  opts.deadline_seconds = policy_.deadline_seconds;
+  double backoff = policy_.backoff_seconds;
+  Status last = Status::Unavailable("no attempt made");
+  size_t max_attempts = std::max<size_t>(1, policy_.max_attempts);
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = std::min(backoff * 2, policy_.backoff_cap_seconds);
+      if (metrics_ != nullptr) metrics_->counter("net.retries").Increment();
+    }
+    if (channel_ == nullptr) {
+      Result<std::unique_ptr<Channel>> dialed = transport_->Connect();
+      if (!dialed.ok()) {
+        last = dialed.status();
+        continue;
+      }
+      channel_ = std::move(dialed).ValueOrDie();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("net.frames_sent").Increment();
+      metrics_->counter("net.bytes_sent").Add(FrameWireSize(request.size()));
+      metrics_
+          ->histogram("net.frame_bytes", obs::Histogram::DefaultSizeBounds())
+          .Record(static_cast<double>(request.size()));
+    }
+    Result<Bytes> reply = channel_->Call(request, opts);
+    if (reply.ok()) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("net.frames_received").Increment();
+        metrics_->counter("net.bytes_received")
+            .Add(FrameWireSize((*reply).size()));
+      }
+      return DecodeReply(*reply);
+    }
+    last = reply.status();
+    if (last.IsDeadlineExceeded() && metrics_ != nullptr) {
+      metrics_->counter("net.deadline_hits").Increment();
+    }
+    if (last.IsUnavailable()) {
+      // The connection is suspect; re-dial on the next attempt.
+      channel_.reset();
+    }
+    if (!last.IsUnavailable() && !last.IsDeadlineExceeded()) {
+      return last;  // Not a transport failure — do not retry.
+    }
+  }
+  return last;
+}
+
+Status SsiClient::PostGlobal(const QueryPost& post) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kPostGlobal);
+  Bytes encoded = post.Encode();
+  ByteWriter(&req).PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Status SsiClient::PostPersonal(uint64_t tds_id, const QueryPost& post) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kPostPersonal);
+  ByteWriter w(&req);
+  w.PutU64(tds_id);
+  Bytes encoded = post.Encode();
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Result<std::vector<QueryPost>> SsiClient::FetchPosts(uint64_t tds_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kFetchPosts);
+  ByteWriter(&req).PutU64(tds_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  ByteReader reader(body);
+  // Each post encoding is at least its own 4-byte length prefix.
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(4));
+  std::vector<QueryPost> posts;
+  posts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(Bytes encoded, reader.GetBytes());
+    TCELLS_ASSIGN_OR_RETURN(QueryPost post, QueryPost::Decode(encoded));
+    posts.push_back(std::move(post));
+  }
+  return posts;
+}
+
+Status SsiClient::Acknowledge(uint64_t tds_id, uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kAcknowledge);
+  ByteWriter w(&req);
+  w.PutU64(tds_id);
+  w.PutU64(query_id);
+  return Call(req).status();
+}
+
+Result<uint64_t> SsiClient::NumAcknowledged(uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kNumAcknowledged);
+  ByteWriter(&req).PutU64(query_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  return ByteReader(body).GetU64();
+}
+
+Result<bool> SsiClient::SizeReached(uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kSizeReached);
+  ByteWriter(&req).PutU64(query_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(uint8_t flag, ByteReader(body).GetU8());
+  return flag != 0;
+}
+
+Result<bool> SsiClient::UploadCollection(
+    uint64_t query_id, uint64_t tds_id,
+    const std::vector<EncryptedItem>& items) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kUploadCollection);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  w.PutU64(tds_id);
+  Bytes encoded = EncodeItems(items);
+  w.PutRaw(encoded.data(), encoded.size());
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(uint8_t accepted, ByteReader(body).GetU8());
+  return accepted != 0;
+}
+
+Result<std::vector<EncryptedItem>> SsiClient::TakeCollected(
+    uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kTakeCollected);
+  ByteWriter(&req).PutU64(query_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  return ItemsFromBody(body);
+}
+
+Status SsiClient::StagePartition(uint64_t query_id, uint64_t token,
+                                 const Partition& partition) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kStagePartition);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  w.PutU64(token);
+  Bytes encoded = partition.Encode();
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Result<Partition> SsiClient::FetchPartition(uint64_t query_id,
+                                            uint64_t token) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kFetchPartition);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  w.PutU64(token);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  return Partition::Decode(body);
+}
+
+Status SsiClient::UploadRoundOutput(uint64_t query_id, uint64_t token,
+                                    const std::vector<EncryptedItem>& items) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kUploadRoundOutput);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  w.PutU64(token);
+  Bytes encoded = EncodeItems(items);
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Result<std::vector<EncryptedItem>> SsiClient::TakeRoundOutput(
+    uint64_t query_id, uint64_t token) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kTakeRoundOutput);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  w.PutU64(token);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  return ItemsFromBody(body);
+}
+
+Status SsiClient::ObserveAggregation(
+    uint64_t query_id, const std::vector<EncryptedItem>& items) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kObserveAggregation);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  Bytes encoded = EncodeItems(items);
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Status SsiClient::ObserveFiltering(uint64_t query_id,
+                                   const std::vector<EncryptedItem>& items) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kObserveFiltering);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  Bytes encoded = EncodeItems(items);
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Status SsiClient::DeliverResult(uint64_t query_id,
+                                const std::vector<EncryptedItem>& items) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kDeliverResult);
+  ByteWriter w(&req);
+  w.PutU64(query_id);
+  Bytes encoded = EncodeItems(items);
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(req).status();
+}
+
+Result<std::vector<EncryptedItem>> SsiClient::FetchResult(uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kFetchResult);
+  ByteWriter(&req).PutU64(query_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  return ItemsFromBody(body);
+}
+
+Result<ssi::AdversaryView> SsiClient::GetAdversaryView(uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kAdversaryView);
+  ByteWriter(&req).PutU64(query_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  return ssi::AdversaryView::Decode(body);
+}
+
+Status SsiClient::Retire(uint64_t query_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kRetire);
+  ByteWriter(&req).PutU64(query_id);
+  return Call(req).status();
+}
+
+}  // namespace tcells::net

@@ -1,0 +1,97 @@
+// SsiClient: the typed client of the SSI RPC surface. Every querier/TDS
+// interaction the protocol engine performs goes through one of these methods,
+// which encode the request, push it through a Channel as one frame, retry
+// transport-level failures (Unavailable / DeadlineExceeded) with bounded
+// exponential backoff, and decode the reply envelope back into the
+// application Status/value.
+//
+// Thread-safety: Call is serialized by a mutex, so the parallel round
+// fan-out can share one client. Application-level errors returned by the
+// SSI (NotFound, InvalidArgument, ...) are never retried — only the
+// transport's own failures are.
+#ifndef TCELLS_NET_SSI_CLIENT_H_
+#define TCELLS_NET_SSI_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/channel.h"
+#include "obs/metrics.h"
+#include "ssi/messages.h"
+#include "ssi/ssi.h"
+
+namespace tcells::net {
+
+/// Retry schedule for transport-level failures. Attempt k (0-based) sleeps
+/// `min(backoff_seconds * 2^k, backoff_cap_seconds)` of wall clock before
+/// retrying; after `max_attempts` total attempts the last error is returned
+/// and the caller decides whether the query degrades or fails.
+struct RetryPolicy {
+  size_t max_attempts = 3;
+  double deadline_seconds = 5.0;
+  double backoff_seconds = 0.001;
+  double backoff_cap_seconds = 0.25;
+};
+
+class SsiClient {
+ public:
+  /// `transport` and `metrics` (optional) are borrowed and must outlive the
+  /// client. Channels are dialed lazily and re-dialed after Unavailable.
+  explicit SsiClient(Transport* transport, RetryPolicy policy = {},
+                     obs::MetricsRegistry* metrics = nullptr)
+      : transport_(transport), policy_(policy), metrics_(metrics) {}
+
+  // ---- Querybox ----
+  Status PostGlobal(const ssi::QueryPost& post);
+  Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post);
+  Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id);
+  Status Acknowledge(uint64_t tds_id, uint64_t query_id);
+  Result<uint64_t> NumAcknowledged(uint64_t query_id);
+
+  // ---- Collection phase ----
+  Result<bool> SizeReached(uint64_t query_id);
+  /// Uploads one TDS's contribution and acknowledges the query in one
+  /// exchange. Returns whether the contribution was accepted (false when the
+  /// SIZE bound closed the storage area first).
+  Result<bool> UploadCollection(uint64_t query_id, uint64_t tds_id,
+                                const std::vector<ssi::EncryptedItem>& items);
+  Result<std::vector<ssi::EncryptedItem>> TakeCollected(uint64_t query_id);
+
+  // ---- Aggregation / filtering rounds ----
+  Status StagePartition(uint64_t query_id, uint64_t token,
+                        const ssi::Partition& partition);
+  Result<ssi::Partition> FetchPartition(uint64_t query_id, uint64_t token);
+  Status UploadRoundOutput(uint64_t query_id, uint64_t token,
+                           const std::vector<ssi::EncryptedItem>& items);
+  Result<std::vector<ssi::EncryptedItem>> TakeRoundOutput(uint64_t query_id,
+                                                          uint64_t token);
+  Status ObserveAggregation(uint64_t query_id,
+                            const std::vector<ssi::EncryptedItem>& items);
+  Status ObserveFiltering(uint64_t query_id,
+                          const std::vector<ssi::EncryptedItem>& items);
+
+  // ---- Result delivery / teardown ----
+  Status DeliverResult(uint64_t query_id,
+                       const std::vector<ssi::EncryptedItem>& items);
+  Result<std::vector<ssi::EncryptedItem>> FetchResult(uint64_t query_id);
+  Result<ssi::AdversaryView> GetAdversaryView(uint64_t query_id);
+  Status Retire(uint64_t query_id);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  /// One RPC: frame out, frame in, retries + metrics, envelope decoded.
+  Result<Bytes> Call(const Bytes& request);
+
+  Transport* transport_;
+  RetryPolicy policy_;
+  obs::MetricsRegistry* metrics_;
+  std::mutex mu_;
+  std::unique_ptr<Channel> channel_;
+};
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_SSI_CLIENT_H_

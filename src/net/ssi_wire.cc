@@ -1,0 +1,68 @@
+#include "net/ssi_wire.h"
+
+namespace tcells::net {
+
+namespace {
+
+Status StatusFromWire(uint8_t code, std::string msg) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kPermissionDenied:
+      return Status::PermissionDenied(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(msg));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+  }
+  return Status::Corruption("unknown status code in reply envelope");
+}
+
+}  // namespace
+
+Bytes EncodeReplyOk(const Bytes& body) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(static_cast<uint8_t>(StatusCode::kOk));
+  w.PutRaw(body.data(), body.size());
+  return out;
+}
+
+Bytes EncodeReplyError(const Status& status) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return out;
+}
+
+Result<Bytes> DecodeReply(const Bytes& reply) {
+  ByteReader reader(reply);
+  TCELLS_ASSIGN_OR_RETURN(uint8_t code, reader.GetU8());
+  if (static_cast<StatusCode>(code) == StatusCode::kOk) {
+    return reader.GetRaw(reader.remaining());
+  }
+  TCELLS_ASSIGN_OR_RETURN(std::string msg, reader.GetString());
+  Status decoded = StatusFromWire(code, std::move(msg));
+  if (decoded.ok()) {
+    // An error envelope must not carry the OK code twice removed.
+    return Status::Corruption("error envelope with OK status code");
+  }
+  return decoded;
+}
+
+}  // namespace tcells::net

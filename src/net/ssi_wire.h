@@ -1,0 +1,52 @@
+// Request/reply wire schema for the SSI RPC surface. Every request frame is
+// a u8 message type followed by type-specific fields; every reply frame is a
+// u8 status code followed by the body (on OK) or a message string (on error).
+// Item vectors travel as ssi::Partition encodings, so the transport reuses
+// the hardened decoders instead of inventing new ones.
+//
+// Application-level statuses (NotFound, InvalidArgument, ...) ride INSIDE an
+// OK transport exchange as reply envelopes; only transport-level failures
+// (Unavailable, DeadlineExceeded) come from the channel itself. The client
+// retries the latter and never the former.
+#ifndef TCELLS_NET_SSI_WIRE_H_
+#define TCELLS_NET_SSI_WIRE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace tcells::net {
+
+enum class MsgType : uint8_t {
+  kPostGlobal = 1,        ///< QueryPost → ()
+  kPostPersonal = 2,      ///< u64 tds_id, QueryPost → ()
+  kFetchPosts = 3,        ///< u64 tds_id → u32 n, n × (u32-len QueryPost)
+  kAcknowledge = 4,       ///< u64 tds_id, u64 query_id → ()
+  kNumAcknowledged = 5,   ///< u64 query_id → u64
+  kSizeReached = 6,       ///< u64 query_id → u8 bool
+  kUploadCollection = 7,  ///< u64 query_id, u64 tds_id, Partition → u8 accepted
+  kTakeCollected = 8,     ///< u64 query_id → Partition
+  kStagePartition = 9,    ///< u64 query_id, u64 token, Partition → ()
+  kFetchPartition = 10,   ///< u64 query_id, u64 token → Partition
+  kUploadRoundOutput = 11,///< u64 query_id, u64 token, Partition → ()
+  kTakeRoundOutput = 12,  ///< u64 query_id, u64 token → Partition
+  kObserveAggregation = 13,  ///< u64 query_id, Partition → ()
+  kObserveFiltering = 14,    ///< u64 query_id, Partition → ()
+  kDeliverResult = 15,    ///< u64 query_id, Partition → ()
+  kFetchResult = 16,      ///< u64 query_id → Partition
+  kAdversaryView = 17,    ///< u64 query_id → AdversaryView
+  kRetire = 18,           ///< u64 query_id → ()
+};
+
+/// Reply envelope: u8 StatusCode + body (OK) or message string (error).
+Bytes EncodeReplyOk(const Bytes& body);
+Bytes EncodeReplyError(const Status& status);
+
+/// Unwraps a reply envelope: the body on OK, the reconstructed application
+/// Status otherwise. Corruption when the envelope itself is malformed.
+Result<Bytes> DecodeReply(const Bytes& reply);
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_SSI_WIRE_H_

@@ -1,0 +1,344 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace tcells::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Milliseconds until `deadline`, clamped to >= 0.
+int RemainingMillis(std::chrono::steady_clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// Per-connection server state: bytes received but not yet framed, and
+/// response bytes accepted but not yet written to the socket.
+struct Conn {
+  Bytes in;
+  Bytes out;
+  size_t out_pos = 0;
+};
+
+class TcpChannel : public Channel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  ~TcpChannel() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  Result<Bytes> Call(const Bytes& request, const CallOptions& opts) override {
+    if (fd_ < 0) return Status::Unavailable("channel is closed");
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<int64_t>(opts.deadline_seconds * 1e6));
+
+    Bytes wire;
+    AppendFrame(&wire, request);
+    Status sent = SendAll(wire, deadline);
+    if (!sent.ok()) {
+      Close();
+      return sent;
+    }
+    // Frames are strictly request/reply per channel, so everything that
+    // arrives now belongs to this call's response.
+    Status error;
+    Bytes frame;
+    while (!TryExtractFrame(&recv_buf_, &frame, &error)) {
+      if (!error.ok()) {
+        Close();
+        return error;  // Hostile length prefix: fatal, not retryable.
+      }
+      TCELLS_RETURN_IF_ERROR(RecvSome(deadline));
+    }
+    return frame;
+  }
+
+ private:
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  Status SendAll(const Bytes& data, std::chrono::steady_clock::time_point deadline) {
+    size_t off = 0;
+    while (off < data.size()) {
+      struct pollfd pfd = {fd_, POLLOUT, 0};
+      int ms = RemainingMillis(deadline);
+      if (ms == 0) return Status::DeadlineExceeded("send deadline expired");
+      int rc = ::poll(&pfd, 1, ms);
+      if (rc == 0) return Status::DeadlineExceeded("send deadline expired");
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+        return Errno("send");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status RecvSome(std::chrono::steady_clock::time_point deadline) {
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    int ms = RemainingMillis(deadline);
+    if (ms == 0) return Status::DeadlineExceeded("receive deadline expired");
+    int rc = ::poll(&pfd, 1, ms);
+    if (rc == 0) return Status::DeadlineExceeded("receive deadline expired");
+    if (rc < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Errno("poll");
+    }
+    uint8_t chunk[16384];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Close();
+      return Status::Unavailable("peer closed connection");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return Status::OK();
+      }
+      Close();
+      return Errno("recv");
+    }
+    recv_buf_.insert(recv_buf_.end(), chunk, chunk + n);
+    return Status::OK();
+  }
+
+  int fd_;
+  Bytes recv_buf_;
+};
+
+}  // namespace
+
+Status TcpServer::Start(Handler handler, uint16_t port) {
+  if (running()) return Status::InvalidArgument("server already started");
+  handler_ = std::move(handler);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    Status s = Errno("pipe");
+    ::close(fd);
+    return s;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running()) return;
+  uint8_t b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &b, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = -1;
+  wake_read_fd_ = -1;
+  wake_write_fd_ = -1;
+  port_ = 0;
+}
+
+void TcpServer::Loop() {
+  std::unordered_map<int, Conn> conns;
+  for (;;) {
+    std::vector<struct pollfd> pfds;
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      short events = POLLIN;
+      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      pfds.push_back({fd, events, 0});
+    }
+
+    int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) break;  // Stop() signalled.
+
+    if (pfds[1].revents & POLLIN) {
+      for (;;) {
+        int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        if (!SetNonBlocking(cfd).ok()) {
+          ::close(cfd);
+          continue;
+        }
+        SetNoDelay(cfd);
+        conns.emplace(cfd, Conn{});
+      }
+    }
+
+    std::vector<int> dead;
+    for (size_t i = 2; i < pfds.size(); ++i) {
+      int fd = pfds[i].fd;
+      Conn& conn = conns[fd];
+      bool drop = false;
+
+      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) drop = true;
+
+      if (!drop && (pfds[i].revents & POLLIN)) {
+        uint8_t chunk[16384];
+        for (;;) {
+          ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+          if (n > 0) {
+            conn.in.insert(conn.in.end(), chunk, chunk + n);
+            continue;
+          }
+          if (n == 0) drop = true;  // Peer closed.
+          else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+            drop = true;
+          break;
+        }
+        Bytes frame;
+        Status error;
+        while (!drop && TryExtractFrame(&conn.in, &frame, &error)) {
+          Result<Bytes> reply = handler_(frame);
+          if (!reply.ok()) {
+            // The handler wraps application errors into reply payloads; a
+            // failure here means the request frame itself was undecodable.
+            drop = true;
+            break;
+          }
+          AppendFrame(&conn.out, *reply);
+        }
+        if (!error.ok()) drop = true;  // Hostile length prefix.
+      }
+
+      if (!drop && conn.out_pos < conn.out.size()) {
+        ssize_t n = ::send(fd, conn.out.data() + conn.out_pos,
+                           conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+        if (n > 0) {
+          conn.out_pos += static_cast<size_t>(n);
+          if (conn.out_pos == conn.out.size()) {
+            conn.out.clear();
+            conn.out_pos = 0;
+          }
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          drop = true;
+        }
+      }
+
+      if (drop) dead.push_back(fd);
+    }
+    for (int fd : dead) {
+      ::close(fd);
+      conns.erase(fd);
+    }
+  }
+  for (auto& [fd, conn] : conns) ::close(fd);
+}
+
+Result<std::unique_ptr<Channel>> TcpTransport::Connect() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  SetNoDelay(fd);
+  return std::unique_ptr<Channel>(new TcpChannel(fd));
+}
+
+}  // namespace tcells::net

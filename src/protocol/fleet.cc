@@ -6,7 +6,15 @@ namespace tcells::protocol {
 
 std::vector<tds::TrustedDataServer*> Fleet::SampleAvailable(double fraction,
                                                             Rng* rng) {
-  size_t want = static_cast<size_t>(fraction * static_cast<double>(size()));
+  // An empty fleet has nobody to sample; the clamp below must not round
+  // `want` up to 1 in that case — indexing the shuffled list would read past
+  // the end of an empty vector.
+  if (servers_.empty()) return {};
+  // Guard the cast: a negative fraction would be UB to convert to size_t.
+  size_t want =
+      fraction > 0.0
+          ? static_cast<size_t>(fraction * static_cast<double>(size()))
+          : 0;
   want = std::max<size_t>(1, std::min(want, size()));
   std::vector<size_t> indices(size());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;

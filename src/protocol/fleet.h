@@ -22,8 +22,9 @@ class Fleet {
   tds::TrustedDataServer* at(size_t i) { return servers_[i].get(); }
   const tds::TrustedDataServer* at(size_t i) const { return servers_[i].get(); }
 
-  /// A random subset of `fraction` of the fleet (at least one), modeling
-  /// which TDSs happen to be connected for a compute phase.
+  /// A random subset of `fraction` of the fleet (at least one when the fleet
+  /// is non-empty; empty on an empty fleet), modeling which TDSs happen to
+  /// be connected for a compute phase.
   std::vector<tds::TrustedDataServer*> SampleAvailable(double fraction,
                                                        Rng* rng);
 

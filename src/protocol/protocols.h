@@ -153,7 +153,8 @@ Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
                             const std::string& sql,
                             const sim::DeviceModel& device,
                             const RunOptions& options,
-                            obs::Telemetry telemetry = {});
+                            obs::Telemetry telemetry = {},
+                            net::SsiClient* client = nullptr);
 
 }  // namespace tcells::protocol
 

@@ -18,7 +18,22 @@ double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Transport-level failures degrade the round (the partition is lost);
+/// anything else is a protocol error and aborts the run.
+bool IsTransportError(const Status& s) {
+  return s.IsUnavailable() || s.IsDeadlineExceeded();
+}
+
 }  // namespace
+
+net::RetryPolicy TransportRetryPolicy(const RunOptions& options) {
+  net::RetryPolicy policy;
+  policy.max_attempts = options.max_dropout_retries + 1;
+  policy.deadline_seconds = options.transport_deadline_seconds;
+  policy.backoff_seconds = options.transport_backoff_seconds;
+  policy.backoff_cap_seconds = options.transport_backoff_cap_seconds;
+  return policy;
+}
 
 Status RunOptions::Validate() const {
   if (!(compute_availability > 0.0) || compute_availability > 1.0) {
@@ -43,15 +58,26 @@ Status RunOptions::Validate() const {
   if (!(connect_prob_per_tick > 0.0) || connect_prob_per_tick > 1.0) {
     return BadOption("connect_prob_per_tick must be in (0, 1]");
   }
+  if (!(transport_deadline_seconds > 0.0)) {
+    return BadOption("transport_deadline_seconds must be > 0");
+  }
+  if (transport_backoff_seconds < 0.0) {
+    return BadOption("transport_backoff_seconds must be >= 0");
+  }
+  if (transport_backoff_cap_seconds < transport_backoff_seconds) {
+    return BadOption(
+        "transport_backoff_cap_seconds must be >= transport_backoff_seconds");
+  }
   return Status::OK();
 }
 
-RunContext::RunContext(Fleet* fleet, ssi::Ssi* ssi,
+RunContext::RunContext(Fleet* fleet, net::SsiClient* client, uint64_t query_id,
                        const sim::DeviceModel& device, RunOptions options,
                        obs::MetricsRegistry* metrics_registry,
                        obs::Trace* trace)
     : fleet_(fleet),
-      ssi_(ssi),
+      client_(client),
+      query_id_(query_id),
       device_(device),
       options_(options),
       rng_(options.seed),
@@ -101,6 +127,9 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     uint64_t tuples = 0;
     uint64_t dropouts = 0;
     double seconds = 0;
+    /// Transport retry budget exhausted: the round degrades without this
+    /// partition instead of failing the query.
+    bool lost = false;
   };
   std::vector<PartitionRun> runs(n);
 
@@ -111,8 +140,20 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     run.bytes_in = partition.WireSize();
     run.tuples = partition.items.size();
 
+    // Stage the partition with the SSI so the assigned TDS can download it
+    // (and re-download it after an injected dropout).
+    Status staged = client_->StagePartition(query_id_, i, partition);
+    if (IsTransportError(staged)) {
+      run.lost = true;
+      return Status::OK();
+    }
+    TCELLS_RETURN_IF_ERROR(staged);
+
     // Fault injection: a TDS may drop mid-partition; the SSI re-dispatches
-    // after a timeout until a TDS completes it (§3.2 Correctness).
+    // after a timeout until a TDS completes it (§3.2 Correctness). The Rng
+    // consumption here is exactly one NextBelow + NextBool per attempt —
+    // transport calls draw nothing — so the dropout schedule is identical
+    // on every backend.
     for (size_t attempt = 0; attempt <= options_.max_dropout_retries;
          ++attempt) {
       tds::TrustedDataServer* server = pool[prng.NextBelow(pool.size())];
@@ -123,13 +164,26 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
         run.seconds += options_.dropout_timeout_seconds;
         continue;
       }
-      TCELLS_ASSIGN_OR_RETURN(run.items, process(server, partition, &prng));
+      // The TDS downloads its partition from the SSI, processes it locally,
+      // and uploads the round output.
+      Result<ssi::Partition> fetched =
+          client_->FetchPartition(query_id_, i);
+      if (IsTransportError(fetched.status())) {
+        run.lost = true;
+        return Status::OK();
+      }
+      TCELLS_RETURN_IF_ERROR(fetched.status());
+      TCELLS_ASSIGN_OR_RETURN(run.items, process(server, *fetched, &prng));
       run.server_id = server->id();
       for (const auto& item : run.items) run.bytes_out += item.WireSize();
       run.seconds += device_.TransferSeconds(run.bytes_in + run.bytes_out) +
                      device_.CryptoSeconds(run.bytes_in + run.bytes_out) +
                      device_.CpuSeconds(run.tuples);
-      return Status::OK();
+      Status uploaded = client_->UploadRoundOutput(query_id_, i, run.items);
+      if (IsTransportError(uploaded)) {
+        run.lost = true;
+      }
+      return uploaded.ok() || run.lost ? Status::OK() : uploaded;
     }
     return Status::ResourceExhausted(
         "partition could not be placed after max dropout retries");
@@ -145,8 +199,10 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
   outputs.reserve(total_items);
   uint64_t round_bytes_in = 0, round_bytes_out = 0;
   uint64_t round_tuples = 0, round_dropouts = 0;
+  size_t round_lost = 0;
   double slowest_partition_seconds = 0;
-  for (PartitionRun& run : runs) {
+  for (size_t i = 0; i < runs.size(); ++i) {
+    PartitionRun& run = runs[i];
     for (uint64_t d = 0; d < run.dropouts; ++d) {
       metrics_.accountant.RecordDropout(phase);
     }
@@ -163,8 +219,24 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
                                    obs::Histogram::DefaultSizeBounds())
           .Record(static_cast<double>(run.bytes_out));
     }
-    for (auto& item : run.items) outputs.push_back(std::move(item));
+    if (run.lost) {
+      round_lost += 1;
+      continue;
+    }
+    // Download the round output the TDS uploaded; the codec round trip is
+    // lossless, so the concatenation is byte-identical to handing the items
+    // over directly.
+    Result<std::vector<ssi::EncryptedItem>> downloaded =
+        client_->TakeRoundOutput(query_id_, i);
+    if (IsTransportError(downloaded.status())) {
+      run.lost = true;
+      round_lost += 1;
+      continue;
+    }
+    TCELLS_RETURN_IF_ERROR(downloaded.status());
+    for (auto& item : *downloaded) outputs.push_back(std::move(item));
   }
+  metrics_.partitions_lost += round_lost;
 
   // Critical path: partitions run in parallel across the pool; more
   // partitions than TDSs serialize into waves.
@@ -202,6 +274,7 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     span->counts["bytes_out"] = round_bytes_out;
     span->counts["tuples"] = round_tuples;
     span->counts["dropouts"] = round_dropouts;
+    span->counts["partitions_lost"] = round_lost;
     span->counts["compute_pool"] = pool.size();
     span->values["sim_seconds"] = round_seconds;
     span->values["waves"] = waves;
@@ -216,6 +289,7 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     metrics_registry_->counter("engine.tuples_processed").Add(round_tuples);
     metrics_registry_->counter("engine.dropout_redispatches")
         .Add(round_dropouts);
+    metrics_registry_->counter("engine.partitions_lost").Add(round_lost);
     metrics_registry_
         ->histogram("engine.round_sim_seconds",
                     obs::Histogram::DefaultLatencyBounds())

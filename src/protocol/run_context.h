@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "net/ssi_client.h"
 #include "obs/trace.h"
 #include "protocol/fleet.h"
 #include "protocol/parallel_executor.h"
@@ -68,6 +69,16 @@ struct RunOptions {
   /// from the run seed, so thread scheduling can never reach the bits.
   size_t num_threads = 0;
 
+  /// Per-message wall-clock deadline (s) for every SSI transport exchange.
+  double transport_deadline_seconds = 5.0;
+  /// Initial wall-clock backoff between transport-level retries; doubles per
+  /// retry up to the cap. The retry budget itself is unified with the
+  /// dropout model: max_dropout_retries + 1 total attempts per message.
+  /// (Injected dropouts cost dropout_timeout_seconds of *simulated* time;
+  /// transport retries cost real wall clock.)
+  double transport_backoff_seconds = 0.001;
+  double transport_backoff_cap_seconds = 0.25;
+
   uint64_t seed = 42;
 
   /// Sanity-checks the knob values (rates in range, alpha above the fixed
@@ -76,6 +87,11 @@ struct RunOptions {
   /// configurations fail fast instead of deep inside a round.
   Status Validate() const;
 };
+
+/// The SSI client retry schedule a RunOptions implies: the dropout retry
+/// budget also bounds transport-level attempts (max_dropout_retries + 1),
+/// and the transport_* knobs set the per-message deadline and backoff.
+net::RetryPolicy TransportRetryPolicy(const RunOptions& options);
 
 /// Simulated wall-clock per phase, computed on the critical path: each round
 /// of partitions runs in parallel across the available TDSs; a round's time
@@ -97,6 +113,10 @@ struct RunMetrics {
   uint64_t collection_ticks = 0;
   /// TDSs that contributed to the collection phase before it closed.
   size_t collection_participants = 0;
+  /// Partitions abandoned after the transport retry budget was exhausted;
+  /// the round completed without their items (graceful degradation). Always
+  /// 0 on the loopback transport.
+  size_t partitions_lost = 0;
 
   /// P_TDS: distinct TDSs that took part in the computation.
   size_t Ptds() const { return accountant.DistinctTds(); }
@@ -117,13 +137,17 @@ class RunContext {
   /// null). The trace is this query's span tree: RunRound appends one span
   /// per aggregation/filtering round, RecordCollection accumulates into the
   /// collection span, always from serial sections so the tree is
-  /// bit-identical for any thread count.
-  RunContext(Fleet* fleet, ssi::Ssi* ssi, const sim::DeviceModel& device,
-             RunOptions options, obs::MetricsRegistry* metrics_registry = nullptr,
+  /// bit-identical for any thread count. `client` is the SSI channel every
+  /// partition travels through (borrowed, never null); `query_id` scopes
+  /// this context's exchanges inside the shared SSI.
+  RunContext(Fleet* fleet, net::SsiClient* client, uint64_t query_id,
+             const sim::DeviceModel& device, RunOptions options,
+             obs::MetricsRegistry* metrics_registry = nullptr,
              obs::Trace* trace = nullptr);
 
   Fleet& fleet() { return *fleet_; }
-  ssi::Ssi& ssi() { return *ssi_; }
+  net::SsiClient& client() { return *client_; }
+  uint64_t query_id() const { return query_id_; }
   Rng& rng() { return rng_; }
   const RunOptions& options() const { return options_; }
   const sim::DeviceModel& device() const { return device_; }
@@ -166,7 +190,8 @@ class RunContext {
 
  private:
   Fleet* fleet_;
-  ssi::Ssi* ssi_;
+  net::SsiClient* client_;
+  uint64_t query_id_;
   sim::DeviceModel device_;
   RunOptions options_;
   Rng rng_;

@@ -17,7 +17,34 @@ double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Transport failures degrade gracefully (the TDS/querier just misses this
+/// exchange); anything else aborts the run.
+bool IsTransportError(const Status& s) {
+  return s.IsUnavailable() || s.IsDeadlineExceeded();
+}
+
 }  // namespace
+
+QuerySession::QuerySession(Fleet* fleet, const sim::DeviceModel& device,
+                           RunOptions options, obs::Telemetry telemetry,
+                           net::SsiClient* client)
+    : fleet_(fleet),
+      device_(device),
+      options_(options),
+      telemetry_(telemetry),
+      client_(client) {
+  if (client_ == nullptr) {
+    // Private SSI behind the in-process loopback transport: same frame
+    // codecs and RPC surface as TCP, no sockets.
+    owned_node_ = std::make_unique<net::SsiNode>();
+    owned_transport_ =
+        std::make_unique<net::LoopbackTransport>(owned_node_->handler());
+    owned_client_ = std::make_unique<net::SsiClient>(
+        owned_transport_.get(), TransportRetryPolicy(options_),
+        telemetry_.metrics);
+    client_ = owned_client_.get();
+  }
+}
 
 Status QuerySession::Submit(uint64_t query_id, const Querier* querier,
                             Protocol* protocol, const std::string& sql) {
@@ -64,11 +91,10 @@ Status QuerySession::SubmitInternal(uint64_t query_id,
                           querier->MakePost(query_id, sql, &post_rng));
   pending.duration_ticks = post.size_max_duration_ticks;
   if (tds_id) {
-    TCELLS_RETURN_IF_ERROR(hub_.PostPersonal(*tds_id, std::move(post)));
+    TCELLS_RETURN_IF_ERROR(client_->PostPersonal(*tds_id, post));
   } else {
-    TCELLS_RETURN_IF_ERROR(hub_.PostGlobal(std::move(post)));
+    TCELLS_RETURN_IF_ERROR(client_->PostGlobal(post));
   }
-  TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(query_id));
 
   if (telemetry_.tracer != nullptr) {
     pending.trace = telemetry_.tracer->StartTrace(query_id);
@@ -81,13 +107,13 @@ Status QuerySession::SubmitInternal(uint64_t query_id,
     root->counts["fleet_size"] = fleet_->size();
   }
   pending.ctx = std::make_unique<RunContext>(
-      fleet_, storage, device_, opts, telemetry_.metrics,
+      fleet_, client_, query_id, device_, opts, telemetry_.metrics,
       pending.trace ? pending.trace.get() : nullptr);
   Result<tds::CollectionConfig> config_result =
       pending.protocol->MakeCollectionConfig(*pending.ctx, pending.analyzed);
   if (!config_result.ok()) {
-    // Roll the hub post back so a rejected query leaves no active storage.
-    (void)hub_.Retire(query_id);
+    // Roll the post back so a rejected query leaves no active storage.
+    (void)client_->Retire(query_id);
     return config_result.status();
   }
   pending.config = std::move(config_result).ValueOrDie();
@@ -155,9 +181,10 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     std::set<uint64_t> open;
     for (auto& [id, q] : queries_) {
       if (tick >= window.at(id)) continue;
-      TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(id));
-      if (storage->SizeReached()) continue;
-      if (hub_.NumAcknowledged(id) >= EligibleServers(q)) continue;
+      TCELLS_ASSIGN_OR_RETURN(bool size_reached, client_->SizeReached(id));
+      if (size_reached) continue;
+      TCELLS_ASSIGN_OR_RETURN(uint64_t acked, client_->NumAcknowledged(id));
+      if (acked >= EligibleServers(q)) continue;
       open.insert(id);
     }
     if (open.empty()) break;
@@ -171,7 +198,7 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
 
     // One serve = one query downloaded by one connecting TDS.
     struct Serve {
-      const ssi::QueryPost* post;
+      ssi::QueryPost post;
       PendingQuery* query;
       Rng rng{0};
       std::vector<EncryptedItem> items;
@@ -189,13 +216,21 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       tds::TrustedDataServer* server = fleet_->at(idx);
       Connector connector;
       connector.server = server;
-      // Step 2: the connecting TDS downloads its pending open queries.
-      for (const ssi::QueryPost* post : hub_.Fetch(server->id())) {
-        if (!open.count(post->query_id)) continue;
-        auto it = queries_.find(post->query_id);
+      // Step 2: the connecting TDS downloads its pending open queries. A
+      // transport failure just means this TDS missed the tick; it can
+      // connect again on a later one.
+      Result<std::vector<ssi::QueryPost>> posts =
+          client_->FetchPosts(server->id());
+      if (!posts.ok()) {
+        if (IsTransportError(posts.status())) continue;
+        return posts.status();
+      }
+      for (ssi::QueryPost& post : *posts) {
+        if (!open.count(post.query_id)) continue;
+        auto it = queries_.find(post.query_id);
         if (it == queries_.end()) continue;
         Serve serve;
-        serve.post = post;
+        serve.post = std::move(post);
         serve.query = &it->second;
         serve.rng = it->second.ctx->rng().Fork();
         connector.serves.push_back(std::move(serve));
@@ -212,30 +247,29 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
             TCELLS_ASSIGN_OR_RETURN(
                 serve.items,
                 connector.server->ProcessCollection(
-                    *serve.post, serve.query->config, &serve.rng));
+                    serve.post, serve.query->config, &serve.rng));
           }
           return Status::OK();
         }));
 
     for (Connector& connector : connectors) {
       for (Serve& serve : connector.serves) {
-        TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage,
-                                hub_.StorageFor(serve.post->query_id));
-        if (storage->SizeReached()) {
-          // The SSI closed the storage area mid-tick: later connectors are
-          // turned away with their contribution unused.
-          TCELLS_RETURN_IF_ERROR(hub_.Acknowledge(connector.server->id(),
-                                                  serve.post->query_id));
-          continue;
+        // One atomic exchange: the SSI either accepts the contribution and
+        // acknowledges, or — when the SIZE bound closed the storage area
+        // mid-tick — discards it but still acknowledges the serve. A
+        // transport failure loses this TDS's contribution only.
+        Result<bool> accepted = client_->UploadCollection(
+            serve.post.query_id, connector.server->id(), serve.items);
+        if (!accepted.ok()) {
+          if (IsTransportError(accepted.status())) continue;
+          return accepted.status();
         }
+        if (!*accepted) continue;
         uint64_t bytes = 0;
         for (const auto& item : serve.items) bytes += item.WireSize();
         serve.query->ctx->RecordCollection(connector.server->id(), bytes,
                                            serve.items.size());
         serve.query->ctx->metrics().collection_participants += 1;
-        storage->ReceiveCollectionItems(std::move(serve.items));
-        TCELLS_RETURN_IF_ERROR(
-            hub_.Acknowledge(connector.server->id(), serve.post->query_id));
       }
     }
   }
@@ -243,23 +277,26 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
   // ---- Per-query aggregation + filtering + decryption ----
   std::map<uint64_t, RunOutcome> outcomes;
   for (auto& [id, q] : queries_) {
-    TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(id));
     if (obs::Span* collection = q.ctx->EnsureCollectionSpan()) {
       collection->counts["ticks"] = q.ctx->metrics().collection_ticks;
       collection->counts["participants"] =
           q.ctx->metrics().collection_participants;
     }
-    std::vector<EncryptedItem> covering = storage->TakeCollected();
+    TCELLS_ASSIGN_OR_RETURN(std::vector<EncryptedItem> covering,
+                            client_->TakeCollected(id));
     TCELLS_ASSIGN_OR_RETURN(
         covering, q.protocol->RunAggregation(*q.ctx, q.analyzed, q.config,
                                              std::move(covering)));
-    storage->ObserveAggregationItems(covering);
+    TCELLS_RETURN_IF_ERROR(client_->ObserveAggregation(id, covering));
     TCELLS_ASSIGN_OR_RETURN(
         std::vector<EncryptedItem> result_items,
         RunFilteringPhase(*q.ctx, q.analyzed, std::move(covering)));
-    storage->ObserveFilteringItems(result_items);
+    TCELLS_RETURN_IF_ERROR(client_->ObserveFiltering(id, result_items));
 
-    // Step 13: the querier downloads and decrypts.
+    // Step 13: the TDSs hand the result to the SSI; the querier downloads
+    // and decrypts it.
+    TCELLS_RETURN_IF_ERROR(client_->DeliverResult(id, result_items));
+    TCELLS_ASSIGN_OR_RETURN(result_items, client_->FetchResult(id));
     RunOutcome outcome;
     const auto decrypt_t0 = std::chrono::steady_clock::now();
     TCELLS_ASSIGN_OR_RETURN(outcome.result,
@@ -283,11 +320,11 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       telemetry_.metrics->counter("engine.queries_completed").Increment();
     }
     outcome.metrics = q.ctx->metrics();
-    outcome.adversary = storage->adversary_view();
+    TCELLS_ASSIGN_OR_RETURN(outcome.adversary, client_->GetAdversaryView(id));
     outcomes.emplace(id, std::move(outcome));
   }
   for (const auto& [id, outcome] : outcomes) {
-    TCELLS_RETURN_IF_ERROR(hub_.Retire(id));
+    TCELLS_RETURN_IF_ERROR(client_->Retire(id));
   }
   queries_.clear();
   return outcomes;
@@ -302,8 +339,8 @@ Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
                             const std::string& sql,
                             const sim::DeviceModel& device,
                             const RunOptions& options,
-                            obs::Telemetry telemetry) {
-  QuerySession session(fleet, device, options, telemetry);
+                            obs::Telemetry telemetry, net::SsiClient* client) {
+  QuerySession session(fleet, device, options, telemetry, client);
   TCELLS_RETURN_IF_ERROR(session.Submit(query_id, &querier, &protocol, sql));
   TCELLS_ASSIGN_OR_RETURN(auto outcomes, session.RunAll());
   auto it = outcomes.find(query_id);

@@ -14,9 +14,11 @@
 #include <memory>
 #include <string>
 
+#include "net/loopback.h"
+#include "net/ssi_client.h"
+#include "net/ssi_node.h"
 #include "obs/trace.h"
 #include "protocol/protocols.h"
-#include "ssi/querybox.h"
 
 namespace tcells::protocol {
 
@@ -25,12 +27,14 @@ class QuerySession {
   /// `telemetry` carries optional sinks: when a Tracer is present every
   /// submitted query records a span tree (returned in its RunOutcome), and a
   /// MetricsRegistry accumulates engine counters/histograms across queries.
+  ///
+  /// `client` is the channel to the SSI all queries of this session go
+  /// through (borrowed; e.g. an Engine's shared TCP client). When null, the
+  /// session owns a private SSI behind the in-process loopback transport —
+  /// the default and bit-identical to the TCP path.
   QuerySession(Fleet* fleet, const sim::DeviceModel& device,
-               RunOptions options, obs::Telemetry telemetry = {})
-      : fleet_(fleet),
-        device_(device),
-        options_(options),
-        telemetry_(telemetry) {}
+               RunOptions options, obs::Telemetry telemetry = {},
+               net::SsiClient* client = nullptr);
 
   /// Registers a query addressed to the whole crowd. `querier` and
   /// `protocol` must outlive the session. Fails on duplicate id, invalid
@@ -88,7 +92,12 @@ class QuerySession {
   sim::DeviceModel device_;
   RunOptions options_;
   obs::Telemetry telemetry_;
-  ssi::QueryboxHub hub_;
+  /// The session-owned loopback stack, used when no external client was
+  /// given. unique_ptr keeps the addresses stable across session moves.
+  std::unique_ptr<net::SsiNode> owned_node_;
+  std::unique_ptr<net::LoopbackTransport> owned_transport_;
+  std::unique_ptr<net::SsiClient> owned_client_;
+  net::SsiClient* client_;
   std::map<uint64_t, PendingQuery> queries_;
 };
 

@@ -4,6 +4,64 @@
 
 namespace tcells::ssi {
 
+namespace {
+
+void EncodeTagHistogram(const std::map<Bytes, uint64_t>& hist, Bytes* out) {
+  ByteWriter w(out);
+  w.PutU32(static_cast<uint32_t>(hist.size()));
+  for (const auto& [tag, count] : hist) {
+    w.PutBytes(tag);
+    w.PutU64(count);
+  }
+}
+
+Result<std::map<Bytes, uint64_t>> DecodeTagHistogram(ByteReader* reader) {
+  // Each entry is at least a 4-byte tag length plus an 8-byte count.
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader->GetCountU32(12));
+  std::map<Bytes, uint64_t> hist;
+  for (uint32_t i = 0; i < n; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(Bytes tag, reader->GetBytes());
+    TCELLS_ASSIGN_OR_RETURN(uint64_t count, reader->GetU64());
+    hist[std::move(tag)] = count;
+  }
+  return hist;
+}
+
+}  // namespace
+
+void AdversaryView::EncodeTo(Bytes* out) const {
+  EncodeTagHistogram(collection_tag_histogram, out);
+  ByteWriter w(out);
+  w.PutU32(static_cast<uint32_t>(collection_blob_sizes.size()));
+  for (size_t size : collection_blob_sizes) w.PutU64(size);
+  EncodeTagHistogram(aggregation_tag_histogram, out);
+  w.PutU64(collection_items);
+  w.PutU64(aggregation_items);
+  w.PutU64(filtering_items);
+}
+
+Result<AdversaryView> AdversaryView::Decode(const Bytes& data) {
+  ByteReader reader(data);
+  AdversaryView view;
+  TCELLS_ASSIGN_OR_RETURN(view.collection_tag_histogram,
+                          DecodeTagHistogram(&reader));
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n_sizes, reader.GetCountU32(8));
+  view.collection_blob_sizes.reserve(n_sizes);
+  for (uint32_t i = 0; i < n_sizes; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(uint64_t size, reader.GetU64());
+    view.collection_blob_sizes.push_back(static_cast<size_t>(size));
+  }
+  TCELLS_ASSIGN_OR_RETURN(view.aggregation_tag_histogram,
+                          DecodeTagHistogram(&reader));
+  TCELLS_ASSIGN_OR_RETURN(view.collection_items, reader.GetU64());
+  TCELLS_ASSIGN_OR_RETURN(view.aggregation_items, reader.GetU64());
+  TCELLS_ASSIGN_OR_RETURN(view.filtering_items, reader.GetU64());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after AdversaryView");
+  }
+  return view;
+}
+
 void Ssi::PostQuery(QueryPost post) { post_ = std::move(post); }
 
 void Ssi::ReceiveCollectionItems(std::vector<EncryptedItem> items) {

@@ -39,6 +39,11 @@ struct AdversaryView {
   uint64_t collection_items = 0;
   uint64_t aggregation_items = 0;
   uint64_t filtering_items = 0;
+
+  /// Wire codec, so a remote querier can download the view for the exposure
+  /// analysis. Maps encode in key order; the round trip is lossless.
+  void EncodeTo(Bytes* out) const;
+  static Result<AdversaryView> Decode(const Bytes& data);
 };
 
 /// One query's life inside the SSI.

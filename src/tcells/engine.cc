@@ -11,8 +11,22 @@ Result<std::unique_ptr<Engine>> Engine::Create(
     return Status::InvalidArgument("Engine needs a non-empty fleet");
   }
   TCELLS_RETURN_IF_ERROR(config.options.Validate());
-  return std::unique_ptr<Engine>(
+  std::unique_ptr<Engine> engine(
       new Engine(std::move(fleet), std::move(config)));
+  TCELLS_RETURN_IF_ERROR(engine->StartTransport());
+  return engine;
+}
+
+Status Engine::StartTransport() {
+  if (config_.transport != net::TransportKind::kTcp) return Status::OK();
+  node_ = std::make_unique<net::SsiNode>();
+  TCELLS_RETURN_IF_ERROR(server_.Start(node_->handler()));
+  transport_ =
+      std::make_unique<net::TcpTransport>("127.0.0.1", server_.port());
+  client_ = std::make_unique<net::SsiClient>(
+      transport_.get(), protocol::TransportRetryPolicy(config_.options),
+      &metrics_);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(
@@ -32,12 +46,13 @@ Result<protocol::RunOutcome> Engine::Run(protocol::Protocol& protocol,
                                          uint64_t query_id,
                                          const std::string& sql) {
   return protocol::RunQuery(protocol, fleet_.get(), querier, query_id, sql,
-                            config_.device, config_.options, telemetry());
+                            config_.device, config_.options, telemetry(),
+                            client_.get());
 }
 
 protocol::QuerySession Engine::NewSession() {
   return protocol::QuerySession(fleet_.get(), config_.device, config_.options,
-                                telemetry());
+                                telemetry(), client_.get());
 }
 
 Result<protocol::ProtocolInputs> Engine::DiscoverInputs(

@@ -17,6 +17,10 @@
 #include <memory>
 #include <string>
 
+#include "net/channel.h"
+#include "net/ssi_client.h"
+#include "net/ssi_node.h"
+#include "net/tcp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocol/factory.h"
@@ -32,6 +36,11 @@ class Engine {
     protocol::RunOptions options;
     /// Collect a span tree per query (obs/trace.h). Metrics are always on.
     bool tracing = true;
+    /// How queriers/TDSs reach the SSI (docs/TRANSPORT.md). Loopback keeps
+    /// a private in-process SSI per session; kTcp starts one SSI server on
+    /// 127.0.0.1 (ephemeral port) that every session of this engine shares,
+    /// so query ids must then be unique across concurrent sessions.
+    net::TransportKind transport = net::TransportKind::kLoopback;
   };
 
   /// Validates `config.options` (RunOptions::Validate) and takes ownership
@@ -74,13 +83,27 @@ class Engine {
   /// off).
   std::shared_ptr<const obs::Trace> TraceFor(uint64_t query_id) const;
 
+  /// The shared SSI client in kTcp mode; null in loopback mode (each
+  /// session then owns a private stack).
+  net::SsiClient* ssi_client() { return client_.get(); }
+  /// The TCP port the SSI listens on (0 in loopback mode).
+  uint16_t ssi_port() const { return server_.port(); }
+
  private:
   Engine(std::unique_ptr<protocol::Fleet> fleet, Config config);
+
+  Status StartTransport();
 
   std::unique_ptr<protocol::Fleet> fleet_;
   Config config_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  /// kTcp mode only: the engine-owned SSI node, its server loop, and the
+  /// client every session shares.
+  std::unique_ptr<net::SsiNode> node_;
+  net::TcpServer server_;
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<net::SsiClient> client_;
 };
 
 }  // namespace tcells

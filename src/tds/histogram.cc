@@ -75,7 +75,10 @@ Result<EquiDepthHistogram> EquiDepthHistogram::Decode(const Bytes& data) {
   EquiDepthHistogram hist;
   ByteReader reader(data);
   TCELLS_ASSIGN_OR_RETURN(hist.num_keys_, reader.GetU64());
-  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  // Smallest encoded Tuple is its u16 arity alone, so a bucket count larger
+  // than remaining/2 cannot be satisfied — reject it before reserving.
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(2));
+  hist.upper_bounds_.reserve(n);
   storage::Tuple prev;
   for (uint32_t i = 0; i < n; ++i) {
     TCELLS_ASSIGN_OR_RETURN(storage::Tuple bound,
@@ -88,6 +91,13 @@ Result<EquiDepthHistogram> EquiDepthHistogram::Decode(const Bytes& data) {
   }
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after histogram");
+  }
+  // Build() emits one upper bound per non-empty bucket, so a well-formed
+  // encoding never claims fewer distinct keys than buckets. A forged frame
+  // violating this breaks CollisionFactor() and the equi-depth invariant
+  // downstream consumers assume.
+  if (hist.num_keys_ < hist.upper_bounds_.size()) {
+    return Status::Corruption("histogram claims fewer keys than buckets");
   }
   return hist;
 }

@@ -1,0 +1,553 @@
+// Transport-layer tests: frame codec hostile-input discipline, the loopback
+// and TCP backends, and the SsiClient retry/deadline semantics. The failure
+// paths — peer closing mid-frame, a server that never replies, transient
+// errors that resolve on retry — are each pinned here because the engine's
+// graceful-degradation story depends on the exact Status codes the channel
+// surface maps them to.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/loopback.h"
+#include "net/ssi_client.h"
+#include "net/ssi_node.h"
+#include "net/tcp.h"
+#include "obs/metrics.h"
+
+namespace tcells::net {
+namespace {
+
+Bytes MakeBytes(std::initializer_list<uint8_t> b) { return Bytes(b); }
+
+bool IsCorruption(const Status& s) { return s.IsCorruption(); }
+bool IsNotFound(const Status& s) { return s.IsNotFound(); }
+bool IsUnavailable(const Status& s) { return s.IsUnavailable(); }
+bool IsDeadlineExceeded(const Status& s) { return s.IsDeadlineExceeded(); }
+bool IsInvalidArgument(const Status& s) { return s.IsInvalidArgument(); }
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+TEST(FrameTest, RoundTrip) {
+  Bytes wire;
+  Bytes payload = MakeBytes({1, 2, 3, 4, 5});
+  AppendFrame(&wire, payload);
+  EXPECT_EQ(wire.size(), FrameWireSize(payload.size()));
+  ByteReader reader(wire);
+  auto decoded = DecodeFrame(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, payload);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  Bytes wire;
+  AppendFrame(&wire, Bytes());
+  ByteReader reader(wire);
+  auto decoded = DecodeFrame(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(FrameTest, RejectsLengthBeyondCapBeforeAllocation) {
+  // A 4-byte header claiming ~4 GiB must be rejected up front — if the
+  // decoder tried to reserve that much first, a peer could drive huge
+  // allocations with tiny writes.
+  Bytes wire = MakeBytes({0xff, 0xff, 0xff, 0xff});
+  ByteReader reader(wire);
+  auto decoded = DecodeFrame(&reader);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(IsCorruption(decoded.status()));
+}
+
+TEST(FrameTest, RejectsLengthJustAboveCap) {
+  uint32_t n = static_cast<uint32_t>(kMaxFramePayload) + 1;
+  Bytes wire;
+  ByteWriter writer(&wire);
+  writer.PutU32(n);
+  ByteReader reader(wire);
+  EXPECT_TRUE(IsCorruption(DecodeFrame(&reader).status()));
+}
+
+TEST(FrameTest, RejectsLengthBeyondRemaining) {
+  // Claims 100 payload bytes, provides 3.
+  Bytes wire;
+  ByteWriter writer(&wire);
+  writer.PutU32(100);
+  wire.push_back(9);
+  wire.push_back(9);
+  wire.push_back(9);
+  ByteReader reader(wire);
+  EXPECT_TRUE(IsCorruption(DecodeFrame(&reader).status()));
+}
+
+TEST(FrameTest, TryExtractNeedsWholeHeader) {
+  Bytes buf = MakeBytes({5, 0});  // half a length prefix
+  Bytes frame;
+  Status error;
+  EXPECT_FALSE(TryExtractFrame(&buf, &frame, &error));
+  EXPECT_TRUE(error.ok());
+  EXPECT_EQ(buf.size(), 2u);  // nothing consumed
+}
+
+TEST(FrameTest, TryExtractNeedsWholePayload) {
+  Bytes buf;
+  AppendFrame(&buf, MakeBytes({1, 2, 3}));
+  buf.pop_back();  // last payload byte still in flight
+  Bytes frame;
+  Status error;
+  EXPECT_FALSE(TryExtractFrame(&buf, &frame, &error));
+  EXPECT_TRUE(error.ok());
+}
+
+TEST(FrameTest, TryExtractConsumesExactlyOneFrame) {
+  Bytes buf;
+  AppendFrame(&buf, MakeBytes({1, 2}));
+  AppendFrame(&buf, MakeBytes({3}));
+  Bytes frame;
+  Status error;
+  ASSERT_TRUE(TryExtractFrame(&buf, &frame, &error));
+  EXPECT_EQ(frame, MakeBytes({1, 2}));
+  ASSERT_TRUE(TryExtractFrame(&buf, &frame, &error));
+  EXPECT_EQ(frame, MakeBytes({3}));
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(TryExtractFrame(&buf, &frame, &error));
+  EXPECT_TRUE(error.ok());
+}
+
+TEST(FrameTest, TryExtractRejectsHostileLengthBeforeBuffering) {
+  // The stream decoder must flag Corruption as soon as the header is
+  // readable, not wait for 4 GiB that will never arrive.
+  Bytes buf = MakeBytes({0xff, 0xff, 0xff, 0xff, 0x00});
+  Bytes frame;
+  Status error;
+  EXPECT_FALSE(TryExtractFrame(&buf, &frame, &error));
+  EXPECT_TRUE(IsCorruption(error));
+}
+
+TEST(TransportKindTest, NameRoundTrip) {
+  EXPECT_STREQ(TransportKindToString(TransportKind::kLoopback), "loopback");
+  EXPECT_STREQ(TransportKindToString(TransportKind::kTcp), "tcp");
+  EXPECT_EQ(*TransportKindFromName("loopback"), TransportKind::kLoopback);
+  EXPECT_EQ(*TransportKindFromName("tcp"), TransportKind::kTcp);
+  EXPECT_TRUE(IsInvalidArgument(TransportKindFromName("smoke").status()));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback backend.
+
+TEST(LoopbackTest, EchoRoundTripsThroughFrameCodec) {
+  LoopbackTransport transport([](const Bytes& req) -> Result<Bytes> {
+    Bytes reply = req;
+    reply.push_back(0xAB);
+    return reply;
+  });
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call(MakeBytes({1, 2, 3}), CallOptions{});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, MakeBytes({1, 2, 3, 0xAB}));
+}
+
+TEST(LoopbackTest, InjectedFailuresSurfaceThenClear) {
+  size_t handled = 0;
+  LoopbackTransport transport([&](const Bytes& req) -> Result<Bytes> {
+    ++handled;
+    return req;
+  });
+  transport.InjectFailures(2, Status::Unavailable("injected"));
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  EXPECT_TRUE(IsUnavailable(
+      (*channel)->Call(MakeBytes({7}), CallOptions{}).status()));
+  EXPECT_TRUE(IsUnavailable(
+      (*channel)->Call(MakeBytes({7}), CallOptions{}).status()));
+  EXPECT_EQ(handled, 0u);  // injected failures never reach the handler
+  EXPECT_TRUE((*channel)->Call(MakeBytes({7}), CallOptions{}).ok());
+  EXPECT_EQ(handled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend: the happy path and every documented failure mapping.
+
+TEST(TcpTest, EchoOverRealSocket) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start([](const Bytes& req) -> Result<Bytes> {
+                return req;
+              }).ok());
+  ASSERT_GT(server.port(), 0);
+  TcpTransport transport("127.0.0.1", server.port());
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  // Several calls on one connection, including a payload larger than the
+  // client's receive chunk, so reassembly across recv() boundaries runs.
+  Bytes big(100 * 1024);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  for (const Bytes& payload : {MakeBytes({1, 2, 3}), Bytes(), big}) {
+    auto reply = (*channel)->Call(payload, CallOptions{});
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(*reply, payload);
+  }
+}
+
+TEST(TcpTest, ConnectToClosedPortIsUnavailable) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start([](const Bytes& req) -> Result<Bytes> {
+                return req;
+              }).ok());
+  uint16_t port = server.port();
+  server.Stop();
+  TcpTransport transport("127.0.0.1", port);
+  auto channel = transport.Connect();
+  if (!channel.ok()) {
+    EXPECT_TRUE(IsUnavailable(channel.status()));
+    return;
+  }
+  // Some kernels accept the connect and reset on first use.
+  auto reply = (*channel)->Call(MakeBytes({1}), CallOptions{});
+  EXPECT_TRUE(IsUnavailable(reply.status()));
+}
+
+/// Raw localhost listener for scripting byte-level server misbehavior that
+/// TcpServer itself would never produce.
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() {
+    if (conn_ >= 0) ::close(conn_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+  int Accept() {
+    conn_ = ::accept(fd_, nullptr, nullptr);
+    return conn_;
+  }
+
+  void DrainRequest() {
+    // Read until the client's single request frame is fully here.
+    uint8_t header[4];
+    size_t got = 0;
+    while (got < 4) {
+      ssize_t n = ::recv(conn_, header + got, 4 - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    uint32_t body = 0;
+    std::memcpy(&body, header, 4);
+    std::vector<uint8_t> scratch(body);
+    got = 0;
+    while (got < body) {
+      ssize_t n = ::recv(conn_, scratch.data() + got, body - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+  }
+
+  void Send(const Bytes& bytes) {
+    ASSERT_EQ(::send(conn_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  void CloseConn() {
+    ::close(conn_);
+    conn_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  int conn_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(TcpTest, PeerClosingMidFrameIsUnavailable) {
+  RawListener listener;
+  std::thread peer([&] {
+    ASSERT_GE(listener.Accept(), 0);
+    listener.DrainRequest();
+    // Reply frame claims 100 payload bytes, delivers 3, then slams the
+    // connection: the client must see Unavailable (retryable), never hang
+    // waiting for the rest and never treat the truncated frame as complete.
+    Bytes partial;
+    ByteWriter writer(&partial);
+    writer.PutU32(100);
+    partial.push_back(1);
+    partial.push_back(2);
+    partial.push_back(3);
+    listener.Send(partial);
+    listener.CloseConn();
+  });
+  TcpTransport transport("127.0.0.1", listener.port());
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call(MakeBytes({42}), CallOptions{});
+  peer.join();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(IsUnavailable(reply.status())) << reply.status().ToString();
+}
+
+TEST(TcpTest, SilentPeerHitsDeadline) {
+  RawListener listener;
+  std::thread peer([&] {
+    ASSERT_GE(listener.Accept(), 0);
+    listener.DrainRequest();
+    // Never reply; hold the connection open until the client gives up.
+  });
+  TcpTransport transport("127.0.0.1", listener.port());
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  CallOptions opts;
+  opts.deadline_seconds = 0.05;
+  auto reply = (*channel)->Call(MakeBytes({42}), opts);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(IsDeadlineExceeded(reply.status())) << reply.status().ToString();
+  peer.join();
+}
+
+TEST(TcpTest, HostileReplyLengthIsCorruption) {
+  RawListener listener;
+  std::thread peer([&] {
+    ASSERT_GE(listener.Accept(), 0);
+    listener.DrainRequest();
+    // A length prefix beyond the cap: fatal, not retryable — the stream can
+    // never be re-synchronized.
+    listener.Send(MakeBytes({0xff, 0xff, 0xff, 0xff}));
+  });
+  TcpTransport transport("127.0.0.1", listener.port());
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call(MakeBytes({42}), CallOptions{});
+  peer.join();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(IsCorruption(reply.status())) << reply.status().ToString();
+}
+
+TEST(TcpTest, ServerDropsConnectionOnHandlerFailure) {
+  // A handler that cannot decode the request signals an unsynchronizable
+  // stream; the server's only safe move is to cut the connection, which the
+  // client surfaces as retryable Unavailable.
+  TcpServer server;
+  ASSERT_TRUE(server.Start([](const Bytes&) -> Result<Bytes> {
+                return Status::Corruption("bad frame");
+              }).ok());
+  TcpTransport transport("127.0.0.1", server.port());
+  auto channel = transport.Connect();
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call(MakeBytes({1}), CallOptions{});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(IsUnavailable(reply.status())) << reply.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// SsiClient retry semantics.
+
+TEST(SsiClientTest, TransientFailuresRetriedThenSucceed) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  obs::MetricsRegistry metrics;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_seconds = 0.0001;
+  SsiClient client(&transport, policy, &metrics);
+
+  transport.InjectFailures(2, Status::Unavailable("blip"));
+  auto n = client.NumAcknowledged(1);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 0u);
+  EXPECT_EQ(metrics.snapshot().counters.at("net.retries"), 2u);
+}
+
+TEST(SsiClientTest, RetriesExhaustedReturnsLastTransportError) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_seconds = 0.0001;
+  SsiClient client(&transport, policy);
+
+  transport.InjectFailures(10, Status::Unavailable("down"));
+  EXPECT_TRUE(IsUnavailable(client.NumAcknowledged(1).status()));
+  // 10 injected - 2 attempts consumed = 8 left; drain to prove exactly two
+  // attempts were made.
+  size_t drained = 0;
+  for (; drained < 10; ++drained) {
+    if (client.NumAcknowledged(1).ok()) break;
+  }
+  // 8 remaining failures cover attempts for ceil(8/2)=4 more calls.
+  EXPECT_EQ(drained, 4u);
+}
+
+TEST(SsiClientTest, DeadlineHitsAreCountedAndRetried) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  obs::MetricsRegistry metrics;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_seconds = 0.0001;
+  SsiClient client(&transport, policy, &metrics);
+
+  transport.InjectFailures(1, Status::DeadlineExceeded("slow"));
+  ASSERT_TRUE(client.NumAcknowledged(1).ok());
+  auto counters = metrics.snapshot().counters;
+  EXPECT_EQ(counters.at("net.deadline_hits"), 1u);
+  EXPECT_EQ(counters.at("net.retries"), 1u);
+}
+
+TEST(SsiClientTest, ApplicationErrorsAreNeverRetried) {
+  size_t calls = 0;
+  SsiNode node;
+  LoopbackTransport transport([&](const Bytes& req) -> Result<Bytes> {
+    ++calls;
+    return node.Handle(req);
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  SsiClient client(&transport, policy);
+
+  // FetchPartition for a query nothing staged: a NotFound application error
+  // rides inside an OK transport exchange and must not burn retry budget.
+  auto partition = client.FetchPartition(/*query_id=*/99, /*token=*/0);
+  EXPECT_TRUE(IsNotFound(partition.status())) << partition.status().ToString();
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(SsiClientTest, FramesAndBytesAreCounted) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  obs::MetricsRegistry metrics;
+  SsiClient client(&transport, RetryPolicy{}, &metrics);
+  ASSERT_TRUE(client.NumAcknowledged(1).ok());
+  auto counters = metrics.snapshot().counters;
+  EXPECT_EQ(counters.at("net.frames_sent"), 1u);
+  EXPECT_EQ(counters.at("net.frames_received"), 1u);
+  EXPECT_GT(counters.at("net.bytes_sent"), 0u);
+  EXPECT_GT(counters.at("net.bytes_received"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SsiNode RPC surface: the transfer state behind the channel.
+
+ssi::EncryptedItem MakeItem(uint8_t fill, bool tagged) {
+  ssi::EncryptedItem item;
+  item.blob = Bytes(8, fill);
+  if (tagged) item.routing_tag = Bytes(4, static_cast<uint8_t>(fill ^ 0xFF));
+  return item;
+}
+
+TEST(SsiNodeTest, PartitionStageFetchUploadTakeCycle) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  SsiClient client(&transport);
+
+  ssi::Partition partition;
+  partition.items = {MakeItem(1, true), MakeItem(2, false)};
+  ASSERT_TRUE(client.StagePartition(7, /*token=*/0, partition).ok());
+
+  // Staged partitions survive a fetch (a re-dispatched TDS downloads again).
+  for (int round = 0; round < 2; ++round) {
+    auto fetched = client.FetchPartition(7, 0);
+    ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+    ASSERT_EQ(fetched->items.size(), 2u);
+    EXPECT_EQ(fetched->items[0].blob, partition.items[0].blob);
+    EXPECT_EQ(fetched->items[0].routing_tag, partition.items[0].routing_tag);
+    EXPECT_EQ(fetched->items[1].routing_tag, std::nullopt);
+  }
+
+  std::vector<ssi::EncryptedItem> output = {MakeItem(9, false)};
+  ASSERT_TRUE(client.UploadRoundOutput(7, 0, output).ok());
+  auto taken = client.TakeRoundOutput(7, 0);
+  ASSERT_TRUE(taken.ok());
+  ASSERT_EQ(taken->size(), 1u);
+  EXPECT_EQ((*taken)[0].blob, output[0].blob);
+
+  // Take is destructive: both the output and the staged partition are gone.
+  EXPECT_TRUE(IsNotFound(client.TakeRoundOutput(7, 0).status()));
+  EXPECT_TRUE(IsNotFound(client.FetchPartition(7, 0).status()));
+}
+
+TEST(SsiNodeTest, ResultFetchIsIdempotentUntilRetire) {
+  // A re-fetch after a lost reply must see the same result (the final
+  // download is retry-safe); only Retire removes it.
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  SsiClient client(&transport);
+
+  std::vector<ssi::EncryptedItem> result = {MakeItem(3, false),
+                                            MakeItem(4, true)};
+  ASSERT_TRUE(client.DeliverResult(11, result).ok());
+  for (int fetch = 0; fetch < 2; ++fetch) {
+    auto fetched = client.FetchResult(11);
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_EQ(fetched->size(), 2u);
+    EXPECT_EQ((*fetched)[1].routing_tag, result[1].routing_tag);
+  }
+}
+
+TEST(SsiNodeTest, RetireClearsTransferState) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  SsiClient client(&transport);
+
+  ssi::Partition partition;
+  partition.items = {MakeItem(5, false)};
+  ASSERT_TRUE(client.StagePartition(21, 0, partition).ok());
+  ASSERT_TRUE(client.DeliverResult(21, partition.items).ok());
+  // Query 21 was never posted to the hub, so Retire reports NotFound — but
+  // the transfer remnants must be dropped regardless, so lost partitions
+  // cannot outlive their query inside the SSI.
+  EXPECT_TRUE(IsNotFound(client.Retire(21)));
+  EXPECT_TRUE(IsNotFound(client.FetchPartition(21, 0).status()));
+  EXPECT_TRUE(IsNotFound(client.FetchResult(21).status()));
+}
+
+TEST(SsiNodeTest, GarbageRequestFrameIsCorruption) {
+  SsiNode node;
+  auto reply = node.Handle(MakeBytes({0xEE, 0x01, 0x02}));
+  EXPECT_TRUE(IsCorruption(reply.status())) << reply.status().ToString();
+}
+
+// The same node is reachable over a real socket: the full client surface
+// against a TCP server, including an error envelope crossing the wire.
+TEST(SsiNodeTest, ServesOverTcp) {
+  SsiNode node;
+  TcpServer server;
+  ASSERT_TRUE(server.Start(node.handler()).ok());
+  TcpTransport transport("127.0.0.1", server.port());
+  RetryPolicy policy;
+  policy.deadline_seconds = 5.0;
+  SsiClient client(&transport, policy);
+
+  ssi::Partition partition;
+  partition.items = {MakeItem(6, true)};
+  ASSERT_TRUE(client.StagePartition(31, 2, partition).ok());
+  auto fetched = client.FetchPartition(31, 2);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  ASSERT_EQ(fetched->items.size(), 1u);
+  EXPECT_EQ(fetched->items[0].blob, partition.items[0].blob);
+  EXPECT_TRUE(IsNotFound(client.FetchPartition(31, 99).status()));
+}
+
+}  // namespace
+}  // namespace tcells::net

@@ -31,6 +31,26 @@ class SessionWorld {
   sim::DeviceModel device;
 };
 
+TEST(FleetTest, SampleAvailableOnEmptyFleetIsEmpty) {
+  // Regression: `want` used to be clamped up to 1 even for an empty fleet,
+  // so servers_[indices[0]] read past the end of an empty vector.
+  Fleet fleet;
+  Rng rng(7);
+  EXPECT_TRUE(fleet.SampleAvailable(0.5, &rng).empty());
+  EXPECT_TRUE(fleet.SampleAvailable(1.0, &rng).empty());
+}
+
+TEST(FleetTest, SampleAvailableNonPositiveFractionClampsToOne) {
+  SessionWorld w(4);
+  Rng rng(7);
+  // The documented "at least one" clamp holds on a non-empty fleet, and a
+  // negative fraction must not reach the size_t cast (UB) — both degrade to
+  // the guaranteed single TDS.
+  EXPECT_EQ(w.fleet->SampleAvailable(0.0, &rng).size(), 1u);
+  EXPECT_EQ(w.fleet->SampleAvailable(-0.25, &rng).size(), 1u);
+  EXPECT_EQ(w.fleet->SampleAvailable(1e-9, &rng).size(), 1u);
+}
+
 TEST(SessionTest, TwoConcurrentQueriesBothMatchOracle) {
   SessionWorld w;
   RunOptions opts;

@@ -174,6 +174,35 @@ TEST(HistogramTest, DecodeRejectsMalformed) {
   EXPECT_TRUE(EquiDepthHistogram::Decode(buf).ok());
 }
 
+TEST(HistogramTest, DecodeRejectsFewerKeysThanBuckets) {
+  // Forged frame: sorted bounds (passes the monotonicity check) but claims
+  // one distinct key for two buckets. Build() can never produce this —
+  // bucket count is clamped to the key count — and accepting it silently
+  // corrupts CollisionFactor() and the equi-depth contract.
+  Bytes forged;
+  ByteWriter w(&forged);
+  w.PutU64(1);  // num_keys
+  w.PutU32(2);  // buckets
+  Tuple({Value::Int64(1)}).EncodeTo(&forged);
+  Tuple({Value::Int64(2)}).EncodeTo(&forged);
+  auto result = EquiDepthHistogram::Decode(forged);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(HistogramTest, DecodeRejectsOversizedBucketCount) {
+  // A count field larger than the remaining bytes could satisfy must fail
+  // before any reservation happens (GetCountU32 discipline).
+  Bytes forged;
+  ByteWriter w(&forged);
+  w.PutU64(0xffffffff);
+  w.PutU32(0x7fffffff);  // claims ~2^31 bounds in an 8-byte body
+  forged.resize(forged.size() + 8, 0);
+  auto result = EquiDepthHistogram::Decode(forged);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
 TEST(HistogramTest, UnseenKeysStillMap) {
   auto freq = FreqOf({{10, 5}, {20, 5}});
   auto hist = EquiDepthHistogram::Build(freq, 2);
