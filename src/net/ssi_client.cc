@@ -35,7 +35,7 @@ void BeginRequest(Bytes* out, MsgType type) {
 }  // namespace
 
 Result<Bytes> SsiClient::Call(const Bytes& request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   CallOptions opts;
   opts.deadline_seconds = policy_.deadline_seconds;
   double backoff = policy_.backoff_seconds;
@@ -44,7 +44,11 @@ Result<Bytes> SsiClient::Call(const Bytes& request) {
   for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       if (backoff > 0) {
+        // Sleep unlocked: one failing exchange must not stall every other
+        // thread sharing this client through the whole backoff schedule.
+        lock.unlock();
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        lock.lock();
       }
       backoff = std::min(backoff * 2, policy_.backoff_cap_seconds);
       if (metrics_ != nullptr) metrics_->counter("net.retries").Increment();
@@ -77,11 +81,13 @@ Result<Bytes> SsiClient::Call(const Bytes& request) {
     if (last.IsDeadlineExceeded() && metrics_ != nullptr) {
       metrics_->counter("net.deadline_hits").Increment();
     }
-    if (last.IsUnavailable()) {
-      // The connection is suspect; re-dial on the next attempt.
+    if (last.IsUnavailable() || last.IsDeadlineExceeded()) {
+      // The connection is suspect; re-dial on the next attempt. A deadline
+      // expiry in particular abandons a call whose reply may still be in
+      // flight — reusing the channel would let the next exchange consume
+      // that stale reply and silently decode another call's envelope.
       channel_.reset();
-    }
-    if (!last.IsUnavailable() && !last.IsDeadlineExceeded()) {
+    } else {
       return last;  // Not a transport failure — do not retry.
     }
   }
@@ -217,7 +223,18 @@ Result<std::vector<EncryptedItem>> SsiClient::TakeRoundOutput(
   w.PutU64(query_id);
   w.PutU64(token);
   TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
-  return ItemsFromBody(body);
+  TCELLS_ASSIGN_OR_RETURN(std::vector<EncryptedItem> items,
+                          ItemsFromBody(body));
+  // Phase 2: the items are safely in hand, so erase the server-side copy.
+  // Best-effort — an unacked output is overwritten by the next round's
+  // upload for the same token, or dropped at Retire.
+  Bytes ack;
+  BeginRequest(&ack, MsgType::kAckRoundOutput);
+  ByteWriter aw(&ack);
+  aw.PutU64(query_id);
+  aw.PutU64(token);
+  (void)Call(ack);
+  return items;
 }
 
 Status SsiClient::ObserveAggregation(

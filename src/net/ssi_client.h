@@ -38,7 +38,9 @@ struct RetryPolicy {
 class SsiClient {
  public:
   /// `transport` and `metrics` (optional) are borrowed and must outlive the
-  /// client. Channels are dialed lazily and re-dialed after Unavailable.
+  /// client. Channels are dialed lazily and re-dialed after any transport
+  /// failure (Unavailable or DeadlineExceeded) — an abandoned call's reply
+  /// must never be consumed by a later exchange on the same channel.
   explicit SsiClient(Transport* transport, RetryPolicy policy = {},
                      obs::MetricsRegistry* metrics = nullptr)
       : transport_(transport), policy_(policy), metrics_(metrics) {}
@@ -65,6 +67,9 @@ class SsiClient {
   Result<ssi::Partition> FetchPartition(uint64_t query_id, uint64_t token);
   Status UploadRoundOutput(uint64_t query_id, uint64_t token,
                            const std::vector<ssi::EncryptedItem>& items);
+  /// Two-phase: downloads the round output (a retried fetch after a lost
+  /// reply re-downloads the same bytes), then acks so the SSI erases the
+  /// token's transfer state.
   Result<std::vector<ssi::EncryptedItem>> TakeRoundOutput(uint64_t query_id,
                                                           uint64_t token);
   Status ObserveAggregation(uint64_t query_id,

@@ -99,11 +99,23 @@ Result<Bytes> SsiNode::Dispatch(const Bytes& request) {
       TCELLS_ASSIGN_OR_RETURN(std::vector<EncryptedItem> items,
                               DecodeItems(&reader));
       TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(query_id));
-      // Atomic check-then-receive: when the SIZE bound was reached while
-      // this upload was in flight, the contribution is discarded but the
-      // TDS still counts as having served the query.
-      bool accepted = !storage->SizeReached();
-      if (accepted) storage->ReceiveCollectionItems(std::move(items));
+      std::map<uint64_t, bool>& accepted_by = collection_accepted_[query_id];
+      auto dup = accepted_by.find(tds_id);
+      bool accepted;
+      if (dup != accepted_by.end()) {
+        // Duplicate delivery: a transport retry after the reply was lost.
+        // The first delivery already stored this TDS's contribution (or
+        // discarded it at the SIZE bound); replay its reply instead of
+        // counting the contribution twice.
+        accepted = dup->second;
+      } else {
+        // Atomic check-then-receive: when the SIZE bound was reached while
+        // this upload was in flight, the contribution is discarded but the
+        // TDS still counts as having served the query.
+        accepted = !storage->SizeReached();
+        if (accepted) storage->ReceiveCollectionItems(std::move(items));
+        accepted_by.emplace(tds_id, accepted);
+      }
       TCELLS_RETURN_IF_ERROR(hub_.Acknowledge(tds_id, query_id));
       Bytes body;
       ByteWriter w(&body);
@@ -154,13 +166,22 @@ Result<Bytes> SsiNode::Dispatch(const Bytes& request) {
       if (qit == outputs_.end() || !qit->second.count(token)) {
         return Status::NotFound("no round output for token");
       }
-      Bytes body = qit->second.at(token).Encode();
+      // Left in place: the take is two-phase. A retry after a lost reply
+      // re-downloads the same bytes; only the explicit kAckRoundOutput
+      // (sent once the items are safely in the client's hands) erases.
+      return EncodeReplyOk(qit->second.at(token).Encode());
+    }
+    case MsgType::kAckRoundOutput: {
+      TCELLS_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
+      TCELLS_ASSIGN_OR_RETURN(uint64_t token, reader.GetU64());
       // Consume both ends of the exchange so the next round can reuse the
-      // token without mixing stale bytes in.
-      qit->second.erase(token);
+      // token without mixing stale bytes in. Idempotent: an ack retried
+      // after a lost reply finds nothing and still succeeds.
+      auto qit = outputs_.find(query_id);
+      if (qit != outputs_.end()) qit->second.erase(token);
       auto sit = staged_.find(query_id);
       if (sit != staged_.end()) sit->second.erase(token);
-      return EncodeReplyOk(body);
+      return EncodeReplyOk(EmptyBody());
     }
     case MsgType::kObserveAggregation: {
       TCELLS_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
@@ -204,6 +225,7 @@ Result<Bytes> SsiNode::Dispatch(const Bytes& request) {
       TCELLS_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
       // Drop every transfer remnant of the query, so lost partitions do not
       // outlive it inside the SSI.
+      collection_accepted_.erase(query_id);
       staged_.erase(query_id);
       outputs_.erase(query_id);
       results_.erase(query_id);

@@ -38,6 +38,10 @@ class SsiNode {
 
   mutable std::mutex mu_;
   ssi::QueryboxHub hub_;
+  /// query_id → tds_id → accepted bit of the first collection upload. A
+  /// duplicate delivery (transport retry after a lost reply) replays that
+  /// bit instead of appending the contribution a second time.
+  std::map<uint64_t, std::map<uint64_t, bool>> collection_accepted_;
   /// query_id → token → partition staged for TDS download.
   std::map<uint64_t, std::map<uint64_t, ssi::Partition>> staged_;
   /// query_id → token → round output uploaded by the processing TDS.

@@ -30,13 +30,14 @@ enum class MsgType : uint8_t {
   kStagePartition = 9,    ///< u64 query_id, u64 token, Partition → ()
   kFetchPartition = 10,   ///< u64 query_id, u64 token → Partition
   kUploadRoundOutput = 11,///< u64 query_id, u64 token, Partition → ()
-  kTakeRoundOutput = 12,  ///< u64 query_id, u64 token → Partition
+  kTakeRoundOutput = 12,  ///< u64 query_id, u64 token → Partition (re-readable)
   kObserveAggregation = 13,  ///< u64 query_id, Partition → ()
   kObserveFiltering = 14,    ///< u64 query_id, Partition → ()
   kDeliverResult = 15,    ///< u64 query_id, Partition → ()
   kFetchResult = 16,      ///< u64 query_id → Partition
   kAdversaryView = 17,    ///< u64 query_id → AdversaryView
   kRetire = 18,           ///< u64 query_id → ()
+  kAckRoundOutput = 19,   ///< u64 query_id, u64 token → () (idempotent erase)
 };
 
 /// Reply envelope: u8 StatusCode + body (OK) or message string (error).

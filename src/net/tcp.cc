@@ -86,7 +86,14 @@ class TcpChannel : public Channel {
         Close();
         return error;  // Hostile length prefix: fatal, not retryable.
       }
-      TCELLS_RETURN_IF_ERROR(RecvSome(deadline));
+      Status received = RecvSome(deadline);
+      if (!received.ok()) {
+        // Abandoning a call mid-receive (deadline expiry included) leaves
+        // its reply in flight; the stream can never again be paired with a
+        // later call, so the channel closes rather than serve stale bytes.
+        Close();
+        return received;
+      }
     }
     return frame;
   }
@@ -227,8 +234,15 @@ void TcpServer::Loop() {
     pfds.push_back({wake_read_fd_, POLLIN, 0});
     pfds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& [fd, conn] : conns) {
-      short events = POLLIN;
-      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      // Backpressure: stop reading while the receive buffer or the unsent
+      // reply backlog is at its cap — poll is level-triggered, so the
+      // kernel re-delivers readiness once the peer drains replies.
+      short events = 0;
+      size_t backlog = conn.out.size() - conn.out_pos;
+      if (conn.in.size() < max_in_buffer_ && backlog < max_out_backlog_) {
+        events |= POLLIN;
+      }
+      if (backlog > 0) events |= POLLOUT;
       pfds.push_back({fd, events, 0});
     }
 
@@ -263,7 +277,7 @@ void TcpServer::Loop() {
 
       if (!drop && (pfds[i].revents & POLLIN)) {
         uint8_t chunk[16384];
-        for (;;) {
+        while (conn.in.size() < max_in_buffer_) {
           ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
           if (n > 0) {
             conn.in.insert(conn.in.end(), chunk, chunk + n);
@@ -274,19 +288,6 @@ void TcpServer::Loop() {
             drop = true;
           break;
         }
-        Bytes frame;
-        Status error;
-        while (!drop && TryExtractFrame(&conn.in, &frame, &error)) {
-          Result<Bytes> reply = handler_(frame);
-          if (!reply.ok()) {
-            // The handler wraps application errors into reply payloads; a
-            // failure here means the request frame itself was undecodable.
-            drop = true;
-            break;
-          }
-          AppendFrame(&conn.out, *reply);
-        }
-        if (!error.ok()) drop = true;  // Hostile length prefix.
       }
 
       if (!drop && conn.out_pos < conn.out.size()) {
@@ -302,6 +303,27 @@ void TcpServer::Loop() {
                    errno != EINTR) {
           drop = true;
         }
+      }
+
+      // Serve pipelined frames after the send above, pausing while the
+      // reply backlog is at its cap. Frames that stay buffered here imply a
+      // non-empty backlog, so the next poll round polls POLLOUT and this
+      // loop resumes once the peer drains replies — never a silent stall.
+      if (!drop) {
+        Bytes frame;
+        Status error;
+        while (conn.out.size() - conn.out_pos < max_out_backlog_ &&
+               TryExtractFrame(&conn.in, &frame, &error)) {
+          Result<Bytes> reply = handler_(frame);
+          if (!reply.ok()) {
+            // The handler wraps application errors into reply payloads; a
+            // failure here means the request frame itself was undecodable.
+            drop = true;
+            break;
+          }
+          AppendFrame(&conn.out, *reply);
+        }
+        if (!error.ok()) drop = true;  // Hostile length prefix.
       }
 
       if (drop) dead.push_back(fd);

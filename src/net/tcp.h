@@ -11,11 +11,13 @@
 #ifndef TCELLS_NET_TCP_H_
 #define TCELLS_NET_TCP_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <thread>
 
 #include "net/channel.h"
+#include "net/frame.h"
 
 namespace tcells::net {
 
@@ -38,10 +40,25 @@ class TcpServer {
   uint16_t port() const { return port_; }
   bool running() const { return listen_fd_ >= 0; }
 
+  /// Per-connection buffer caps, in bytes. The loop stops reading from a
+  /// connection while its receive buffer holds `max_in` bytes or its unsent
+  /// reply backlog reaches `max_out_backlog`, and it defers serving further
+  /// pipelined frames until the peer drains replies — so a peer that floods
+  /// requests or never reads replies cannot grow the buffers without bound.
+  /// Each cap must be at least one full frame (`FrameWireSize` of the
+  /// largest expected payload) for progress; the defaults hold one maximum
+  /// frame. Call before Start().
+  void set_buffer_caps(size_t max_in, size_t max_out_backlog) {
+    max_in_buffer_ = max_in;
+    max_out_backlog_ = max_out_backlog;
+  }
+
  private:
   void Loop();
 
   Handler handler_;
+  size_t max_in_buffer_ = FrameWireSize(kMaxFramePayload);
+  size_t max_out_backlog_ = FrameWireSize(kMaxFramePayload);
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "net/loopback.h"
 #include "net/ssi_client.h"
 #include "net/ssi_node.h"
+#include "net/ssi_wire.h"
 #include "net/tcp.h"
 #include "obs/metrics.h"
 
@@ -344,6 +347,60 @@ TEST(TcpTest, HostileReplyLengthIsCorruption) {
   EXPECT_TRUE(IsCorruption(reply.status())) << reply.status().ToString();
 }
 
+TEST(TcpTest, PipelinedRequestsBackpressuredNotDropped) {
+  // A peer may write many frames before reading any reply. With buffer caps
+  // far below the pipelined volume the server must stop reading / defer
+  // serving while the reply backlog is full (bounding its memory), yet still
+  // answer every frame in order once the peer starts draining.
+  TcpServer server;
+  server.set_buffer_caps(/*max_in=*/4096, /*max_out_backlog=*/4096);
+  ASSERT_TRUE(server.Start([](const Bytes& req) -> Result<Bytes> {
+                Bytes reply = req;
+                reply.push_back(0x5A);
+                return reply;
+              }).ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  constexpr size_t kCalls = 64;
+  constexpr size_t kPayload = 1024;
+  Bytes wire;
+  for (size_t i = 0; i < kCalls; ++i) {
+    AppendFrame(&wire, Bytes(kPayload, static_cast<uint8_t>(i)));
+  }
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  for (size_t i = 0; i < kCalls; ++i) {
+    Bytes reply(FrameWireSize(kPayload + 1));
+    size_t got = 0;
+    while (got < reply.size()) {
+      ssize_t n = ::recv(fd, reply.data() + got, reply.size() - got, 0);
+      ASSERT_GT(n, 0) << "reply " << i << " truncated";
+      got += static_cast<size_t>(n);
+    }
+    ByteReader reader(reply);
+    auto payload = DecodeFrame(&reader);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    ASSERT_EQ(payload->size(), kPayload + 1);
+    EXPECT_EQ((*payload)[0], static_cast<uint8_t>(i));
+    EXPECT_EQ(payload->back(), 0x5A);
+  }
+  ::close(fd);
+}
+
 TEST(TcpTest, ServerDropsConnectionOnHandlerFailure) {
   // A handler that cannot decode the request signals an unsynchronizable
   // stream; the server's only safe move is to cut the connection, which the
@@ -413,6 +470,45 @@ TEST(SsiClientTest, DeadlineHitsAreCountedAndRetried) {
   auto counters = metrics.snapshot().counters;
   EXPECT_EQ(counters.at("net.deadline_hits"), 1u);
   EXPECT_EQ(counters.at("net.retries"), 1u);
+}
+
+TEST(SsiClientTest, DeadlineAbandonedReplyNeverPoisonsLaterCalls) {
+  // Regression: a call that hits its deadline abandons a reply that is
+  // still in flight. If the client kept the connection, the retry and every
+  // later exchange on it would consume stale replies one position behind —
+  // silently decoding another call's envelope. The client must re-dial
+  // after DeadlineExceeded, exactly as after Unavailable.
+  std::atomic<uint64_t> handled{0};
+  TcpServer server;
+  ASSERT_TRUE(server
+                  .Start([&](const Bytes&) -> Result<Bytes> {
+                    uint64_t n = ++handled;
+                    if (n == 1) {
+                      // Sit on the first reply until far past the deadline.
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(200));
+                    }
+                    Bytes body;
+                    ByteWriter(&body).PutU64(n);
+                    return EncodeReplyOk(body);
+                  })
+                  .ok());
+  TcpTransport transport("127.0.0.1", server.port());
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.deadline_seconds = 0.05;
+  policy.backoff_seconds = 0.0001;
+  SsiClient client(&transport, policy);
+
+  // First call: the server stalls past every attempt's deadline. Whether it
+  // fails or a retry squeaks through, no stale reply may survive it.
+  (void)client.NumAcknowledged(1);
+  // Let the server finish the delayed handler and flush the abandoned
+  // replies; on the pre-fix client they now sit buffered on the connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto n = client.NumAcknowledged(1);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, handled.load());  // pre-fix: a stale earlier counter value
 }
 
 TEST(SsiClientTest, ApplicationErrorsAreNeverRetried) {
@@ -485,6 +581,65 @@ TEST(SsiNodeTest, PartitionStageFetchUploadTakeCycle) {
   // Take is destructive: both the output and the staged partition are gone.
   EXPECT_TRUE(IsNotFound(client.TakeRoundOutput(7, 0).status()));
   EXPECT_TRUE(IsNotFound(client.FetchPartition(7, 0).status()));
+}
+
+/// Wraps an SsiNode handler so that requests of `duplicated_type` are
+/// delivered to the node twice, with the first reply "lost" — exactly what a
+/// transport-level retry after a dropped reply does to the server.
+LoopbackTransport DuplicatingTransport(SsiNode* node, MsgType duplicated_type) {
+  return LoopbackTransport([node, duplicated_type](
+                               const Bytes& req) -> Result<Bytes> {
+    if (!req.empty() && req[0] == static_cast<uint8_t>(duplicated_type)) {
+      (void)node->Handle(req);
+    }
+    return node->Handle(req);
+  });
+}
+
+TEST(SsiNodeTest, DuplicateCollectionUploadIsNotDoubleCounted) {
+  // kUploadCollection must be idempotent per (query, TDS): a retry after a
+  // lost reply replays the first delivery's accept bit instead of appending
+  // the contribution a second time and skewing the query result.
+  SsiNode node;
+  LoopbackTransport transport =
+      DuplicatingTransport(&node, MsgType::kUploadCollection);
+  SsiClient client(&transport);
+
+  ssi::QueryPost post;
+  post.query_id = 5;
+  ASSERT_TRUE(client.PostGlobal(post).ok());
+
+  std::vector<ssi::EncryptedItem> items = {MakeItem(1, false),
+                                           MakeItem(2, false)};
+  auto accepted = client.UploadCollection(5, /*tds_id=*/3, items);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_TRUE(*accepted);
+  auto n = client.NumAcknowledged(5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto collected = client.TakeCollected(5);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected->size(), 2u);  // pre-fix: 4 (contribution duplicated)
+}
+
+TEST(SsiNodeTest, RoundOutputTakeSurvivesDuplicateDelivery) {
+  // The round-output take is two-phase: the fetch is a re-downloadable read
+  // (a retry after a lost reply sees the same bytes, instead of NotFound
+  // dropping an already-uploaded output as lost), and only the client's ack
+  // afterwards erases the transfer state.
+  SsiNode node;
+  LoopbackTransport transport =
+      DuplicatingTransport(&node, MsgType::kTakeRoundOutput);
+  SsiClient client(&transport);
+
+  std::vector<ssi::EncryptedItem> output = {MakeItem(9, true)};
+  ASSERT_TRUE(client.UploadRoundOutput(7, 0, output).ok());
+  auto taken = client.TakeRoundOutput(7, 0);
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();  // pre-fix: NotFound
+  ASSERT_EQ(taken->size(), 1u);
+  EXPECT_EQ((*taken)[0].blob, output[0].blob);
+  // The ack ran once the items were in hand: the state is gone for good.
+  EXPECT_TRUE(IsNotFound(client.TakeRoundOutput(7, 0).status()));
 }
 
 TEST(SsiNodeTest, ResultFetchIsIdempotentUntilRetire) {
