@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "net/faulty.h"
 #include "net/loopback.h"
 #include "net/ssi_client.h"
 #include "net/ssi_node.h"
@@ -155,6 +156,19 @@ int Run(const std::string& out_path) {
     for (const auto& [size_name, n] : sizes) {
       rows.push_back(
           MeasureRoundTrip(size_name, "loopback", channel.get(), Bytes(n, 0x5A)));
+    }
+  }
+  {
+    // Fault-injection decorator in passthrough mode (an empty plan injects
+    // nothing): isolates the per-call overhead of the determinism machinery —
+    // key extraction, decision hashing, history bookkeeping — that every
+    // campaign call pays on top of the inner backend.
+    net::LoopbackTransport inner(echo);
+    net::FaultyTransport transport(&inner, net::FaultPlan{});
+    auto channel = transport.Connect().ValueOrDie();
+    for (const auto& [size_name, n] : sizes) {
+      rows.push_back(MeasureRoundTrip(size_name, "faulty_passthrough",
+                                      channel.get(), Bytes(n, 0x5A)));
     }
   }
   {

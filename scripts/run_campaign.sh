@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the full adversarial scenario campaign (docs/TESTING.md, "Tier 5")
+# on both transport backends. Builds the runner if needed. Any invariant
+# violation or cross-run nondeterminism exits nonzero.
+#
+#   scripts/run_campaign.sh                 # full manifest, both backends
+#   scripts/run_campaign.sh --smoke         # the ctest subset, both backends
+#   scripts/run_campaign.sh --filter=byz    # extra flags pass through
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target run_campaign -j >/dev/null
+
+status=0
+for backend in loopback tcp; do
+  echo "== campaign: backend=$backend =="
+  "$build_dir/examples/run_campaign" --backend="$backend" "$@" || status=$?
+done
+exit "$status"

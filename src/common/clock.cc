@@ -1,0 +1,31 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tcells {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  double NowSeconds() override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepFor(double seconds) override {
+    if (seconds <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* real = new RealClock();
+  return real;
+}
+
+}  // namespace tcells

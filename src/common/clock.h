@@ -1,0 +1,79 @@
+// Injectable clock seam: everything in the transport stack that sleeps or
+// reads wall time goes through a Clock*, so tests and the fault-injection
+// campaign can substitute a VirtualClock where sleeps complete instantly and
+// time advances deterministically. Production code passes nullptr and gets
+// the real wall clock.
+#ifndef TCELLS_COMMON_CLOCK_H_
+#define TCELLS_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tcells {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic seconds since an arbitrary epoch.
+  virtual double NowSeconds() = 0;
+  /// Blocks the calling thread for `seconds` (no-op when <= 0).
+  virtual void SleepFor(double seconds) = 0;
+
+  /// The process-wide real wall clock (steady, monotonic). Never null.
+  static Clock* Real();
+};
+
+/// A clock where SleepFor advances virtual time instantly instead of
+/// blocking. Thread-safe; the total slept and the per-call sleep history are
+/// recorded so tests can assert exact backoff schedules without margins.
+///
+/// Note on determinism: NowSeconds() observed by concurrent threads depends
+/// on their interleaving, but the *sum* of sleeps is schedule-independent —
+/// deterministic code must only rely on total_slept_seconds() / sleeps().
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(double start_seconds = 0.0)
+      : now_seconds_(start_seconds) {}
+
+  double NowSeconds() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_seconds_;
+  }
+
+  void SleepFor(double seconds) override {
+    if (seconds <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    now_seconds_ += seconds;
+    total_slept_seconds_ += seconds;
+    sleeps_.push_back(seconds);
+  }
+
+  /// Manually advances virtual time (e.g. to model elapsed idle time).
+  void Advance(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_seconds_ += seconds;
+  }
+
+  double total_slept_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_slept_seconds_;
+  }
+
+  /// Every SleepFor duration in call order.
+  std::vector<double> sleeps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sleeps_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_seconds_;
+  double total_slept_seconds_ = 0;
+  std::vector<double> sleeps_;
+};
+
+}  // namespace tcells
+
+#endif  // TCELLS_COMMON_CLOCK_H_

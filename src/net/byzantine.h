@@ -1,0 +1,107 @@
+// ByzantineProxy: a Handler decorator that models an actively malicious SSI.
+// Where FaultyTransport corrupts the *transport* (lost frames, delays,
+// garbled bytes), this proxy speaks the protocol correctly but lies at the
+// application level — serving stale or misattributed round outputs, forging
+// status/accept/size bytes, reordering collected items — exactly the
+// behaviors the paper's threat model (a compromised Supporting Server
+// Infrastructure) allows.
+//
+// Every mutation is a pure function of the request's wire keys and of
+// replies/requests previously recorded under those same keys, all of which
+// are ordered by the engine's happens-before structure (stage before take,
+// all uploads before any take of a round) — so tampering is deterministic
+// across thread counts and backends.
+//
+// The client side must either reject each tampering class (clean abort) or
+// survive it with the degradation visible in metrics (partitions_tampered /
+// partitions_lost / collection_participants): no silent wrong answers.
+#ifndef TCELLS_NET_BYZANTINE_H_
+#define TCELLS_NET_BYZANTINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "net/channel.h"
+#include "net/ssi_wire.h"
+
+namespace tcells::net {
+
+/// Which lies the proxy tells. All off = transparent pass-through.
+struct TamperPlan {
+  /// kTakeCollected: serve the collected items in reverse order. A correct
+  /// engine treats the collected set as unordered, so this must be
+  /// *tolerated* (same result as the oracle).
+  bool reverse_collected = false;
+  /// kTakeRoundOutput: serve the first reply ever recorded for this
+  /// (query, token) again — a stale round output from an earlier round. The
+  /// client's digest check must flag it (partitions_tampered).
+  bool replay_round_output = false;
+  /// kTakeRoundOutput: serve the bytes staged for this (query, token) as if
+  /// they were the TDS's output — the SSI "echoes" the input instead of the
+  /// computed result. Caught by the digest check.
+  bool echo_input_as_output = false;
+  /// kTakeRoundOutput for token t: serve the output uploaded for token t^1
+  /// (partition outputs swapped pairwise). Caught by the digest check.
+  bool swap_round_outputs = false;
+  /// kUploadCollection: rewrite the accept byte to 0 — every TDS is told its
+  /// contribution was rejected while the SSI keeps (and later serves) it.
+  bool forge_accept_byte = false;
+  /// kSizeReached: always claim the SIZE bound is met, closing collection
+  /// windows before anyone contributes.
+  bool forge_size_reached = false;
+  /// Replace OK replies of this message type with a NotFound error.
+  std::optional<MsgType> forge_error_on;
+};
+
+/// How often each lie was told (only counted when the served bytes actually
+/// differ from the honest reply).
+struct TamperStats {
+  uint64_t reversed_collected = 0;
+  uint64_t replayed_round_outputs = 0;
+  uint64_t echoed_inputs = 0;
+  uint64_t swapped_round_outputs = 0;
+  uint64_t forged_accepts = 0;
+  uint64_t forged_size_reached = 0;
+  uint64_t forged_errors = 0;
+
+  uint64_t total() const {
+    return reversed_collected + replayed_round_outputs + echoed_inputs +
+           swapped_round_outputs + forged_accepts + forged_size_reached +
+           forged_errors;
+  }
+};
+
+class ByzantineProxy {
+ public:
+  /// Wraps `honest` (typically SsiNode::handler()). The proxy records the
+  /// partition payloads that pass through it so later lies can replay them.
+  ByzantineProxy(Handler honest, TamperPlan plan);
+
+  /// The tampering handler to hand to a transport / server.
+  Handler handler();
+
+  TamperStats stats() const;
+
+ private:
+  Result<Bytes> Handle(const Bytes& request);
+
+  Handler honest_;
+  TamperPlan plan_;
+
+  mutable std::mutex mu_;
+  TamperStats stats_;
+  using Key = std::pair<uint64_t, uint64_t>;  // (query_id, token)
+  /// Partition payloads seen at kStagePartition / kUploadRoundOutput, and
+  /// the first reply served per key at kTakeRoundOutput.
+  std::map<Key, Bytes> staged_;
+  std::map<Key, Bytes> uploaded_;
+  std::map<Key, Bytes> first_take_reply_;
+};
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_BYZANTINE_H_

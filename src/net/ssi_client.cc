@@ -1,8 +1,6 @@
 #include "net/ssi_client.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "net/frame.h"
@@ -46,8 +44,9 @@ Result<Bytes> SsiClient::Call(const Bytes& request) {
       if (backoff > 0) {
         // Sleep unlocked: one failing exchange must not stall every other
         // thread sharing this client through the whole backoff schedule.
+        Clock* clock = policy_.clock != nullptr ? policy_.clock : Clock::Real();
         lock.unlock();
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        clock->SleepFor(backoff);
         lock.lock();
       }
       backoff = std::min(backoff * 2, policy_.backoff_cap_seconds);

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/clock.h"
 #include "net/channel.h"
 #include "obs/metrics.h"
 #include "ssi/messages.h"
@@ -33,6 +34,10 @@ struct RetryPolicy {
   double deadline_seconds = 5.0;
   double backoff_seconds = 0.001;
   double backoff_cap_seconds = 0.25;
+  /// Clock the backoff sleeps go through. Null = the real wall clock; tests
+  /// and deterministic campaigns inject a VirtualClock so retries complete
+  /// instantly and the backoff schedule is assertable exactly.
+  Clock* clock = nullptr;
 };
 
 class SsiClient {

@@ -124,10 +124,20 @@ Result<Bytes> SsiNode::Dispatch(const Bytes& request) {
     }
     case MsgType::kTakeCollected: {
       TCELLS_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
+      // Idempotent despite the destructive storage drain: a duplicate
+      // delivery (transport retry after a lost reply, or a duplicated
+      // frame) replays the first take's bytes instead of the now-empty
+      // collection.
+      auto taken = collected_taken_.find(query_id);
+      if (taken != collected_taken_.end()) {
+        return EncodeReplyOk(taken->second);
+      }
       TCELLS_ASSIGN_OR_RETURN(ssi::Ssi * storage, hub_.StorageFor(query_id));
       Partition p;
       p.items = storage->TakeCollected();
-      return EncodeReplyOk(p.Encode());
+      Bytes body = p.Encode();
+      collected_taken_[query_id] = body;
+      return EncodeReplyOk(body);
     }
     case MsgType::kStagePartition: {
       TCELLS_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
@@ -226,6 +236,7 @@ Result<Bytes> SsiNode::Dispatch(const Bytes& request) {
       // Drop every transfer remnant of the query, so lost partitions do not
       // outlive it inside the SSI.
       collection_accepted_.erase(query_id);
+      collected_taken_.erase(query_id);
       staged_.erase(query_id);
       outputs_.erase(query_id);
       results_.erase(query_id);

@@ -42,6 +42,10 @@ class SsiNode {
   /// duplicate delivery (transport retry after a lost reply) replays that
   /// bit instead of appending the contribution a second time.
   std::map<uint64_t, std::map<uint64_t, bool>> collection_accepted_;
+  /// query_id → encoded body of the first kTakeCollected reply. The take
+  /// drains the storage, so a duplicate delivery (transport retry after a
+  /// lost reply) must replay the same bytes instead of an empty partition.
+  std::map<uint64_t, Bytes> collected_taken_;
   /// query_id → token → partition staged for TDS download.
   std::map<uint64_t, std::map<uint64_t, ssi::Partition>> staged_;
   /// query_id → token → round output uploaded by the processing TDS.

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "crypto/sha256.h"
+
 namespace tcells::protocol {
 
 namespace {
@@ -24,6 +26,17 @@ bool IsTransportError(const Status& s) {
   return s.IsUnavailable() || s.IsDeadlineExceeded();
 }
 
+/// Digest of an item vector's wire encoding. Uploader and taker run in the
+/// same trusted process, so comparing digests detects an SSI that serves
+/// back different bytes than the TDS uploaded (replayed or swapped round
+/// outputs) — without trusting anything the SSI stores.
+std::array<uint8_t, crypto::Sha256::kDigestSize> ItemsDigest(
+    const std::vector<ssi::EncryptedItem>& items) {
+  Bytes encoded;
+  for (const auto& item : items) item.EncodeTo(&encoded);
+  return crypto::Sha256::Hash(encoded);
+}
+
 }  // namespace
 
 net::RetryPolicy TransportRetryPolicy(const RunOptions& options) {
@@ -32,6 +45,7 @@ net::RetryPolicy TransportRetryPolicy(const RunOptions& options) {
   policy.deadline_seconds = options.transport_deadline_seconds;
   policy.backoff_seconds = options.transport_backoff_seconds;
   policy.backoff_cap_seconds = options.transport_backoff_cap_seconds;
+  policy.clock = options.clock;
   return policy;
 }
 
@@ -130,6 +144,13 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     /// Transport retry budget exhausted: the round degrades without this
     /// partition instead of failing the query.
     bool lost = false;
+    /// Digest of the uploaded output, kept client-side for the integrity
+    /// check at take time.
+    std::array<uint8_t, crypto::Sha256::kDigestSize> upload_digest{};
+    bool uploaded_ok = false;
+    /// The partition fetched back from the SSI was not the one staged (a
+    /// stale or swapped input) — detected before processing.
+    bool input_tampered = false;
   };
   std::vector<PartitionRun> runs(n);
 
@@ -173,16 +194,28 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
         return Status::OK();
       }
       TCELLS_RETURN_IF_ERROR(fetched.status());
+      // Input integrity: this round staged the partition itself, so the
+      // bytes fetched back must match exactly. A mismatch means the SSI
+      // served a stale or swapped partition (e.g. a replayed stage-ack hid
+      // that the fresh partition never arrived); processing it would fold
+      // wrong inputs into the result with nothing visibly lost.
+      if (ItemsDigest(fetched->items) != ItemsDigest(partition.items)) {
+        run.lost = true;
+        run.input_tampered = true;
+        return Status::OK();
+      }
       TCELLS_ASSIGN_OR_RETURN(run.items, process(server, *fetched, &prng));
       run.server_id = server->id();
       for (const auto& item : run.items) run.bytes_out += item.WireSize();
       run.seconds += device_.TransferSeconds(run.bytes_in + run.bytes_out) +
                      device_.CryptoSeconds(run.bytes_in + run.bytes_out) +
                      device_.CpuSeconds(run.tuples);
+      run.upload_digest = ItemsDigest(run.items);
       Status uploaded = client_->UploadRoundOutput(query_id_, i, run.items);
       if (IsTransportError(uploaded)) {
         run.lost = true;
       }
+      run.uploaded_ok = uploaded.ok();
       return uploaded.ok() || run.lost ? Status::OK() : uploaded;
     }
     return Status::ResourceExhausted(
@@ -199,7 +232,7 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
   outputs.reserve(total_items);
   uint64_t round_bytes_in = 0, round_bytes_out = 0;
   uint64_t round_tuples = 0, round_dropouts = 0;
-  size_t round_lost = 0;
+  size_t round_lost = 0, round_tampered = 0;
   double slowest_partition_seconds = 0;
   for (size_t i = 0; i < runs.size(); ++i) {
     PartitionRun& run = runs[i];
@@ -221,6 +254,7 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     }
     if (run.lost) {
       round_lost += 1;
+      if (run.input_tampered) round_tampered += 1;
       continue;
     }
     // Download the round output the TDS uploaded; the codec round trip is
@@ -234,9 +268,20 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
       continue;
     }
     TCELLS_RETURN_IF_ERROR(downloaded.status());
+    // Integrity check: the bytes the SSI served must be exactly the bytes
+    // the TDS uploaded. A mismatch means a byzantine SSI replayed a stale
+    // output or swapped partitions — the partition is dropped (counted once
+    // as both tampered and lost) rather than folded into the result.
+    if (run.uploaded_ok && ItemsDigest(*downloaded) != run.upload_digest) {
+      run.lost = true;
+      round_lost += 1;
+      round_tampered += 1;
+      continue;
+    }
     for (auto& item : *downloaded) outputs.push_back(std::move(item));
   }
   metrics_.partitions_lost += round_lost;
+  metrics_.partitions_tampered += round_tampered;
 
   // Critical path: partitions run in parallel across the pool; more
   // partitions than TDSs serialize into waves.
@@ -275,6 +320,7 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     span->counts["tuples"] = round_tuples;
     span->counts["dropouts"] = round_dropouts;
     span->counts["partitions_lost"] = round_lost;
+    span->counts["partitions_tampered"] = round_tampered;
     span->counts["compute_pool"] = pool.size();
     span->values["sim_seconds"] = round_seconds;
     span->values["waves"] = waves;
@@ -290,6 +336,8 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     metrics_registry_->counter("engine.dropout_redispatches")
         .Add(round_dropouts);
     metrics_registry_->counter("engine.partitions_lost").Add(round_lost);
+    metrics_registry_->counter("engine.partitions_tampered")
+        .Add(round_tampered);
     metrics_registry_
         ->histogram("engine.round_sim_seconds",
                     obs::Histogram::DefaultLatencyBounds())

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "net/ssi_client.h"
@@ -79,6 +80,19 @@ struct RunOptions {
   double transport_backoff_seconds = 0.001;
   double transport_backoff_cap_seconds = 0.25;
 
+  /// Clock the transport retry backoff sleeps go through (borrowed; must
+  /// outlive every run using these options). Null = real wall clock. The
+  /// fault-injection campaign installs a VirtualClock so injected delays and
+  /// retry storms complete instantly and deterministically.
+  Clock* clock = nullptr;
+
+  /// Safety bound on collection connection ticks for DURATION-bounded
+  /// queries (0 = unbounded). A byzantine SSI that under-reports
+  /// NumAcknowledged forever would otherwise hang RunAll; adversarial
+  /// campaigns set this so such scenarios abort with DeadlineExceeded
+  /// instead.
+  uint64_t max_collection_ticks = 0;
+
   uint64_t seed = 42;
 
   /// Sanity-checks the knob values (rates in range, alpha above the fixed
@@ -115,8 +129,14 @@ struct RunMetrics {
   size_t collection_participants = 0;
   /// Partitions abandoned after the transport retry budget was exhausted;
   /// the round completed without their items (graceful degradation). Always
-  /// 0 on the loopback transport.
+  /// 0 on a fault-free loopback transport. Tampered partitions (below) are
+  /// also counted here — their items are discarded the same way.
   size_t partitions_lost = 0;
+  /// Partitions whose round output came back from the SSI with bytes that do
+  /// not match what the TDS uploaded (detected by digest comparison — a
+  /// byzantine SSI replaying or swapping outputs). Each is also counted once
+  /// in partitions_lost.
+  size_t partitions_tampered = 0;
 
   /// P_TDS: distinct TDSs that took part in the computation.
   size_t Ptds() const { return accountant.DistinctTds(); }

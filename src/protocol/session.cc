@@ -176,6 +176,13 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
   // storage areas serially. Bit-identical for any thread count.
   ParallelExecutor session_executor(options_.num_threads);
   for (uint64_t tick = 0;; ++tick) {
+    // Safety valve for adversarial runs: an SSI that forever under-reports
+    // NumAcknowledged would keep every window open and hang this loop.
+    if (options_.max_collection_ticks > 0 &&
+        tick >= options_.max_collection_ticks) {
+      return Status::DeadlineExceeded(
+          "collection exceeded RunOptions::max_collection_ticks");
+    }
     // A query stays open while its window has ticks left, its SIZE bound is
     // not met and some eligible TDS has yet to serve it.
     std::set<uint64_t> open;

@@ -1,0 +1,125 @@
+// Adversarial scenario campaign: a manifest of (protocol, workload, fault
+// plan, tamper plan) scenarios executed against the real engine, each
+// checked against a plaintext oracle and a set of robustness invariants:
+//
+//   * whenever a scenario completes with no loss, no tampering and full
+//     collection participation, its result must equal the oracle's;
+//   * whenever the result diverges from the oracle, the divergence must be
+//     visible in metrics (partitions_lost / partitions_tampered /
+//     collection_participants) — no silent wrong answers;
+//   * scenarios with pinned expectations (exact partitions_lost /
+//     partitions_tampered, completion vs abort) must match them exactly.
+//
+// Every scenario is deterministic: the same spec produces a byte-identical
+// ScenarioOutcome::Canonical() dump for any worker-thread count and on
+// either transport backend (loopback or TCP). See docs/TESTING.md "Tier 5".
+#ifndef TCELLS_SIM_CAMPAIGN_H_
+#define TCELLS_SIM_CAMPAIGN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/byzantine.h"
+#include "net/channel.h"
+#include "net/faulty.h"
+#include "protocol/protocols.h"
+
+namespace tcells::sim {
+
+/// One campaign scenario: a self-contained world plus an adversary.
+struct ScenarioSpec {
+  std::string name;
+  protocol::ProtocolKind protocol = protocol::ProtocolKind::kSAgg;
+
+  // Workload shape (workload::BuildGenericFleet).
+  size_t num_tds = 32;
+  size_t num_groups = 4;
+  /// Zipf exponent of the group popularity (0 = uniform).
+  double group_skew = 0.0;
+  size_t rows_per_tds = 2;
+
+  uint64_t seed = 11;
+  size_t num_threads = 1;
+  double dropout_rate = 0.0;
+  /// Transport retry budget: max_dropout_retries + 1 attempts per message.
+  size_t max_dropout_retries = 4;
+
+  /// The adversary. Null members = honest transport / honest SSI.
+  std::shared_ptr<const net::FaultPlan> faults;
+  std::shared_ptr<const net::TamperPlan> tampering;
+
+  // Pinned expectations; unset = any value is acceptable (the general
+  // invariants above still apply).
+  std::optional<bool> expect_complete;
+  std::optional<uint64_t> expect_partitions_lost;
+  std::optional<uint64_t> expect_partitions_tampered;
+};
+
+/// Everything one scenario execution produced, reduced to deterministic
+/// values (no wall-clock, no allocation addresses).
+struct ScenarioOutcome {
+  std::string name;
+  bool completed = false;
+  /// Status of the aborted run ("" when completed).
+  std::string abort_status;
+
+  std::string result_table;  ///< QueryResult::ToString() ("" when aborted)
+  bool oracle_match = false; ///< result SameRows the plaintext reference
+  /// No loss, no tampering, full collection participation: the scenario has
+  /// no excuse for diverging from the oracle.
+  bool clean = false;
+
+  uint64_t partitions_lost = 0;
+  uint64_t partitions_tampered = 0;
+  uint64_t collection_participants = 0;
+  uint64_t eligible_tds = 0;
+  uint64_t retries = 0;
+  uint64_t deadline_hits = 0;
+
+  uint64_t faults_injected = 0;
+  std::string fault_log;  ///< FaultyTransport::CanonicalLog()
+  uint64_t tampers = 0;   ///< ByzantineProxy stats total
+
+  /// Invariant violations detected for this scenario (empty = pass).
+  std::vector<std::string> violations;
+
+  /// Deterministic byte dump: identical across thread counts and backends
+  /// for the same spec. The campaign determinism tests compare these.
+  std::string Canonical() const;
+};
+
+/// Executes one scenario end to end: builds the world, runs the plaintext
+/// oracle, runs the engine under the scenario's adversary on `backend`, and
+/// evaluates the invariants. Errors are only returned for harness failures
+/// (bad spec, world construction); a query abort is a normal outcome.
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
+                                    net::TransportKind backend);
+
+struct CampaignResult {
+  std::vector<ScenarioOutcome> outcomes;
+  size_t total_violations = 0;
+
+  /// Concatenated per-scenario canonical dumps.
+  std::string Canonical() const;
+};
+
+/// Runs every scenario in order (any scenario's harness failure aborts the
+/// campaign). Violations do not abort — they are collected for the caller.
+Result<CampaignResult> RunCampaign(const std::vector<ScenarioSpec>& manifest,
+                                   net::TransportKind backend);
+
+/// The full manifest: all 5 protocols under probabilistic and scripted
+/// transport faults, Zipf-skewed workloads, and every byzantine tampering
+/// class.
+std::vector<ScenarioSpec> DefaultManifest();
+
+/// A small deterministic subset for the default build's `ctest -L sim`.
+std::vector<ScenarioSpec> SmokeManifest();
+
+}  // namespace tcells::sim
+
+#endif  // TCELLS_SIM_CAMPAIGN_H_

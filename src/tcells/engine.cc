@@ -18,14 +18,38 @@ Result<std::unique_ptr<Engine>> Engine::Create(
 }
 
 Status Engine::StartTransport() {
-  if (config_.transport != net::TransportKind::kTcp) return Status::OK();
+  const bool adversarial =
+      config_.fault_plan != nullptr || config_.tamper_plan != nullptr;
+  // Plain loopback: every session owns a private in-process stack; nothing
+  // to start. With a fault or tamper plan the engine owns one shared stack
+  // even on loopback, so the injected adversary sees every exchange.
+  if (config_.transport != net::TransportKind::kTcp && !adversarial) {
+    return Status::OK();
+  }
   node_ = std::make_unique<net::SsiNode>();
-  TCELLS_RETURN_IF_ERROR(server_.Start(node_->handler()));
-  transport_ =
-      std::make_unique<net::TcpTransport>("127.0.0.1", server_.port());
+  net::Handler handler = node_->handler();
+  if (config_.tamper_plan != nullptr) {
+    byzantine_ =
+        std::make_unique<net::ByzantineProxy>(handler, *config_.tamper_plan);
+    handler = byzantine_->handler();
+  }
+  net::Transport* base = nullptr;
+  if (config_.transport == net::TransportKind::kTcp) {
+    TCELLS_RETURN_IF_ERROR(server_.Start(std::move(handler)));
+    transport_ =
+        std::make_unique<net::TcpTransport>("127.0.0.1", server_.port());
+    base = transport_.get();
+  } else {
+    loopback_ = std::make_unique<net::LoopbackTransport>(std::move(handler));
+    base = loopback_.get();
+  }
+  if (config_.fault_plan != nullptr) {
+    faulty_ = std::make_unique<net::FaultyTransport>(
+        base, *config_.fault_plan, config_.options.clock);
+    base = faulty_.get();
+  }
   client_ = std::make_unique<net::SsiClient>(
-      transport_.get(), protocol::TransportRetryPolicy(config_.options),
-      &metrics_);
+      base, protocol::TransportRetryPolicy(config_.options), &metrics_);
   return Status::OK();
 }
 

@@ -17,7 +17,10 @@
 #include <memory>
 #include <string>
 
+#include "net/byzantine.h"
 #include "net/channel.h"
+#include "net/faulty.h"
+#include "net/loopback.h"
 #include "net/ssi_client.h"
 #include "net/ssi_node.h"
 #include "net/tcp.h"
@@ -41,6 +44,12 @@ class Engine {
     /// 127.0.0.1 (ephemeral port) that every session of this engine shares,
     /// so query ids must then be unique across concurrent sessions.
     net::TransportKind transport = net::TransportKind::kLoopback;
+    /// Adversarial testing hooks (docs/TRANSPORT.md "Fault plans"). When
+    /// either is set, the engine owns one shared SSI stack even in loopback
+    /// mode, with the transport wrapped in a FaultyTransport and/or the SSI
+    /// handler wrapped in a ByzantineProxy. Null = honest, fault-free.
+    std::shared_ptr<const net::FaultPlan> fault_plan;
+    std::shared_ptr<const net::TamperPlan> tamper_plan;
   };
 
   /// Validates `config.options` (RunOptions::Validate) and takes ownership
@@ -83,11 +92,16 @@ class Engine {
   /// off).
   std::shared_ptr<const obs::Trace> TraceFor(uint64_t query_id) const;
 
-  /// The shared SSI client in kTcp mode; null in loopback mode (each
-  /// session then owns a private stack).
+  /// The shared SSI client in kTcp mode or whenever a fault/tamper plan is
+  /// set; null in plain loopback mode (each session then owns a private
+  /// stack).
   net::SsiClient* ssi_client() { return client_.get(); }
   /// The TCP port the SSI listens on (0 in loopback mode).
   uint16_t ssi_port() const { return server_.port(); }
+  /// The fault injector (null unless Config::fault_plan was set).
+  net::FaultyTransport* fault_injector() { return faulty_.get(); }
+  /// The byzantine proxy (null unless Config::tamper_plan was set).
+  net::ByzantineProxy* byzantine_proxy() { return byzantine_.get(); }
 
  private:
   Engine(std::unique_ptr<protocol::Fleet> fleet, Config config);
@@ -98,11 +112,16 @@ class Engine {
   Config config_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
-  /// kTcp mode only: the engine-owned SSI node, its server loop, and the
-  /// client every session shares.
+  /// The engine-owned SSI stack (kTcp mode, or loopback with a fault/tamper
+  /// plan): the node, the optional byzantine wrapper around its handler,
+  /// the backend, the optional fault decorator, and the client every
+  /// session shares.
   std::unique_ptr<net::SsiNode> node_;
+  std::unique_ptr<net::ByzantineProxy> byzantine_;
   net::TcpServer server_;
   std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<net::LoopbackTransport> loopback_;
+  std::unique_ptr<net::FaultyTransport> faulty_;
   std::unique_ptr<net::SsiClient> client_;
 };
 

@@ -18,6 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "net/byzantine.h"
+#include "net/faulty.h"
 #include "net/frame.h"
 #include "net/loopback.h"
 #include "net/ssi_client.h"
@@ -424,9 +427,11 @@ TEST(SsiClientTest, TransientFailuresRetriedThenSucceed) {
   SsiNode node;
   LoopbackTransport transport(node.handler());
   obs::MetricsRegistry metrics;
+  VirtualClock vclock;
   RetryPolicy policy;
   policy.max_attempts = 3;
-  policy.backoff_seconds = 0.0001;
+  policy.backoff_seconds = 0.05;
+  policy.clock = &vclock;
   SsiClient client(&transport, policy, &metrics);
 
   transport.InjectFailures(2, Status::Unavailable("blip"));
@@ -434,14 +439,19 @@ TEST(SsiClientTest, TransientFailuresRetriedThenSucceed) {
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   EXPECT_EQ(*n, 0u);
   EXPECT_EQ(metrics.snapshot().counters.at("net.retries"), 2u);
+  // Exact backoff schedule, no timing margins: first retry sleeps the base,
+  // the second doubles it.
+  EXPECT_EQ(vclock.sleeps(), (std::vector<double>{0.05, 0.1}));
 }
 
 TEST(SsiClientTest, RetriesExhaustedReturnsLastTransportError) {
   SsiNode node;
   LoopbackTransport transport(node.handler());
+  VirtualClock vclock;
   RetryPolicy policy;
   policy.max_attempts = 2;
-  policy.backoff_seconds = 0.0001;
+  policy.backoff_seconds = 0.05;
+  policy.clock = &vclock;
   SsiClient client(&transport, policy);
 
   transport.InjectFailures(10, Status::Unavailable("down"));
@@ -454,15 +464,20 @@ TEST(SsiClientTest, RetriesExhaustedReturnsLastTransportError) {
   }
   // 8 remaining failures cover attempts for ceil(8/2)=4 more calls.
   EXPECT_EQ(drained, 4u);
+  // Each failing call slept exactly once (one retry per call, base backoff —
+  // the schedule resets between calls).
+  EXPECT_EQ(vclock.sleeps(), (std::vector<double>{0.05, 0.05, 0.05, 0.05, 0.05}));
 }
 
 TEST(SsiClientTest, DeadlineHitsAreCountedAndRetried) {
   SsiNode node;
   LoopbackTransport transport(node.handler());
   obs::MetricsRegistry metrics;
+  VirtualClock vclock;
   RetryPolicy policy;
   policy.max_attempts = 2;
-  policy.backoff_seconds = 0.0001;
+  policy.backoff_seconds = 0.05;
+  policy.clock = &vclock;
   SsiClient client(&transport, policy, &metrics);
 
   transport.InjectFailures(1, Status::DeadlineExceeded("slow"));
@@ -470,6 +485,25 @@ TEST(SsiClientTest, DeadlineHitsAreCountedAndRetried) {
   auto counters = metrics.snapshot().counters;
   EXPECT_EQ(counters.at("net.deadline_hits"), 1u);
   EXPECT_EQ(counters.at("net.retries"), 1u);
+  EXPECT_EQ(vclock.sleeps(), (std::vector<double>{0.05}));
+}
+
+TEST(SsiClientTest, BackoffScheduleIsExponentialAndCapped) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  VirtualClock vclock;
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.backoff_seconds = 0.05;
+  policy.backoff_cap_seconds = 0.25;
+  policy.clock = &vclock;
+  SsiClient client(&transport, policy);
+
+  transport.InjectFailures(6, Status::Unavailable("down"));
+  EXPECT_TRUE(IsUnavailable(client.NumAcknowledged(1).status()));
+  // Doubling from the base, clamped at the cap once 0.4 would exceed it.
+  EXPECT_EQ(vclock.sleeps(),
+            (std::vector<double>{0.05, 0.1, 0.2, 0.25, 0.25}));
 }
 
 TEST(SsiClientTest, DeadlineAbandonedReplyNeverPoisonsLaterCalls) {
@@ -702,6 +736,266 @@ TEST(SsiNodeTest, ServesOverTcp) {
   ASSERT_EQ(fetched->items.size(), 1u);
   EXPECT_EQ(fetched->items[0].blob, partition.items[0].blob);
   EXPECT_TRUE(IsNotFound(client.FetchPartition(31, 99).status()));
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport: the deterministic fault-injection decorator.
+
+/// A scripted plan that injects `kind` on the nth call of `type` (per-type
+/// counter), with everything probabilistic turned off.
+FaultPlan ScriptOne(MsgType type, FaultKind kind, uint64_t nth = 1,
+                    uint64_t repeat = 1) {
+  FaultPlan plan;
+  ScriptedFault fault;
+  fault.type = type;
+  fault.kind = kind;
+  fault.scope = ScriptedFault::Scope::kPerType;
+  fault.nth = nth;
+  fault.repeat = repeat;
+  plan.script.push_back(fault);
+  return plan;
+}
+
+TEST(FaultyTransportTest, DroppedRequestIsRetriedAndCounted) {
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kNumAcknowledged,
+                                   FaultKind::kDropRequest));
+  obs::MetricsRegistry metrics;
+  VirtualClock vclock;
+  RetryPolicy policy;
+  policy.clock = &vclock;
+  SsiClient client(&faulty, policy, &metrics);
+
+  auto n = client.NumAcknowledged(1);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(metrics.snapshot().counters.at("net.retries"), 1u);
+  EXPECT_EQ(faulty.injected_count(), 1u);
+  ASSERT_EQ(faulty.events().size(), 1u);
+  EXPECT_EQ(faulty.events()[0].kind, FaultKind::kDropRequest);
+}
+
+TEST(FaultyTransportTest, DroppedReplyStillReachesTheServer) {
+  // drop_reply models the server processing the request but the reply frame
+  // dying on the way back: the acknowledgement must be counted exactly once
+  // even though the client retried.
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kAcknowledge,
+                                   FaultKind::kDropReply));
+  obs::MetricsRegistry metrics;
+  VirtualClock vclock;
+  RetryPolicy policy;
+  policy.clock = &vclock;
+  SsiClient client(&faulty, policy, &metrics);
+
+  ssi::QueryPost post;
+  post.query_id = 1;
+  ASSERT_TRUE(client.PostGlobal(post).ok());
+  ASSERT_TRUE(client.Acknowledge(/*tds_id=*/3, /*query_id=*/1).ok());
+  auto n = client.NumAcknowledged(1);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);  // processed once, not twice
+  EXPECT_EQ(metrics.snapshot().counters.at("net.retries"), 1u);
+}
+
+TEST(FaultyTransportTest, TruncatedReplyIsCorruption) {
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kNumAcknowledged,
+                                   FaultKind::kTruncate));
+  SsiClient client(&faulty);
+  auto n = client.NumAcknowledged(1);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(IsCorruption(n.status())) << n.status().ToString();
+}
+
+TEST(FaultyTransportTest, DuplicateDeliveryDoesNotDoubleCountMetrics) {
+  // Satellite regression: a duplicated kUploadCollection reaches the node
+  // twice; the accept bit must be replayed, the contribution stored once,
+  // and net.retries untouched (the client made a single call).
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kUploadCollection,
+                                   FaultKind::kDuplicate));
+  obs::MetricsRegistry metrics;
+  SsiClient client(&faulty, RetryPolicy{}, &metrics);
+
+  ssi::QueryPost post;
+  post.query_id = 5;
+  ASSERT_TRUE(client.PostGlobal(post).ok());
+  std::vector<ssi::EncryptedItem> items = {MakeItem(1, false),
+                                           MakeItem(2, false)};
+  auto accepted = client.UploadCollection(5, /*tds_id=*/3, items);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_TRUE(*accepted);
+  auto n = client.NumAcknowledged(5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto collected = client.TakeCollected(5);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected->size(), 2u);
+  EXPECT_EQ(metrics.snapshot().counters.count("net.retries"), 0u);
+}
+
+TEST(FaultyTransportTest, DuplicatedCollectionTakeReplaysTheSameBytes) {
+  // Regression for a campaign-discovered bug: kTakeCollected drains the
+  // storage, so a duplicated delivery used to hand the client the second
+  // (empty) reply — the whole collection silently vanished. The node now
+  // replays the first take's bytes.
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kTakeCollected,
+                                   FaultKind::kDuplicate));
+  SsiClient client(&faulty);
+
+  ssi::QueryPost post;
+  post.query_id = 5;
+  ASSERT_TRUE(client.PostGlobal(post).ok());
+  std::vector<ssi::EncryptedItem> items = {MakeItem(1, false),
+                                           MakeItem(2, false)};
+  ASSERT_TRUE(client.UploadCollection(5, 3, items).ok());
+  auto collected = client.TakeCollected(5);
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  EXPECT_EQ(collected->size(), 2u);  // pre-fix: 0 (drained by the duplicate)
+}
+
+TEST(FaultyTransportTest, StaleReplayServesThePreviousReply) {
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kNumAcknowledged,
+                                   FaultKind::kStaleReplay, /*nth=*/2));
+  SsiClient client(&faulty);
+
+  ssi::QueryPost post;
+  post.query_id = 1;
+  ASSERT_TRUE(client.PostGlobal(post).ok());
+  ASSERT_TRUE(client.Acknowledge(3, 1).ok());
+  auto first = client.NumAcknowledged(1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  ASSERT_TRUE(client.Acknowledge(4, 1).ok());
+  // The second read is replayed from the first: the server's new state is
+  // hidden from the client.
+  auto second = client.NumAcknowledged(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1u);
+  // The third read goes through for real.
+  auto third = client.NumAcknowledged(1);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, 2u);
+}
+
+TEST(FaultyTransportTest, DisconnectKillsTheChannelUntilRedial) {
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  FaultyTransport faulty(&inner,
+                         ScriptOne(MsgType::kNumAcknowledged,
+                                   FaultKind::kDisconnect));
+  obs::MetricsRegistry metrics;
+  VirtualClock vclock;
+  RetryPolicy policy;
+  policy.clock = &vclock;
+  SsiClient client(&faulty, policy, &metrics);
+
+  // The client re-dials on Unavailable, so the retry lands on a fresh
+  // channel and succeeds.
+  auto n = client.NumAcknowledged(1);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(metrics.snapshot().counters.at("net.retries"), 1u);
+}
+
+TEST(FaultyTransportTest, BitFlipIsDeterministicForTheSameSeed) {
+  // Two transports with identical plans corrupt identical bits; a different
+  // seed picks a different fault schedule. The decision is a pure function
+  // of (seed, type, key, attempt) — never of arrival order.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.per_type[MsgType::kNumAcknowledged].bit_flip = 1.0;
+
+  std::string logs[2];
+  for (int run = 0; run < 2; ++run) {
+    SsiNode node;
+    LoopbackTransport inner(node.handler());
+    FaultyTransport faulty(&inner, plan);
+    SsiClient client(&faulty);
+    (void)client.NumAcknowledged(1);
+    (void)client.NumAcknowledged(2);
+    logs[run] = faulty.CanonicalLog();
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_FALSE(logs[0].empty());
+}
+
+TEST(FaultyTransportTest, DelayConsumesVirtualTimeOnly) {
+  FaultPlan plan = ScriptOne(MsgType::kNumAcknowledged, FaultKind::kDelay);
+  plan.delay_seconds = 0.5;
+  SsiNode node;
+  LoopbackTransport inner(node.handler());
+  VirtualClock vclock;
+  FaultyTransport faulty(&inner, plan, &vclock);
+  RetryPolicy policy;
+  policy.clock = &vclock;
+  SsiClient client(&faulty, policy);
+
+  auto n = client.NumAcknowledged(1);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_DOUBLE_EQ(vclock.total_slept_seconds(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ByzantineProxy: application-level lies from a hostile SSI.
+
+TEST(ByzantineProxyTest, ForgedAcceptByteLeavesServerUntouched) {
+  SsiNode node;
+  TamperPlan plan;
+  plan.forge_accept_byte = true;
+  ByzantineProxy proxy(node.handler(), plan);
+  LoopbackTransport transport(proxy.handler());
+  SsiClient client(&transport);
+
+  ssi::QueryPost post;
+  post.query_id = 5;
+  ASSERT_TRUE(client.PostGlobal(post).ok());
+  std::vector<ssi::EncryptedItem> items = {MakeItem(1, false)};
+  auto accepted = client.UploadCollection(5, 3, items);
+  ASSERT_TRUE(accepted.ok());
+  // The proxy lies "rejected"; the server actually stored the contribution.
+  EXPECT_FALSE(*accepted);
+  EXPECT_EQ(proxy.stats().forged_accepts, 1u);
+  auto collected = client.TakeCollected(5);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected->size(), 1u);
+}
+
+TEST(ByzantineProxyTest, ReplayedRoundOutputIsServedOnLaterTakes) {
+  SsiNode node;
+  TamperPlan plan;
+  plan.replay_round_output = true;
+  ByzantineProxy proxy(node.handler(), plan);
+  LoopbackTransport transport(proxy.handler());
+  SsiClient client(&transport);
+
+  std::vector<ssi::EncryptedItem> round1 = {MakeItem(1, false)};
+  ASSERT_TRUE(client.UploadRoundOutput(7, 0, round1).ok());
+  auto take1 = client.TakeRoundOutput(7, 0);  // acks internally
+  ASSERT_TRUE(take1.ok());
+
+  std::vector<ssi::EncryptedItem> round2 = {MakeItem(2, false)};
+  ASSERT_TRUE(client.UploadRoundOutput(7, 0, round2).ok());
+  auto take2 = client.TakeRoundOutput(7, 0);
+  ASSERT_TRUE(take2.ok());
+  // The proxy served round 1's recorded bytes instead of round 2's upload —
+  // exactly what the engine's digest check must catch.
+  ASSERT_EQ(take2->size(), 1u);
+  EXPECT_EQ((*take2)[0].blob, round1[0].blob);
+  EXPECT_EQ(proxy.stats().replayed_round_outputs, 1u);
 }
 
 }  // namespace

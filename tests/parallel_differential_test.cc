@@ -51,11 +51,11 @@ const char* QueryFor(ProtocolKind kind) {
 /// query once. Worlds are rebuilt per run so that no state carries over
 /// between the serial and parallel arms.
 RunSnapshot RunWith(ProtocolKind kind, size_t num_threads, uint64_t seed,
-                    double dropout_rate = 0.0) {
+                    double dropout_rate = 0.0, double group_skew = 0.8) {
   workload::GenericOptions gopts;
   gopts.num_tds = kNumTds;
   gopts.num_groups = kNumGroups;
-  gopts.group_skew = 0.8;
+  gopts.group_skew = group_skew;
   gopts.rows_per_tds = 2;
   gopts.seed = 1000 + seed;
 
@@ -245,6 +245,49 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) {
       return std::string(ProtocolKindToString(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Skew grid: group popularity from uniform to heavily Zipf-skewed. Skew
+// changes partition sizes and aggregation-tree shape, so it probes fold
+// orders the default 0.8 never exercises; each point must stay bit-identical
+// between serial and parallel arms and match the plaintext oracle.
+
+TEST_P(ParallelDifferentialTest, ZipfSkewGridStaysBitIdentical) {
+  ProtocolKind kind = GetParam();
+  for (double skew : {0.0, 1.2, 2.5}) {
+    RunSnapshot serial = RunWith(kind, /*num_threads=*/1, /*seed=*/11,
+                                 /*dropout_rate=*/0.0, skew);
+    for (size_t threads : {2u, 8u}) {
+      RunSnapshot parallel = RunWith(kind, threads, /*seed=*/11,
+                                     /*dropout_rate=*/0.0, skew);
+      SCOPED_TRACE(std::string(ProtocolKindToString(kind)) + " skew " +
+                   std::to_string(skew) + " threads " +
+                   std::to_string(threads));
+      ExpectIdentical(serial, parallel);
+    }
+
+    // Anchor the skewed world against the cleartext reference too — a
+    // deterministic-but-wrong fold under skew would pass the diff alone.
+    workload::GenericOptions gopts;
+    gopts.num_tds = kNumTds;
+    gopts.num_groups = kNumGroups;
+    gopts.group_skew = skew;
+    gopts.rows_per_tds = 2;
+    gopts.seed = 1011;
+    auto keys = crypto::KeyStore::CreateForTest(2026);
+    auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x33));
+    auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                             tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
+    auto expected = ExecuteReference(*fleet, QueryFor(kind)).ValueOrDie();
+    RunSnapshot parallel = RunWith(kind, /*num_threads=*/8, /*seed=*/11,
+                                   /*dropout_rate=*/0.0, skew);
+    EXPECT_TRUE(parallel.outcome.result.SameRows(expected))
+        << "skew " << skew << "\ngot:\n"
+        << parallel.outcome.result.ToString() << "want:\n"
+        << expected.ToString();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Determinism must also survive fault injection: the dropout schedule is
