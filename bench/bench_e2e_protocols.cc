@@ -20,6 +20,7 @@
 #include "protocol/discovery.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -29,8 +30,7 @@ int main(int argc, char** argv) {
   const size_t kTds = 600;
   sim::DeviceModel device;
   bool all_match = true;
-  obs::MetricsRegistry registry;
-  obs::Telemetry telemetry{&registry, nullptr};
+  std::string metrics_csv;
   std::string run_csv =
       "groups,protocol,match,p_tds,load_bytes,tq_seconds,tlocal_seconds,"
       "rounds\n";
@@ -62,18 +62,17 @@ int main(int argc, char** argv) {
         "SELECT grp, AVG(val), COUNT(*) FROM T GROUP BY grp";
     auto oracle = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
 
-    protocol::RunOptions opts;
-    opts.compute_availability = 0.1;
-    opts.expected_groups = groups;
-
     auto domain = std::make_shared<std::vector<storage::Tuple>>();
     for (size_t g = 0; g < groups; ++g) {
       domain->push_back(
           storage::Tuple({storage::Value::String(workload::GroupName(g))}));
     }
-    auto discovered = protocol::DiscoverDistribution(
-                          fleet.get(), querier, 1, sql, device, opts)
-                          .ValueOrDie();
+
+    Engine::Config cfg;
+    cfg.options.compute_availability = 0.1;
+    cfg.options.expected_groups = groups;
+    auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+    auto discovered = engine->DiscoverInputs(querier, 1, sql).ValueOrDie();
 
     struct Entry {
       const char* name;
@@ -87,23 +86,22 @@ int main(int argc, char** argv) {
         {"C_Noise", std::make_unique<protocol::NoiseProtocol>(true, domain)});
     entries.push_back(
         {"ED_Hist", protocol::EdHistProtocol::FromDistribution(
-                        discovered.frequency,
+                        discovered.distribution,
                         std::max<size_t>(1, groups / 4))});
 
     uint64_t query_id = 10;
     for (auto& e : entries) {
       const uint64_t tuples_before =
-          registry.counter("engine.tuples_processed").value();
+          engine->metrics().counter("engine.tuples_processed").value();
       const auto wall0 = std::chrono::steady_clock::now();
-      auto outcome = protocol::RunQuery(*e.protocol, fleet.get(), querier,
-                                        query_id++, sql, device, opts,
-                                        telemetry);
+      auto outcome = engine->Run(*e.protocol, querier, query_id++, sql);
       const double wall_ns =
           std::chrono::duration<double, std::nano>(
               std::chrono::steady_clock::now() - wall0)
               .count();
       const uint64_t tuples =
-          registry.counter("engine.tuples_processed").value() - tuples_before;
+          engine->metrics().counter("engine.tuples_processed").value() -
+          tuples_before;
       if (!outcome.ok()) {
         std::printf("%-6zu %-10s ERROR %s\n", groups, e.name,
                     outcome.status().ToString().c_str());
@@ -138,10 +136,12 @@ int main(int argc, char** argv) {
       if (!json_runs.empty()) json_runs += ",\n";
       json_runs += json_row;
     }
+    metrics_csv += engine->metrics().ToCsv();
   }
 
   std::printf("\n--- per-run metrics (csv) ---\n%s", run_csv.c_str());
-  std::printf("\n--- engine metrics (csv) ---\n%s", registry.ToCsv().c_str());
+  std::printf("\n--- engine metrics (csv, one block per G) ---\n%s",
+              metrics_csv.c_str());
 
   const char* json_path = argc > 1 ? argv[1] : "BENCH_e2e.json";
   if (FILE* f = std::fopen(json_path, "w")) {

@@ -10,6 +10,7 @@
 #include "analysis/compromise.h"
 #include "protocol/discovery.h"
 #include "protocol/protocols.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -18,7 +19,6 @@ using namespace tcells;
 int main() {
   const size_t kTds = 400;
   const size_t kGroups = 8;
-  sim::DeviceModel device;
 
   std::printf("=== extension: compromised-TDS leakage (N_t=%zu, G=%zu) ===\n",
               kTds, kGroups);
@@ -61,6 +61,10 @@ int main() {
         domain->push_back(
             storage::Tuple({storage::Value::String(workload::GroupName(g))}));
       }
+      Engine::Config cfg;
+      cfg.options = opts;
+      auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+
       if (which == 0) {
         name = "S_Agg";
         protocol = std::make_unique<protocol::SAggProtocol>();
@@ -69,16 +73,13 @@ int main() {
         protocol = std::make_unique<protocol::NoiseProtocol>(false, domain);
       } else {
         name = "ED_Hist";
-        auto discovered = protocol::DiscoverDistribution(
-                              fleet.get(), querier, 1, sql, device, opts)
-                              .ValueOrDie();
+        auto discovered = engine->DiscoverInputs(querier, 1, sql).ValueOrDie();
         log->Clear();  // discovery leakage is not the object of study
         protocol = protocol::EdHistProtocol::FromDistribution(
-            discovered.frequency, kGroups / 4);
+            discovered.distribution, kGroups / 4);
       }
 
-      auto outcome = protocol::RunQuery(*protocol, fleet.get(), querier, 2,
-                                        sql, device, opts);
+      auto outcome = engine->Run(*protocol, querier, 2, sql);
       if (!outcome.ok()) {
         std::printf("%-12zu %-10s ERROR %s\n", compromised, name,
                     outcome.status().ToString().c_str());

@@ -1,0 +1,174 @@
+// Fleet-scale scheduling bench: queries/sec and per-query tail latency of
+// the concurrent engine as the TDS population and the SSI shard count grow.
+//
+// For each (fleet size, shard count) cell, 16 S_Agg queries are submitted at
+// once against an engine with 16 scheduler slots; every query gets its own
+// waiter thread, so the recorded latency spans submit -> outcome. The
+// compute pool is held at ~200 TDSs per query (availability scaled down with
+// the fleet) so the cells compare collection scale and shard routing, not
+// ever-growing aggregation trees. Every result is checked against the
+// plaintext oracle — a cell that returns wrong rows invalidates the run.
+//
+// Output: a human-readable table plus BENCH_fleet.json (or argv[1]) with
+// qps, p50/p99 latency and wall time per cell. Timing is hand-rolled
+// (steady_clock) so the target stays dependency-light.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "protocol/reference.h"
+#include "tcells/engine.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+
+using namespace tcells;
+
+namespace {
+
+constexpr size_t kQueries = 16;
+constexpr size_t kMaxInflight = 16;
+constexpr size_t kComputePoolTarget = 200;
+
+struct Cell {
+  size_t num_tds;
+  size_t shards;
+  double wall_seconds;
+  double qps;
+  double p50_ms;
+  double p99_ms;
+  bool all_match;
+};
+
+double Quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+Cell RunCell(size_t num_tds, size_t shards) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = num_tds;
+  gopts.num_groups = 8;
+  gopts.group_skew = 0.8;
+  gopts.rows_per_tds = 1;
+  gopts.seed = 29;
+
+  auto keys = crypto::KeyStore::CreateForTest(2028);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x66));
+  auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  protocol::Querier querier("bench", authority->Issue("bench"), keys);
+
+  const std::string sql =
+      "SELECT grp, COUNT(*), SUM(cat), AVG(val) FROM T GROUP BY grp";
+  auto oracle = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
+
+  Engine::Config cfg;
+  cfg.options.compute_availability = std::min(
+      1.0, static_cast<double>(kComputePoolTarget) /
+               static_cast<double>(num_tds));
+  cfg.options.expected_groups = gopts.num_groups;
+  cfg.options.num_threads = 1;
+  cfg.options.seed = 7;
+  cfg.num_shards = shards;
+  cfg.max_inflight_queries = kMaxInflight;
+  cfg.tracing = false;  // keep the shared tracer out of the hot path
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+
+  protocol::SAggProtocol s_agg;
+  std::vector<double> latencies_ms(kQueries, 0);
+  std::vector<bool> match(kQueries, false);
+  std::vector<std::thread> waiters;
+  waiters.reserve(kQueries);
+
+  auto wall0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kQueries; ++i) {
+    QueryHandle handle =
+        engine->Submit(s_agg, querier, /*query_id=*/1 + i, sql).ValueOrDie();
+    waiters.emplace_back([&, handle, i]() mutable {
+      auto outcome = handle.Wait();
+      auto done = std::chrono::steady_clock::now();
+      latencies_ms[i] =
+          std::chrono::duration<double, std::milli>(done - wall0).count();
+      match[i] = outcome.ok() && outcome->result.SameRows(oracle);
+    });
+  }
+  for (auto& w : waiters) w.join();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
+
+  Cell cell;
+  cell.num_tds = num_tds;
+  cell.shards = shards;
+  cell.wall_seconds = wall;
+  cell.qps = static_cast<double>(kQueries) / wall;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  cell.p50_ms = Quantile(sorted, 0.50);
+  cell.p99_ms = Quantile(sorted, 0.99);
+  cell.all_match = true;
+  for (bool m : match) cell.all_match = cell.all_match && m;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct Point {
+    size_t num_tds;
+    size_t shards;
+  };
+  // 10k swept across the shard grid; 100k anchors the scale claim at the
+  // single-node baseline and the 4-shard configuration.
+  const std::vector<Point> grid = {
+      {10000, 1}, {10000, 2}, {10000, 4}, {10000, 8},
+      {100000, 1}, {100000, 4},
+  };
+
+  std::printf("=== fleet scale: %zu concurrent S_Agg queries, %zu slots ===\n",
+              kQueries, kMaxInflight);
+  std::printf("%-10s %-8s %10s %10s %12s %12s %-6s\n", "N_t", "shards",
+              "wall(s)", "qps", "p50(ms)", "p99(ms)", "match");
+
+  std::string json_rows;
+  bool ok = true;
+  for (const Point& p : grid) {
+    Cell c = RunCell(p.num_tds, p.shards);
+    ok = ok && c.all_match;
+    std::printf("%-10zu %-8zu %10.3f %10.2f %12.1f %12.1f %-6s\n", c.num_tds,
+                c.shards, c.wall_seconds, c.qps, c.p50_ms, c.p99_ms,
+                c.all_match ? "yes" : "NO");
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "    {\"num_tds\": %zu, \"shards\": %zu, \"queries\": %zu, "
+                  "\"wall_seconds\": %.3f, \"qps\": %.2f, \"p50_ms\": %.1f, "
+                  "\"p99_ms\": %.1f, \"all_match\": %s}",
+                  c.num_tds, c.shards, kQueries, c.wall_seconds, c.qps,
+                  c.p50_ms, c.p99_ms, c.all_match ? "true" : "false");
+    if (!json_rows.empty()) json_rows += ",\n";
+    json_rows += row;
+  }
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_fleet_scale\",\n");
+    std::fprintf(f, "  \"concurrent_queries\": %zu,\n", kQueries);
+    std::fprintf(f, "  \"max_inflight\": %zu,\n", kMaxInflight);
+    std::fprintf(f, "  \"all_match\": %s,\n", ok ? "true" : "false");
+    std::fprintf(f, "  \"cells\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::printf("could not write %s\n", json_path);
+  }
+
+  std::printf("\nall %zu queries per cell oracle-correct: %s\n", kQueries,
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

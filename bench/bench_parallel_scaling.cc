@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -31,7 +32,6 @@ using namespace tcells;
 int main() {
   const size_t kTds = 10000;
   const size_t kGroups = 16;
-  sim::DeviceModel device;
 
   workload::GenericOptions gopts;
   gopts.num_tds = kTds;
@@ -49,6 +49,12 @@ int main() {
   const std::string sql =
       "SELECT grp, COUNT(*), SUM(cat), AVG(val) FROM T GROUP BY grp";
   auto oracle = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
+
+  Engine::Config cfg;
+  cfg.options.compute_availability = 0.1;
+  cfg.options.expected_groups = kGroups;
+  cfg.options.seed = 7;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
 
   std::printf(
       "=== parallel scaling: N_t=%zu, G=%zu, S_Agg, hardware threads=%u ===\n",
@@ -73,24 +79,16 @@ int main() {
 
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     protocol::SAggProtocol protocol;
-    protocol::RunOptions opts;
-    opts.compute_availability = 0.1;
-    opts.expected_groups = kGroups;
-    opts.seed = 7;
+    protocol::RunOptions opts = cfg.options;
     opts.num_threads = threads;
-
-    // One tracer per run; the default JSON export omits wall times, so the
-    // serialized trace must be byte-identical for every thread count.
-    obs::Tracer tracer;
-    obs::MetricsRegistry registry;
-    obs::Telemetry telemetry{&registry, &tracer};
 
     auto t0 = std::chrono::steady_clock::now();
     // The query id (and thus the derived per-query seed) must be the same
-    // for every thread count or the runs would not be comparable.
-    auto outcome = protocol::RunQuery(protocol, fleet.get(), querier,
-                                      /*query_id=*/1, sql, device, opts,
-                                      telemetry);
+    // for every thread count or the runs would not be comparable. The
+    // engine's tracer starts a fresh per-query span tree on every run, and
+    // the default JSON export omits wall times, so the serialized trace
+    // must be byte-identical for every thread count.
+    auto outcome = engine->Run(protocol, querier, /*query_id=*/1, sql, opts);
     auto t1 = std::chrono::steady_clock::now();
     double seconds = std::chrono::duration<double>(t1 - t0).count();
     if (!outcome.ok()) {

@@ -19,6 +19,7 @@
 #include "net/ssi_node.h"
 #include "net/tcp.h"
 #include "protocol/protocols.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -104,38 +105,25 @@ E2eRow MeasureE2e(net::TransportKind transport_kind) {
   row.transport = net::TransportKindToString(transport_kind);
   row.best_ms = 1e18;
   const char* sql = "SELECT grp, COUNT(*), AVG(val) FROM T GROUP BY grp";
+  Engine::Config cfg;
+  cfg.options = opts;
+  cfg.transport = transport_kind;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
   for (int rep = 0; rep < 3; ++rep) {
-    obs::MetricsRegistry metrics;
-    obs::Telemetry telemetry;
-    telemetry.metrics = &metrics;
+    auto before = engine->metrics().snapshot().counters;
     double start = NowSeconds();
-    if (transport_kind == net::TransportKind::kLoopback) {
-      (void)protocol::RunQuery(protocol, fleet.get(), querier, 1, sql,
-                               sim::DeviceModel(), opts, telemetry)
-          .ValueOrDie();
-    } else {
-      net::SsiNode node;
-      net::TcpServer server;
-      Status started = server.Start(node.handler());
-      if (!started.ok()) {
-        std::fprintf(stderr, "bench_transport: %s\n",
-                     started.ToString().c_str());
-        std::exit(1);
-      }
-      net::TcpTransport transport("127.0.0.1", server.port());
-      net::SsiClient client(&transport, protocol::TransportRetryPolicy(opts),
-                            &metrics);
-      (void)protocol::RunQuery(protocol, fleet.get(), querier, 1, sql,
-                               sim::DeviceModel(), opts, telemetry, &client)
-          .ValueOrDie();
-    }
+    (void)engine->Run(protocol, querier, 1, sql).ValueOrDie();
     double ms = (NowSeconds() - start) * 1e3;
     if (ms < row.best_ms) row.best_ms = ms;
-    auto counters = metrics.snapshot().counters;
-    auto it = counters.find("net.frames_sent");
-    if (it != counters.end()) row.frames_sent = it->second;
-    it = counters.find("net.bytes_sent");
-    if (it != counters.end()) row.bytes_sent = it->second;
+    // Engine metrics accumulate across reps; report this rep's delta.
+    auto counters = engine->metrics().snapshot().counters;
+    auto delta = [&](const char* key) -> uint64_t {
+      uint64_t now = counters.count(key) ? counters.at(key) : 0;
+      uint64_t was = before.count(key) ? before.at(key) : 0;
+      return now - was;
+    };
+    row.frames_sent = delta("net.frames_sent");
+    row.bytes_sent = delta("net.bytes_sent");
   }
   return row;
 }

@@ -10,6 +10,7 @@
 
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/health.h"
 
@@ -31,21 +32,20 @@ int main() {
   opts.num_tds = 300;
   auto fleet =
       workload::BuildHealthFleet(opts, keys, authority, policy).ValueOrDie();
-  sim::DeviceModel device;
 
-  protocol::RunOptions scarce;
-  scarce.compute_availability = 0.01;  // tokens connect rarely
-  scarce.dropout_rate = 0.2;           // and disappear mid-computation
+  Engine::Config config;
+  config.options.compute_availability = 0.01;  // tokens connect rarely
+  config.options.dropout_rate = 0.2;  // and disappear mid-computation
+  auto engine = Engine::Create(std::move(fleet), config).ValueOrDie();
 
   // --- 1. Identifying query by an authorized doctor --------------------------
   protocol::Querier doctor("dr-smith", authority->Issue("dr-smith"), keys);
   const std::string alert_sql =
       "SELECT pid, age FROM Patient WHERE age > 80 AND city = 'Memphis'";
   protocol::BasicSfwProtocol basic;
-  auto alert = protocol::RunQuery(basic, fleet.get(), doctor, 1, alert_sql,
-                                  device, scarce)
-                   .ValueOrDie();
-  auto alert_oracle = protocol::ExecuteReference(*fleet, alert_sql).ValueOrDie();
+  auto alert = engine->Run(basic, doctor, 1, alert_sql).ValueOrDie();
+  auto alert_oracle =
+      protocol::ExecuteReference(engine->fleet(), alert_sql).ValueOrDie();
   std::printf("doctor's alert query: %s\n", alert_sql.c_str());
   std::printf("  %zu patients matched (oracle agrees: %s); SSI saw %llu "
               "indistinguishable encrypted items\n\n",
@@ -55,9 +55,7 @@ int main() {
 
   // --- 2. The same query by an unauthorized marketer -------------------------
   protocol::Querier marketer("ad-corp", authority->Issue("ad-corp"), keys);
-  auto denied = protocol::RunQuery(basic, fleet.get(), marketer, 2, alert_sql,
-                                   device, scarce)
-                    .ValueOrDie();
+  auto denied = engine->Run(basic, marketer, 2, alert_sql).ValueOrDie();
   std::printf("marketer runs the same query:\n");
   std::printf("  rows returned: %zu (every TDS answered with a dummy)\n",
               denied.result.rows.size());
@@ -73,10 +71,9 @@ int main() {
       "SELECT city, COUNT(*) FROM Patient WHERE condition = 'flu' "
       "GROUP BY city";
   protocol::SAggProtocol s_agg;
-  auto flu = protocol::RunQuery(s_agg, fleet.get(), agency, 3, flu_sql, device,
-                                scarce)
-                 .ValueOrDie();
-  auto flu_oracle = protocol::ExecuteReference(*fleet, flu_sql).ValueOrDie();
+  auto flu = engine->Run(s_agg, agency, 3, flu_sql).ValueOrDie();
+  auto flu_oracle =
+      protocol::ExecuteReference(engine->fleet(), flu_sql).ValueOrDie();
   std::printf("agency flu surveillance (1%% tokens online, 20%% dropout):\n%s",
               flu.result.ToString().c_str());
   std::printf("  oracle agrees: %s; partitions re-dispatched after dropouts: "
@@ -89,10 +86,9 @@ int main() {
                       .dropouts));
 
   // --- 4. The agency cannot read what it was not granted ---------------------
-  auto blocked = protocol::RunQuery(basic, fleet.get(), agency, 4,
-                                    "SELECT pid, age FROM Patient", device,
-                                    scarce)
-                     .ValueOrDie();
+  auto blocked =
+      engine->Run(basic, agency, 4, "SELECT pid, age FROM Patient")
+          .ValueOrDie();
   std::printf("agency tries 'SELECT pid, age FROM Patient': %zu rows "
               "(column-scoped policy held)\n",
               blocked.result.rows.size());

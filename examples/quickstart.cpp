@@ -11,6 +11,7 @@
 #include "protocol/discovery.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/smart_meter.h"
 
@@ -44,27 +45,33 @@ int main() {
       "FROM Power P, Consumer C "
       "WHERE C.cid = P.cid GROUP BY C.district";
 
-  sim::DeviceModel device;  // the paper's secure-token board
-  protocol::RunOptions run_opts;
-  run_opts.compute_availability = 0.1;  // 10% of meters online for compute
+  // 4. The Engine owns the fleet, the simulated device profile and the SSI
+  //    stack; every query below goes through it.
+  Engine::Config config;
+  config.options.compute_availability = 0.1;  // 10% of meters online
+  auto engine_or = Engine::Create(std::move(fleet), config);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_or).ValueOrDie();
 
-  // 4. ED_Hist needs the district distribution: discover it with a secure
+  // 5. ED_Hist needs the district distribution: discover it with a secure
   //    S_Agg COUNT(*) round (no plaintext ever reaches the server).
-  auto discovered = protocol::DiscoverDistribution(
-      fleet.get(), querier, /*query_id=*/1, sql, device, run_opts);
+  auto discovered = engine->DiscoverInputs(querier, /*query_id=*/1, sql);
   if (!discovered.ok()) {
     std::fprintf(stderr, "discovery: %s\n",
                  discovered.status().ToString().c_str());
     return 1;
   }
   std::printf("discovered %zu district groups via secure COUNT(*)\n",
-              discovered->frequency.size());
+              discovered->distribution.size());
 
-  // 5. Run the query with the equi-depth histogram protocol.
+  // 6. Run the query with the equi-depth histogram protocol.
   auto protocol =
-      protocol::EdHistProtocol::FromDistribution(discovered->frequency, 4);
-  auto outcome = protocol::RunQuery(*protocol, fleet.get(), querier,
-                                    /*query_id=*/2, sql, device, run_opts);
+      protocol::EdHistProtocol::FromDistribution(discovered->distribution, 4);
+  auto outcome = engine->Run(*protocol, querier, /*query_id=*/2, sql);
   if (!outcome.ok()) {
     std::fprintf(stderr, "run: %s\n", outcome.status().ToString().c_str());
     return 1;
@@ -73,16 +80,16 @@ int main() {
   std::printf("\nquery : %s\nresult:\n%s", sql.c_str(),
               outcome->result.ToString().c_str());
 
-  // 6. Cross-check against a trusted centralized evaluation.
-  auto oracle = protocol::ExecuteReference(*fleet, sql);
+  // 7. Cross-check against a trusted centralized evaluation.
+  auto oracle = protocol::ExecuteReference(engine->fleet(), sql);
   bool match = oracle.ok() && outcome->result.SameRows(*oracle);
   std::printf("\nmatches plaintext oracle: %s\n", match ? "yes" : "NO");
 
-  // 7. What did it cost, and what did the untrusted server learn?
+  // 8. What did it cost, and what did the untrusted server learn?
   const auto& m = outcome->metrics;
   std::printf("\nP_TDS=%zu  Load_Q=%llu B  T_Q=%.4f s  T_local=%.6f s\n",
               m.Ptds(), static_cast<unsigned long long>(m.LoadBytes()),
-              m.Tq(), m.Tlocal(device));
+              m.Tq(), m.Tlocal(engine->device()));
   std::printf("SSI observed %llu ciphertext items and %zu distinct bucket "
               "hashes (never a plaintext district).\n",
               static_cast<unsigned long long>(

@@ -9,6 +9,7 @@
 //       [--protocol=s_agg|r_noise|c_noise|ed_hist|basic]
 //       [--tds=N] [--groups=G] [--skew=Z] [--availability=F] [--dropout=P]
 //       [--threads=N] [--transport=loopback|tcp]
+//       [--shards=N] [--max-inflight=M]
 //       [--trace-json=PATH] [--metrics-json=PATH]
 //
 // --threads sets the parallel fleet engine's worker count (0 = all hardware
@@ -20,6 +21,11 @@
 // keeps every exchange in-process (the default); tcp starts a real SSI
 // server on 127.0.0.1 and routes every exchange through framed sockets.
 // Results are bit-identical either way.
+//
+// --shards hash-partitions the TDS population across N SSI nodes behind the
+// engine's shard router, and --max-inflight sets the concurrent query slots
+// of the scheduler (DESIGN.md "Sharding & scheduling"). Results are
+// bit-identical at any shard count too.
 //
 // The fleet schema is the generic workload: T(gid INT, grp STRING,
 // val DOUBLE, cat INT), one row per TDS by default.
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
                  "usage: %s \"<SQL>\" [--protocol=...] [--tds=N] "
                  "[--groups=G] [--skew=Z] [--availability=F] [--dropout=P] "
                  "[--threads=N] [--transport=loopback|tcp] "
+                 "[--shards=N] [--max-inflight=M] "
                  "[--trace-json=PATH] [--metrics-json=PATH]\n",
                  argv[0]);
     return 2;
@@ -83,6 +90,8 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--availability", &v)) config.options.compute_availability = std::strtod(v.c_str(), nullptr);
     else if (FlagValue(argv[i], "--dropout", &v)) config.options.dropout_rate = std::strtod(v.c_str(), nullptr);
     else if (FlagValue(argv[i], "--threads", &v)) config.options.num_threads = std::strtoul(v.c_str(), nullptr, 10);
+    else if (FlagValue(argv[i], "--shards", &v)) config.num_shards = std::strtoul(v.c_str(), nullptr, 10);
+    else if (FlagValue(argv[i], "--max-inflight", &v)) config.max_inflight_queries = std::strtoul(v.c_str(), nullptr, 10);
     else if (FlagValue(argv[i], "--transport", &v)) {
       auto kind_or = net::TransportKindFromName(v);
       if (!kind_or.ok()) {
@@ -120,8 +129,10 @@ int main(int argc, char** argv) {
   }
   Engine& engine = **engine_or;
   if (config.transport == net::TransportKind::kTcp) {
-    std::printf("SSI serving on 127.0.0.1:%u (tcp transport)\n",
-                static_cast<unsigned>(engine.ssi_port()));
+    for (size_t s = 0; s < engine.num_shards(); ++s) {
+      std::printf("SSI shard %zu serving on 127.0.0.1:%u (tcp transport)\n",
+                  s, static_cast<unsigned>(engine.shard_port(s)));
+    }
   }
 
   // Protocol selection via the factory; ED_Hist and the Noise protocols get

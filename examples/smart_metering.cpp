@@ -14,6 +14,7 @@
 #include "protocol/discovery.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/smart_meter.h"
 
@@ -46,7 +47,6 @@ int main() {
                    opts, keys, authority, tds::AccessPolicy::AllowAll())
                    .ValueOrDie();
   protocol::Querier querier("energy-co", authority->Issue("energy-co"), keys);
-  sim::DeviceModel device;
 
   const std::string sql =
       "SELECT C.district, AVG(P.cons) "
@@ -54,20 +54,18 @@ int main() {
       "WHERE C.accomodation = 'detached house' AND C.cid = P.cid "
       "GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 10";
 
-  protocol::RunOptions run_opts;
-  run_opts.compute_availability = 0.1;
-  run_opts.nf = 2;
+  Engine::Config config;
+  config.options.compute_availability = 0.1;
+  config.options.nf = 2;
+  auto engine = Engine::Create(std::move(fleet), config).ValueOrDie();
 
-  auto oracle = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
+  auto oracle = protocol::ExecuteReference(engine->fleet(), sql).ValueOrDie();
   std::printf("flagship query:\n  %s\n\n", sql.c_str());
   std::printf("trusted-oracle result (%zu districts pass HAVING):\n%s\n",
               oracle.rows.size(), oracle.ToString().c_str());
 
   // Discover the district distribution once (shared by C_Noise & ED_Hist).
-  auto discovered =
-      protocol::DiscoverDistribution(fleet.get(), querier, 100, sql, device,
-                                     run_opts)
-          .ValueOrDie();
+  auto discovered = engine->DiscoverInputs(querier, 100, sql).ValueOrDie();
 
   struct Entry {
     const char* name;
@@ -82,15 +80,14 @@ int main() {
       {"C_Noise", std::make_unique<protocol::NoiseProtocol>(
                       true, DistrictDomain(opts.num_districts))});
   entries.push_back({"ED_Hist", protocol::EdHistProtocol::FromDistribution(
-                                    discovered.frequency, 3)});
+                                    discovered.distribution, 3)});
 
   std::printf("%-10s %-8s %8s %12s %10s %10s %8s %8s\n", "protocol", "match",
               "P_TDS", "Load_Q(B)", "T_Q(s)", "T_local(s)", "rounds",
               "tags");
   uint64_t query_id = 200;
   for (auto& e : entries) {
-    auto outcome = protocol::RunQuery(*e.protocol, fleet.get(), querier,
-                                      query_id++, sql, device, run_opts);
+    auto outcome = engine->Run(*e.protocol, querier, query_id++, sql);
     if (!outcome.ok()) {
       std::printf("%-10s ERROR: %s\n", e.name,
                   outcome.status().ToString().c_str());
@@ -101,7 +98,7 @@ int main() {
     std::printf("%-10s %-8s %8zu %12llu %10.4f %10.6f %8zu %8zu\n", e.name,
                 match ? "yes" : "NO", m.Ptds(),
                 static_cast<unsigned long long>(m.LoadBytes()), m.Tq(),
-                m.Tlocal(device), m.aggregation_rounds,
+                m.Tlocal(engine->device()), m.aggregation_rounds,
                 outcome->adversary.collection_tag_histogram.size());
   }
 
@@ -111,9 +108,7 @@ int main() {
       "SELECT C.district, COUNT(*) FROM Power P, Consumer C "
       "WHERE C.cid = P.cid GROUP BY C.district SIZE 150";
   protocol::SAggProtocol s_agg;
-  auto sized = protocol::RunQuery(s_agg, fleet.get(), querier, 300, sized_sql,
-                                  device, run_opts)
-                   .ValueOrDie();
+  auto sized = engine->Run(s_agg, querier, 300, sized_sql).ValueOrDie();
   uint64_t counted = 0;
   for (const auto& row : sized.result.rows) {
     counted += static_cast<uint64_t>(row.at(1).AsInt64());

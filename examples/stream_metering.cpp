@@ -8,6 +8,7 @@
 
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/smart_meter.h"
 
@@ -24,7 +25,10 @@ int main() {
                    opts, keys, authority, tds::AccessPolicy::AllowAll())
                    .ValueOrDie();
   protocol::Querier querier("energy-co", authority->Issue("energy-co"), keys);
-  sim::DeviceModel device(sim::DeviceParams::SmartMeter());
+
+  Engine::Config config;
+  config.device = sim::DeviceModel(sim::DeviceParams::SmartMeter());
+  auto engine = Engine::Create(std::move(fleet), config).ValueOrDie();
 
   // Each window: collect for at most 4 connection ticks or 150 answers,
   // whichever comes first; meters connect with 35% probability per tick.
@@ -44,8 +48,7 @@ int main() {
     ropts.compute_availability = 0.3;
     ropts.connect_prob_per_tick = 0.35;
     ropts.seed = 1000 + window;  // different connectivity each window
-    auto outcome = protocol::RunQuery(s_agg, fleet.get(), querier, window,
-                                      sql, device, ropts);
+    auto outcome = engine->Run(s_agg, querier, window, sql, ropts);
     if (!outcome.ok()) {
       std::fprintf(stderr, "window %llu: %s\n",
                    static_cast<unsigned long long>(window),

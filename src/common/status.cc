@@ -15,6 +15,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library.
   kUnavailable,       ///< Transport/peer failure; safe to retry.
   kDeadlineExceeded,  ///< Per-message deadline expired; safe to retry.
+  kCancelled,         ///< Caller asked for the operation to stop.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +84,7 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

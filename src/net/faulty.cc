@@ -228,7 +228,6 @@ Result<Bytes> FaultyChannel::Call(const Bytes& request,
   FaultKind kind;
   uint64_t key_attempt;
   Bytes stale_reply;
-  bool have_stale = false;
   Bytes prior_request;
   bool have_prior = false;
   {
@@ -241,7 +240,6 @@ Result<Bytes> FaultyChannel::Call(const Bytes& request,
       auto it = st.last_reply.find({key.type, key.a, key.b});
       if (it != st.last_reply.end()) {
         stale_reply = it->second;
-        have_stale = true;
       } else {
         kind = FaultKind::kNone;  // nothing recorded yet to replay
       }

@@ -1,0 +1,295 @@
+#include "net/sharded_client.h"
+
+#include <algorithm>
+
+namespace tcells::net {
+
+using ssi::AdversaryView;
+using ssi::EncryptedItem;
+using ssi::Partition;
+using ssi::QueryPost;
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche so sequential TDS ids spread evenly.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void MergeViews(AdversaryView* into, const AdversaryView& from) {
+  for (const auto& [tag, count] : from.collection_tag_histogram) {
+    into->collection_tag_histogram[tag] += count;
+  }
+  for (const auto& [tag, count] : from.aggregation_tag_histogram) {
+    into->aggregation_tag_histogram[tag] += count;
+  }
+  into->collection_blob_sizes.insert(into->collection_blob_sizes.end(),
+                                     from.collection_blob_sizes.begin(),
+                                     from.collection_blob_sizes.end());
+  into->collection_items += from.collection_items;
+  into->aggregation_items += from.aggregation_items;
+  into->filtering_items += from.filtering_items;
+}
+
+}  // namespace
+
+size_t ShardedSsiClient::ShardOfTds(uint64_t tds_id) const {
+  return static_cast<size_t>(Mix(tds_id) % shards_.size());
+}
+
+size_t ShardedSsiClient::ShardOfToken(uint64_t query_id, uint64_t token) const {
+  return static_cast<size_t>(Mix(query_id ^ Mix(token)) % shards_.size());
+}
+
+size_t ShardedSsiClient::HomeShard(uint64_t query_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it != queries_.end()) return it->second.home;
+  }
+  return static_cast<size_t>(Mix(query_id) % shards_.size());
+}
+
+Status ShardedSsiClient::PostGlobal(const QueryPost& post) {
+  if (shards_.size() == 1) return shards_[0]->PostGlobal(post);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status st = shards_[i]->PostGlobal(post);
+    if (!st.ok()) {
+      // Roll back: earlier shards must not keep a half-posted query alive.
+      for (size_t j = 0; j < i; ++j) {
+        (void)shards_[j]->Retire(post.query_id);
+      }
+      return st;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryState& state = queries_[post.query_id];
+  state.personal = false;
+  state.home = static_cast<size_t>(Mix(post.query_id) % shards_.size());
+  state.size_bound = post.size_max_tuples;
+  return Status::OK();
+}
+
+Status ShardedSsiClient::PostPersonal(uint64_t tds_id, const QueryPost& post) {
+  if (shards_.size() == 1) return shards_[0]->PostPersonal(tds_id, post);
+  size_t shard = ShardOfTds(tds_id);
+  TCELLS_RETURN_IF_ERROR(shards_[shard]->PostPersonal(tds_id, post));
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryState& state = queries_[post.query_id];
+  state.personal = true;
+  state.home = shard;
+  state.size_bound = post.size_max_tuples;
+  return Status::OK();
+}
+
+Result<std::vector<QueryPost>> ShardedSsiClient::FetchPosts(uint64_t tds_id) {
+  if (shards_.size() == 1) return shards_[0]->FetchPosts(tds_id);
+  return shards_[ShardOfTds(tds_id)]->FetchPosts(tds_id);
+}
+
+Status ShardedSsiClient::Acknowledge(uint64_t tds_id, uint64_t query_id) {
+  if (shards_.size() == 1) return shards_[0]->Acknowledge(tds_id, query_id);
+  return shards_[ShardOfTds(tds_id)]->Acknowledge(tds_id, query_id);
+}
+
+Result<uint64_t> ShardedSsiClient::NumAcknowledged(uint64_t query_id) {
+  if (shards_.size() == 1) return shards_[0]->NumAcknowledged(query_id);
+  // Each TDS acknowledges on its own shard; shards without the query report
+  // zero, so an unconditional sum is exact for global and personal posts.
+  uint64_t total = 0;
+  for (SsiApi* shard : shards_) {
+    TCELLS_ASSIGN_OR_RETURN(uint64_t n, shard->NumAcknowledged(query_id));
+    total += n;
+  }
+  return total;
+}
+
+Result<bool> ShardedSsiClient::SizeReached(uint64_t query_id) {
+  if (shards_.size() == 1) return shards_[0]->SizeReached(query_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no active query for SizeReached");
+  }
+  const QueryState& state = it->second;
+  return state.size_bound && state.accepted_items >= *state.size_bound;
+}
+
+Result<bool> ShardedSsiClient::UploadCollection(
+    uint64_t query_id, uint64_t tds_id,
+    const std::vector<EncryptedItem>& items) {
+  if (shards_.size() == 1) {
+    return shards_[0]->UploadCollection(query_id, tds_id, items);
+  }
+  size_t shard = ShardOfTds(tds_id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no active query for UploadCollection");
+    }
+    const QueryState& state = it->second;
+    if (state.size_bound && state.accepted_items >= *state.size_bound) {
+      // Globally full. The shard's local count is below the bound, so it
+      // would wrongly accept; discard here instead, with the same observable
+      // effects as a node-side discard: the TDS still counts as having
+      // served the query, and the contribution is dropped.
+      TCELLS_RETURN_IF_ERROR(shards_[shard]->Acknowledge(tds_id, query_id));
+      return false;
+    }
+  }
+  TCELLS_ASSIGN_OR_RETURN(
+      bool accepted, shards_[shard]->UploadCollection(query_id, tds_id, items));
+  if (accepted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it != queries_.end()) {
+      it->second.accepted_items += items.size();
+      it->second.upload_log.emplace_back(shard, items.size());
+    }
+  }
+  return accepted;
+}
+
+Result<std::vector<EncryptedItem>> ShardedSsiClient::TakeCollected(
+    uint64_t query_id) {
+  if (shards_.size() == 1) return shards_[0]->TakeCollected(query_id);
+  std::vector<std::pair<size_t, uint64_t>> log;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no active query for TakeCollected");
+    }
+    log = it->second.upload_log;
+  }
+  // Drain every shard that received an accepted upload, then re-interleave
+  // the per-shard streams along the serial upload log so the merged vector
+  // is byte-for-byte the arrival order a single node would have stored.
+  std::map<size_t, std::vector<EncryptedItem>> per_shard;
+  for (const auto& [shard, count] : log) {
+    (void)count;
+    if (!per_shard.count(shard)) {
+      TCELLS_ASSIGN_OR_RETURN(per_shard[shard],
+                              shards_[shard]->TakeCollected(query_id));
+    }
+  }
+  std::vector<EncryptedItem> merged;
+  std::map<size_t, size_t> cursor;
+  for (const auto& [shard, count] : log) {
+    std::vector<EncryptedItem>& src = per_shard[shard];
+    size_t& pos = cursor[shard];
+    for (uint64_t k = 0; k < count && pos < src.size(); ++k, ++pos) {
+      merged.push_back(std::move(src[pos]));
+    }
+  }
+  // Anything beyond the log (a byzantine shard inventing items) is appended
+  // in shard order so even hostile worlds stay deterministic.
+  for (auto& [shard, src] : per_shard) {
+    for (size_t pos = cursor[shard]; pos < src.size(); ++pos) {
+      merged.push_back(std::move(src[pos]));
+    }
+  }
+  return merged;
+}
+
+Status ShardedSsiClient::StagePartition(uint64_t query_id, uint64_t token,
+                                        const Partition& partition) {
+  return shards_[ShardOfToken(query_id, token)]->StagePartition(
+      query_id, token, partition);
+}
+
+Result<Partition> ShardedSsiClient::FetchPartition(uint64_t query_id,
+                                                   uint64_t token) {
+  return shards_[ShardOfToken(query_id, token)]->FetchPartition(query_id,
+                                                                token);
+}
+
+Status ShardedSsiClient::UploadRoundOutput(
+    uint64_t query_id, uint64_t token,
+    const std::vector<EncryptedItem>& items) {
+  return shards_[ShardOfToken(query_id, token)]->UploadRoundOutput(
+      query_id, token, items);
+}
+
+Result<std::vector<EncryptedItem>> ShardedSsiClient::TakeRoundOutput(
+    uint64_t query_id, uint64_t token) {
+  return shards_[ShardOfToken(query_id, token)]->TakeRoundOutput(query_id,
+                                                                 token);
+}
+
+Status ShardedSsiClient::ObserveAggregation(
+    uint64_t query_id, const std::vector<EncryptedItem>& items) {
+  return shards_[HomeShard(query_id)]->ObserveAggregation(query_id, items);
+}
+
+Status ShardedSsiClient::ObserveFiltering(
+    uint64_t query_id, const std::vector<EncryptedItem>& items) {
+  return shards_[HomeShard(query_id)]->ObserveFiltering(query_id, items);
+}
+
+Status ShardedSsiClient::DeliverResult(
+    uint64_t query_id, const std::vector<EncryptedItem>& items) {
+  return shards_[HomeShard(query_id)]->DeliverResult(query_id, items);
+}
+
+Result<std::vector<EncryptedItem>> ShardedSsiClient::FetchResult(
+    uint64_t query_id) {
+  return shards_[HomeShard(query_id)]->FetchResult(query_id);
+}
+
+Result<AdversaryView> ShardedSsiClient::GetAdversaryView(uint64_t query_id) {
+  if (shards_.size() == 1) return shards_[0]->GetAdversaryView(query_id);
+  bool personal;
+  size_t home;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no active query for GetAdversaryView");
+    }
+    personal = it->second.personal;
+    home = it->second.home;
+  }
+  if (personal) return shards_[home]->GetAdversaryView(query_id);
+  AdversaryView merged;
+  for (SsiApi* shard : shards_) {
+    TCELLS_ASSIGN_OR_RETURN(AdversaryView view,
+                            shard->GetAdversaryView(query_id));
+    MergeViews(&merged, view);
+  }
+  return merged;
+}
+
+Status ShardedSsiClient::Retire(uint64_t query_id) {
+  if (shards_.size() == 1) return shards_[0]->Retire(query_id);
+  bool personal = false;
+  size_t home = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no active query for Retire");
+    }
+    personal = it->second.personal;
+    home = it->second.home;
+    queries_.erase(it);
+  }
+  // Every shard may hold round transfer state for this query's tokens, so
+  // retire everywhere. A personal query's hub entry only exists on its home
+  // shard; the other shards clear transfer remnants and then report NotFound
+  // from the querybox, which is expected and benign.
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status st = shards_[i]->Retire(query_id);
+    if (st.ok()) continue;
+    if (personal && i != home && st.IsNotFound()) continue;
+    if (first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace tcells::net

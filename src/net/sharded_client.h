@@ -1,0 +1,122 @@
+// ShardedSsiClient: a coordinator-side router that presents N shard SSI
+// backends as one logical SSI.
+//
+// The TDS population is hash-partitioned across shards (shard_of(tds_id) =
+// splitmix64(tds_id) mod N), so all querybox and collection traffic of one
+// TDS lands on one shard. Aggregation/filtering round transfers are
+// partitioned by (query_id, token) instead — the SsiNode keeps staged
+// partitions, round outputs and delivered results in maps independent of the
+// querybox, so any shard can carry any token's bytes.
+//
+// Per-query coordination the single node used to do locally moves here:
+//
+//   - The SIZE bound is global. Each shard only sees its local item count, so
+//     the router tracks accepted items from the upload accept bits and
+//     short-circuits further uploads (acknowledge + reject, exactly the
+//     observable behaviour of a node-side discard) once the bound is reached.
+//   - TakeCollected must reproduce the exact arrival order a single node
+//     would have produced, because the collection feeds RNG-driven
+//     partitioning. The router logs (shard, item-count) per accepted upload
+//     in serial upload order and re-interleaves the per-shard drains along
+//     that log.
+//   - The adversary view is merged across shards: counters summed, tag
+//     histograms key-merged, blob sizes concatenated in shard order (a
+//     multiset-preserving merge; order across different shard counts is not
+//     comparable, within one shard count it is deterministic).
+//
+// Global posts fan out to every shard (each shard's TDSes fetch locally);
+// personal posts live only on the target TDS's shard. With a single shard
+// every method delegates verbatim, making the router an exact pass-through.
+//
+// Thread-safety: routing is stateless hashing; the per-query coordination
+// map is mutex-guarded so concurrent queries (one serial protocol session
+// each) can share one router.
+#ifndef TCELLS_NET_SHARDED_CLIENT_H_
+#define TCELLS_NET_SHARDED_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ssi_api.h"
+
+namespace tcells::net {
+
+class ShardedSsiClient : public SsiApi {
+ public:
+  /// `shards` are borrowed and must outlive the router. Must be non-empty.
+  explicit ShardedSsiClient(std::vector<SsiApi*> shards)
+      : shards_(std::move(shards)) {}
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Which shard owns a TDS's querybox + collection traffic.
+  size_t ShardOfTds(uint64_t tds_id) const;
+  /// Which shard carries a round transfer token's bytes.
+  size_t ShardOfToken(uint64_t query_id, uint64_t token) const;
+
+  // ---- Querybox ----
+  Status PostGlobal(const ssi::QueryPost& post) override;
+  Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post) override;
+  Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id) override;
+  Status Acknowledge(uint64_t tds_id, uint64_t query_id) override;
+  Result<uint64_t> NumAcknowledged(uint64_t query_id) override;
+
+  // ---- Collection phase ----
+  Result<bool> SizeReached(uint64_t query_id) override;
+  Result<bool> UploadCollection(
+      uint64_t query_id, uint64_t tds_id,
+      const std::vector<ssi::EncryptedItem>& items) override;
+  Result<std::vector<ssi::EncryptedItem>> TakeCollected(
+      uint64_t query_id) override;
+
+  // ---- Aggregation / filtering rounds ----
+  Status StagePartition(uint64_t query_id, uint64_t token,
+                        const ssi::Partition& partition) override;
+  Result<ssi::Partition> FetchPartition(uint64_t query_id,
+                                        uint64_t token) override;
+  Status UploadRoundOutput(
+      uint64_t query_id, uint64_t token,
+      const std::vector<ssi::EncryptedItem>& items) override;
+  Result<std::vector<ssi::EncryptedItem>> TakeRoundOutput(
+      uint64_t query_id, uint64_t token) override;
+  Status ObserveAggregation(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) override;
+  Status ObserveFiltering(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) override;
+
+  // ---- Result delivery / teardown ----
+  Status DeliverResult(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) override;
+  Result<std::vector<ssi::EncryptedItem>> FetchResult(
+      uint64_t query_id) override;
+  Result<ssi::AdversaryView> GetAdversaryView(uint64_t query_id) override;
+  Status Retire(uint64_t query_id) override;
+
+ private:
+  struct QueryState {
+    bool personal = false;
+    size_t home = 0;  ///< personal: the TDS's shard; global: hash(query_id).
+    std::optional<uint64_t> size_bound;
+    uint64_t accepted_items = 0;
+    /// (shard, item count) per accepted upload, in serial upload order —
+    /// the recipe for reconstructing single-node arrival order at take time.
+    std::vector<std::pair<size_t, uint64_t>> upload_log;
+  };
+
+  /// Shard handling result delivery and aggregation observations for a
+  /// query: the personal home, or a query-id hash for global posts (valid
+  /// because global posts exist on every shard).
+  size_t HomeShard(uint64_t query_id);
+
+  std::vector<SsiApi*> shards_;
+  std::mutex mu_;
+  std::map<uint64_t, QueryState> queries_;
+};
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_SHARDED_CLIENT_H_

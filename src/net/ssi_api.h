@@ -1,0 +1,75 @@
+// SsiApi: the abstract SSI RPC surface as seen by the protocol engine.
+//
+// Everything a querier or TDS does against the honest-but-curious server —
+// querybox traffic, collection uploads, round staging/fetching, result
+// delivery, exposure introspection, teardown — is one of these calls. Two
+// implementations exist:
+//
+//   - net::SsiClient       one channel to one SsiNode (loopback or TCP);
+//   - net::ShardedSsiClient a coordinator that hash-routes each call to one
+//                           of N shard clients and merges cross-shard views.
+//
+// The protocol layer (RunContext / QuerySession) programs against this
+// interface only, so a single-node world and a sharded fleet are
+// interchangeable without touching protocol code.
+#ifndef TCELLS_NET_SSI_API_H_
+#define TCELLS_NET_SSI_API_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ssi/messages.h"
+#include "ssi/ssi.h"
+
+namespace tcells::net {
+
+class SsiApi {
+ public:
+  virtual ~SsiApi() = default;
+
+  // ---- Querybox ----
+  virtual Status PostGlobal(const ssi::QueryPost& post) = 0;
+  virtual Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post) = 0;
+  virtual Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id) = 0;
+  virtual Status Acknowledge(uint64_t tds_id, uint64_t query_id) = 0;
+  virtual Result<uint64_t> NumAcknowledged(uint64_t query_id) = 0;
+
+  // ---- Collection phase ----
+  virtual Result<bool> SizeReached(uint64_t query_id) = 0;
+  /// Uploads one TDS's contribution and acknowledges the query in one
+  /// exchange. Returns whether the contribution was accepted (false when the
+  /// SIZE bound closed the storage area first).
+  virtual Result<bool> UploadCollection(
+      uint64_t query_id, uint64_t tds_id,
+      const std::vector<ssi::EncryptedItem>& items) = 0;
+  virtual Result<std::vector<ssi::EncryptedItem>> TakeCollected(
+      uint64_t query_id) = 0;
+
+  // ---- Aggregation / filtering rounds ----
+  virtual Status StagePartition(uint64_t query_id, uint64_t token,
+                                const ssi::Partition& partition) = 0;
+  virtual Result<ssi::Partition> FetchPartition(uint64_t query_id,
+                                                uint64_t token) = 0;
+  virtual Status UploadRoundOutput(
+      uint64_t query_id, uint64_t token,
+      const std::vector<ssi::EncryptedItem>& items) = 0;
+  virtual Result<std::vector<ssi::EncryptedItem>> TakeRoundOutput(
+      uint64_t query_id, uint64_t token) = 0;
+  virtual Status ObserveAggregation(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) = 0;
+  virtual Status ObserveFiltering(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) = 0;
+
+  // ---- Result delivery / teardown ----
+  virtual Status DeliverResult(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) = 0;
+  virtual Result<std::vector<ssi::EncryptedItem>> FetchResult(
+      uint64_t query_id) = 0;
+  virtual Result<ssi::AdversaryView> GetAdversaryView(uint64_t query_id) = 0;
+  virtual Status Retire(uint64_t query_id) = 0;
+};
+
+}  // namespace tcells::net
+
+#endif  // TCELLS_NET_SSI_API_H_

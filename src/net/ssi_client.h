@@ -19,6 +19,7 @@
 
 #include "common/clock.h"
 #include "net/channel.h"
+#include "net/ssi_api.h"
 #include "obs/metrics.h"
 #include "ssi/messages.h"
 #include "ssi/ssi.h"
@@ -40,7 +41,7 @@ struct RetryPolicy {
   Clock* clock = nullptr;
 };
 
-class SsiClient {
+class SsiClient : public SsiApi {
  public:
   /// `transport` and `metrics` (optional) are borrowed and must outlive the
   /// client. Channels are dialed lazily and re-dialed after any transport
@@ -51,43 +52,45 @@ class SsiClient {
       : transport_(transport), policy_(policy), metrics_(metrics) {}
 
   // ---- Querybox ----
-  Status PostGlobal(const ssi::QueryPost& post);
-  Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post);
-  Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id);
-  Status Acknowledge(uint64_t tds_id, uint64_t query_id);
-  Result<uint64_t> NumAcknowledged(uint64_t query_id);
+  Status PostGlobal(const ssi::QueryPost& post) override;
+  Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post) override;
+  Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id) override;
+  Status Acknowledge(uint64_t tds_id, uint64_t query_id) override;
+  Result<uint64_t> NumAcknowledged(uint64_t query_id) override;
 
   // ---- Collection phase ----
-  Result<bool> SizeReached(uint64_t query_id);
-  /// Uploads one TDS's contribution and acknowledges the query in one
-  /// exchange. Returns whether the contribution was accepted (false when the
-  /// SIZE bound closed the storage area first).
-  Result<bool> UploadCollection(uint64_t query_id, uint64_t tds_id,
-                                const std::vector<ssi::EncryptedItem>& items);
-  Result<std::vector<ssi::EncryptedItem>> TakeCollected(uint64_t query_id);
+  Result<bool> SizeReached(uint64_t query_id) override;
+  Result<bool> UploadCollection(
+      uint64_t query_id, uint64_t tds_id,
+      const std::vector<ssi::EncryptedItem>& items) override;
+  Result<std::vector<ssi::EncryptedItem>> TakeCollected(
+      uint64_t query_id) override;
 
   // ---- Aggregation / filtering rounds ----
   Status StagePartition(uint64_t query_id, uint64_t token,
-                        const ssi::Partition& partition);
-  Result<ssi::Partition> FetchPartition(uint64_t query_id, uint64_t token);
-  Status UploadRoundOutput(uint64_t query_id, uint64_t token,
-                           const std::vector<ssi::EncryptedItem>& items);
+                        const ssi::Partition& partition) override;
+  Result<ssi::Partition> FetchPartition(uint64_t query_id,
+                                        uint64_t token) override;
+  Status UploadRoundOutput(
+      uint64_t query_id, uint64_t token,
+      const std::vector<ssi::EncryptedItem>& items) override;
   /// Two-phase: downloads the round output (a retried fetch after a lost
   /// reply re-downloads the same bytes), then acks so the SSI erases the
   /// token's transfer state.
-  Result<std::vector<ssi::EncryptedItem>> TakeRoundOutput(uint64_t query_id,
-                                                          uint64_t token);
-  Status ObserveAggregation(uint64_t query_id,
-                            const std::vector<ssi::EncryptedItem>& items);
-  Status ObserveFiltering(uint64_t query_id,
-                          const std::vector<ssi::EncryptedItem>& items);
+  Result<std::vector<ssi::EncryptedItem>> TakeRoundOutput(
+      uint64_t query_id, uint64_t token) override;
+  Status ObserveAggregation(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) override;
+  Status ObserveFiltering(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) override;
 
   // ---- Result delivery / teardown ----
-  Status DeliverResult(uint64_t query_id,
-                       const std::vector<ssi::EncryptedItem>& items);
-  Result<std::vector<ssi::EncryptedItem>> FetchResult(uint64_t query_id);
-  Result<ssi::AdversaryView> GetAdversaryView(uint64_t query_id);
-  Status Retire(uint64_t query_id);
+  Status DeliverResult(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) override;
+  Result<std::vector<ssi::EncryptedItem>> FetchResult(
+      uint64_t query_id) override;
+  Result<ssi::AdversaryView> GetAdversaryView(uint64_t query_id) override;
+  Status Retire(uint64_t query_id) override;
 
   const RetryPolicy& policy() const { return policy_; }
 

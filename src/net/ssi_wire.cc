@@ -28,6 +28,8 @@ Status StatusFromWire(uint8_t code, std::string msg) {
       return Status::Unavailable(std::move(msg));
     case StatusCode::kDeadlineExceeded:
       return Status::DeadlineExceeded(std::move(msg));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(msg));
   }
   return Status::Corruption("unknown status code in reply envelope");
 }

@@ -85,7 +85,7 @@ Status RunOptions::Validate() const {
   return Status::OK();
 }
 
-RunContext::RunContext(Fleet* fleet, net::SsiClient* client, uint64_t query_id,
+RunContext::RunContext(Fleet* fleet, net::SsiApi* client, uint64_t query_id,
                        const sim::DeviceModel& device, RunOptions options,
                        obs::MetricsRegistry* metrics_registry,
                        obs::Trace* trace)
@@ -121,6 +121,10 @@ obs::Span* RunContext::EnsureCollectionSpan() {
 Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     sim::Phase phase, const std::vector<ssi::Partition>& partitions,
     const PartitionFn& process) {
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled before round");
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const auto& pool = compute_pool();
   const size_t n = partitions.size();

@@ -5,6 +5,7 @@
 #ifndef TCELLS_PROTOCOL_RUN_CONTEXT_H_
 #define TCELLS_PROTOCOL_RUN_CONTEXT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "net/ssi_api.h"
 #include "net/ssi_client.h"
 #include "obs/trace.h"
 #include "protocol/fleet.h"
@@ -95,6 +97,13 @@ struct RunOptions {
 
   uint64_t seed = 42;
 
+  /// Cooperative cancellation flag (borrowed; may be null). Checked at the
+  /// run's natural serial boundaries — each collection tick, each
+  /// aggregation/filtering round, each per-query completion step — so a
+  /// cancelled run stops promptly, returns Status::Cancelled, and never
+  /// leaves a phase half-applied. Engine::QueryHandle::Cancel sets it.
+  const std::atomic<bool>* cancel = nullptr;
+
   /// Sanity-checks the knob values (rates in range, alpha above the fixed
   /// point, retry budget consistent with the dropout rate). Invoked at query
   /// submit time — by QuerySession::Submit and Engine::Create — so malformed
@@ -160,13 +169,13 @@ class RunContext {
   /// bit-identical for any thread count. `client` is the SSI channel every
   /// partition travels through (borrowed, never null); `query_id` scopes
   /// this context's exchanges inside the shared SSI.
-  RunContext(Fleet* fleet, net::SsiClient* client, uint64_t query_id,
+  RunContext(Fleet* fleet, net::SsiApi* client, uint64_t query_id,
              const sim::DeviceModel& device, RunOptions options,
              obs::MetricsRegistry* metrics_registry = nullptr,
              obs::Trace* trace = nullptr);
 
   Fleet& fleet() { return *fleet_; }
-  net::SsiClient& client() { return *client_; }
+  net::SsiApi& client() { return *client_; }
   uint64_t query_id() const { return query_id_; }
   Rng& rng() { return rng_; }
   const RunOptions& options() const { return options_; }
@@ -210,7 +219,7 @@ class RunContext {
 
  private:
   Fleet* fleet_;
-  net::SsiClient* client_;
+  net::SsiApi* client_;
   uint64_t query_id_;
   sim::DeviceModel device_;
   RunOptions options_;

@@ -27,7 +27,7 @@ bool IsTransportError(const Status& s) {
 
 QuerySession::QuerySession(Fleet* fleet, const sim::DeviceModel& device,
                            RunOptions options, obs::Telemetry telemetry,
-                           net::SsiClient* client)
+                           net::SsiApi* client)
     : fleet_(fleet),
       device_(device),
       options_(options),
@@ -176,6 +176,10 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
   // storage areas serially. Bit-identical for any thread count.
   ParallelExecutor session_executor(options_.num_threads);
   for (uint64_t tick = 0;; ++tick) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query batch cancelled during collection");
+    }
     // Safety valve for adversarial runs: an SSI that forever under-reports
     // NumAcknowledged would keep every window open and hang this loop.
     if (options_.max_collection_ticks > 0 &&
@@ -284,6 +288,10 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
   // ---- Per-query aggregation + filtering + decryption ----
   std::map<uint64_t, RunOutcome> outcomes;
   for (auto& [id, q] : queries_) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query batch cancelled before completion");
+    }
     if (obs::Span* collection = q.ctx->EnsureCollectionSpan()) {
       collection->counts["ticks"] = q.ctx->metrics().collection_ticks;
       collection->counts["participants"] =
@@ -346,7 +354,7 @@ Result<RunOutcome> RunQuery(Protocol& protocol, Fleet* fleet,
                             const std::string& sql,
                             const sim::DeviceModel& device,
                             const RunOptions& options,
-                            obs::Telemetry telemetry, net::SsiClient* client) {
+                            obs::Telemetry telemetry, net::SsiApi* client) {
   QuerySession session(fleet, device, options, telemetry, client);
   TCELLS_RETURN_IF_ERROR(session.Submit(query_id, &querier, &protocol, sql));
   TCELLS_ASSIGN_OR_RETURN(auto outcomes, session.RunAll());

@@ -29,12 +29,12 @@ class QuerySession {
   /// MetricsRegistry accumulates engine counters/histograms across queries.
   ///
   /// `client` is the channel to the SSI all queries of this session go
-  /// through (borrowed; e.g. an Engine's shared TCP client). When null, the
-  /// session owns a private SSI behind the in-process loopback transport —
-  /// the default and bit-identical to the TCP path.
+  /// through (borrowed; e.g. an Engine's shared — possibly sharded — client).
+  /// When null, the session owns a private SSI behind the in-process loopback
+  /// transport — the default and bit-identical to the TCP path.
   QuerySession(Fleet* fleet, const sim::DeviceModel& device,
                RunOptions options, obs::Telemetry telemetry = {},
-               net::SsiClient* client = nullptr);
+               net::SsiApi* client = nullptr);
 
   /// Registers a query addressed to the whole crowd. `querier` and
   /// `protocol` must outlive the session. Fails on duplicate id, invalid
@@ -97,7 +97,7 @@ class QuerySession {
   std::unique_ptr<net::SsiNode> owned_node_;
   std::unique_ptr<net::LoopbackTransport> owned_transport_;
   std::unique_ptr<net::SsiClient> owned_client_;
-  net::SsiClient* client_;
+  net::SsiApi* client_;
   std::map<uint64_t, PendingQuery> queries_;
 };
 

@@ -5,52 +5,108 @@ namespace tcells {
 Engine::Engine(std::unique_ptr<protocol::Fleet> fleet, Config config)
     : fleet_(std::move(fleet)), config_(std::move(config)) {}
 
+Engine::~Engine() = default;
+
 Result<std::unique_ptr<Engine>> Engine::Create(
     std::unique_ptr<protocol::Fleet> fleet, Config config) {
   if (!fleet || fleet->size() == 0) {
     return Status::InvalidArgument("Engine needs a non-empty fleet");
   }
   TCELLS_RETURN_IF_ERROR(config.options.Validate());
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("Engine::Config: num_shards must be >= 1");
+  }
+  if (config.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "Engine::Config: num_shards exceeds kMaxShards (64)");
+  }
+  if (config.max_inflight_queries == 0) {
+    return Status::InvalidArgument(
+        "Engine::Config: max_inflight_queries must be >= 1");
+  }
+  if (config.max_inflight_queries > kMaxInflightQueries) {
+    return Status::InvalidArgument(
+        "Engine::Config: max_inflight_queries exceeds kMaxInflightQueries "
+        "(256)");
+  }
   std::unique_ptr<Engine> engine(
       new Engine(std::move(fleet), std::move(config)));
-  TCELLS_RETURN_IF_ERROR(engine->StartTransport());
+  TCELLS_RETURN_IF_ERROR(engine->StartShards());
+  engine->StartScheduler();
   return engine;
 }
 
-Status Engine::StartTransport() {
-  const bool adversarial =
-      config_.fault_plan != nullptr || config_.tamper_plan != nullptr;
-  // Plain loopback: every session owns a private in-process stack; nothing
-  // to start. With a fault or tamper plan the engine owns one shared stack
-  // even on loopback, so the injected adversary sees every exchange.
-  if (config_.transport != net::TransportKind::kTcp && !adversarial) {
-    return Status::OK();
+Status Engine::StartShards() {
+  shards_.resize(config_.num_shards);
+  std::vector<net::SsiApi*> shard_apis;
+  shard_apis.reserve(shards_.size());
+  for (ShardStack& shard : shards_) {
+    shard.node = std::make_unique<net::SsiNode>();
+    net::Handler handler = shard.node->handler();
+    if (config_.tamper_plan != nullptr) {
+      shard.byzantine =
+          std::make_unique<net::ByzantineProxy>(handler, *config_.tamper_plan);
+      handler = shard.byzantine->handler();
+    }
+    net::Transport* base = nullptr;
+    if (config_.transport == net::TransportKind::kTcp) {
+      shard.server = std::make_unique<net::TcpServer>();
+      TCELLS_RETURN_IF_ERROR(shard.server->Start(std::move(handler)));
+      shard.transport = std::make_unique<net::TcpTransport>(
+          "127.0.0.1", shard.server->port());
+      base = shard.transport.get();
+    } else {
+      shard.loopback =
+          std::make_unique<net::LoopbackTransport>(std::move(handler));
+      base = shard.loopback.get();
+    }
+    if (config_.fault_plan != nullptr) {
+      shard.faulty = std::make_unique<net::FaultyTransport>(
+          base, *config_.fault_plan, config_.options.clock);
+      base = shard.faulty.get();
+    }
+    shard.client = std::make_unique<net::SsiClient>(
+        base, protocol::TransportRetryPolicy(config_.options), &metrics_);
+    shard_apis.push_back(shard.client.get());
   }
-  node_ = std::make_unique<net::SsiNode>();
-  net::Handler handler = node_->handler();
-  if (config_.tamper_plan != nullptr) {
-    byzantine_ =
-        std::make_unique<net::ByzantineProxy>(handler, *config_.tamper_plan);
-    handler = byzantine_->handler();
-  }
-  net::Transport* base = nullptr;
-  if (config_.transport == net::TransportKind::kTcp) {
-    TCELLS_RETURN_IF_ERROR(server_.Start(std::move(handler)));
-    transport_ =
-        std::make_unique<net::TcpTransport>("127.0.0.1", server_.port());
-    base = transport_.get();
-  } else {
-    loopback_ = std::make_unique<net::LoopbackTransport>(std::move(handler));
-    base = loopback_.get();
-  }
-  if (config_.fault_plan != nullptr) {
-    faulty_ = std::make_unique<net::FaultyTransport>(
-        base, *config_.fault_plan, config_.options.clock);
-    base = faulty_.get();
-  }
-  client_ = std::make_unique<net::SsiClient>(
-      base, protocol::TransportRetryPolicy(config_.options), &metrics_);
+  router_ = std::make_unique<net::ShardedSsiClient>(std::move(shard_apis));
   return Status::OK();
+}
+
+void Engine::StartScheduler() {
+  scheduler_ = std::make_unique<QueryScheduler>(
+      config_.max_inflight_queries, config_.admission,
+      [this](internal::QueryJob* job) -> Result<protocol::RunOutcome> {
+        // Each job is a one-query session against the shared sharded stack:
+        // its randomness derives only from (options.seed, query_id), so the
+        // result is bit-identical to a solo run regardless of what else is
+        // in flight.
+        protocol::RunOptions opts = job->options;
+        opts.cancel = &job->cancel;
+        protocol::QuerySession session(fleet_.get(), config_.device, opts,
+                                       telemetry(), router_.get());
+        Status submitted =
+            job->personal_tds
+                ? session.SubmitPersonal(job->query_id, *job->personal_tds,
+                                         job->querier, job->protocol, job->sql)
+                : session.Submit(job->query_id, job->querier, job->protocol,
+                                 job->sql);
+        if (!submitted.ok()) return submitted;
+        Result<std::map<uint64_t, protocol::RunOutcome>> outcomes =
+            session.RunAll();
+        if (!outcomes.ok()) {
+          // A failed or cancelled run never reached the session's own
+          // retire step; release the query's shard state so nothing leaks
+          // into later queries (best-effort — the query may be half-posted).
+          (void)router_->Retire(job->query_id);
+          return outcomes.status();
+        }
+        auto it = outcomes->find(job->query_id);
+        if (it == outcomes->end()) {
+          return Status::Internal("query produced no outcome");
+        }
+        return std::move(it->second);
+      });
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(
@@ -65,18 +121,66 @@ obs::Telemetry Engine::telemetry() {
   return t;
 }
 
+Result<QueryHandle> Engine::SubmitInternal(
+    protocol::Protocol& protocol, const protocol::Querier& querier,
+    uint64_t query_id, std::optional<uint64_t> tds_id, const std::string& sql,
+    const protocol::RunOptions& options) {
+  TCELLS_RETURN_IF_ERROR(options.Validate());
+  auto job = std::make_shared<internal::QueryJob>();
+  job->query_id = query_id;
+  job->protocol = &protocol;
+  job->querier = &querier;
+  job->sql = sql;
+  job->personal_tds = tds_id;
+  job->options = options;
+  return scheduler_->Submit(std::move(job));
+}
+
+Result<QueryHandle> Engine::Submit(protocol::Protocol& protocol,
+                                   const protocol::Querier& querier,
+                                   uint64_t query_id, const std::string& sql) {
+  return SubmitInternal(protocol, querier, query_id, std::nullopt, sql,
+                        config_.options);
+}
+
+Result<QueryHandle> Engine::Submit(protocol::Protocol& protocol,
+                                   const protocol::Querier& querier,
+                                   uint64_t query_id, const std::string& sql,
+                                   const protocol::RunOptions& options) {
+  return SubmitInternal(protocol, querier, query_id, std::nullopt, sql,
+                        options);
+}
+
+Result<QueryHandle> Engine::SubmitPersonal(protocol::Protocol& protocol,
+                                           const protocol::Querier& querier,
+                                           uint64_t query_id, uint64_t tds_id,
+                                           const std::string& sql) {
+  return SubmitInternal(protocol, querier, query_id, tds_id, sql,
+                        config_.options);
+}
+
 Result<protocol::RunOutcome> Engine::Run(protocol::Protocol& protocol,
                                          const protocol::Querier& querier,
                                          uint64_t query_id,
                                          const std::string& sql) {
-  return protocol::RunQuery(protocol, fleet_.get(), querier, query_id, sql,
-                            config_.device, config_.options, telemetry(),
-                            client_.get());
+  TCELLS_ASSIGN_OR_RETURN(QueryHandle handle,
+                          Submit(protocol, querier, query_id, sql));
+  return handle.Wait();
+}
+
+Result<protocol::RunOutcome> Engine::Run(protocol::Protocol& protocol,
+                                         const protocol::Querier& querier,
+                                         uint64_t query_id,
+                                         const std::string& sql,
+                                         const protocol::RunOptions& options) {
+  TCELLS_ASSIGN_OR_RETURN(QueryHandle handle,
+                          Submit(protocol, querier, query_id, sql, options));
+  return handle.Wait();
 }
 
 protocol::QuerySession Engine::NewSession() {
   return protocol::QuerySession(fleet_.get(), config_.device, config_.options,
-                                telemetry(), client_.get());
+                                telemetry(), router_.get());
 }
 
 Result<protocol::ProtocolInputs> Engine::DiscoverInputs(
@@ -88,6 +192,12 @@ Result<protocol::ProtocolInputs> Engine::DiscoverInputs(
 
 std::shared_ptr<const obs::Trace> Engine::TraceFor(uint64_t query_id) const {
   return tracer_.TraceFor(query_id);
+}
+
+uint16_t Engine::ssi_port() const { return shard_port(0); }
+
+uint16_t Engine::shard_port(size_t i) const {
+  return shards_[i].server ? shards_[i].server->port() : 0;
 }
 
 }  // namespace tcells

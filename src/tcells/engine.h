@@ -1,26 +1,38 @@
 // tcells::Engine — the unified entry point of the library.
 //
-// An Engine owns the fleet, the run options and the telemetry sinks
+// An Engine owns the fleet, the run options, the telemetry sinks
 // (a MetricsRegistry plus, optionally, a Tracer collecting per-query span
-// trees), and exposes the two operating modes over one shared execution
-// engine:
+// trees) and the SSI stack itself: `num_shards` SsiNode instances across
+// which the TDS population is hash-partitioned, fronted by a
+// net::ShardedSsiClient coordinator (an exact pass-through at one shard).
+// On top sits a QueryScheduler with `max_inflight_queries` worker slots, so
+// dozens of queries can be in flight concurrently:
 //
-//   * Run(...)        — one query end to end (the RunQuery special case);
-//   * NewSession()    — several concurrent queries over the querybox hub.
+//   * Submit(...)     — enqueue a query, get a QueryHandle (poll Status(),
+//                       block on Wait(), request Cancel());
+//   * Run(...)        — submit-then-wait convenience (one query end to end);
+//   * NewSession()    — several interleaved queries over the querybox hub,
+//                       batch-style, on the caller's thread.
 //
-// Options are validated once at Create, so a malformed configuration fails
-// before any query is posted. See docs/OBSERVABILITY.md for the telemetry
-// model and migration notes from the free functions.
+// Configuration — RunOptions and the shard/concurrency knobs — is validated
+// once at Create, so a malformed configuration fails before any query is
+// posted. Determinism: a query's result is bit-identical whether it runs
+// alone or alongside others, at any shard count and thread count, on
+// loopback or TCP — every query's randomness derives only from its own
+// (seed, query_id) stream, and the shard router reconstructs single-node
+// orderings exactly (see DESIGN.md "Sharding & scheduling").
 #ifndef TCELLS_TCELLS_ENGINE_H_
 #define TCELLS_TCELLS_ENGINE_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/byzantine.h"
 #include "net/channel.h"
 #include "net/faulty.h"
 #include "net/loopback.h"
+#include "net/sharded_client.h"
 #include "net/ssi_client.h"
 #include "net/ssi_node.h"
 #include "net/tcp.h"
@@ -29,36 +41,56 @@
 #include "protocol/factory.h"
 #include "protocol/protocols.h"
 #include "protocol/session.h"
+#include "tcells/query_handle.h"
+#include "tcells/scheduler.h"
 
 namespace tcells {
 
 class Engine {
  public:
+  /// Hard cap on Config::num_shards (sanity bound, not a scaling limit).
+  static constexpr size_t kMaxShards = 64;
+  /// Hard cap on Config::max_inflight_queries (each slot is one worker
+  /// thread).
+  static constexpr size_t kMaxInflightQueries = 256;
+
   struct Config {
     sim::DeviceModel device;
     protocol::RunOptions options;
     /// Collect a span tree per query (obs/trace.h). Metrics are always on.
     bool tracing = true;
-    /// How queriers/TDSs reach the SSI (docs/TRANSPORT.md). Loopback keeps
-    /// a private in-process SSI per session; kTcp starts one SSI server on
-    /// 127.0.0.1 (ephemeral port) that every session of this engine shares,
-    /// so query ids must then be unique across concurrent sessions.
+    /// How queriers/TDSs reach the SSI (docs/TRANSPORT.md). Loopback is the
+    /// in-process default; kTcp starts one SSI server per shard on
+    /// 127.0.0.1 (ephemeral ports). Either way the engine owns the stack
+    /// and all queries share it, so query ids must be unique across
+    /// concurrent queries.
     net::TransportKind transport = net::TransportKind::kLoopback;
-    /// Adversarial testing hooks (docs/TRANSPORT.md "Fault plans"). When
-    /// either is set, the engine owns one shared SSI stack even in loopback
-    /// mode, with the transport wrapped in a FaultyTransport and/or the SSI
-    /// handler wrapped in a ByzantineProxy. Null = honest, fault-free.
+    /// SSI shards the TDS population is hash-partitioned across. 1 (the
+    /// default) is byte-compatible with the single-node engine; validated
+    /// in [1, kMaxShards] at Create.
+    size_t num_shards = 1;
+    /// Concurrent query slots of the scheduler (worker threads executing
+    /// submitted queries). Validated in [1, kMaxInflightQueries] at Create.
+    size_t max_inflight_queries = 4;
+    /// What Submit does once every slot is busy (scheduler.h).
+    AdmissionPolicy admission = AdmissionPolicy::kQueue;
+    /// Adversarial testing hooks (docs/TRANSPORT.md "Fault plans"): each
+    /// shard's transport is wrapped in a FaultyTransport and/or its handler
+    /// in a ByzantineProxy. Null = honest, fault-free.
     std::shared_ptr<const net::FaultPlan> fault_plan;
     std::shared_ptr<const net::TamperPlan> tamper_plan;
   };
 
-  /// Validates `config.options` (RunOptions::Validate) and takes ownership
-  /// of the fleet. InvalidArgument on a null/empty fleet or bad options.
+  /// Validates the configuration (RunOptions::Validate plus the shard and
+  /// concurrency knobs) and takes ownership of the fleet. InvalidArgument on
+  /// a null/empty fleet or any bad knob.
   static Result<std::unique_ptr<Engine>> Create(
       std::unique_ptr<protocol::Fleet> fleet, Config config);
   /// Create with all-default configuration.
   static Result<std::unique_ptr<Engine>> Create(
       std::unique_ptr<protocol::Fleet> fleet);
+
+  ~Engine();
 
   protocol::Fleet& fleet() { return *fleet_; }
   const protocol::RunOptions& options() const { return config_.options; }
@@ -71,15 +103,41 @@ class Engine {
   /// The sink bundle handed to execution (tracer omitted when tracing off).
   obs::Telemetry telemetry();
 
-  /// Runs one query end to end; the outcome carries its span tree when
-  /// tracing is on.
+  /// Enqueues one query with the scheduler and returns immediately. The
+  /// handle observes and controls the run; `protocol` and `querier` must
+  /// stay alive until it finishes. Fails on admission rejection
+  /// (ResourceExhausted under AdmissionPolicy::kReject) — never blocks.
+  Result<QueryHandle> Submit(protocol::Protocol& protocol,
+                             const protocol::Querier& querier,
+                             uint64_t query_id, const std::string& sql);
+  /// Same, with per-query RunOptions overriding the engine defaults
+  /// (validated here). The transport/clock knobs still come from the
+  /// engine's own options — the SSI stack is shared.
+  Result<QueryHandle> Submit(protocol::Protocol& protocol,
+                             const protocol::Querier& querier,
+                             uint64_t query_id, const std::string& sql,
+                             const protocol::RunOptions& options);
+  /// Personal-querybox variant: the query is addressed to one TDS only.
+  Result<QueryHandle> SubmitPersonal(protocol::Protocol& protocol,
+                                     const protocol::Querier& querier,
+                                     uint64_t query_id, uint64_t tds_id,
+                                     const std::string& sql);
+
+  /// Runs one query end to end (submit-then-wait); the outcome carries its
+  /// span tree when tracing is on.
   Result<protocol::RunOutcome> Run(protocol::Protocol& protocol,
                                    const protocol::Querier& querier,
                                    uint64_t query_id, const std::string& sql);
+  /// Same, with per-query RunOptions overriding the engine defaults.
+  Result<protocol::RunOutcome> Run(protocol::Protocol& protocol,
+                                   const protocol::Querier& querier,
+                                   uint64_t query_id, const std::string& sql,
+                                   const protocol::RunOptions& options);
 
-  /// A session for several concurrent queries sharing this engine's fleet,
-  /// options and telemetry sinks. The session borrows the engine; it must
-  /// not outlive it.
+  /// A session for several interleaved queries sharing this engine's fleet,
+  /// options, telemetry sinks and SSI stack, run batch-style on the
+  /// caller's thread (bypasses the scheduler). The session borrows the
+  /// engine; it must not outlive it.
   protocol::QuerySession NewSession();
 
   /// Runs the discovery protocol (§4.4) for `target_sql`'s grouping
@@ -92,37 +150,66 @@ class Engine {
   /// off).
   std::shared_ptr<const obs::Trace> TraceFor(uint64_t query_id) const;
 
-  /// The shared SSI client in kTcp mode or whenever a fault/tamper plan is
-  /// set; null in plain loopback mode (each session then owns a private
-  /// stack).
-  net::SsiClient* ssi_client() { return client_.get(); }
-  /// The TCP port the SSI listens on (0 in loopback mode).
-  uint16_t ssi_port() const { return server_.port(); }
-  /// The fault injector (null unless Config::fault_plan was set).
-  net::FaultyTransport* fault_injector() { return faulty_.get(); }
-  /// The byzantine proxy (null unless Config::tamper_plan was set).
-  net::ByzantineProxy* byzantine_proxy() { return byzantine_.get(); }
+  /// The logical SSI every query goes through: the shard router (an exact
+  /// pass-through to the single backend at num_shards == 1).
+  net::SsiApi* ssi_client() { return router_.get(); }
+  /// The scheduler behind Submit (introspection for tests/benches).
+  QueryScheduler& scheduler() { return *scheduler_; }
+
+  size_t num_shards() const { return config_.num_shards; }
+  /// Shard i's node (i < num_shards) — test/diagnostic access to per-shard
+  /// state such as num_active_queries().
+  net::SsiNode* shard_node(size_t i) { return shards_[i].node.get(); }
+  /// The TCP port shard 0 listens on (0 in loopback mode).
+  uint16_t ssi_port() const;
+  /// Shard i's TCP port (0 in loopback mode).
+  uint16_t shard_port(size_t i) const;
+  /// Shard 0's fault injector (null unless Config::fault_plan was set).
+  net::FaultyTransport* fault_injector() { return shards_[0].faulty.get(); }
+  /// Shard 0's byzantine proxy (null unless Config::tamper_plan was set).
+  net::ByzantineProxy* byzantine_proxy() { return shards_[0].byzantine.get(); }
+  /// Shard i's fault injector / byzantine proxy (null when unset).
+  net::FaultyTransport* shard_fault_injector(size_t i) {
+    return shards_[i].faulty.get();
+  }
+  net::ByzantineProxy* shard_byzantine_proxy(size_t i) {
+    return shards_[i].byzantine.get();
+  }
 
  private:
+  /// One shard's SSI stack: the node, the optional byzantine wrapper around
+  /// its handler, the backend (loopback or TCP), the optional fault
+  /// decorator, and the typed client.
+  struct ShardStack {
+    std::unique_ptr<net::SsiNode> node;
+    std::unique_ptr<net::ByzantineProxy> byzantine;
+    std::unique_ptr<net::TcpServer> server;
+    std::unique_ptr<net::TcpTransport> transport;
+    std::unique_ptr<net::LoopbackTransport> loopback;
+    std::unique_ptr<net::FaultyTransport> faulty;
+    std::unique_ptr<net::SsiClient> client;
+  };
+
   Engine(std::unique_ptr<protocol::Fleet> fleet, Config config);
 
-  Status StartTransport();
+  Status StartShards();
+  void StartScheduler();
+  Result<QueryHandle> SubmitInternal(protocol::Protocol& protocol,
+                                     const protocol::Querier& querier,
+                                     uint64_t query_id,
+                                     std::optional<uint64_t> tds_id,
+                                     const std::string& sql,
+                                     const protocol::RunOptions& options);
 
   std::unique_ptr<protocol::Fleet> fleet_;
   Config config_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
-  /// The engine-owned SSI stack (kTcp mode, or loopback with a fault/tamper
-  /// plan): the node, the optional byzantine wrapper around its handler,
-  /// the backend, the optional fault decorator, and the client every
-  /// session shares.
-  std::unique_ptr<net::SsiNode> node_;
-  std::unique_ptr<net::ByzantineProxy> byzantine_;
-  net::TcpServer server_;
-  std::unique_ptr<net::TcpTransport> transport_;
-  std::unique_ptr<net::LoopbackTransport> loopback_;
-  std::unique_ptr<net::FaultyTransport> faulty_;
-  std::unique_ptr<net::SsiClient> client_;
+  std::vector<ShardStack> shards_;
+  std::unique_ptr<net::ShardedSsiClient> router_;
+  /// Last member: workers reference the router/fleet, so the scheduler must
+  /// be torn down (drained + joined) before anything above it.
+  std::unique_ptr<QueryScheduler> scheduler_;
 };
 
 }  // namespace tcells

@@ -33,48 +33,64 @@ TrustedDataServer::TrustedDataServer(
       policy_(std::move(policy)),
       options_(options) {}
 
-std::map<uint64_t, TrustedDataServer::CachedQuery>::iterator
-TrustedDataServer::TouchCached(
-    std::map<uint64_t, CachedQuery>::iterator it) {
-  lru_order_.splice(lru_order_.begin(), lru_order_, it->second.lru_pos);
-  return it;
+Result<std::shared_ptr<const TrustedDataServer::CachedQuery>>
+TrustedDataServer::OpenQueryEntry(const ssi::QueryPost& post) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = query_cache_.find(post.query_id);
+    if (it != query_cache_.end()) {
+      lru_order_.splice(lru_order_.begin(), lru_order_, it->second->lru_pos);
+      return std::shared_ptr<const CachedQuery>(it->second);
+    }
+  }
+  // Miss: decrypt + analyze outside the lock (reads only immutable state),
+  // so a slow parse of one query never stalls another query's cache hit.
+  // Decrypt the query text with k1 (step 3).
+  TCELLS_ASSIGN_OR_RETURN(Bytes sql_bytes,
+                          keys_->k1_ndet().Decrypt(post.encrypted_query));
+  std::string sql(sql_bytes.begin(), sql_bytes.end());
+  TCELLS_ASSIGN_OR_RETURN(sql::AnalyzedQuery query,
+                          sql::AnalyzeSql(sql, db_.catalog()));
+  auto cached = std::make_shared<CachedQuery>();
+  cached->query = std::move(query);
+  // Credential + policy checks. Failures become PermissionDenied, which
+  // the collection phase answers with a dummy rather than an error.
+  if (!authority_->Verify(post.querier_id, post.credential_mac)) {
+    cached->access = Status::PermissionDenied("bad credential");
+  } else {
+    cached->access = policy_.CheckQuery(cached->query, post.querier_id);
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = query_cache_.find(post.query_id);
+  if (it != query_cache_.end()) {
+    // Lost a fill race with a concurrent open of the same query_id; the
+    // analysis is deterministic, so either copy is equivalent — keep the
+    // first so cached pointers stay stable.
+    lru_order_.splice(lru_order_.begin(), lru_order_, it->second->lru_pos);
+    return std::shared_ptr<const CachedQuery>(it->second);
+  }
+  // Insert as most-recently-used, evicting the coldest entry beyond the
+  // capacity — a TDS in a long-lived fleet must not grow per distinct
+  // query_id forever.
+  if (options_.query_cache_capacity > 0 &&
+      query_cache_.size() >= options_.query_cache_capacity) {
+    query_cache_.erase(lru_order_.back());
+    lru_order_.pop_back();
+  }
+  lru_order_.push_front(post.query_id);
+  cached->lru_pos = lru_order_.begin();
+  query_cache_.emplace(post.query_id, cached);
+  return std::shared_ptr<const CachedQuery>(std::move(cached));
 }
 
 Result<const sql::AnalyzedQuery*> TrustedDataServer::OpenQuery(
     const ssi::QueryPost& post) {
-  auto it = query_cache_.find(post.query_id);
-  if (it != query_cache_.end()) {
-    TouchCached(it);
-  } else {
-    // Decrypt the query text with k1 (step 3).
-    TCELLS_ASSIGN_OR_RETURN(Bytes sql_bytes,
-                            keys_->k1_ndet().Decrypt(post.encrypted_query));
-    std::string sql(sql_bytes.begin(), sql_bytes.end());
-    TCELLS_ASSIGN_OR_RETURN(sql::AnalyzedQuery query,
-                            sql::AnalyzeSql(sql, db_.catalog()));
-    CachedQuery cached;
-    cached.query = std::move(query);
-    // Credential + policy checks. Failures become PermissionDenied, which
-    // the collection phase answers with a dummy rather than an error.
-    if (!authority_->Verify(post.querier_id, post.credential_mac)) {
-      cached.access = Status::PermissionDenied("bad credential");
-    } else {
-      cached.access = policy_.CheckQuery(cached.query, post.querier_id);
-    }
-    // Insert as most-recently-used, evicting the coldest entry beyond the
-    // capacity — a TDS in a long-lived fleet must not grow per distinct
-    // query_id forever.
-    if (options_.query_cache_capacity > 0 &&
-        query_cache_.size() >= options_.query_cache_capacity) {
-      query_cache_.erase(lru_order_.back());
-      lru_order_.pop_back();
-    }
-    lru_order_.push_front(post.query_id);
-    cached.lru_pos = lru_order_.begin();
-    it = query_cache_.emplace(post.query_id, std::move(cached)).first;
-  }
-  if (!it->second.access.ok()) return it->second.access;
-  return &it->second.query;
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const CachedQuery> entry,
+                          OpenQueryEntry(post));
+  if (!entry->access.ok()) return entry->access;
+  // The map keeps the entry alive until eviction, the documented lifetime of
+  // this pointer for single-query callers.
+  return &entry->query;
 }
 
 ssi::EncryptedItem TrustedDataServer::SealK2(const Bytes& payload,
@@ -137,18 +153,15 @@ Result<ssi::EncryptedItem> TrustedDataServer::MakeDummy(
 
 Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
     const ssi::QueryPost& post, const CollectionConfig& config, Rng* rng) {
-  auto open = OpenQuery(post);
-  const sql::AnalyzedQuery* query = nullptr;
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const CachedQuery> entry,
+                          OpenQueryEntry(post));
+  // The pinned entry carries the analyzed shape even when access was denied
+  // — we still need it to emit a well-formed dummy.
+  const sql::AnalyzedQuery* query = &entry->query;
   bool denied = false;
-  if (open.ok()) {
-    query = open.ValueOrDie();
-  } else if (open.status().IsPermissionDenied()) {
+  if (!entry->access.ok()) {
+    if (!entry->access.IsPermissionDenied()) return entry->access;
     denied = true;
-    // We still need the analyzed shape to emit a well-formed dummy.
-    auto& cached = query_cache_.at(post.query_id);
-    query = &cached.query;
-  } else {
-    return open.status();
   }
 
   std::vector<Tuple> tuples;

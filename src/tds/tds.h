@@ -20,6 +20,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/result.h"
@@ -84,6 +85,7 @@ class TrustedDataServer {
     TCELLS_ASSIGN_OR_RETURN(storage::Database db,
                             storage::SecureDatabase::Open(image, storage_key));
     db_ = std::move(db);
+    std::lock_guard<std::mutex> lock(cache_mu_);
     query_cache_.clear();
     lru_order_.clear();
     return Status::OK();
@@ -97,10 +99,19 @@ class TrustedDataServer {
   /// PermissionDenied comes back as a status; ProcessCollection turns it
   /// into a dummy answer instead of an error (the SSI must not learn who
   /// denied).
+  ///
+  /// Thread-safety: the cache itself is mutex-guarded, so concurrent queries
+  /// (the engine scheduler runs several sessions against one fleet) can open
+  /// different query_ids on the same TDS simultaneously. The raw pointer
+  /// form is for single-query callers; under cross-query concurrency use
+  /// the phases (ProcessCollection pins the entry it uses).
   Result<const sql::AnalyzedQuery*> OpenQuery(const ssi::QueryPost& post);
 
   /// Number of cached analyzed queries (bounded by query_cache_capacity).
-  size_t query_cache_size() const { return query_cache_.size(); }
+  size_t query_cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return query_cache_.size();
+  }
 
   /// Collection phase (§3.2 steps 2-4 / §4 collection). Returns the items to
   /// upload: true tuples (plus noise under kDetTag) or a single dummy when
@@ -149,13 +160,18 @@ class TrustedDataServer {
     /// Position in lru_order_ (for O(1) touch on cache hits).
     std::list<uint64_t>::iterator lru_pos;
   };
-  /// Marks `it` most-recently-used and returns it.
-  std::map<uint64_t, CachedQuery>::iterator TouchCached(
-      std::map<uint64_t, CachedQuery>::iterator it);
+  /// Cache lookup-or-fill under cache_mu_. The returned entry is pinned by
+  /// the shared_ptr: a concurrent eviction (another query's fill) frees the
+  /// map slot but not the analysis the caller is still reading.
+  Result<std::shared_ptr<const CachedQuery>> OpenQueryEntry(
+      const ssi::QueryPost& post);
 
-  std::map<uint64_t, CachedQuery> query_cache_;
+  /// Entries are shared_ptr so an in-use analysis survives LRU eviction by a
+  /// concurrent query. Guarded by cache_mu_ together with lru_order_.
+  std::map<uint64_t, std::shared_ptr<CachedQuery>> query_cache_;
   /// query_ids, most-recently-used first.
   std::list<uint64_t> lru_order_;
+  mutable std::mutex cache_mu_;
 };
 
 }  // namespace tcells::tds

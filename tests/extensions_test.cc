@@ -10,6 +10,7 @@
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "ssi/querybox.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -214,11 +215,13 @@ class ExtensionWorld {
     workload::GenericOptions gopts;
     gopts.num_tds = 80;
     gopts.num_groups = 5;
-    fleet_ = workload::BuildGenericFleet(gopts, keys_, authority_,
-                                         tds::AccessPolicy::AllowAll())
-                 .ValueOrDie();
+    auto built = workload::BuildGenericFleet(gopts, keys_, authority_,
+                                             tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
     querier_ = std::make_unique<protocol::Querier>(
         "q", authority_->Issue("q"), keys_);
+    engine_ = Engine::Create(std::move(built)).ValueOrDie();
+    fleet_ = &engine_->fleet();
   }
 
   protocol::RunOutcome Run(const std::string& sql,
@@ -231,15 +234,15 @@ class ExtensionWorld {
     protocol::Protocol& protocol =
         analyzed.is_aggregation ? static_cast<protocol::Protocol&>(s_agg)
                                 : basic;
-    return protocol::RunQuery(protocol, fleet_.get(), *querier_, next_id_++,
-                              sql, sim::DeviceModel(), opts)
+    return engine_->Run(protocol, *querier_, next_id_++, sql, opts)
         .ValueOrDie();
   }
 
   std::shared_ptr<const crypto::KeyStore> keys_;
   std::shared_ptr<tds::Authority> authority_;
-  std::unique_ptr<protocol::Fleet> fleet_;
   std::unique_ptr<protocol::Querier> querier_;
+  std::unique_ptr<Engine> engine_;
+  protocol::Fleet* fleet_ = nullptr;  // owned by the engine
   uint64_t next_id_ = 1;
 };
 

@@ -13,6 +13,7 @@
 #include "crypto/broadcast.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -25,8 +26,9 @@ using protocol::RunOutcome;
 struct MeasuredWorld {
   std::shared_ptr<const crypto::KeyStore> keys;
   std::shared_ptr<tds::Authority> authority;
-  std::unique_ptr<protocol::Fleet> fleet;
   std::unique_ptr<protocol::Querier> querier;
+  std::unique_ptr<Engine> engine;
+  protocol::Fleet* fleet = nullptr;  // owned by the engine
   sim::DeviceModel device;
   uint64_t next_id = 1;
 
@@ -37,18 +39,18 @@ struct MeasuredWorld {
     gopts.num_tds = n;
     gopts.num_groups = groups;
     gopts.seed = seed;
-    fleet = workload::BuildGenericFleet(gopts, keys, authority,
-                                        tds::AccessPolicy::AllowAll())
-                .ValueOrDie();
+    auto built = workload::BuildGenericFleet(gopts, keys, authority,
+                                             tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
     querier = std::make_unique<protocol::Querier>(
         "val", authority->Issue("val"), keys);
+    engine = Engine::Create(std::move(built)).ValueOrDie();
+    fleet = &engine->fleet();
   }
 
   RunOutcome Run(protocol::Protocol& protocol, const std::string& sql,
                  RunOptions opts) {
-    return protocol::RunQuery(protocol, fleet.get(), *querier, next_id++, sql,
-                              device, opts)
-        .ValueOrDie();
+    return engine->Run(protocol, *querier, next_id++, sql, opts).ValueOrDie();
   }
 
   std::shared_ptr<const std::vector<storage::Tuple>> Domain(size_t groups) {
@@ -223,10 +225,10 @@ TEST(KeyRotationStoryTest, CompromiseRevokeRotate) {
   opts.compute_availability = 1.0;  // ensure device 13 participates
   // Partition assignment is randomized; a few queries guarantee that some
   // compromised device handles a partition.
+  auto engine_e0 = Engine::Create(std::move(fleet)).ValueOrDie();
   for (uint64_t qid = 1; qid <= 3; ++qid) {
-    auto outcome = protocol::RunQuery(s_agg, fleet.get(), querier_e0, qid,
-                                      kSql, sim::DeviceModel(), opts)
-                       .ValueOrDie();
+    auto outcome =
+        engine_e0->Run(s_agg, querier_e0, qid, kSql, opts).ValueOrDie();
     EXPECT_FALSE(outcome.result.rows.empty());
   }
   EXPECT_GT(leak->NumLeakedRawTuples() + leak->NumLeakedGroups(), 0u);
@@ -260,10 +262,10 @@ TEST(KeyRotationStoryTest, CompromiseRevokeRotate) {
     if (i != 13) healthy->Add(std::move(server));
   }
   protocol::Querier querier_e1("op", authority->Issue("op"), new_keys);
-  auto outcome2 = protocol::RunQuery(s_agg, healthy.get(), querier_e1, 2,
-                                     kSql, sim::DeviceModel(), opts)
-                      .ValueOrDie();
-  auto oracle = protocol::ExecuteReference(*healthy, kSql).ValueOrDie();
+  auto engine_e1 = Engine::Create(std::move(healthy)).ValueOrDie();
+  auto outcome2 = engine_e1->Run(s_agg, querier_e1, 2, kSql, opts).ValueOrDie();
+  auto oracle =
+      protocol::ExecuteReference(engine_e1->fleet(), kSql).ValueOrDie();
   EXPECT_TRUE(outcome2.result.SameRows(oracle));
 
   // An epoch-0 key store cannot read epoch-1 traffic.

@@ -17,6 +17,7 @@
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
 #include "sql/executor.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "tds/leak_log.h"
 #include "workload/generic.h"
@@ -114,10 +115,12 @@ RunSnapshot RunWith(ProtocolKind kind, size_t num_threads, uint64_t seed,
   opts.num_threads = num_threads;
   opts.dropout_rate = dropout_rate;
 
+  Engine::Config cfg;
+  cfg.options = opts;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
   RunSnapshot snapshot;
-  snapshot.outcome = RunQuery(*protocol, fleet.get(), querier, 1,
-                              QueryFor(kind), sim::DeviceModel(), opts)
-                         .ValueOrDie();
+  snapshot.outcome =
+      engine->Run(*protocol, querier, 1, QueryFor(kind)).ValueOrDie();
   snapshot.leaked_raw_tuples = leak_log->NumLeakedRawTuples();
   snapshot.leaked_groups = leak_log->NumLeakedGroups();
   snapshot.leaked_result_rows = leak_log->NumLeakedResultRows();
@@ -325,11 +328,11 @@ TEST(ParallelDifferentialSizeTest, SizeBoundTruncatesIdentically) {
                      .ValueOrDie();
     Querier querier("diff", authority->Issue("diff"), keys);
     BasicSfwProtocol protocol;
-    RunOptions opts;
-    opts.seed = 9;
-    opts.num_threads = threads;
-    return RunQuery(protocol, fleet.get(), querier, 1,
-                    "SELECT grp FROM T SIZE 10", sim::DeviceModel(), opts)
+    Engine::Config cfg;
+    cfg.options.seed = 9;
+    cfg.options.num_threads = threads;
+    auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+    return engine->Run(protocol, querier, 1, "SELECT grp FROM T SIZE 10")
         .ValueOrDie();
   };
   RunOutcome serial = run(1);

@@ -8,6 +8,7 @@
 #include "protocol/discovery.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 #include "crypto/encryption.h"
@@ -19,22 +20,34 @@ namespace {
 using storage::Tuple;
 using storage::Value;
 
+RunOptions FastOptions() {
+  RunOptions opts;
+  opts.compute_availability = 0.2;
+  opts.seed = 99;
+  return opts;
+}
+
 struct TestWorld {
   std::shared_ptr<const crypto::KeyStore> keys;
   std::shared_ptr<tds::Authority> authority;
-  std::unique_ptr<Fleet> fleet;
   std::unique_ptr<Querier> querier;
+  std::unique_ptr<Engine> engine;
+  Fleet* fleet = nullptr;  // owned by the engine
   sim::DeviceModel device;
 
   static TestWorld Generic(const workload::GenericOptions& opts) {
     TestWorld w;
     w.keys = crypto::KeyStore::CreateForTest(2024);
     w.authority = std::make_shared<tds::Authority>(Bytes(16, 0x11));
-    w.fleet = workload::BuildGenericFleet(opts, w.keys, w.authority,
-                                          tds::AccessPolicy::AllowAll())
-                  .ValueOrDie();
+    auto fleet = workload::BuildGenericFleet(opts, w.keys, w.authority,
+                                             tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
     w.querier = std::make_unique<Querier>(
         "tester", w.authority->Issue("tester"), w.keys);
+    Engine::Config cfg;
+    cfg.options = FastOptions();
+    w.engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+    w.fleet = &w.engine->fleet();
     return w;
   }
 
@@ -42,11 +55,15 @@ struct TestWorld {
     TestWorld w;
     w.keys = crypto::KeyStore::CreateForTest(2025);
     w.authority = std::make_shared<tds::Authority>(Bytes(16, 0x22));
-    w.fleet = workload::BuildSmartMeterFleet(opts, w.keys, w.authority,
-                                             tds::AccessPolicy::AllowAll())
-                  .ValueOrDie();
+    auto fleet = workload::BuildSmartMeterFleet(opts, w.keys, w.authority,
+                                                tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
     w.querier = std::make_unique<Querier>(
         "energy-co", w.authority->Issue("energy-co"), w.keys);
+    Engine::Config cfg;
+    cfg.options = FastOptions();
+    w.engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+    w.fleet = &w.engine->fleet();
     return w;
   }
 
@@ -58,13 +75,6 @@ struct TestWorld {
     return domain;
   }
 };
-
-RunOptions FastOptions() {
-  RunOptions opts;
-  opts.compute_availability = 0.2;
-  opts.seed = 99;
-  return opts;
-}
 
 // ---------------------------------------------------------------------------
 // Correctness vs the oracle, across protocols and query shapes.
@@ -99,7 +109,7 @@ TEST_P(ProtocolOracleTest, MatchesPlaintextOracle) {
     case ProtocolKind::kEdHist: {
       // Learn the true A_G distribution the way a deployment would: through
       // the secure discovery protocol (itself an S_Agg round).
-      auto discovered = DiscoverDistribution(w.fleet.get(), *w.querier, 999,
+      auto discovered = DiscoverDistribution(w.fleet, *w.querier, 999,
                                              c.sql, w.device, FastOptions())
                             .ValueOrDie();
       protocol = EdHistProtocol::FromDistribution(discovered.frequency, 2);
@@ -109,9 +119,7 @@ TEST_P(ProtocolOracleTest, MatchesPlaintextOracle) {
       FAIL() << "unexpected protocol";
   }
 
-  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 1, c.sql,
-                          w.device, FastOptions())
-                     .ValueOrDie();
+  auto outcome = w.engine->Run(*protocol, *w.querier, 1, c.sql).ValueOrDie();
   auto expected = ExecuteReference(*w.fleet, c.sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected))
       << "protocol:\n" << outcome.result.ToString()
@@ -159,9 +167,7 @@ TEST(BasicSfwTest, MatchesOracleAndDropsDummies) {
   TestWorld w = TestWorld::Generic(gopts);
   BasicSfwProtocol protocol;
   const char* sql = "SELECT grp, val FROM T WHERE cat < 5";
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 2, sql,
-                          w.device, FastOptions())
-                     .ValueOrDie();
+  auto outcome = w.engine->Run(protocol, *w.querier, 2, sql).ValueOrDie();
   auto expected = ExecuteReference(*w.fleet, sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected));
   // TDSs whose WHERE matched nothing sent dummies: collection saw one item
@@ -176,9 +182,9 @@ TEST(BasicSfwTest, RejectsAggregationQuery) {
   gopts.num_tds = 4;
   TestWorld w = TestWorld::Generic(gopts);
   BasicSfwProtocol protocol;
-  EXPECT_FALSE(RunQuery(protocol, w.fleet.get(), *w.querier, 3,
-                        "SELECT grp, COUNT(*) FROM T GROUP BY grp", w.device,
-                        FastOptions())
+  EXPECT_FALSE(w.engine
+                   ->Run(protocol, *w.querier, 3,
+                         "SELECT grp, COUNT(*) FROM T GROUP BY grp")
                    .ok());
 }
 
@@ -187,9 +193,8 @@ TEST(SAggTest, RejectsPlainSfwQuery) {
   gopts.num_tds = 4;
   TestWorld w = TestWorld::Generic(gopts);
   SAggProtocol protocol;
-  EXPECT_FALSE(RunQuery(protocol, w.fleet.get(), *w.querier, 4,
-                        "SELECT grp FROM T", w.device, FastOptions())
-                   .ok());
+  EXPECT_FALSE(
+      w.engine->Run(protocol, *w.querier, 4, "SELECT grp FROM T").ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -200,9 +205,9 @@ TEST(SizeClauseTest, StopsCollectionEarly) {
   gopts.num_tds = 50;
   TestWorld w = TestWorld::Generic(gopts);
   BasicSfwProtocol protocol;
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 5,
-                          "SELECT grp FROM T SIZE 10", w.device, FastOptions())
-                     .ValueOrDie();
+  auto outcome =
+      w.engine->Run(protocol, *w.querier, 5, "SELECT grp FROM T SIZE 10")
+          .ValueOrDie();
   EXPECT_EQ(outcome.adversary.collection_items, 10u);
   EXPECT_LE(outcome.result.rows.size(), 10u);
 }
@@ -219,9 +224,7 @@ TEST(DropoutTest, ResultStillCorrectUnderChurn) {
   RunOptions opts = FastOptions();
   opts.dropout_rate = 0.3;
   const char* sql = "SELECT grp, SUM(val), COUNT(*) FROM T GROUP BY grp";
-  auto outcome =
-      RunQuery(protocol, w.fleet.get(), *w.querier, 6, sql, w.device, opts)
-          .ValueOrDie();
+  auto outcome = w.engine->Run(protocol, *w.querier, 6, sql, opts).ValueOrDie();
   auto expected = ExecuteReference(*w.fleet, sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected));
   uint64_t drops =
@@ -239,9 +242,9 @@ TEST(AdversaryTest, SAggExposesNoTagsAndNoDuplicateBlobs) {
   gopts.num_groups = 3;
   TestWorld w = TestWorld::Generic(gopts);
   SAggProtocol protocol;
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 7,
-                          "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                          w.device, FastOptions())
+  auto outcome = w.engine
+                     ->Run(protocol, *w.querier, 7,
+                           "SELECT grp, COUNT(*) FROM T GROUP BY grp")
                      .ValueOrDie();
   // No routing tags at all: SSI cannot group anything.
   EXPECT_TRUE(outcome.adversary.collection_tag_histogram.empty());
@@ -259,9 +262,9 @@ TEST(AdversaryTest, CNoiseTagHistogramIsFlat) {
   gopts.group_skew = 1.2;  // heavily skewed true distribution
   TestWorld w = TestWorld::Generic(gopts);
   NoiseProtocol protocol(true, TestWorld::Generic(gopts).GroupDomain(4));
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 8,
-                          "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                          w.device, FastOptions())
+  auto outcome = w.engine
+                     ->Run(protocol, *w.querier, 8,
+                           "SELECT grp, COUNT(*) FROM T GROUP BY grp")
                      .ValueOrDie();
   // Every TDS emits exactly one tuple per domain value: perfectly flat.
   const auto& hist = outcome.adversary.collection_tag_histogram;
@@ -282,9 +285,9 @@ TEST(AdversaryTest, RnfNoiseHidesSkewBetterWithMoreNoise) {
     NoiseProtocol protocol(false, w.GroupDomain(4));
     RunOptions opts = FastOptions();
     opts.nf = nf;
-    auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 9,
-                            "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                            w.device, opts)
+    auto outcome = w.engine
+                       ->Run(protocol, *w.querier, 9,
+                             "SELECT grp, COUNT(*) FROM T GROUP BY grp", opts)
                        .ValueOrDie();
     const auto& hist = outcome.adversary.collection_tag_histogram;
     uint64_t max_c = 0, min_c = UINT64_MAX;
@@ -317,9 +320,9 @@ TEST(AdversaryTest, EdHistBucketsNearEquiDepth) {
     for (const auto& r : rows) freq[Tuple({r.at(0)})] += 1;
   }
   auto protocol = EdHistProtocol::FromDistribution(freq, 4);
-  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 10,
-                          "SELECT grp, AVG(val) FROM T GROUP BY grp",
-                          w.device, FastOptions())
+  auto outcome = w.engine
+                     ->Run(*protocol, *w.querier, 10,
+                           "SELECT grp, AVG(val) FROM T GROUP BY grp")
                      .ValueOrDie();
   const auto& hist = outcome.adversary.collection_tag_histogram;
   ASSERT_GE(hist.size(), 2u);
@@ -340,13 +343,11 @@ TEST(AdversaryTest, EdHistPhaseTwoRevealsOnlyGroupCount) {
   gopts.num_groups = 6;
   TestWorld w = TestWorld::Generic(gopts);
   const char* sql = "SELECT grp, COUNT(*) FROM T GROUP BY grp";
-  auto discovered = DiscoverDistribution(w.fleet.get(), *w.querier, 50, sql,
+  auto discovered = DiscoverDistribution(w.fleet, *w.querier, 50, sql,
                                          w.device, FastOptions())
                         .ValueOrDie();
   auto protocol = EdHistProtocol::FromDistribution(discovered.frequency, 2);
-  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 51, sql,
-                          w.device, FastOptions())
-                     .ValueOrDie();
+  auto outcome = w.engine->Run(*protocol, *w.querier, 51, sql).ValueOrDie();
   // The covering result carries one Det_Enc(group) tag per group: the SSI
   // learns G (the paper accepts this — the querier sees G anyway) but the
   // tags are SIV ciphertexts, not plaintext group names.
@@ -370,9 +371,9 @@ TEST(AdversaryTest, PayloadPaddingEqualizesNoiseBlobSizes) {
   NoiseProtocol protocol(false, w.GroupDomain(4));
   RunOptions opts = FastOptions();
   opts.pad_payload_to = 128;
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 60,
-                          "SELECT grp, AVG(val) FROM T GROUP BY grp",
-                          w.device, opts)
+  auto outcome = w.engine
+                     ->Run(protocol, *w.querier, 60,
+                           "SELECT grp, AVG(val) FROM T GROUP BY grp", opts)
                      .ValueOrDie();
   std::set<size_t> sizes(outcome.adversary.collection_blob_sizes.begin(),
                          outcome.adversary.collection_blob_sizes.end());
@@ -390,9 +391,9 @@ TEST(AdversaryTest, WithoutPaddingNoiseBlobSizesDiffer) {
   gopts.num_groups = 4;
   TestWorld w = TestWorld::Generic(gopts);
   NoiseProtocol protocol(false, w.GroupDomain(4));
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 61,
-                          "SELECT grp, AVG(val) FROM T GROUP BY grp",
-                          w.device, FastOptions())
+  auto outcome = w.engine
+                     ->Run(protocol, *w.querier, 61,
+                           "SELECT grp, AVG(val) FROM T GROUP BY grp")
                      .ValueOrDie();
   std::set<size_t> sizes(outcome.adversary.collection_blob_sizes.begin(),
                          outcome.adversary.collection_blob_sizes.end());
@@ -410,7 +411,7 @@ TEST(DiscoveryTest, RecoversTrueDistribution) {
   gopts.group_skew = 0.9;
   TestWorld w = TestWorld::Generic(gopts);
   auto discovered = DiscoverDistribution(
-                        w.fleet.get(), *w.querier, 11,
+                        w.fleet, *w.querier, 11,
                         "SELECT grp, AVG(val) FROM T GROUP BY grp", w.device,
                         FastOptions())
                         .ValueOrDie();
@@ -439,13 +440,11 @@ TEST(SmartMeterTest, FlagshipQueryEndToEndWithDiscoveryAndEdHist) {
       "GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 5";
 
   auto discovered =
-      DiscoverDistribution(w.fleet.get(), *w.querier, 12, sql, w.device,
+      DiscoverDistribution(w.fleet, *w.querier, 12, sql, w.device,
                            FastOptions())
           .ValueOrDie();
   auto protocol = EdHistProtocol::FromDistribution(discovered.frequency, 3);
-  auto outcome = RunQuery(*protocol, w.fleet.get(), *w.querier, 13, sql,
-                          w.device, FastOptions())
-                     .ValueOrDie();
+  auto outcome = w.engine->Run(*protocol, *w.querier, 13, sql).ValueOrDie();
   auto expected = ExecuteReference(*w.fleet, sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected))
       << "protocol:\n" << outcome.result.ToString()
@@ -461,9 +460,9 @@ TEST(MetricsTest, AccountingIsPopulated) {
   gopts.num_groups = 3;
   TestWorld w = TestWorld::Generic(gopts);
   SAggProtocol protocol;
-  auto outcome = RunQuery(protocol, w.fleet.get(), *w.querier, 14,
-                          "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                          w.device, FastOptions())
+  auto outcome = w.engine
+                     ->Run(protocol, *w.querier, 14,
+                           "SELECT grp, COUNT(*) FROM T GROUP BY grp")
                      .ValueOrDie();
   const auto& m = outcome.metrics;
   EXPECT_GT(m.Ptds(), 0u);

@@ -6,6 +6,7 @@
 
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -88,11 +89,11 @@ TEST_P(ProtocolGridTest, MatchesOracleEverywhere) {
   const char* sql =
       "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), MAX(val) "
       "FROM T GROUP BY grp";
-  auto outcome =
-      RunQuery(*protocol, fleet.get(), querier, 1, sql,
-               sim::DeviceModel(), opts)
-          .ValueOrDie();
-  auto expected = ExecuteReference(*fleet, sql).ValueOrDie();
+  Engine::Config cfg;
+  cfg.options = opts;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+  auto outcome = engine->Run(*protocol, querier, 1, sql).ValueOrDie();
+  auto expected = ExecuteReference(engine->fleet(), sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected))
       << "got:\n" << outcome.result.ToString()
       << "want:\n" << expected.ToString();
@@ -151,12 +152,11 @@ TEST_P(WhereFeatureTest, MatchesOracleThroughProtocol) {
   BasicSfwProtocol protocol;
   std::string sql = std::string("SELECT grp, val, cat FROM T WHERE ") +
                     GetParam();
-  RunOptions opts;
-  opts.compute_availability = 0.3;
-  auto outcome = RunQuery(protocol, fleet.get(), querier, 1, sql,
-                          sim::DeviceModel(), opts)
-                     .ValueOrDie();
-  auto expected = ExecuteReference(*fleet, sql).ValueOrDie();
+  Engine::Config cfg;
+  cfg.options.compute_availability = 0.3;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+  auto outcome = engine->Run(protocol, querier, 1, sql).ValueOrDie();
+  auto expected = ExecuteReference(engine->fleet(), sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected)) << sql;
 }
 
@@ -185,9 +185,9 @@ TEST(WhereFeatureErrors, TypeErrorInPredicateSurfacesCleanly) {
                    .ValueOrDie();
   Querier querier("w", authority->Issue("w"), keys);
   BasicSfwProtocol protocol;
-  auto outcome = RunQuery(protocol, fleet.get(), querier, 1,
-                          "SELECT grp FROM T WHERE val % 2 = 0",
-                          sim::DeviceModel(), {});
+  auto engine = Engine::Create(std::move(fleet)).ValueOrDie();
+  auto outcome =
+      engine->Run(protocol, querier, 1, "SELECT grp FROM T WHERE val % 2 = 0");
   ASSERT_FALSE(outcome.ok());
   EXPECT_TRUE(outcome.status().IsInvalidArgument());
 }
@@ -209,16 +209,15 @@ TEST_P(BasicSfwGridTest, SelectivitySweep) {
   BasicSfwProtocol protocol;
   std::string sql =
       "SELECT grp, cat FROM T WHERE cat < " + std::to_string(threshold);
-  RunOptions opts;
-  opts.compute_availability = 0.2;
-  auto outcome = RunQuery(protocol, fleet.get(), querier, 1, sql,
-                          sim::DeviceModel(), opts)
-                     .ValueOrDie();
-  auto expected = ExecuteReference(*fleet, sql).ValueOrDie();
+  Engine::Config cfg;
+  cfg.options.compute_availability = 0.2;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+  auto outcome = engine->Run(protocol, querier, 1, sql).ValueOrDie();
+  auto expected = ExecuteReference(engine->fleet(), sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected));
   // Whatever the selectivity (including zero), the SSI always sees one item
   // per TDS: selectivity never leaks.
-  EXPECT_EQ(outcome.adversary.collection_items, fleet->size());
+  EXPECT_EQ(outcome.adversary.collection_items, engine->fleet().size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Selectivity, BasicSfwGridTest,

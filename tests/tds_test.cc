@@ -7,6 +7,7 @@
 #include "crypto/keystore.h"
 #include "protocol/protocols.h"
 #include "ssi/ssi.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "tds/histogram.h"
 #include "tds/tds.h"
@@ -712,13 +713,15 @@ TEST_F(TdsTest, QueryCacheCapacityDoesNotChangeResults) {
     opts.seed = 99;
     opts.num_threads = 1;
     protocol::SAggProtocol sagg;
+    Engine::Config cfg;
+    cfg.options = opts;
+    auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
     std::string out;
     for (uint64_t id = 1; id <= 3; ++id) {
       auto outcome =
-          protocol::RunQuery(sagg, fleet.get(), querier, id,
-                             "SELECT grp, COUNT(*), SUM(cat) FROM T GROUP BY "
-                             "grp",
-                             sim::DeviceModel(), opts)
+          engine
+              ->Run(sagg, querier, id,
+                    "SELECT grp, COUNT(*), SUM(cat) FROM T GROUP BY grp")
               .ValueOrDie();
       out += outcome.result.ToString();
       out += "|" + std::to_string(outcome.adversary.collection_items);

@@ -20,6 +20,7 @@
 #include "net/tcp.h"
 #include "protocol/protocols.h"
 #include "protocol/reference.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 
@@ -98,22 +99,13 @@ RunOutcome RunOver(ProtocolKind kind, net::TransportKind transport_kind,
   opts.seed = seed;
   opts.num_threads = 2;
 
-  if (transport_kind == net::TransportKind::kLoopback) {
-    // Default path: RunQuery builds a session-owned loopback stack.
-    return RunQuery(*protocol, fleet.get(), querier, 1, QueryFor(kind),
-                    sim::DeviceModel(), opts)
-        .ValueOrDie();
-  }
-
-  net::SsiNode node;
-  net::TcpServer server;
-  Status started = server.Start(node.handler());
-  EXPECT_TRUE(started.ok()) << started.ToString();
-  net::TcpTransport transport("127.0.0.1", server.port());
-  net::SsiClient client(&transport, TransportRetryPolicy(opts));
-  return RunQuery(*protocol, fleet.get(), querier, 1, QueryFor(kind),
-                  sim::DeviceModel(), opts, /*telemetry=*/{}, &client)
-      .ValueOrDie();
+  // The engine owns whichever stack the arm asks for: an in-process loopback
+  // or a real TCP server + socket per shard.
+  Engine::Config cfg;
+  cfg.options = opts;
+  cfg.transport = transport_kind;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+  return engine->Run(*protocol, querier, 1, QueryFor(kind)).ValueOrDie();
 }
 
 void ExpectPhaseTallyEq(const sim::PhaseTally& a, const sim::PhaseTally& b,
@@ -254,19 +246,11 @@ TEST(TransportDifferentialDropoutTest, ChurnIsTransportIndependent) {
     opts.seed = 5;
     opts.dropout_rate = 0.2;
 
-    if (transport_kind == net::TransportKind::kLoopback) {
-      return RunQuery(protocol, fleet.get(), querier, 1,
-                      QueryFor(ProtocolKind::kSAgg), sim::DeviceModel(), opts)
-          .ValueOrDie();
-    }
-    net::SsiNode node;
-    net::TcpServer server;
-    EXPECT_TRUE(server.Start(node.handler()).ok());
-    net::TcpTransport transport("127.0.0.1", server.port());
-    net::SsiClient client(&transport, TransportRetryPolicy(opts));
-    return RunQuery(protocol, fleet.get(), querier, 1,
-                    QueryFor(ProtocolKind::kSAgg), sim::DeviceModel(), opts,
-                    /*telemetry=*/{}, &client)
+    Engine::Config cfg;
+    cfg.options = opts;
+    cfg.transport = transport_kind;
+    auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+    return engine->Run(protocol, querier, 1, QueryFor(ProtocolKind::kSAgg))
         .ValueOrDie();
   };
   RunOutcome loopback = run(net::TransportKind::kLoopback);

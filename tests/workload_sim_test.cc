@@ -12,6 +12,7 @@
 #include "protocol/reference.h"
 #include "sim/cost_accountant.h"
 #include "sim/device_model.h"
+#include "tcells/engine.h"
 #include "tds/access_control.h"
 #include "workload/generic.h"
 #include "workload/health.h"
@@ -195,16 +196,19 @@ class PlumbingWorld {
     authority = std::make_shared<tds::Authority>(Bytes(16, 9));
     workload::GenericOptions gopts;
     gopts.num_tds = n;
-    fleet = workload::BuildGenericFleet(gopts, keys, authority,
-                                        tds::AccessPolicy::AllowAll())
-                .ValueOrDie();
+    auto built = workload::BuildGenericFleet(gopts, keys, authority,
+                                             tds::AccessPolicy::AllowAll())
+                     .ValueOrDie();
     querier = std::make_unique<protocol::Querier>("p", authority->Issue("p"),
                                                   keys);
+    engine = Engine::Create(std::move(built)).ValueOrDie();
+    fleet = &engine->fleet();
   }
   std::shared_ptr<const crypto::KeyStore> keys;
   std::shared_ptr<tds::Authority> authority;
-  std::unique_ptr<protocol::Fleet> fleet;
   std::unique_ptr<protocol::Querier> querier;
+  std::unique_ptr<Engine> engine;
+  protocol::Fleet* fleet = nullptr;  // owned by the engine
 };
 
 TEST(FleetTest, SampleAvailableBounds) {
@@ -253,9 +257,9 @@ TEST(RunnerTest, WorstCaseChurnStillCompletes) {
   opts.dropout_rate = 1.0;  // every retryable assignment fails
   opts.max_dropout_retries = 3;
   opts.dropout_timeout_seconds = 2.0;
-  auto outcome = protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
-                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                                    sim::DeviceModel(), opts)
+  auto outcome = w.engine
+                     ->Run(protocol, *w.querier, 1,
+                           "SELECT grp, COUNT(*) FROM T GROUP BY grp", opts)
                      .ValueOrDie();
   const auto& agg = outcome.metrics.accountant.phase(sim::Phase::kAggregation);
   EXPECT_EQ(agg.dropouts, agg.partitions * opts.max_dropout_retries);
@@ -275,9 +279,9 @@ TEST(RunnerTest, SameSeedSameOutcome) {
     protocol::RunOptions opts;
     opts.seed = 123;
     opts.dropout_rate = 0.1;
-    return protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
-                              "SELECT grp, SUM(val) FROM T GROUP BY grp",
-                              sim::DeviceModel(), opts)
+    return w.engine
+        ->Run(protocol, *w.querier, 1,
+              "SELECT grp, SUM(val) FROM T GROUP BY grp", opts)
         .ValueOrDie();
   };
   auto a = run_once();
@@ -290,13 +294,10 @@ TEST(RunnerTest, SameSeedSameOutcome) {
 }
 
 TEST(RunnerTest, EmptyFleetRejected) {
-  PlumbingWorld w;
-  protocol::Fleet empty;
-  protocol::SAggProtocol protocol;
-  auto outcome = protocol::RunQuery(protocol, &empty, *w.querier, 1,
-                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                                    sim::DeviceModel(), {});
-  EXPECT_FALSE(outcome.ok());
+  // The engine refuses to even start on an empty fleet.
+  auto engine = Engine::Create(std::make_unique<protocol::Fleet>());
+  ASSERT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsInvalidArgument());
 }
 
 
@@ -329,9 +330,7 @@ TEST(FactoryTest, InputRequirementsEnforced) {
 TEST(FactoryTest, DiscoverInputsEndToEnd) {
   PlumbingWorld w;
   const char* sql = "SELECT grp, AVG(val) FROM T GROUP BY grp";
-  auto inputs = protocol::DiscoverInputs(w.fleet.get(), *w.querier, 5, sql,
-                                         sim::DeviceModel(), {})
-                    .ValueOrDie();
+  auto inputs = w.engine->DiscoverInputs(*w.querier, 5, sql).ValueOrDie();
   EXPECT_FALSE(inputs.distribution.empty());
   ASSERT_NE(inputs.group_domain, nullptr);
   EXPECT_EQ(inputs.group_domain->size(), inputs.distribution.size());
@@ -339,9 +338,7 @@ TEST(FactoryTest, DiscoverInputsEndToEnd) {
   auto protocol =
       protocol::MakeProtocol(protocol::ProtocolKind::kEdHist, inputs)
           .ValueOrDie();
-  auto outcome = protocol::RunQuery(*protocol, w.fleet.get(), *w.querier, 6,
-                                    sql, sim::DeviceModel(), {})
-                     .ValueOrDie();
+  auto outcome = w.engine->Run(*protocol, *w.querier, 6, sql).ValueOrDie();
   auto expected = protocol::ExecuteReference(*w.fleet, sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected));
 }
@@ -349,8 +346,7 @@ TEST(FactoryTest, DiscoverInputsEndToEnd) {
 TEST(DiscoveryTest, RequiresGroupBy) {
   PlumbingWorld w;
   auto result = protocol::DiscoverDistribution(
-      w.fleet.get(), *w.querier, 1, "SELECT grp FROM T", sim::DeviceModel(),
-      {});
+      w.fleet, *w.querier, 1, "SELECT grp FROM T", sim::DeviceModel(), {});
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
@@ -358,9 +354,8 @@ TEST(DiscoveryTest, RequiresGroupBy) {
 TEST(NoiseProtocolTest, MissingDomainIsFailedPrecondition) {
   PlumbingWorld w;
   protocol::NoiseProtocol protocol(false, nullptr);
-  auto outcome = protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
-                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                                    sim::DeviceModel(), {});
+  auto outcome = w.engine->Run(protocol, *w.querier, 1,
+                               "SELECT grp, COUNT(*) FROM T GROUP BY grp");
   ASSERT_FALSE(outcome.ok());
   EXPECT_TRUE(outcome.status().IsFailedPrecondition());
 }
@@ -368,9 +363,8 @@ TEST(NoiseProtocolTest, MissingDomainIsFailedPrecondition) {
 TEST(EdHistProtocolTest, MissingHistogramIsFailedPrecondition) {
   PlumbingWorld w;
   protocol::EdHistProtocol protocol(nullptr);
-  auto outcome = protocol::RunQuery(protocol, w.fleet.get(), *w.querier, 1,
-                                    "SELECT grp, COUNT(*) FROM T GROUP BY grp",
-                                    sim::DeviceModel(), {});
+  auto outcome = w.engine->Run(protocol, *w.querier, 1,
+                               "SELECT grp, COUNT(*) FROM T GROUP BY grp");
   ASSERT_FALSE(outcome.ok());
   EXPECT_TRUE(outcome.status().IsFailedPrecondition());
 }
@@ -407,10 +401,9 @@ TEST(ProvisioningIntegrationTest, ProvisionedFleetAnswersQueries) {
                             provisioner.CurrentKeys().ValueOrDie());
   protocol::SAggProtocol s_agg;
   const char* sql = "SELECT grp, COUNT(*), AVG(val) FROM T GROUP BY grp";
-  auto outcome = protocol::RunQuery(s_agg, fleet.get(), querier, 1, sql,
-                                    sim::DeviceModel(), {})
-                     .ValueOrDie();
-  auto expected = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
+  auto engine = Engine::Create(std::move(fleet)).ValueOrDie();
+  auto outcome = engine->Run(s_agg, querier, 1, sql).ValueOrDie();
+  auto expected = protocol::ExecuteReference(engine->fleet(), sql).ValueOrDie();
   EXPECT_TRUE(outcome.result.SameRows(expected));
 }
 
