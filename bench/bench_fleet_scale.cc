@@ -36,6 +36,8 @@ constexpr size_t kComputePoolTarget = 200;
 struct Cell {
   size_t num_tds;
   size_t shards;
+  net::TransportKind transport;
+  size_t batch_max_calls;
   double wall_seconds;
   double qps;
   double p50_ms;
@@ -49,7 +51,8 @@ double Quantile(std::vector<double> sorted, double q) {
   return sorted[idx];
 }
 
-Cell RunCell(size_t num_tds, size_t shards) {
+Cell RunCell(size_t num_tds, size_t shards, net::TransportKind transport,
+             size_t batch_max_calls) {
   workload::GenericOptions gopts;
   gopts.num_tds = num_tds;
   gopts.num_groups = 8;
@@ -76,6 +79,8 @@ Cell RunCell(size_t num_tds, size_t shards) {
   cfg.options.num_threads = 1;
   cfg.options.seed = 7;
   cfg.num_shards = shards;
+  cfg.transport = transport;
+  cfg.transport_batch_max_calls = batch_max_calls;
   cfg.max_inflight_queries = kMaxInflight;
   cfg.tracing = false;  // keep the shared tracer out of the hot path
   auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
@@ -106,6 +111,8 @@ Cell RunCell(size_t num_tds, size_t shards) {
   Cell cell;
   cell.num_tds = num_tds;
   cell.shards = shards;
+  cell.transport = transport;
+  cell.batch_max_calls = batch_max_calls;
   cell.wall_seconds = wall;
   cell.qps = static_cast<double>(kQueries) / wall;
   std::vector<double> sorted = latencies_ms;
@@ -123,34 +130,48 @@ int main(int argc, char** argv) {
   struct Point {
     size_t num_tds;
     size_t shards;
+    net::TransportKind transport;
+    size_t batch_max_calls;
   };
+  constexpr auto kLoop = net::TransportKind::kLoopback;
+  constexpr auto kTcp = net::TransportKind::kTcp;
   // 10k swept across the shard grid; 100k anchors the scale claim at the
-  // single-node baseline and the 4-shard configuration.
+  // single-node baseline and the 4-shard configuration. The 10k x 4-shard
+  // cell is additionally run over real TCP sockets, serial (batch 1) vs
+  // batched (batch 32), to pin the wire tax the batch envelope removes.
   const std::vector<Point> grid = {
-      {10000, 1}, {10000, 2}, {10000, 4}, {10000, 8},
-      {100000, 1}, {100000, 4},
+      {10000, 1, kLoop, 1},  {10000, 2, kLoop, 1}, {10000, 4, kLoop, 1},
+      {10000, 8, kLoop, 1},  {10000, 4, kLoop, 32},
+      {10000, 4, kTcp, 1},   {10000, 4, kTcp, 32},
+      {100000, 1, kLoop, 1}, {100000, 4, kLoop, 1},
   };
 
   std::printf("=== fleet scale: %zu concurrent S_Agg queries, %zu slots ===\n",
               kQueries, kMaxInflight);
-  std::printf("%-10s %-8s %10s %10s %12s %12s %-6s\n", "N_t", "shards",
-              "wall(s)", "qps", "p50(ms)", "p99(ms)", "match");
+  std::printf("%-10s %-8s %-10s %-6s %10s %10s %12s %12s %-6s\n", "N_t",
+              "shards", "transport", "batch", "wall(s)", "qps", "p50(ms)",
+              "p99(ms)", "match");
 
   std::string json_rows;
   bool ok = true;
   for (const Point& p : grid) {
-    Cell c = RunCell(p.num_tds, p.shards);
+    Cell c = RunCell(p.num_tds, p.shards, p.transport, p.batch_max_calls);
     ok = ok && c.all_match;
-    std::printf("%-10zu %-8zu %10.3f %10.2f %12.1f %12.1f %-6s\n", c.num_tds,
-                c.shards, c.wall_seconds, c.qps, c.p50_ms, c.p99_ms,
+    const std::string transport = net::TransportKindToString(c.transport);
+    std::printf("%-10zu %-8zu %-10s %-6zu %10.3f %10.2f %12.1f %12.1f %-6s\n",
+                c.num_tds, c.shards, transport.c_str(), c.batch_max_calls,
+                c.wall_seconds, c.qps, c.p50_ms, c.p99_ms,
                 c.all_match ? "yes" : "NO");
-    char row[320];
+    char row[400];
     std::snprintf(row, sizeof(row),
-                  "    {\"num_tds\": %zu, \"shards\": %zu, \"queries\": %zu, "
+                  "    {\"num_tds\": %zu, \"shards\": %zu, "
+                  "\"transport\": \"%s\", \"batch_max_calls\": %zu, "
+                  "\"queries\": %zu, "
                   "\"wall_seconds\": %.3f, \"qps\": %.2f, \"p50_ms\": %.1f, "
                   "\"p99_ms\": %.1f, \"all_match\": %s}",
-                  c.num_tds, c.shards, kQueries, c.wall_seconds, c.qps,
-                  c.p50_ms, c.p99_ms, c.all_match ? "true" : "false");
+                  c.num_tds, c.shards, transport.c_str(), c.batch_max_calls,
+                  kQueries, c.wall_seconds, c.qps, c.p50_ms, c.p99_ms,
+                  c.all_match ? "true" : "false");
     if (!json_rows.empty()) json_rows += ",\n";
     json_rows += row;
   }

@@ -9,7 +9,7 @@
 //       [--protocol=s_agg|r_noise|c_noise|ed_hist|basic]
 //       [--tds=N] [--groups=G] [--skew=Z] [--availability=F] [--dropout=P]
 //       [--threads=N] [--transport=loopback|tcp]
-//       [--shards=N] [--max-inflight=M]
+//       [--shards=N] [--max-inflight=M] [--batch=N]
 //       [--trace-json=PATH] [--metrics-json=PATH]
 //
 // --threads sets the parallel fleet engine's worker count (0 = all hardware
@@ -26,6 +26,10 @@
 // engine's shard router, and --max-inflight sets the concurrent query slots
 // of the scheduler (DESIGN.md "Sharding & scheduling"). Results are
 // bit-identical at any shard count too.
+//
+// --batch caps the calls coalesced per transport frame (docs/TRANSPORT.md
+// "Batched & pipelined exchanges"; 1 = off, the default). Results are
+// bit-identical at any batch size.
 //
 // The fleet schema is the generic workload: T(gid INT, grp STRING,
 // val DOUBLE, cat INT), one row per TDS by default.
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
                  "usage: %s \"<SQL>\" [--protocol=...] [--tds=N] "
                  "[--groups=G] [--skew=Z] [--availability=F] [--dropout=P] "
                  "[--threads=N] [--transport=loopback|tcp] "
-                 "[--shards=N] [--max-inflight=M] "
+                 "[--shards=N] [--max-inflight=M] [--batch=N] "
                  "[--trace-json=PATH] [--metrics-json=PATH]\n",
                  argv[0]);
     return 2;
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--threads", &v)) config.options.num_threads = std::strtoul(v.c_str(), nullptr, 10);
     else if (FlagValue(argv[i], "--shards", &v)) config.num_shards = std::strtoul(v.c_str(), nullptr, 10);
     else if (FlagValue(argv[i], "--max-inflight", &v)) config.max_inflight_queries = std::strtoul(v.c_str(), nullptr, 10);
+    else if (FlagValue(argv[i], "--batch", &v)) config.transport_batch_max_calls = std::strtoul(v.c_str(), nullptr, 10);
     else if (FlagValue(argv[i], "--transport", &v)) {
       auto kind_or = net::TransportKindFromName(v);
       if (!kind_or.ok()) {

@@ -4,6 +4,7 @@
 //   0 -> TryExtractFrame over the body as a hostile socket receive buffer
 //   1 -> SsiNode::Handle on the body as one request frame payload
 //   2 -> DecodeReply on the body as one reply envelope
+//   3 -> DecodeBatchFrame on the body as one multi-call batch envelope
 // Corpus files carry the selector as their first byte (see make_corpus.cc).
 #include "common/bytes.h"
 #include "fuzz_util.h"
@@ -17,7 +18,7 @@ using tcells::Status;
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size == 0) return 0;
-  const uint8_t selector = data[0] % 3;
+  const uint8_t selector = data[0] % 4;
   Bytes input(data + 1, data + size);
   switch (selector) {
     case 0: {
@@ -46,23 +47,55 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       static tcells::net::SsiNode& node = *new tcells::net::SsiNode();
       Result<Bytes> reply = node.Handle(input);
       if (reply.ok()) {
-        // Whatever the node emits must parse as a reply envelope.
-        Bytes body = *reply;
-        Result<Bytes> unwrapped = tcells::net::DecodeReply(body);
-        FUZZ_ASSERT(unwrapped.ok() || !unwrapped.status().IsCorruption());
+        if (tcells::net::IsBatchFrame(input)) {
+          // A batch request yields a batch reply answering every inner call
+          // with its correlation ID, in order.
+          FUZZ_ASSERT(tcells::net::IsBatchFrame(*reply));
+          Result<std::vector<tcells::net::BatchCall>> calls =
+              tcells::net::DecodeBatchFrame(input);
+          Result<std::vector<tcells::net::BatchCall>> replies =
+              tcells::net::DecodeBatchFrame(*reply);
+          FUZZ_ASSERT(calls.ok() && replies.ok());
+          FUZZ_ASSERT(replies->size() == calls->size());
+          for (size_t i = 0; i < calls->size(); ++i) {
+            FUZZ_ASSERT((*replies)[i].correlation_id ==
+                        (*calls)[i].correlation_id);
+          }
+        } else {
+          // Whatever the node emits must parse as a reply envelope.
+          Bytes body = *reply;
+          Result<Bytes> unwrapped = tcells::net::DecodeReply(body);
+          FUZZ_ASSERT(unwrapped.ok() || !unwrapped.status().IsCorruption());
+        }
       } else {
         FUZZ_ASSERT(!reply.status().IsUnavailable());
         FUZZ_ASSERT(!reply.status().IsDeadlineExceeded());
       }
       break;
     }
-    default: {
+    case 2: {
       // Client-side reply envelope parse. An accepted OK envelope is the
       // identity wrapping of its body, so re-encoding must reproduce the
       // input bit-for-bit.
       Result<Bytes> body = tcells::net::DecodeReply(input);
       if (body.ok()) {
         FUZZ_ASSERT(tcells::net::EncodeReplyOk(*body) == input);
+      }
+      break;
+    }
+    default: {
+      // Batch envelope parse. The count is validated against the remaining
+      // length before any allocation, so a hostile count can never reserve
+      // gigabytes; an accepted batch re-encodes to the input bit-for-bit
+      // (the codec has no redundant representations).
+      Result<std::vector<tcells::net::BatchCall>> calls =
+          tcells::net::DecodeBatchFrame(input);
+      if (calls.ok()) {
+        FUZZ_ASSERT(!calls->empty());
+        FUZZ_ASSERT(calls->size() <= tcells::net::kMaxCallsPerBatch);
+        FUZZ_ASSERT(tcells::net::EncodeBatchFrame(*calls) == input);
+      } else {
+        FUZZ_ASSERT(calls.status().IsCorruption());
       }
       break;
     }

@@ -331,6 +331,47 @@ int Run(const std::filesystem::path& out_dir) {
     writer.Add("net", 2,
                net::EncodeReplyError(Status::NotFound("no such query")));
     writer.Add("net", 2, Bytes{99, 0x41, 0x42});
+
+    // Selector 3: multi-call batch envelopes (and the same frames as
+    // selector-1 node input, since SsiNode::Handle dispatches on the batch
+    // magic). A real two-call batch in the exact shape the batched client
+    // emits, a single-call batch, and a hostile call count that must be
+    // rejected before any allocation.
+    Bytes ack_body;
+    {
+      ByteWriter w(&ack_body);
+      w.PutU64(3);    // tds_id
+      w.PutU64(900);  // query_id
+    }
+    Bytes ack_frame;
+    {
+      ByteWriter w(&ack_frame);
+      w.PutU8(static_cast<uint8_t>(net::MsgType::kAcknowledge));
+      w.PutRaw(ack_body.data(), ack_body.size());
+    }
+    Bytes count_frame;
+    {
+      ByteWriter w(&count_frame);
+      w.PutU8(static_cast<uint8_t>(net::MsgType::kNumAcknowledged));
+      w.PutRaw(qid_body.data(), qid_body.size());
+    }
+    std::vector<net::BatchCall> batch;
+    batch.push_back({/*correlation_id=*/41, ack_frame});
+    batch.push_back({/*correlation_id=*/42, count_frame});
+    Bytes batch_frame = net::EncodeBatchFrame(batch);
+    writer.Add("net", 3, batch_frame);
+    writer.Add("net", 1, batch_frame);
+    writer.Add("net", 3,
+               net::EncodeBatchFrame({{/*correlation_id=*/1, count_frame}}));
+    // Header claiming 2^32-1 calls with no room for even one.
+    Bytes hostile;
+    {
+      ByteWriter w(&hostile);
+      w.PutU8(net::kBatchMagic);
+      w.PutU8(net::kBatchVersion);
+      w.PutU32(0xffffffff);
+    }
+    writer.Add("net", 3, hostile);
   }
 
   // ---- Histogram seeds (fuzz_storage selector 0xFF) ----

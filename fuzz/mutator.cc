@@ -25,6 +25,61 @@ uint8_t InterestingByte(Rng* rng) {
   return kBytes[rng->NextBelow(sizeof(kBytes))];
 }
 
+/// Batch-envelope magic/version bytes (net/ssi_wire.h kBatchMagic,
+/// kBatchVersion) — duplicated as raw constants so the mutator stays
+/// dependency-free of the net layer.
+constexpr uint8_t kBatchMagicByte = 0xB5;
+constexpr uint8_t kBatchVersionByte = 1;
+
+/// Structure-aware batch mutation: find (or forge) a batch-envelope header
+/// in the buffer, then attack the fields the decoder trusts least — the call
+/// count, a correlation ID, or a per-call length prefix — instead of hoping
+/// a random bit flip lands on them.
+void MutateBatchEnvelope(Bytes* out, Rng* rng) {
+  Bytes& buf = *out;
+  size_t base = 0;
+  // A fuzz input often carries a selector byte before the frame; accept the
+  // header at offset 0 or 1, else stamp one in.
+  if (buf.size() >= 2 && buf[0] == kBatchMagicByte) {
+    base = 0;
+  } else if (buf.size() >= 3 && buf[1] == kBatchMagicByte) {
+    base = 1;
+  } else {
+    base = buf.size() > 1 ? rng->NextBelow(2) : 0;
+    while (buf.size() < base + 6) buf.push_back(0);
+    buf[base] = kBatchMagicByte;
+    buf[base + 1] = kBatchVersionByte;
+  }
+  if (buf.size() < base + 6) return;
+  switch (rng->NextBelow(4)) {
+    case 0: {  // Hostile call count vs. the actual remaining bytes.
+      uint32_t old_count = 0;
+      std::memcpy(&old_count, buf.data() + base + 2, 4);
+      uint32_t v = InterestingLength(rng, old_count, buf.size());
+      std::memcpy(buf.data() + base + 2, &v, 4);
+      break;
+    }
+    case 1: {  // Corrupt a correlation ID (first call's, bytes 6..13).
+      if (buf.size() < base + 14) break;
+      size_t pos = base + 6 + rng->NextBelow(8);
+      buf[pos] = InterestingByte(rng);
+      break;
+    }
+    case 2: {  // Attack the first call's payload length prefix.
+      if (buf.size() < base + 18) break;
+      uint32_t old_len = 0;
+      std::memcpy(&old_len, buf.data() + base + 14, 4);
+      uint32_t v = InterestingLength(rng, old_len, buf.size());
+      std::memcpy(buf.data() + base + 14, &v, 4);
+      break;
+    }
+    default: {  // Version skew: future/zero versions must be rejected.
+      buf[base + 1] = InterestingByte(rng);
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 Bytes Mutate(const Bytes& seed, Rng* rng) {
@@ -35,7 +90,7 @@ Bytes Mutate(const Bytes& seed, Rng* rng) {
   const int rounds = 1 + static_cast<int>(rng->NextBelow(3));
   for (int round = 0; round < rounds; ++round) {
     const size_t n = out.size();
-    switch (rng->NextBelow(8)) {
+    switch (rng->NextBelow(9)) {
       case 0: {  // Flip one bit.
         size_t pos = rng->NextBelow(n);
         out[pos] ^= static_cast<uint8_t>(1u << rng->NextBelow(8));
@@ -82,10 +137,14 @@ Bytes Mutate(const Bytes& seed, Rng* rng) {
         std::memcpy(out.data() + pos, &v, 2);
         break;
       }
-      default: {  // Zero-fill a range.
+      case 7: {  // Zero-fill a range.
         size_t len = 1 + rng->NextBelow(std::min<size_t>(n, 32));
         size_t pos = rng->NextBelow(n - len + 1);
         std::fill(out.begin() + pos, out.begin() + pos + len, 0);
+        break;
+      }
+      default: {  // Structure-aware batch-envelope attack.
+        MutateBatchEnvelope(&out, rng);
         break;
       }
     }

@@ -90,6 +90,31 @@ Result<std::vector<QueryPost>> ShardedSsiClient::FetchPosts(uint64_t tds_id) {
   return shards_[ShardOfTds(tds_id)]->FetchPosts(tds_id);
 }
 
+std::vector<Result<std::vector<QueryPost>>> ShardedSsiClient::FetchPostsBatch(
+    const std::vector<uint64_t>& tds_ids) {
+  if (shards_.size() == 1) return shards_[0]->FetchPostsBatch(tds_ids);
+  // Group by owning shard, preserving per-shard submission order, so each
+  // shard sees one batch; then scatter the replies back into input order.
+  std::vector<std::vector<uint64_t>> ids_of(shards_.size());
+  std::vector<std::vector<size_t>> slots_of(shards_.size());
+  for (size_t i = 0; i < tds_ids.size(); ++i) {
+    size_t shard = ShardOfTds(tds_ids[i]);
+    ids_of[shard].push_back(tds_ids[i]);
+    slots_of[shard].push_back(i);
+  }
+  std::vector<Result<std::vector<QueryPost>>> out(
+      tds_ids.size(), Status::Unavailable("batched fetch not dispatched"));
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (ids_of[shard].empty()) continue;
+    std::vector<Result<std::vector<QueryPost>>> replies =
+        shards_[shard]->FetchPostsBatch(ids_of[shard]);
+    for (size_t k = 0; k < replies.size() && k < slots_of[shard].size(); ++k) {
+      out[slots_of[shard][k]] = std::move(replies[k]);
+    }
+  }
+  return out;
+}
+
 Status ShardedSsiClient::Acknowledge(uint64_t tds_id, uint64_t query_id) {
   if (shards_.size() == 1) return shards_[0]->Acknowledge(tds_id, query_id);
   return shards_[ShardOfTds(tds_id)]->Acknowledge(tds_id, query_id);
@@ -152,6 +177,104 @@ Result<bool> ShardedSsiClient::UploadCollection(
     }
   }
   return accepted;
+}
+
+std::vector<Result<bool>> ShardedSsiClient::UploadCollectionBatch(
+    const std::vector<CollectionUpload>& uploads) {
+  if (shards_.size() == 1) return shards_[0]->UploadCollectionBatch(uploads);
+
+  // Phase 1 — decide every accept bit in submission order under one lock.
+  // The router only forwards an upload while the global count is below the
+  // bound; the owning shard's local count is then necessarily below the
+  // bound too, so an honest shard always accepts. That makes the serial
+  // accounting computable up front: SIZE cutoffs land between exactly the
+  // two uploads a one-by-one caller would see.
+  enum class Verdict { kForward, kShortCircuit, kNotFound };
+  struct Plan {
+    Verdict verdict = Verdict::kNotFound;
+    size_t shard = 0;
+    size_t log_index = 0;  ///< upload_log slot, for rollback on divergence.
+  };
+  std::vector<Plan> plans(uploads.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < uploads.size(); ++i) {
+      const CollectionUpload& u = uploads[i];
+      plans[i].shard = ShardOfTds(u.tds_id);
+      auto it = queries_.find(u.query_id);
+      if (it == queries_.end()) continue;  // kNotFound
+      QueryState& state = it->second;
+      if (state.size_bound && state.accepted_items >= *state.size_bound) {
+        plans[i].verdict = Verdict::kShortCircuit;
+        continue;
+      }
+      plans[i].verdict = Verdict::kForward;
+      plans[i].log_index = state.upload_log.size();
+      state.accepted_items += u.items.size();
+      state.upload_log.emplace_back(plans[i].shard, u.items.size());
+    }
+  }
+
+  // Phase 2 — fan the forwarded uploads out, one sub-batch per shard in
+  // per-shard submission order; short-circuited uploads only cost an ack.
+  std::vector<Result<bool>> out(
+      uploads.size(), Status::Unavailable("batched upload not dispatched"));
+  std::vector<std::vector<CollectionUpload>> batch_of(shards_.size());
+  std::vector<std::vector<size_t>> slots_of(shards_.size());
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    switch (plans[i].verdict) {
+      case Verdict::kNotFound:
+        out[i] = Status::NotFound("no active query for UploadCollection");
+        break;
+      case Verdict::kShortCircuit: {
+        Status st = shards_[plans[i].shard]->Acknowledge(uploads[i].tds_id,
+                                                         uploads[i].query_id);
+        out[i] = st.ok() ? Result<bool>(false) : Result<bool>(st);
+        break;
+      }
+      case Verdict::kForward:
+        batch_of[plans[i].shard].push_back(uploads[i]);
+        slots_of[plans[i].shard].push_back(i);
+        break;
+    }
+  }
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (batch_of[shard].empty()) continue;
+    std::vector<Result<bool>> replies =
+        shards_[shard]->UploadCollectionBatch(batch_of[shard]);
+    for (size_t k = 0; k < replies.size() && k < slots_of[shard].size(); ++k) {
+      out[slots_of[shard][k]] = std::move(replies[k]);
+    }
+  }
+
+  // Phase 3 — reconcile divergence. A transport failure or a byzantine
+  // reject means the predicted accounting overcounts; take those entries
+  // back out of the log (highest index first so earlier indices stay valid).
+  std::vector<size_t> rollback;
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    if (plans[i].verdict != Verdict::kForward) continue;
+    if (out[i].ok() && *out[i]) continue;
+    rollback.push_back(i);
+  }
+  if (!rollback.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::sort(rollback.begin(), rollback.end(),
+              [&](size_t a, size_t b) {
+                return plans[a].log_index > plans[b].log_index;
+              });
+    for (size_t i : rollback) {
+      auto it = queries_.find(uploads[i].query_id);
+      if (it == queries_.end()) continue;
+      QueryState& state = it->second;
+      state.accepted_items -= std::min<uint64_t>(state.accepted_items,
+                                                 uploads[i].items.size());
+      if (plans[i].log_index < state.upload_log.size()) {
+        state.upload_log.erase(state.upload_log.begin() +
+                               static_cast<ptrdiff_t>(plans[i].log_index));
+      }
+    }
+  }
+  return out;
 }
 
 Result<std::vector<EncryptedItem>> ShardedSsiClient::TakeCollected(

@@ -62,6 +62,11 @@ class ShardedSsiClient : public SsiApi {
   Status PostGlobal(const ssi::QueryPost& post) override;
   Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post) override;
   Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id) override;
+  /// Groups the ids by owning shard (preserving per-shard submission order)
+  /// so each shard sees one wire batch, then scatters the results back into
+  /// input order.
+  std::vector<Result<std::vector<ssi::QueryPost>>> FetchPostsBatch(
+      const std::vector<uint64_t>& tds_ids) override;
   Status Acknowledge(uint64_t tds_id, uint64_t query_id) override;
   Result<uint64_t> NumAcknowledged(uint64_t query_id) override;
 
@@ -70,6 +75,14 @@ class ShardedSsiClient : public SsiApi {
   Result<bool> UploadCollection(
       uint64_t query_id, uint64_t tds_id,
       const std::vector<ssi::EncryptedItem>& items) override;
+  /// Applies the SIZE-bound accounting for the whole vector in submission
+  /// order under one lock (an honest shard accepts every upload the router
+  /// lets through, so the accept bits are decidable before the wire round
+  /// trip), then fans per-shard sub-batches out and reconciles any shard
+  /// that diverged (transport failure / byzantine reject) against the
+  /// predicted accounting.
+  std::vector<Result<bool>> UploadCollectionBatch(
+      const std::vector<CollectionUpload>& uploads) override;
   Result<std::vector<ssi::EncryptedItem>> TakeCollected(
       uint64_t query_id) override;
 

@@ -24,6 +24,13 @@
 
 namespace tcells::net {
 
+/// One TDS contribution in a batched collection upload (UploadCollectionBatch).
+struct CollectionUpload {
+  uint64_t query_id = 0;
+  uint64_t tds_id = 0;
+  std::vector<ssi::EncryptedItem> items;
+};
+
 class SsiApi {
  public:
   virtual ~SsiApi() = default;
@@ -32,6 +39,19 @@ class SsiApi {
   virtual Status PostGlobal(const ssi::QueryPost& post) = 0;
   virtual Status PostPersonal(uint64_t tds_id, const ssi::QueryPost& post) = 0;
   virtual Result<std::vector<ssi::QueryPost>> FetchPosts(uint64_t tds_id) = 0;
+  /// Batched FetchPosts: one result per id, in order, each failing
+  /// independently (a transport failure loses that TDS's fetch only). The
+  /// default is the serial loop — implementations with a wire-level batch
+  /// path (SsiClient) or per-shard fan-out (ShardedSsiClient) override it,
+  /// so call sites batch unconditionally and the transport decides how many
+  /// frames that takes.
+  virtual std::vector<Result<std::vector<ssi::QueryPost>>> FetchPostsBatch(
+      const std::vector<uint64_t>& tds_ids) {
+    std::vector<Result<std::vector<ssi::QueryPost>>> out;
+    out.reserve(tds_ids.size());
+    for (uint64_t tds_id : tds_ids) out.push_back(FetchPosts(tds_id));
+    return out;
+  }
   virtual Status Acknowledge(uint64_t tds_id, uint64_t query_id) = 0;
   virtual Result<uint64_t> NumAcknowledged(uint64_t query_id) = 0;
 
@@ -43,6 +63,20 @@ class SsiApi {
   virtual Result<bool> UploadCollection(
       uint64_t query_id, uint64_t tds_id,
       const std::vector<ssi::EncryptedItem>& items) = 0;
+  /// Batched UploadCollection: one accept bit per upload, in order. The
+  /// uploads are applied in vector order with exactly the serial semantics —
+  /// SIZE-bound cutoffs land between the same two uploads a serial caller
+  /// would see — so results are bit-identical to the one-by-one loop the
+  /// default implementation runs.
+  virtual std::vector<Result<bool>> UploadCollectionBatch(
+      const std::vector<CollectionUpload>& uploads) {
+    std::vector<Result<bool>> out;
+    out.reserve(uploads.size());
+    for (const CollectionUpload& u : uploads) {
+      out.push_back(UploadCollection(u.query_id, u.tds_id, u.items));
+    }
+    return out;
+  }
   virtual Result<std::vector<ssi::EncryptedItem>> TakeCollected(
       uint64_t query_id) = 0;
 

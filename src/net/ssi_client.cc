@@ -1,6 +1,7 @@
 #include "net/ssi_client.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "net/frame.h"
@@ -30,92 +31,7 @@ void BeginRequest(Bytes* out, MsgType type) {
   w.PutU8(static_cast<uint8_t>(type));
 }
 
-}  // namespace
-
-Result<Bytes> SsiClient::Call(const Bytes& request) {
-  std::unique_lock<std::mutex> lock(mu_);
-  CallOptions opts;
-  opts.deadline_seconds = policy_.deadline_seconds;
-  double backoff = policy_.backoff_seconds;
-  Status last = Status::Unavailable("no attempt made");
-  size_t max_attempts = std::max<size_t>(1, policy_.max_attempts);
-  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0) {
-      if (backoff > 0) {
-        // Sleep unlocked: one failing exchange must not stall every other
-        // thread sharing this client through the whole backoff schedule.
-        Clock* clock = policy_.clock != nullptr ? policy_.clock : Clock::Real();
-        lock.unlock();
-        clock->SleepFor(backoff);
-        lock.lock();
-      }
-      backoff = std::min(backoff * 2, policy_.backoff_cap_seconds);
-      if (metrics_ != nullptr) metrics_->counter("net.retries").Increment();
-    }
-    if (channel_ == nullptr) {
-      Result<std::unique_ptr<Channel>> dialed = transport_->Connect();
-      if (!dialed.ok()) {
-        last = dialed.status();
-        continue;
-      }
-      channel_ = std::move(dialed).ValueOrDie();
-    }
-    if (metrics_ != nullptr) {
-      metrics_->counter("net.frames_sent").Increment();
-      metrics_->counter("net.bytes_sent").Add(FrameWireSize(request.size()));
-      metrics_
-          ->histogram("net.frame_bytes", obs::Histogram::DefaultSizeBounds())
-          .Record(static_cast<double>(request.size()));
-    }
-    Result<Bytes> reply = channel_->Call(request, opts);
-    if (reply.ok()) {
-      if (metrics_ != nullptr) {
-        metrics_->counter("net.frames_received").Increment();
-        metrics_->counter("net.bytes_received")
-            .Add(FrameWireSize((*reply).size()));
-      }
-      return DecodeReply(*reply);
-    }
-    last = reply.status();
-    if (last.IsDeadlineExceeded() && metrics_ != nullptr) {
-      metrics_->counter("net.deadline_hits").Increment();
-    }
-    if (last.IsUnavailable() || last.IsDeadlineExceeded()) {
-      // The connection is suspect; re-dial on the next attempt. A deadline
-      // expiry in particular abandons a call whose reply may still be in
-      // flight — reusing the channel would let the next exchange consume
-      // that stale reply and silently decode another call's envelope.
-      channel_.reset();
-    } else {
-      return last;  // Not a transport failure — do not retry.
-    }
-  }
-  return last;
-}
-
-Status SsiClient::PostGlobal(const QueryPost& post) {
-  Bytes req;
-  BeginRequest(&req, MsgType::kPostGlobal);
-  Bytes encoded = post.Encode();
-  ByteWriter(&req).PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
-}
-
-Status SsiClient::PostPersonal(uint64_t tds_id, const QueryPost& post) {
-  Bytes req;
-  BeginRequest(&req, MsgType::kPostPersonal);
-  ByteWriter w(&req);
-  w.PutU64(tds_id);
-  Bytes encoded = post.Encode();
-  w.PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
-}
-
-Result<std::vector<QueryPost>> SsiClient::FetchPosts(uint64_t tds_id) {
-  Bytes req;
-  BeginRequest(&req, MsgType::kFetchPosts);
-  ByteWriter(&req).PutU64(tds_id);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+Result<std::vector<QueryPost>> PostsFromBody(const Bytes& body) {
   ByteReader reader(body);
   // Each post encoding is at least its own 4-byte length prefix.
   TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(4));
@@ -129,20 +45,393 @@ Result<std::vector<QueryPost>> SsiClient::FetchPosts(uint64_t tds_id) {
   return posts;
 }
 
+Result<bool> AcceptedFromBody(const Bytes& body) {
+  TCELLS_ASSIGN_OR_RETURN(uint8_t accepted, ByteReader(body).GetU8());
+  return accepted != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Async submission machinery
+
+SsiClient::CallToken SsiClient::EnqueueLocked(Bytes request, bool detached) {
+  CallToken token = next_token_++;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.detached = detached;
+  calls_.emplace(token, std::move(pending));
+  queue_.push_back(token);
+  return token;
+}
+
+SsiClient::CallToken SsiClient::CallAsync(Bytes request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnqueueLocked(std::move(request), /*detached=*/false);
+}
+
+void SsiClient::CallDetached(Bytes request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)EnqueueLocked(std::move(request), /*detached=*/true);
+}
+
+Result<Bytes> SsiClient::Await(CallToken token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = calls_.find(token);
+    if (it == calls_.end()) {
+      return Status::InvalidArgument("unknown or already-consumed call token");
+    }
+    if (it->second.done) {
+      Result<Bytes> envelope = std::move(it->second.reply);
+      calls_.erase(it);
+      if (!envelope.ok()) return envelope.status();
+      return DecodeReply(*envelope);
+    }
+    if (!it->second.dispatched) {
+      if (inflight_frames_ < batch_.max_inflight_frames) {
+        // This thread becomes the flusher: it seals the frame at the queue
+        // front (which contains `token`, or a predecessor that must ship
+        // first) and performs the exchange itself.
+        DispatchChunk(&lock);
+        continue;
+      }
+      // Every in-flight slot is busy; wait for one to free up.
+      cv_.wait(lock);
+      continue;
+    }
+    // Another thread's exchange carries this call; wait for its completion.
+    cv_.wait(lock);
+  }
+}
+
+void SsiClient::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    if (inflight_frames_ < batch_.max_inflight_frames) {
+      DispatchChunk(&lock);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  while (inflight_frames_ > 0) cv_.wait(lock);
+}
+
+void SsiClient::DispatchChunk(std::unique_lock<std::mutex>* lock) {
+  // Seal from the queue front, preserving submission order, until the
+  // calls-per-frame or bytes-per-frame cap (an oversized call still ships
+  // alone rather than stalling forever).
+  const size_t max_calls = std::max<size_t>(1, batch_.max_calls_per_frame);
+  std::vector<CallToken> chunk;
+  std::vector<Bytes> requests;
+  size_t bytes = 0;
+  while (!queue_.empty() && chunk.size() < max_calls) {
+    CallToken token = queue_.front();
+    Pending& pending = calls_.at(token);
+    if (!chunk.empty() &&
+        bytes + pending.request.size() > batch_.max_bytes_per_frame) {
+      break;
+    }
+    bytes += pending.request.size();
+    pending.dispatched = true;
+    chunk.push_back(token);
+    requests.push_back(std::move(pending.request));
+    queue_.pop_front();
+  }
+  if (chunk.empty()) return;
+  inflight_frames_ += 1;
+  inflight_calls_ += chunk.size();
+  if (metrics_ != nullptr) {
+    metrics_
+        ->histogram("net.inflight_calls",
+                    obs::Histogram::ExponentialBounds(1, 2, 12))
+        .Record(static_cast<double>(inflight_calls_));
+  }
+  // Grab an idle channel (if any) to reuse across exchanges.
+  std::unique_ptr<Channel> channel;
+  if (!channels_.empty()) {
+    channel = std::move(channels_.back());
+    channels_.pop_back();
+  }
+  lock->unlock();
+  std::vector<Result<Bytes>> replies = ExchangeFrame(requests, &channel);
+  lock->lock();
+  if (channel != nullptr && channels_.size() < batch_.max_inflight_frames) {
+    channels_.push_back(std::move(channel));
+  }
+  inflight_frames_ -= 1;
+  inflight_calls_ -= chunk.size();
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    auto it = calls_.find(chunk[i]);
+    if (it == calls_.end()) continue;
+    if (it->second.detached) {
+      calls_.erase(it);  // reply discarded by design
+      continue;
+    }
+    it->second.done = true;
+    it->second.reply = std::move(replies[i]);
+  }
+  cv_.notify_all();
+}
+
+std::vector<Result<Bytes>> SsiClient::ExchangeFrame(
+    const std::vector<Bytes>& requests, std::unique_ptr<Channel>* channel) {
+  const size_t n = requests.size();
+  // Legacy single-call framing when batching is off: the request bytes ARE
+  // the frame, byte-identical to the pre-batching client.
+  const bool batch_frame = batching_enabled();
+
+  CallOptions opts;
+  opts.deadline_seconds = policy_.deadline_seconds;
+  double backoff = policy_.backoff_seconds;
+  Status last = Status::Unavailable("no attempt made");
+  size_t max_attempts = std::max<size_t>(1, policy_.max_attempts);
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (backoff > 0) {
+        Clock* clock = policy_.clock != nullptr ? policy_.clock : Clock::Real();
+        clock->SleepFor(backoff);
+      }
+      backoff = std::min(backoff * 2, policy_.backoff_cap_seconds);
+      if (metrics_ != nullptr) metrics_->counter("net.retries").Increment();
+    }
+    if (*channel == nullptr) {
+      Result<std::unique_ptr<Channel>> dialed = transport_->Connect();
+      if (!dialed.ok()) {
+        last = dialed.status();
+        continue;
+      }
+      *channel = std::move(dialed).ValueOrDie();
+    }
+
+    // Retries re-correlate: every attempt carries fresh IDs, so a stale
+    // reply to an abandoned attempt can never be mistaken for this one's.
+    Bytes wire;
+    uint64_t first_cid = 0;
+    if (batch_frame) {
+      first_cid = next_correlation_.fetch_add(n, std::memory_order_relaxed);
+      std::vector<BatchCall> calls;
+      calls.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        calls.push_back(BatchCall{first_cid + i, requests[i]});
+      }
+      wire = EncodeBatchFrame(calls);
+    } else {
+      wire = requests[0];
+    }
+
+    if (metrics_ != nullptr) {
+      metrics_->counter("net.frames_sent").Increment();
+      metrics_->counter("net.calls_sent").Add(n);
+      metrics_->counter("net.bytes_sent").Add(FrameWireSize(wire.size()));
+      metrics_
+          ->histogram("net.frame_bytes", obs::Histogram::DefaultSizeBounds())
+          .Record(static_cast<double>(wire.size()));
+      metrics_
+          ->histogram("net.calls_per_frame",
+                      obs::Histogram::ExponentialBounds(1, 2, 12))
+          .Record(static_cast<double>(n));
+    }
+    Result<Bytes> reply = (*channel)->Call(wire, opts);
+    if (reply.ok() && metrics_ != nullptr) {
+      metrics_->counter("net.frames_received").Increment();
+      metrics_->counter("net.bytes_received")
+          .Add(FrameWireSize((*reply).size()));
+    }
+    if (reply.ok() && !batch_frame) {
+      return {std::move(reply)};
+    }
+    if (reply.ok()) {
+      Result<std::vector<BatchCall>> decoded = DecodeBatchFrame(*reply);
+      if (!decoded.ok()) {
+        // A reply that is not a well-formed batch frame cannot be matched to
+        // anything — fatal for every call in the frame, like a garbled
+        // single-call envelope.
+        Status error = decoded.status();
+        if (!error.IsCorruption()) error = Status::Corruption(error.message());
+        return std::vector<Result<Bytes>>(n, error);
+      }
+      // Match by correlation ID, first reply wins: duplicates and IDs from
+      // other attempts (stale replays) are dropped.
+      std::vector<Result<Bytes>> out(
+          n, Status::Corruption("batched call received no reply"));
+      std::vector<bool> filled(n, false);
+      size_t matched = 0;
+      for (BatchCall& call : *decoded) {
+        if (call.correlation_id < first_cid ||
+            call.correlation_id >= first_cid + n) {
+          if (metrics_ != nullptr) {
+            metrics_->counter("net.stale_replies_dropped").Increment();
+          }
+          continue;
+        }
+        size_t idx = static_cast<size_t>(call.correlation_id - first_cid);
+        if (filled[idx]) {
+          if (metrics_ != nullptr) {
+            metrics_->counter("net.stale_replies_dropped").Increment();
+          }
+          continue;
+        }
+        filled[idx] = true;
+        matched += 1;
+        out[idx] = std::move(call.payload);
+      }
+      if (matched == 0) {
+        // Not one reply correlates with this attempt: the whole frame is a
+        // stale replay (or the peer answered someone else). The exchange is
+        // retryable — the server may or may not have processed the requests,
+        // exactly the ambiguity the idempotent RPC semantics absorb.
+        last = Status::Unavailable("batch reply carried no matching IDs");
+        channel->reset();
+        continue;
+      }
+      return out;
+    }
+    last = reply.status();
+    if (last.IsDeadlineExceeded() && metrics_ != nullptr) {
+      metrics_->counter("net.deadline_hits").Increment();
+    }
+    if (last.IsUnavailable() || last.IsDeadlineExceeded()) {
+      // The connection is suspect; re-dial on the next attempt. A deadline
+      // expiry in particular abandons a call whose reply may still be in
+      // flight — reusing the channel would let the next exchange consume
+      // that stale reply and silently decode another call's envelope.
+      channel->reset();
+    } else {
+      return std::vector<Result<Bytes>>(n, last);  // Not retryable.
+    }
+  }
+  return std::vector<Result<Bytes>>(n, last);
+}
+
+Result<Bytes> SsiClient::Call(Bytes request) {
+  return Await(CallAsync(std::move(request)));
+}
+
+std::vector<Result<Bytes>> SsiClient::ExchangeOrdered(
+    std::vector<Bytes> requests) {
+  std::vector<Result<Bytes>> out;
+  out.reserve(requests.size());
+  // With batching off every request is its own bare single-call frame, so the
+  // chunk size is pinned to 1 and this loop is byte-identical to the legacy
+  // serial Call() sequence.
+  const size_t max_calls =
+      batching_enabled() ? std::max<size_t>(1, batch_.max_calls_per_frame) : 1;
+  size_t i = 0;
+  while (i < requests.size()) {
+    size_t j = i + 1;
+    size_t bytes = requests[i].size();
+    while (j < requests.size() && j - i < max_calls &&
+           bytes + requests[j].size() <= batch_.max_bytes_per_frame) {
+      bytes += requests[j].size();
+      ++j;
+    }
+    std::vector<Bytes> chunk(std::make_move_iterator(requests.begin() + i),
+                             std::make_move_iterator(requests.begin() + j));
+    std::unique_ptr<Channel> channel;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_frames_ += 1;
+      inflight_calls_ += chunk.size();
+      if (metrics_ != nullptr) {
+        metrics_
+            ->histogram("net.inflight_calls",
+                        obs::Histogram::ExponentialBounds(1, 2, 12))
+            .Record(static_cast<double>(inflight_calls_));
+      }
+      if (!channels_.empty()) {
+        channel = std::move(channels_.back());
+        channels_.pop_back();
+      }
+    }
+    std::vector<Result<Bytes>> replies = ExchangeFrame(chunk, &channel);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (channel != nullptr && channels_.size() < batch_.max_inflight_frames) {
+        channels_.push_back(std::move(channel));
+      }
+      inflight_frames_ -= 1;
+      inflight_calls_ -= chunk.size();
+    }
+    cv_.notify_all();
+    for (Result<Bytes>& envelope : replies) {
+      if (!envelope.ok()) {
+        out.push_back(envelope.status());
+      } else {
+        out.push_back(DecodeReply(*envelope));
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Typed surface
+
+Status SsiClient::PostGlobal(const QueryPost& post) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kPostGlobal);
+  Bytes encoded = post.Encode();
+  ByteWriter(&req).PutRaw(encoded.data(), encoded.size());
+  return Call(std::move(req)).status();
+}
+
+Status SsiClient::PostPersonal(uint64_t tds_id, const QueryPost& post) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kPostPersonal);
+  ByteWriter w(&req);
+  w.PutU64(tds_id);
+  Bytes encoded = post.Encode();
+  w.PutRaw(encoded.data(), encoded.size());
+  return Call(std::move(req)).status();
+}
+
+Result<std::vector<QueryPost>> SsiClient::FetchPosts(uint64_t tds_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kFetchPosts);
+  ByteWriter(&req).PutU64(tds_id);
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
+  return PostsFromBody(body);
+}
+
+std::vector<Result<std::vector<QueryPost>>> SsiClient::FetchPostsBatch(
+    const std::vector<uint64_t>& tds_ids) {
+  std::vector<Bytes> requests;
+  requests.reserve(tds_ids.size());
+  for (uint64_t tds_id : tds_ids) {
+    Bytes req;
+    BeginRequest(&req, MsgType::kFetchPosts);
+    ByteWriter(&req).PutU64(tds_id);
+    requests.push_back(std::move(req));
+  }
+  std::vector<Result<Bytes>> bodies = ExchangeOrdered(std::move(requests));
+  std::vector<Result<std::vector<QueryPost>>> out;
+  out.reserve(bodies.size());
+  for (Result<Bytes>& body : bodies) {
+    if (!body.ok()) {
+      out.push_back(body.status());
+      continue;
+    }
+    out.push_back(PostsFromBody(*body));
+  }
+  return out;
+}
+
 Status SsiClient::Acknowledge(uint64_t tds_id, uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kAcknowledge);
   ByteWriter w(&req);
   w.PutU64(tds_id);
   w.PutU64(query_id);
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 Result<uint64_t> SsiClient::NumAcknowledged(uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kNumAcknowledged);
   ByteWriter(&req).PutU64(query_id);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   return ByteReader(body).GetU64();
 }
 
@@ -150,14 +439,15 @@ Result<bool> SsiClient::SizeReached(uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kSizeReached);
   ByteWriter(&req).PutU64(query_id);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   TCELLS_ASSIGN_OR_RETURN(uint8_t flag, ByteReader(body).GetU8());
   return flag != 0;
 }
 
-Result<bool> SsiClient::UploadCollection(
-    uint64_t query_id, uint64_t tds_id,
-    const std::vector<EncryptedItem>& items) {
+namespace {
+
+Bytes EncodeUploadCollection(uint64_t query_id, uint64_t tds_id,
+                             const std::vector<EncryptedItem>& items) {
   Bytes req;
   BeginRequest(&req, MsgType::kUploadCollection);
   ByteWriter w(&req);
@@ -165,9 +455,43 @@ Result<bool> SsiClient::UploadCollection(
   w.PutU64(tds_id);
   Bytes encoded = EncodeItems(items);
   w.PutRaw(encoded.data(), encoded.size());
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
-  TCELLS_ASSIGN_OR_RETURN(uint8_t accepted, ByteReader(body).GetU8());
-  return accepted != 0;
+  return req;
+}
+
+}  // namespace
+
+Result<bool> SsiClient::UploadCollection(
+    uint64_t query_id, uint64_t tds_id,
+    const std::vector<EncryptedItem>& items) {
+  TCELLS_ASSIGN_OR_RETURN(
+      Bytes body, Call(EncodeUploadCollection(query_id, tds_id, items)));
+  return AcceptedFromBody(body);
+}
+
+std::vector<Result<bool>> SsiClient::UploadCollectionBatch(
+    const std::vector<CollectionUpload>& uploads) {
+  // Collection uploads fix the hub's storage order, which downstream
+  // partitioning consumes, so arrival order must equal submission order.
+  // ExchangeOrdered ships the uploads frame by frame from this thread (the
+  // node applies one frame's calls in order under one mutex hold), so accept
+  // bits and SIZE-bound cutoffs land exactly where the serial loop would put
+  // them — even when other queries share this client.
+  std::vector<Bytes> requests;
+  requests.reserve(uploads.size());
+  for (const CollectionUpload& u : uploads) {
+    requests.push_back(EncodeUploadCollection(u.query_id, u.tds_id, u.items));
+  }
+  std::vector<Result<Bytes>> bodies = ExchangeOrdered(std::move(requests));
+  std::vector<Result<bool>> out;
+  out.reserve(bodies.size());
+  for (Result<Bytes>& body : bodies) {
+    if (!body.ok()) {
+      out.push_back(body.status());
+      continue;
+    }
+    out.push_back(AcceptedFromBody(*body));
+  }
+  return out;
 }
 
 Result<std::vector<EncryptedItem>> SsiClient::TakeCollected(
@@ -175,7 +499,7 @@ Result<std::vector<EncryptedItem>> SsiClient::TakeCollected(
   Bytes req;
   BeginRequest(&req, MsgType::kTakeCollected);
   ByteWriter(&req).PutU64(query_id);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   return ItemsFromBody(body);
 }
 
@@ -188,7 +512,7 @@ Status SsiClient::StagePartition(uint64_t query_id, uint64_t token,
   w.PutU64(token);
   Bytes encoded = partition.Encode();
   w.PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 Result<Partition> SsiClient::FetchPartition(uint64_t query_id,
@@ -198,7 +522,7 @@ Result<Partition> SsiClient::FetchPartition(uint64_t query_id,
   ByteWriter w(&req);
   w.PutU64(query_id);
   w.PutU64(token);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   return Partition::Decode(body);
 }
 
@@ -211,7 +535,7 @@ Status SsiClient::UploadRoundOutput(uint64_t query_id, uint64_t token,
   w.PutU64(token);
   Bytes encoded = EncodeItems(items);
   w.PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 Result<std::vector<EncryptedItem>> SsiClient::TakeRoundOutput(
@@ -221,7 +545,7 @@ Result<std::vector<EncryptedItem>> SsiClient::TakeRoundOutput(
   ByteWriter w(&req);
   w.PutU64(query_id);
   w.PutU64(token);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   TCELLS_ASSIGN_OR_RETURN(std::vector<EncryptedItem> items,
                           ItemsFromBody(body));
   // Phase 2: the items are safely in hand, so erase the server-side copy.
@@ -232,7 +556,13 @@ Result<std::vector<EncryptedItem>> SsiClient::TakeRoundOutput(
   ByteWriter aw(&ack);
   aw.PutU64(query_id);
   aw.PutU64(token);
-  (void)Call(ack);
+  if (batching_enabled()) {
+    // Piggyback the ack on the next frame out instead of paying a round
+    // trip; the reply is discarded on arrival.
+    CallDetached(std::move(ack));
+  } else {
+    (void)Call(std::move(ack));
+  }
   return items;
 }
 
@@ -244,7 +574,7 @@ Status SsiClient::ObserveAggregation(
   w.PutU64(query_id);
   Bytes encoded = EncodeItems(items);
   w.PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 Status SsiClient::ObserveFiltering(uint64_t query_id,
@@ -255,7 +585,7 @@ Status SsiClient::ObserveFiltering(uint64_t query_id,
   w.PutU64(query_id);
   Bytes encoded = EncodeItems(items);
   w.PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 Status SsiClient::DeliverResult(uint64_t query_id,
@@ -266,14 +596,14 @@ Status SsiClient::DeliverResult(uint64_t query_id,
   w.PutU64(query_id);
   Bytes encoded = EncodeItems(items);
   w.PutRaw(encoded.data(), encoded.size());
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 Result<std::vector<EncryptedItem>> SsiClient::FetchResult(uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kFetchResult);
   ByteWriter(&req).PutU64(query_id);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   return ItemsFromBody(body);
 }
 
@@ -281,7 +611,7 @@ Result<ssi::AdversaryView> SsiClient::GetAdversaryView(uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kAdversaryView);
   ByteWriter(&req).PutU64(query_id);
-  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(req));
+  TCELLS_ASSIGN_OR_RETURN(Bytes body, Call(std::move(req)));
   return ssi::AdversaryView::Decode(body);
 }
 
@@ -289,7 +619,7 @@ Status SsiClient::Retire(uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kRetire);
   ByteWriter(&req).PutU64(query_id);
-  return Call(req).status();
+  return Call(std::move(req)).status();
 }
 
 }  // namespace tcells::net

@@ -35,6 +35,25 @@ size_t SsiNode::num_active_queries() const {
 
 Result<Bytes> SsiNode::Handle(const Bytes& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (IsBatchFrame(request)) {
+    // Many logical calls share this physical frame. Each one dispatches
+    // exactly as a single-call frame would, in frame order under the one
+    // mutex hold, and its reply envelope travels back tagged with the
+    // call's correlation ID.
+    TCELLS_ASSIGN_OR_RETURN(std::vector<BatchCall> calls,
+                            DecodeBatchFrame(request));
+    std::vector<BatchCall> replies;
+    replies.reserve(calls.size());
+    for (const BatchCall& call : calls) {
+      TCELLS_ASSIGN_OR_RETURN(Bytes envelope, HandleOne(call.payload));
+      replies.push_back(BatchCall{call.correlation_id, std::move(envelope)});
+    }
+    return EncodeBatchFrame(replies);
+  }
+  return HandleOne(request);
+}
+
+Result<Bytes> SsiNode::HandleOne(const Bytes& request) {
   Result<Bytes> reply = Dispatch(request);
   if (reply.ok()) return reply;
   Status status = reply.status();

@@ -20,9 +20,12 @@ namespace tcells::net {
 
 class SsiNode {
  public:
-  /// Processes one request frame. A non-OK return means the request frame
-  /// itself could not be decoded (transports drop the connection);
-  /// application-level failures are encoded inside the OK reply envelope.
+  /// Processes one request frame — a single call or a multi-call batch
+  /// envelope (ssi_wire.h); batched calls dispatch in frame order under one
+  /// mutex hold and reply as one batch frame. A non-OK return means the
+  /// request frame itself could not be decoded (transports drop the
+  /// connection); application-level failures are encoded inside the OK
+  /// reply envelope.
   Result<Bytes> Handle(const Bytes& request);
 
   /// Adapts Handle into the transport-facing handler type.
@@ -34,6 +37,8 @@ class SsiNode {
   size_t num_active_queries() const;
 
  private:
+  /// One single-call frame under mu_: dispatch + error-envelope wrapping.
+  Result<Bytes> HandleOne(const Bytes& request);
   Result<Bytes> Dispatch(const Bytes& request);
 
   mutable std::mutex mu_;

@@ -52,6 +52,58 @@ Bytes EncodeReplyError(const Status& status) {
   return out;
 }
 
+bool IsBatchFrame(const Bytes& frame) {
+  return !frame.empty() && frame[0] == kBatchMagic;
+}
+
+Bytes EncodeBatchFrame(const std::vector<BatchCall>& calls) {
+  Bytes out;
+  size_t total = 6;
+  for (const BatchCall& call : calls) total += 12 + call.payload.size();
+  out.reserve(total);
+  ByteWriter w(&out);
+  w.PutU8(kBatchMagic);
+  w.PutU8(kBatchVersion);
+  w.PutU32(static_cast<uint32_t>(calls.size()));
+  for (const BatchCall& call : calls) {
+    w.PutU64(call.correlation_id);
+    w.PutBytes(call.payload);
+  }
+  return out;
+}
+
+Result<std::vector<BatchCall>> DecodeBatchFrame(const Bytes& frame) {
+  ByteReader reader(frame);
+  TCELLS_ASSIGN_OR_RETURN(uint8_t magic, reader.GetU8());
+  if (magic != kBatchMagic) {
+    return Status::Corruption("not a batch frame");
+  }
+  TCELLS_ASSIGN_OR_RETURN(uint8_t version, reader.GetU8());
+  if (version != kBatchVersion) {
+    return Status::Corruption("unsupported batch envelope version");
+  }
+  // Each call is at least a u64 correlation id + u32 payload length; the
+  // count getter rejects anything the remaining bytes cannot hold before a
+  // single element is allocated.
+  TCELLS_ASSIGN_OR_RETURN(uint32_t count, reader.GetCountU32(12));
+  if (count == 0) return Status::Corruption("empty batch frame");
+  if (count > kMaxCallsPerBatch) {
+    return Status::Corruption("batch frame exceeds kMaxCallsPerBatch");
+  }
+  std::vector<BatchCall> calls;
+  calls.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchCall call;
+    TCELLS_ASSIGN_OR_RETURN(call.correlation_id, reader.GetU64());
+    TCELLS_ASSIGN_OR_RETURN(call.payload, reader.GetBytes());
+    calls.push_back(std::move(call));
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after batch frame");
+  }
+  return calls;
+}
+
 Result<Bytes> DecodeReply(const Bytes& reply) {
   ByteReader reader(reply);
   TCELLS_ASSIGN_OR_RETURN(uint8_t code, reader.GetU8());

@@ -8,10 +8,18 @@
 // OK transport exchange as reply envelopes; only transport-level failures
 // (Unavailable, DeadlineExceeded) come from the channel itself. The client
 // retries the latter and never the former.
+// Batching (docs/TRANSPORT.md "Batched & pipelined exchanges"): many logical
+// calls can share one physical frame. A batch frame is distinguished from a
+// single-call frame by its leading byte — kBatchMagic sits outside both the
+// MsgType range (requests) and the StatusCode range (replies), so version-1
+// single-call frames still parse unchanged on both sides. Each batched call
+// carries a u64 correlation ID; replies are matched by ID, never by position,
+// so a server may complete them out of order.
 #ifndef TCELLS_NET_SSI_WIRE_H_
 #define TCELLS_NET_SSI_WIRE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -47,6 +55,43 @@ Bytes EncodeReplyError(const Status& status);
 /// Unwraps a reply envelope: the body on OK, the reconstructed application
 /// Status otherwise. Corruption when the envelope itself is malformed.
 Result<Bytes> DecodeReply(const Bytes& reply);
+
+// ---- Multi-call batch envelope ----
+
+/// Leading byte of a batch frame. 0xB5 collides with no MsgType (1..19) and
+/// no StatusCode (0..12), so a receiver can tell the frame kinds apart from
+/// the first byte alone.
+inline constexpr uint8_t kBatchMagic = 0xB5;
+/// Wire version of the batch envelope; bumped on incompatible layout change.
+inline constexpr uint8_t kBatchVersion = 1;
+/// Hard cap on calls per batch frame, far above any client flush policy.
+/// Enforced at decode before any allocation.
+inline constexpr uint32_t kMaxCallsPerBatch = 4096;
+
+/// One logical call (or its reply envelope) inside a batch frame. The
+/// payload is exactly the bytes a single-call frame would carry: a u8
+/// MsgType request on the way out, a u8-status reply envelope on the way
+/// back.
+struct BatchCall {
+  uint64_t correlation_id = 0;
+  Bytes payload;
+};
+
+/// True when `frame` is a batch frame (leading byte == kBatchMagic). An
+/// empty frame is not a batch frame.
+bool IsBatchFrame(const Bytes& frame);
+
+/// Encodes `calls` as one batch frame:
+///   u8 kBatchMagic, u8 version, u32 count,
+///   count x { u64 correlation_id, u32 payload_len, payload }.
+/// The same envelope carries requests and replies.
+Bytes EncodeBatchFrame(const std::vector<BatchCall>& calls);
+
+/// Decodes a batch frame. Corruption on a bad magic/version, a count that
+/// exceeds kMaxCallsPerBatch or the bytes actually present (checked before
+/// any allocation), a payload length overrunning the frame, or trailing
+/// bytes after the last call.
+Result<std::vector<BatchCall>> DecodeBatchFrame(const Bytes& frame);
 
 }  // namespace tcells::net
 

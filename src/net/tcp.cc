@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -45,12 +46,15 @@ int RemainingMillis(std::chrono::steady_clock::time_point deadline) {
   return left.count() > 0 ? static_cast<int>(left.count()) : 0;
 }
 
-/// Per-connection server state: bytes received but not yet framed, and
-/// response bytes accepted but not yet written to the socket.
+/// Per-connection server state: bytes received but not yet framed, response
+/// bytes accepted but not yet written to the socket, and the epoll interest
+/// mask currently registered for the fd (so the loop only issues
+/// EPOLL_CTL_MOD when the desired mask actually changes).
 struct Conn {
   Bytes in;
   Bytes out;
   size_t out_pos = 0;
+  uint32_t interest = 0;
 };
 
 class TcpChannel : public Channel {
@@ -228,54 +232,91 @@ void TcpServer::Stop() {
 }
 
 void TcpServer::Loop() {
+  // Event loop on epoll (level-triggered): readiness is O(ready fds) per
+  // wake-up instead of poll(2)'s O(all fds) scan + interest-list rebuild,
+  // which is what lets one loop thread serve thousands of idle TDS
+  // connections. Interest masks are updated with EPOLL_CTL_MOD only when a
+  // connection's desired mask changes (reads pause at the buffer caps,
+  // writes arm only while a reply backlog exists) — the backpressure
+  // semantics are exactly the old poll loop's.
   std::unordered_map<int, Conn> conns;
-  for (;;) {
-    std::vector<struct pollfd> pfds;
-    pfds.push_back({wake_read_fd_, POLLIN, 0});
-    pfds.push_back({listen_fd_, POLLIN, 0});
-    for (const auto& [fd, conn] : conns) {
-      // Backpressure: stop reading while the receive buffer or the unsent
-      // reply backlog is at its cap — poll is level-triggered, so the
-      // kernel re-delivers readiness once the peer drains replies.
-      short events = 0;
-      size_t backlog = conn.out.size() - conn.out_pos;
-      if (conn.in.size() < max_in_buffer_ && backlog < max_out_backlog_) {
-        events |= POLLIN;
-      }
-      if (backlog > 0) events |= POLLOUT;
-      pfds.push_back({fd, events, 0});
-    }
+  int epfd = ::epoll_create1(0);
+  if (epfd < 0) return;
+  auto arm = [&](int fd, uint32_t events) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+  };
+  arm(wake_read_fd_, EPOLLIN);
+  arm(listen_fd_, EPOLLIN);
 
-    int rc = ::poll(pfds.data(), pfds.size(), -1);
+  // Desired interest from the buffer state: stop reading while the receive
+  // buffer or the unsent reply backlog is at its cap — level-triggered, so
+  // the kernel re-delivers readiness once the mask re-arms.
+  auto desired_interest = [&](const Conn& conn) -> uint32_t {
+    uint32_t events = 0;
+    size_t backlog = conn.out.size() - conn.out_pos;
+    if (conn.in.size() < max_in_buffer_ && backlog < max_out_backlog_) {
+      events |= EPOLLIN;
+    }
+    if (backlog > 0) events |= EPOLLOUT;
+    return events;
+  };
+  auto update_interest = [&](int fd, Conn& conn) {
+    uint32_t want = desired_interest(conn);
+    if (want == conn.interest) return;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = want;
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+    conn.interest = want;
+  };
+
+  bool stop = false;
+  std::vector<struct epoll_event> events(64);
+  while (!stop) {
+    int rc = ::epoll_wait(epfd, events.data(),
+                          static_cast<int>(events.size()), -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    for (int i = 0; i < rc; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t revents = events[i].events;
 
-    if (pfds[0].revents & POLLIN) break;  // Stop() signalled.
-
-    if (pfds[1].revents & POLLIN) {
-      for (;;) {
-        int cfd = ::accept(listen_fd_, nullptr, nullptr);
-        if (cfd < 0) break;
-        if (!SetNonBlocking(cfd).ok()) {
-          ::close(cfd);
-          continue;
-        }
-        SetNoDelay(cfd);
-        conns.emplace(cfd, Conn{});
+      if (fd == wake_read_fd_) {
+        stop = true;  // Stop() signalled.
+        continue;
       }
-    }
+      if (fd == listen_fd_) {
+        for (;;) {
+          int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          if (!SetNonBlocking(cfd).ok()) {
+            ::close(cfd);
+            continue;
+          }
+          SetNoDelay(cfd);
+          Conn fresh;
+          fresh.interest = EPOLLIN;
+          arm(cfd, EPOLLIN);
+          conns.emplace(cfd, std::move(fresh));
+        }
+        continue;
+      }
 
-    std::vector<int> dead;
-    for (size_t i = 2; i < pfds.size(); ++i) {
-      int fd = pfds[i].fd;
-      Conn& conn = conns[fd];
+      auto conn_it = conns.find(fd);
+      if (conn_it == conns.end()) continue;
+      Conn& conn = conn_it->second;
       bool drop = false;
 
-      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) drop = true;
+      if (revents & (EPOLLERR | EPOLLHUP)) drop = true;
 
-      if (!drop && (pfds[i].revents & POLLIN)) {
+      if (!drop && (revents & EPOLLIN)) {
         uint8_t chunk[16384];
         while (conn.in.size() < max_in_buffer_) {
           ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -307,8 +348,9 @@ void TcpServer::Loop() {
 
       // Serve pipelined frames after the send above, pausing while the
       // reply backlog is at its cap. Frames that stay buffered here imply a
-      // non-empty backlog, so the next poll round polls POLLOUT and this
-      // loop resumes once the peer drains replies — never a silent stall.
+      // non-empty backlog, so the interest mask keeps EPOLLOUT armed and
+      // this loop resumes once the peer drains replies — never a silent
+      // stall.
       if (!drop) {
         Bytes frame;
         Status error;
@@ -326,14 +368,16 @@ void TcpServer::Loop() {
         if (!error.ok()) drop = true;  // Hostile length prefix.
       }
 
-      if (drop) dead.push_back(fd);
-    }
-    for (int fd : dead) {
-      ::close(fd);
-      conns.erase(fd);
+      if (drop) {
+        ::close(fd);  // Also removes the fd from the epoll set.
+        conns.erase(conn_it);
+      } else {
+        update_interest(fd, conn);
+      }
     }
   }
   for (auto& [fd, conn] : conns) ::close(fd);
+  ::close(epfd);
 }
 
 Result<std::unique_ptr<Channel>> TcpTransport::Connect() {

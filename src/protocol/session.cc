@@ -218,20 +218,37 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       tds::TrustedDataServer* server;
       std::vector<Serve> serves;
     };
-    std::vector<Connector> connectors;
+    // The tick's connectors are decided first (consuming the session rng in
+    // shuffle order exactly as a serial loop would), then every connector's
+    // querybox download goes out as one batched fetch — the transport
+    // coalesces them into multi-call frames when batching is on, or replays
+    // the serial call sequence when it is off. Neither FetchPosts nor the
+    // batch variant touches any rng, so the draw order is unchanged.
+    std::vector<tds::TrustedDataServer*> connecting;
     for (size_t idx : order) {
       if (tick_mode &&
           !session_rng.NextBool(options_.connect_prob_per_tick)) {
         continue;
       }
-      tds::TrustedDataServer* server = fleet_->at(idx);
+      connecting.push_back(fleet_->at(idx));
+    }
+    std::vector<uint64_t> connecting_ids;
+    connecting_ids.reserve(connecting.size());
+    for (tds::TrustedDataServer* server : connecting) {
+      connecting_ids.push_back(server->id());
+    }
+    std::vector<Result<std::vector<ssi::QueryPost>>> fetched =
+        client_->FetchPostsBatch(connecting_ids);
+
+    std::vector<Connector> connectors;
+    for (size_t c = 0; c < connecting.size() && c < fetched.size(); ++c) {
+      tds::TrustedDataServer* server = connecting[c];
       Connector connector;
       connector.server = server;
       // Step 2: the connecting TDS downloads its pending open queries. A
       // transport failure just means this TDS missed the tick; it can
       // connect again on a later one.
-      Result<std::vector<ssi::QueryPost>> posts =
-          client_->FetchPosts(server->id());
+      Result<std::vector<ssi::QueryPost>>& posts = fetched[c];
       if (!posts.ok()) {
         if (IsTransportError(posts.status())) continue;
         return posts.status();
@@ -263,25 +280,38 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
           return Status::OK();
         }));
 
+    // One atomic exchange per serve: the SSI either accepts the contribution
+    // and acknowledges, or — when the SIZE bound closed the storage area
+    // mid-tick — discards it but still acknowledges the serve. The uploads
+    // ship as one batch in serve order (the accept bits land exactly where
+    // the serial loop would put them); a transport failure loses that TDS's
+    // contribution only.
+    std::vector<net::CollectionUpload> batch;
+    std::vector<Serve*> batch_serves;
     for (Connector& connector : connectors) {
       for (Serve& serve : connector.serves) {
-        // One atomic exchange: the SSI either accepts the contribution and
-        // acknowledges, or — when the SIZE bound closed the storage area
-        // mid-tick — discards it but still acknowledges the serve. A
-        // transport failure loses this TDS's contribution only.
-        Result<bool> accepted = client_->UploadCollection(
-            serve.post.query_id, connector.server->id(), serve.items);
-        if (!accepted.ok()) {
-          if (IsTransportError(accepted.status())) continue;
-          return accepted.status();
-        }
-        if (!*accepted) continue;
-        uint64_t bytes = 0;
-        for (const auto& item : serve.items) bytes += item.WireSize();
-        serve.query->ctx->RecordCollection(connector.server->id(), bytes,
-                                           serve.items.size());
-        serve.query->ctx->metrics().collection_participants += 1;
+        net::CollectionUpload upload;
+        upload.query_id = serve.post.query_id;
+        upload.tds_id = connector.server->id();
+        upload.items = serve.items;
+        batch.push_back(std::move(upload));
+        batch_serves.push_back(&serve);
       }
+    }
+    std::vector<Result<bool>> accepts = client_->UploadCollectionBatch(batch);
+    for (size_t i = 0; i < batch_serves.size() && i < accepts.size(); ++i) {
+      Result<bool>& accepted = accepts[i];
+      if (!accepted.ok()) {
+        if (IsTransportError(accepted.status())) continue;
+        return accepted.status();
+      }
+      if (!*accepted) continue;
+      Serve& serve = *batch_serves[i];
+      uint64_t bytes = 0;
+      for (const auto& item : serve.items) bytes += item.WireSize();
+      serve.query->ctx->RecordCollection(batch[i].tds_id, bytes,
+                                         serve.items.size());
+      serve.query->ctx->metrics().collection_participants += 1;
     }
   }
 

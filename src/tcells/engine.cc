@@ -1,5 +1,7 @@
 #include "tcells/engine.h"
 
+#include "net/ssi_wire.h"
+
 namespace tcells {
 
 Engine::Engine(std::unique_ptr<protocol::Fleet> fleet, Config config)
@@ -28,6 +30,19 @@ Result<std::unique_ptr<Engine>> Engine::Create(
     return Status::InvalidArgument(
         "Engine::Config: max_inflight_queries exceeds kMaxInflightQueries "
         "(256)");
+  }
+  if (config.transport_batch_max_calls == 0) {
+    return Status::InvalidArgument(
+        "Engine::Config: transport_batch_max_calls must be >= 1");
+  }
+  if (config.transport_batch_max_calls > net::kMaxCallsPerBatch) {
+    return Status::InvalidArgument(
+        "Engine::Config: transport_batch_max_calls exceeds "
+        "net::kMaxCallsPerBatch");
+  }
+  if (config.transport_max_inflight == 0) {
+    return Status::InvalidArgument(
+        "Engine::Config: transport_max_inflight must be >= 1");
   }
   std::unique_ptr<Engine> engine(
       new Engine(std::move(fleet), std::move(config)));
@@ -65,8 +80,12 @@ Status Engine::StartShards() {
           base, *config_.fault_plan, config_.options.clock);
       base = shard.faulty.get();
     }
+    net::BatchOptions batch;
+    batch.max_calls_per_frame = config_.transport_batch_max_calls;
+    batch.max_inflight_frames = config_.transport_max_inflight;
     shard.client = std::make_unique<net::SsiClient>(
-        base, protocol::TransportRetryPolicy(config_.options), &metrics_);
+        base, protocol::TransportRetryPolicy(config_.options), &metrics_,
+        batch);
     shard_apis.push_back(shard.client.get());
   }
   router_ = std::make_unique<net::ShardedSsiClient>(std::move(shard_apis));

@@ -74,6 +74,15 @@ class Engine {
     size_t max_inflight_queries = 4;
     /// What Submit does once every slot is busy (scheduler.h).
     AdmissionPolicy admission = AdmissionPolicy::kQueue;
+    /// Calls coalesced into one transport frame per shard client
+    /// (net::BatchOptions::max_calls_per_frame). 1 — the default — keeps
+    /// every call on the legacy single-call wire format; >1 enables the
+    /// batch envelope for collection fetches/uploads and pipelined round
+    /// transfers. Validated in [1, net::kMaxCallsPerBatch] at Create.
+    size_t transport_batch_max_calls = 1;
+    /// Frames one shard client keeps on the wire concurrently
+    /// (net::BatchOptions::max_inflight_frames). Validated >= 1 at Create.
+    size_t transport_max_inflight = 4;
     /// Adversarial testing hooks (docs/TRANSPORT.md "Fault plans"): each
     /// shard's transport is wrapped in a FaultyTransport and/or its handler
     /// in a ByzantineProxy. Null = honest, fault-free.

@@ -998,5 +998,353 @@ TEST(ByzantineProxyTest, ReplayedRoundOutputIsServedOnLaterTakes) {
   EXPECT_EQ(proxy.stats().replayed_round_outputs, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Batch envelope wire format.
+
+TEST(BatchWireTest, RoundTrip) {
+  std::vector<BatchCall> calls;
+  calls.push_back(BatchCall{7, MakeBytes({1, 2, 3})});
+  calls.push_back(BatchCall{9, Bytes()});
+  calls.push_back(BatchCall{0xFFFFFFFFFFFFFFFFULL, MakeBytes({4})});
+  Bytes frame = EncodeBatchFrame(calls);
+  EXPECT_TRUE(IsBatchFrame(frame));
+  auto decoded = DecodeBatchFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 3u);
+  for (size_t i = 0; i < calls.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].correlation_id, calls[i].correlation_id);
+    EXPECT_EQ((*decoded)[i].payload, calls[i].payload);
+  }
+}
+
+TEST(BatchWireTest, SingleCallFramesAreNotBatchFrames) {
+  // Every MsgType and reply StatusCode is below kBatchMagic, so legacy
+  // frames can never be mistaken for a batch envelope.
+  Bytes request;
+  ByteWriter(&request).PutU8(static_cast<uint8_t>(MsgType::kFetchPosts));
+  EXPECT_FALSE(IsBatchFrame(request));
+  Bytes reply = EncodeReplyOk(MakeBytes({1}));
+  EXPECT_FALSE(IsBatchFrame(reply));
+  EXPECT_TRUE(IsCorruption(DecodeBatchFrame(request).status()));
+}
+
+TEST(BatchWireTest, RejectsHostileCountBeforeAllocation) {
+  // A count claiming 4 billion calls inside a 10-byte frame must be rejected
+  // by arithmetic on the remaining length, never by attempting the reserve.
+  Bytes frame;
+  ByteWriter w(&frame);
+  w.PutU8(kBatchMagic);
+  w.PutU8(kBatchVersion);
+  w.PutU32(0xFFFFFFFFu);
+  EXPECT_TRUE(IsCorruption(DecodeBatchFrame(frame).status()));
+}
+
+TEST(BatchWireTest, RejectsCountBeyondBatchCap) {
+  // Enough real bytes to back the claimed count, but over kMaxCallsPerBatch:
+  // rejected before any per-call decode.
+  Bytes frame;
+  ByteWriter w(&frame);
+  w.PutU8(kBatchMagic);
+  w.PutU8(kBatchVersion);
+  const uint32_t count = kMaxCallsPerBatch + 1;
+  w.PutU32(count);
+  Bytes backing(static_cast<size_t>(count) * 12, 0);
+  w.PutRaw(backing.data(), backing.size());
+  auto decoded = DecodeBatchFrame(frame);
+  ASSERT_TRUE(IsCorruption(decoded.status()));
+  EXPECT_NE(decoded.status().ToString().find("kMaxCallsPerBatch"),
+            std::string::npos);
+}
+
+TEST(BatchWireTest, RejectsEmptyVersionedAndTrailingGarbage) {
+  Bytes empty;
+  ByteWriter we(&empty);
+  we.PutU8(kBatchMagic);
+  we.PutU8(kBatchVersion);
+  we.PutU32(0);
+  EXPECT_TRUE(IsCorruption(DecodeBatchFrame(empty).status()));
+
+  std::vector<BatchCall> calls = {BatchCall{1, MakeBytes({1})}};
+  Bytes versioned = EncodeBatchFrame(calls);
+  versioned[1] = kBatchVersion + 1;
+  EXPECT_TRUE(IsCorruption(DecodeBatchFrame(versioned).status()));
+
+  Bytes trailing = EncodeBatchFrame(calls);
+  trailing.push_back(0x00);
+  EXPECT_TRUE(IsCorruption(DecodeBatchFrame(trailing).status()));
+}
+
+// ---------------------------------------------------------------------------
+// Batched, pipelined client submission.
+
+BatchOptions TestBatch(size_t max_calls, size_t inflight = 4) {
+  BatchOptions batch;
+  batch.max_calls_per_frame = max_calls;
+  batch.max_inflight_frames = inflight;
+  return batch;
+}
+
+Bytes NumAckedRequest(uint64_t query_id) {
+  Bytes req;
+  ByteWriter w(&req);
+  w.PutU8(static_cast<uint8_t>(MsgType::kNumAcknowledged));
+  w.PutU64(query_id);
+  return req;
+}
+
+TEST(SsiClientBatchTest, QueuedCallsCoalesceIntoOneFrame) {
+  SsiNode node;
+  size_t handler_frames = 0;
+  LoopbackTransport transport([&](const Bytes& req) -> Result<Bytes> {
+    ++handler_frames;
+    return node.Handle(req);
+  });
+  obs::MetricsRegistry metrics;
+  SsiClient client(&transport, RetryPolicy{}, &metrics, TestBatch(16));
+
+  std::vector<SsiClient::CallToken> tokens;
+  for (int i = 0; i < 16; ++i) tokens.push_back(client.CallAsync(NumAckedRequest(1)));
+  for (SsiClient::CallToken token : tokens) {
+    auto body = client.Await(token);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    auto n = ByteReader(*body).GetU64();
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u);
+  }
+  EXPECT_EQ(handler_frames, 1u);
+  auto snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counters.at("net.frames_sent"), 1u);
+  EXPECT_EQ(snapshot.counters.at("net.calls_sent"), 16u);
+  const auto& per_frame = snapshot.histograms.at("net.calls_per_frame");
+  EXPECT_EQ(per_frame.count, 1u);
+  EXPECT_EQ(per_frame.sum, 16.0);
+}
+
+TEST(SsiClientBatchTest, OutOfOrderRepliesAreMatchedByCorrelationId) {
+  // An echoing server that completes the batch in reverse order: only
+  // correlation-ID matching can hand each caller its own bytes back.
+  LoopbackTransport transport([&](const Bytes& req) -> Result<Bytes> {
+    TCELLS_ASSIGN_OR_RETURN(std::vector<BatchCall> calls,
+                            DecodeBatchFrame(req));
+    std::vector<BatchCall> replies;
+    for (BatchCall& call : calls) {
+      replies.push_back(BatchCall{call.correlation_id,
+                                  EncodeReplyOk(call.payload)});
+    }
+    std::reverse(replies.begin(), replies.end());
+    return EncodeBatchFrame(replies);
+  });
+  SsiClient client(&transport, RetryPolicy{}, nullptr, TestBatch(8));
+
+  std::vector<SsiClient::CallToken> tokens;
+  std::vector<Bytes> payloads;
+  for (uint8_t i = 0; i < 8; ++i) {
+    payloads.push_back(Bytes(4, i));
+    tokens.push_back(client.CallAsync(payloads.back()));
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    auto body = client.Await(tokens[i]);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    EXPECT_EQ(*body, payloads[i]);
+  }
+}
+
+TEST(SsiClientBatchTest, UnknownAndDuplicateCorrelationIdsAreDropped) {
+  // The reply batch answers call 0 twice and invents an ID nobody asked for;
+  // call 0 keeps the first answer, call 1 fails loudly (its reply is
+  // missing), and nothing is silently cross-wired.
+  obs::MetricsRegistry metrics;
+  LoopbackTransport transport([&](const Bytes& req) -> Result<Bytes> {
+    TCELLS_ASSIGN_OR_RETURN(std::vector<BatchCall> calls,
+                            DecodeBatchFrame(req));
+    std::vector<BatchCall> replies;
+    replies.push_back(BatchCall{calls[0].correlation_id,
+                                EncodeReplyOk(MakeBytes({1}))});
+    replies.push_back(BatchCall{calls[0].correlation_id,
+                                EncodeReplyOk(MakeBytes({2}))});
+    replies.push_back(BatchCall{calls[0].correlation_id + 1000000,
+                                EncodeReplyOk(MakeBytes({3}))});
+    return EncodeBatchFrame(replies);
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  SsiClient client(&transport, policy, &metrics, TestBatch(2));
+
+  SsiClient::CallToken a = client.CallAsync(MakeBytes({0xAA}));
+  SsiClient::CallToken b = client.CallAsync(MakeBytes({0xBB}));
+  auto reply_a = client.Await(a);
+  ASSERT_TRUE(reply_a.ok()) << reply_a.status().ToString();
+  EXPECT_EQ(*reply_a, MakeBytes({1}));  // first answer wins
+  auto reply_b = client.Await(b);
+  EXPECT_TRUE(IsCorruption(reply_b.status())) << reply_b.status().ToString();
+  EXPECT_EQ(metrics.snapshot().counters.at("net.stale_replies_dropped"), 2u);
+}
+
+TEST(SsiClientBatchTest, BatchMixesSuccessesAndFailures) {
+  // One frame carrying one servable call and one application error: each
+  // call completes with its own verdict, the error does not poison the
+  // frame.
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  SsiClient client(&transport, RetryPolicy{}, nullptr, TestBatch(4));
+
+  ssi::Partition partition;
+  partition.items = {MakeItem(1, false)};
+  ASSERT_TRUE(client.StagePartition(7, /*token=*/0, partition).ok());
+
+  auto make_fetch = [](uint64_t query_id) {
+    Bytes req;
+    ByteWriter w(&req);
+    w.PutU8(static_cast<uint8_t>(MsgType::kFetchPartition));
+    w.PutU64(query_id);
+    w.PutU64(0);
+    return req;
+  };
+  SsiClient::CallToken hit = client.CallAsync(make_fetch(7));
+  SsiClient::CallToken miss = client.CallAsync(make_fetch(99));
+  auto fetched = client.Await(hit);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  auto decoded = ssi::Partition::Decode(*fetched);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->items.size(), 1u);
+  EXPECT_TRUE(IsNotFound(client.Await(miss).status()));
+}
+
+TEST(SsiClientBatchTest, WholeFrameStaleReplayIsRetriedWithFreshIds) {
+  // FaultyTransport replays frame 1's reply for frame 2. The replayed batch
+  // carries frame 1's correlation IDs, which match nothing in frame 2's
+  // attempt — the client must treat the exchange as Unavailable and retry
+  // with fresh IDs rather than consume the stale bytes.
+  SsiNode node;
+  LoopbackTransport loopback(node.handler());
+  FaultPlan plan;
+  ScriptedFault fault;
+  fault.type = static_cast<MsgType>(kBatchMagic);
+  fault.kind = FaultKind::kStaleReplay;
+  fault.scope = ScriptedFault::Scope::kPerKey;
+  fault.nth = 2;
+  plan.script.push_back(fault);
+  VirtualClock vclock;
+  FaultyTransport faulty(&loopback, plan, &vclock);
+  obs::MetricsRegistry metrics;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.clock = &vclock;
+  SsiClient client(&faulty, policy, &metrics, TestBatch(16));
+
+  auto first = client.NumAcknowledged(1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = client.NumAcknowledged(2);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(faulty.injected_count(), 1u);
+  auto counters = metrics.snapshot().counters;
+  EXPECT_EQ(counters.at("net.retries"), 1u);
+  EXPECT_GE(counters.at("net.stale_replies_dropped"), 1u);
+  // calls_sent counts physical attempts, so the invariant
+  // frames_sent <= calls_sent survives the retry.
+  EXPECT_EQ(counters.at("net.frames_sent"), 3u);
+  EXPECT_EQ(counters.at("net.calls_sent"), 3u);
+}
+
+TEST(SsiClientBatchTest, DetachedAckFlushesWithLaterTraffic) {
+  // In batched mode TakeRoundOutput's ack is detached: it rides a later
+  // frame instead of costing its own round trip, and the server state is
+  // still erased once it lands.
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  SsiClient client(&transport, RetryPolicy{}, nullptr, TestBatch(8));
+
+  std::vector<ssi::EncryptedItem> output = {MakeItem(3, false)};
+  ASSERT_TRUE(client.UploadRoundOutput(7, 0, output).ok());
+  auto taken = client.TakeRoundOutput(7, 0);
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  EXPECT_EQ(taken->size(), 1u);
+  client.Flush();  // pushes the detached ack out
+  // The ack erased the transfer state: a re-take finds nothing.
+  EXPECT_TRUE(IsNotFound(client.TakeRoundOutput(7, 0).status()));
+}
+
+TEST(SsiClientBatchTest, GroupCommitAcrossThreadsKeepsEveryCallIntact) {
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  obs::MetricsRegistry metrics;
+  SsiClient client(&transport, RetryPolicy{}, &metrics, TestBatch(64, 2));
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        auto n = client.NumAcknowledged(1);
+        if (!n.ok() || *n != 0) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto snapshot = metrics.snapshot();
+  const uint64_t calls = snapshot.counters.at("net.calls_sent");
+  const uint64_t frames = snapshot.counters.at("net.frames_sent");
+  EXPECT_EQ(calls, static_cast<uint64_t>(kThreads * kCallsPerThread));
+  EXPECT_LE(frames, calls);
+  EXPECT_GE(frames, 1u);
+  const auto& per_frame = snapshot.histograms.at("net.calls_per_frame");
+  EXPECT_EQ(per_frame.count, frames);
+  EXPECT_EQ(per_frame.sum, static_cast<double>(calls));
+}
+
+TEST(SsiClientBatchTest, SingleCallModeKeepsLegacyWireFormat) {
+  // max_calls_per_frame == 1: the request bytes ARE the frame — no batch
+  // envelope, no correlation IDs, bit-identical to the pre-batching client.
+  Bytes seen;
+  LoopbackTransport transport([&](const Bytes& req) -> Result<Bytes> {
+    seen = req;
+    Bytes body;
+    ByteWriter(&body).PutU64(0);
+    return EncodeReplyOk(body);
+  });
+  SsiClient client(&transport, RetryPolicy{}, nullptr, TestBatch(1));
+  ASSERT_TRUE(client.NumAcknowledged(5).ok());
+  EXPECT_EQ(seen, NumAckedRequest(5));
+  EXPECT_FALSE(IsBatchFrame(seen));
+}
+
+TEST(SsiNodeTest, ServesBatchFramesInOrder) {
+  // The node decodes a batch envelope, dispatches in frame order under one
+  // mutex hold, and replies with a batch frame carrying the same IDs.
+  SsiNode node;
+  LoopbackTransport transport(node.handler());
+  SsiClient poster(&transport);
+  ssi::QueryPost post;
+  post.query_id = 1;
+  ASSERT_TRUE(poster.PostGlobal(post).ok());
+
+  std::vector<BatchCall> calls;
+  Bytes ack;
+  ByteWriter wa(&ack);
+  wa.PutU8(static_cast<uint8_t>(MsgType::kAcknowledge));
+  wa.PutU64(3);  // tds_id
+  wa.PutU64(1);  // query_id
+  calls.push_back(BatchCall{10, ack});
+  calls.push_back(BatchCall{11, NumAckedRequest(1)});
+  auto reply = node.Handle(EncodeBatchFrame(calls));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(IsBatchFrame(*reply));
+  auto replies = DecodeBatchFrame(*reply);
+  ASSERT_TRUE(replies.ok());
+  ASSERT_EQ(replies->size(), 2u);
+  EXPECT_EQ((*replies)[0].correlation_id, 10u);
+  EXPECT_EQ((*replies)[1].correlation_id, 11u);
+  // The ack executed before the count in the same frame: NumAcknowledged
+  // already sees it.
+  auto body = DecodeReply((*replies)[1].payload);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  auto n = ByteReader(*body).GetU64();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
 }  // namespace
 }  // namespace tcells::net

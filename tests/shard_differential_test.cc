@@ -141,6 +141,7 @@ void ExpectMetricsIdentical(const RunOutcome& a, const RunOutcome& b) {
   const auto& mb = b.metrics;
   for (auto phase : {sim::Phase::kCollection, sim::Phase::kAggregation,
                      sim::Phase::kFiltering}) {
+    SCOPED_TRACE("phase=" + std::to_string(static_cast<int>(phase)));
     const auto& ta = ma.accountant.phase(phase);
     const auto& tb = mb.accountant.phase(phase);
     EXPECT_EQ(ta.bytes_uploaded, tb.bytes_uploaded);

@@ -44,7 +44,8 @@ const char* QueryFor(ProtocolKind kind) {
 /// are rebuilt per run so no state carries across the two arms; the TCP arm
 /// additionally spins up a real server + socket per run.
 RunOutcome RunOver(ProtocolKind kind, net::TransportKind transport_kind,
-                   uint64_t seed) {
+                   uint64_t seed, size_t batch_max_calls = 1,
+                   size_t num_shards = 1) {
   workload::GenericOptions gopts;
   gopts.num_tds = kNumTds;
   gopts.num_groups = kNumGroups;
@@ -104,6 +105,8 @@ RunOutcome RunOver(ProtocolKind kind, net::TransportKind transport_kind,
   Engine::Config cfg;
   cfg.options = opts;
   cfg.transport = transport_kind;
+  cfg.transport_batch_max_calls = batch_max_calls;
+  cfg.num_shards = num_shards;
   auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
   return engine->Run(*protocol, querier, 1, QueryFor(kind)).ValueOrDie();
 }
@@ -206,6 +209,35 @@ TEST_P(TransportDifferentialTest, TcpResultStillMatchesPlaintextOracle) {
   EXPECT_TRUE(tcp.result.SameRows(expected))
       << "got:\n" << tcp.result.ToString()
       << "want:\n" << expected.ToString();
+}
+
+TEST_P(TransportDifferentialTest, BatchedRunsAreBitIdenticalToSerial) {
+  // The batched wire path (multi-call frames, pipelined flushes, detached
+  // acks) may only change how many frames the calls take — never anything a
+  // run produces. One serial-loopback baseline per seed, compared against
+  // batching over both backends and over the sharded router.
+  ProtocolKind kind = GetParam();
+  for (uint64_t seed : {11u, 22u}) {
+    SCOPED_TRACE(std::string(ProtocolKindToString(kind)) + " seed " +
+                 std::to_string(seed));
+    RunOutcome serial = RunOver(kind, net::TransportKind::kLoopback, seed);
+    RunOutcome batched_loopback =
+        RunOver(kind, net::TransportKind::kLoopback, seed,
+                /*batch_max_calls=*/32);
+    ExpectIdentical(serial, batched_loopback);
+    RunOutcome batched_tcp = RunOver(kind, net::TransportKind::kTcp, seed,
+                                     /*batch_max_calls=*/32);
+    ExpectIdentical(serial, batched_tcp);
+    // The sharded arms compare at equal shard count: the merged adversary
+    // view is only order-comparable between runs with the same sharding.
+    RunOutcome serial_sharded =
+        RunOver(kind, net::TransportKind::kLoopback, seed,
+                /*batch_max_calls=*/1, /*num_shards=*/4);
+    RunOutcome batched_sharded =
+        RunOver(kind, net::TransportKind::kLoopback, seed,
+                /*batch_max_calls=*/32, /*num_shards=*/4);
+    ExpectIdentical(serial_sharded, batched_sharded);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,106 @@
+// Observability invariants of the batched transport: the net.* counters and
+// histograms the SsiClient emits must stay mutually consistent whatever the
+// flush schedule does — frames never outnumber calls, the byte counter is
+// exactly the frame-payload histogram plus framing overhead, and the
+// calls-per-frame histogram accounts for every physical frame and call.
+// These invariants are what make the metrics usable for regression tracking
+// (bench_transport) and capacity math, so they are pinned under `ctest -L
+// obs` alongside the span-tree cross-checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/ssi_client.h"
+#include "protocol/protocols.h"
+#include "tcells/engine.h"
+#include "tds/access_control.h"
+#include "workload/generic.h"
+
+namespace tcells {
+namespace {
+
+obs::MetricsRegistry::Snapshot RunAndSnapshot(size_t batch_max_calls,
+                                              net::TransportKind transport) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = 32;
+  gopts.num_groups = 4;
+  gopts.rows_per_tds = 2;
+  gopts.seed = 4100;
+  auto keys = crypto::KeyStore::CreateForTest(2026);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x44));
+  auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  protocol::Querier querier("obs", authority->Issue("obs"), keys);
+  protocol::SAggProtocol protocol;
+  protocol::RunOptions opts;
+  opts.expected_groups = 4;
+  opts.seed = 7;
+  opts.num_threads = 2;
+
+  Engine::Config cfg;
+  cfg.options = opts;
+  cfg.transport = transport;
+  cfg.transport_batch_max_calls = batch_max_calls;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+  auto outcome = engine->Run(
+      protocol, querier, 1,
+      "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), MAX(val) "
+      "FROM T GROUP BY grp");
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return engine->metrics().snapshot();
+}
+
+void ExpectNetInvariants(const obs::MetricsRegistry::Snapshot& snapshot) {
+  const uint64_t frames = snapshot.counters.at("net.frames_sent");
+  const uint64_t calls = snapshot.counters.at("net.calls_sent");
+  const uint64_t bytes = snapshot.counters.at("net.bytes_sent");
+  ASSERT_GT(frames, 0u);
+
+  // Coalescing can only shrink the frame count, never invent frames; both
+  // counters tick per physical send attempt, so retries cannot break this.
+  EXPECT_LE(frames, calls);
+
+  // Every sent frame records its payload size: the byte counter must equal
+  // the histogram's payload total plus the 4-byte length prefix per frame.
+  const auto& frame_bytes = snapshot.histograms.at("net.frame_bytes");
+  EXPECT_EQ(frame_bytes.count, frames);
+  EXPECT_EQ(static_cast<double>(bytes), frame_bytes.sum + 4.0 * frames);
+
+  // Every frame contributes one calls-per-frame sample, and the samples sum
+  // back to the call count — no frame or call escapes the histogram.
+  const auto& per_frame = snapshot.histograms.at("net.calls_per_frame");
+  EXPECT_EQ(per_frame.count, frames);
+  EXPECT_EQ(per_frame.sum, static_cast<double>(calls));
+  EXPECT_GE(per_frame.min, 1.0);
+
+  // The in-flight gauge histogram samples once per dispatched frame.
+  const auto& inflight = snapshot.histograms.at("net.inflight_calls");
+  EXPECT_EQ(inflight.count, frames);
+  EXPECT_GE(inflight.min, 1.0);
+}
+
+TEST(TransportObsTest, SerialModeHoldsNetInvariants) {
+  auto snapshot = RunAndSnapshot(1, net::TransportKind::kLoopback);
+  ExpectNetInvariants(snapshot);
+  // Without coalescing every frame carries exactly one call.
+  EXPECT_EQ(snapshot.counters.at("net.frames_sent"),
+            snapshot.counters.at("net.calls_sent"));
+}
+
+TEST(TransportObsTest, BatchedModeHoldsNetInvariantsAndCoalesces) {
+  auto snapshot = RunAndSnapshot(32, net::TransportKind::kLoopback);
+  ExpectNetInvariants(snapshot);
+  // The collection phase fans fetches/uploads out in bulk, so batching must
+  // demonstrably shrink the frame count below the call count.
+  EXPECT_LT(snapshot.counters.at("net.frames_sent"),
+            snapshot.counters.at("net.calls_sent"));
+}
+
+TEST(TransportObsTest, BatchedTcpHoldsNetInvariants) {
+  ExpectNetInvariants(RunAndSnapshot(32, net::TransportKind::kTcp));
+}
+
+}  // namespace
+}  // namespace tcells
