@@ -15,6 +15,12 @@ Result<BroadcastChannel> BroadcastChannel::Create(const Bytes& master,
   if (num_devices == 0) {
     return Status::InvalidArgument("need at least one device");
   }
+  // Heap numbering stores node ids in uint32 and the leaves occupy
+  // capacity .. 2*capacity-1, so the padded leaf count must stay <= 2^31 or
+  // the leaf ids wrap around and distinct devices would share keys.
+  if (num_devices > (size_t{1} << 31)) {
+    return Status::InvalidArgument("broadcast tree capped at 2^31 devices");
+  }
   size_t capacity = 1;
   while (capacity < num_devices) capacity *= 2;
   return BroadcastChannel(master, num_devices, capacity);

@@ -31,9 +31,11 @@ struct CallKey {
 size_t NumKeyFields(MsgType type) {
   switch (type) {
     case MsgType::kPostGlobal:
+    case MsgType::kPostEpochBlock:
       return 0;
     case MsgType::kPostPersonal:
     case MsgType::kFetchPosts:
+    case MsgType::kFetchEpochBlock:
     case MsgType::kNumAcknowledged:
     case MsgType::kSizeReached:
     case MsgType::kTakeCollected:
@@ -95,6 +97,8 @@ const char* MsgTypeName(uint8_t type) {
     case MsgType::kAdversaryView: return "AdversaryView";
     case MsgType::kRetire: return "Retire";
     case MsgType::kAckRoundOutput: return "AckRoundOutput";
+    case MsgType::kPostEpochBlock: return "PostEpochBlock";
+    case MsgType::kFetchEpochBlock: return "FetchEpochBlock";
   }
   return "Unknown";
 }

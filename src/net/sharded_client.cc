@@ -132,6 +132,17 @@ Result<uint64_t> ShardedSsiClient::NumAcknowledged(uint64_t query_id) {
   return total;
 }
 
+Status ShardedSsiClient::PostEpochBlock(const Bytes& block) {
+  for (SsiApi* shard : shards_) {
+    TCELLS_RETURN_IF_ERROR(shard->PostEpochBlock(block));
+  }
+  return Status::OK();
+}
+
+Result<Bytes> ShardedSsiClient::FetchEpochBlock(uint64_t tds_id) {
+  return shards_[ShardOfTds(tds_id)]->FetchEpochBlock(tds_id);
+}
+
 Result<bool> ShardedSsiClient::SizeReached(uint64_t query_id) {
   if (shards_.size() == 1) return shards_[0]->SizeReached(query_id);
   std::lock_guard<std::mutex> lock(mu_);

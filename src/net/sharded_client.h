@@ -70,6 +70,13 @@ class ShardedSsiClient : public SsiApi {
   Status Acknowledge(uint64_t tds_id, uint64_t query_id) override;
   Result<uint64_t> NumAcknowledged(uint64_t query_id) override;
 
+  // ---- Key epoch distribution ----
+  /// Fans the block out to every shard (each TDS fetches from its own
+  /// shard); fails on the first shard that rejects.
+  Status PostEpochBlock(const Bytes& block) override;
+  /// Routed to the calling TDS's shard, like its querybox traffic.
+  Result<Bytes> FetchEpochBlock(uint64_t tds_id) override;
+
   // ---- Collection phase ----
   Result<bool> SizeReached(uint64_t query_id) override;
   Result<bool> UploadCollection(

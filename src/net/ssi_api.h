@@ -95,6 +95,22 @@ class SsiApi {
   virtual Status ObserveFiltering(
       uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) = 0;
 
+  // ---- Key epoch distribution (dynamic key mode, docs/KEYS.md) ----
+  /// Publishes the latest encoded keys::EpochBlock. Opaque bytes at this
+  /// layer; later posts overwrite earlier ones. Default: unsupported, so
+  /// SSI implementations predating dynamic keys keep compiling — dynamic
+  /// mode simply cannot run against them.
+  virtual Status PostEpochBlock(const Bytes& block) {
+    (void)block;
+    return Status::Unimplemented("SSI does not store epoch blocks");
+  }
+  /// Fetches the latest published block. `tds_id` identifies the caller for
+  /// shard routing and fault keying only. NotFound before the first post.
+  virtual Result<Bytes> FetchEpochBlock(uint64_t tds_id) {
+    (void)tds_id;
+    return Status::NotFound("no epoch block published");
+  }
+
   // ---- Result delivery / teardown ----
   virtual Status DeliverResult(
       uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) = 0;

@@ -418,6 +418,20 @@ std::vector<Result<std::vector<QueryPost>>> SsiClient::FetchPostsBatch(
   return out;
 }
 
+Status SsiClient::PostEpochBlock(const Bytes& block) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kPostEpochBlock);
+  ByteWriter(&req).PutRaw(block.data(), block.size());
+  return Call(std::move(req)).status();
+}
+
+Result<Bytes> SsiClient::FetchEpochBlock(uint64_t tds_id) {
+  Bytes req;
+  BeginRequest(&req, MsgType::kFetchEpochBlock);
+  ByteWriter(&req).PutU64(tds_id);
+  return Call(std::move(req));
+}
+
 Status SsiClient::Acknowledge(uint64_t tds_id, uint64_t query_id) {
   Bytes req;
   BeginRequest(&req, MsgType::kAcknowledge);

@@ -114,6 +114,10 @@ class SsiClient : public SsiApi {
   Status Acknowledge(uint64_t tds_id, uint64_t query_id) override;
   Result<uint64_t> NumAcknowledged(uint64_t query_id) override;
 
+  // ---- Key epoch distribution ----
+  Status PostEpochBlock(const Bytes& block) override;
+  Result<Bytes> FetchEpochBlock(uint64_t tds_id) override;
+
   // ---- Collection phase ----
   Result<bool> SizeReached(uint64_t query_id) override;
   Result<bool> UploadCollection(

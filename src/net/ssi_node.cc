@@ -250,6 +250,24 @@ Result<Bytes> SsiNode::Dispatch(const Bytes& request) {
       storage->adversary_view().EncodeTo(&body);
       return EncodeReplyOk(body);
     }
+    case MsgType::kPostEpochBlock: {
+      // Opaque to the SSI: the block is broadcast-encrypted key material the
+      // node merely stores and serves. Later posts overwrite earlier ones —
+      // the authority always publishes the full current window.
+      TCELLS_ASSIGN_OR_RETURN(epoch_block_,
+                              reader.GetRaw(reader.remaining()));
+      return EncodeReplyOk(EmptyBody());
+    }
+    case MsgType::kFetchEpochBlock: {
+      // The tds_id exists only to shard-route and fault-key the fetch; the
+      // reply is the same latest block for every caller.
+      TCELLS_ASSIGN_OR_RETURN(uint64_t tds_id, reader.GetU64());
+      (void)tds_id;
+      if (epoch_block_.empty()) {
+        return Status::NotFound("no epoch block published");
+      }
+      return EncodeReplyOk(epoch_block_);
+    }
     case MsgType::kRetire: {
       TCELLS_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
       // Drop every transfer remnant of the query, so lost partitions do not

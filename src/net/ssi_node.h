@@ -57,6 +57,10 @@ class SsiNode {
   std::map<uint64_t, std::map<uint64_t, ssi::Partition>> outputs_;
   /// query_id → final result items awaiting querier download.
   std::map<uint64_t, std::vector<ssi::EncryptedItem>> results_;
+  /// Latest published key-epoch block (encoded keys::EpochBlock, opaque
+  /// here). Deliberately NOT per-query and NOT touched by kRetire: the key
+  /// schedule outlives every query.
+  Bytes epoch_block_;
 };
 
 }  // namespace tcells::net

@@ -46,6 +46,8 @@ enum class MsgType : uint8_t {
   kAdversaryView = 17,    ///< u64 query_id → AdversaryView
   kRetire = 18,           ///< u64 query_id → ()
   kAckRoundOutput = 19,   ///< u64 query_id, u64 token → () (idempotent erase)
+  kPostEpochBlock = 20,   ///< encoded keys::EpochBlock → () (opaque to SSI)
+  kFetchEpochBlock = 21,  ///< u64 tds_id → encoded keys::EpochBlock
 };
 
 /// Reply envelope: u8 StatusCode + body (OK) or message string (error).
@@ -58,7 +60,7 @@ Result<Bytes> DecodeReply(const Bytes& reply);
 
 // ---- Multi-call batch envelope ----
 
-/// Leading byte of a batch frame. 0xB5 collides with no MsgType (1..19) and
+/// Leading byte of a batch frame. 0xB5 collides with no MsgType (1..21) and
 /// no StatusCode (0..12), so a receiver can tell the frame kinds apart from
 /// the first byte alone.
 inline constexpr uint8_t kBatchMagic = 0xB5;

@@ -234,17 +234,17 @@ Result<std::vector<EncryptedItem>> EdHistProtocol::RunAggregation(
 
 Result<std::vector<EncryptedItem>> RunFilteringPhase(
     RunContext& ctx, const sql::AnalyzedQuery& query,
-    std::vector<EncryptedItem> covering) {
+    const CollectionConfig& config, std::vector<EncryptedItem> covering) {
   if (covering.empty()) return std::vector<EncryptedItem>{};
   size_t pool_size = std::max<size_t>(1, ctx.compute_pool().size());
   size_t chunk = (covering.size() + pool_size - 1) / pool_size;
   std::vector<Partition> partitions =
       ssi::Ssi::PartitionRandomly(std::move(covering), chunk, &ctx.rng());
   return ctx.RunRound(sim::Phase::kFiltering, partitions,
-                      [&query](tds::TrustedDataServer* server,
-                               const Partition& partition, Rng* rng) {
-                        return server->ProcessFiltering(query, partition,
-                                                        rng);
+                      [&query, &config](tds::TrustedDataServer* server,
+                                        const Partition& partition, Rng* rng) {
+                        return server->ProcessFiltering(query, partition, rng,
+                                                        config);
                       });
 }
 

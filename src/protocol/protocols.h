@@ -135,8 +135,12 @@ struct RunOutcome {
 /// Filtering phase (§3.2 steps 9-12): spreads the covering result over the
 /// available TDSs, which drop dummies / finalize groups / apply HAVING and
 /// re-encrypt result rows under k1. Shared by RunQuery and QuerySession.
+/// `config` carries the run's collection configuration through to the TDSs —
+/// in dynamic key mode its key posting selects the per-query session keys
+/// the result rows are re-encrypted under.
 Result<std::vector<ssi::EncryptedItem>> RunFilteringPhase(
     RunContext& ctx, const sql::AnalyzedQuery& query,
+    const tds::CollectionConfig& config,
     std::vector<ssi::EncryptedItem> covering);
 
 /// Opt-in deprecation marker for legacy entry points. Off by default so the

@@ -28,6 +28,13 @@ class Querier {
 
   const std::string& id() const { return id_; }
 
+  /// A copy of this querier operating under different keys — dynamic key
+  /// mode builds one per query, holding the derived session KeyStore, so the
+  /// post/decrypt paths stay identical between key modes.
+  Querier WithKeys(std::shared_ptr<const crypto::KeyStore> keys) const {
+    return Querier(id_, credential_, std::move(keys));
+  }
+
   /// Builds the query post: SQL encrypted under k1, the credential, and the
   /// SIZE clause in cleartext for the SSI (§3.2 step 1). The SQL must parse
   /// (the SIZE bounds are extracted from it).

@@ -102,6 +102,17 @@ RunContext::RunContext(Fleet* fleet, net::SsiApi* client, uint64_t query_id,
 const std::vector<tds::TrustedDataServer*>& RunContext::compute_pool() {
   if (!pool_sampled_) {
     pool_ = fleet_->SampleAvailable(options_.compute_availability, &rng_);
+    // Dynamic key mode: revoked TDSs are dropped AFTER sampling, so the rng
+    // draw sequence (and hence every non-revoked TDS's partition stream) is
+    // unchanged by who happens to be revoked.
+    if (options_.key_authority != nullptr) {
+      pool_.erase(std::remove_if(pool_.begin(), pool_.end(),
+                                 [&](tds::TrustedDataServer* server) {
+                                   return options_.key_authority->IsRevoked(
+                                       server->id());
+                                 }),
+                  pool_.end());
+    }
     pool_sampled_ = true;
     metrics_.available_compute_tds = pool_.size();
   }
@@ -127,6 +138,11 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
   }
   const auto t0 = std::chrono::steady_clock::now();
   const auto& pool = compute_pool();
+  if (pool.empty() && !partitions.empty()) {
+    // Only reachable when revocation emptied the sampled pool.
+    return Status::FailedPrecondition(
+        "no non-revoked compute TDS available for the round");
+  }
   const size_t n = partitions.size();
 
   // Serial prelude: fork one private Rng stream per partition. This is the

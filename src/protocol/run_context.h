@@ -13,6 +13,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "keys/key_authority.h"
 #include "net/ssi_api.h"
 #include "net/ssi_client.h"
 #include "obs/trace.h"
@@ -97,6 +98,18 @@ struct RunOptions {
 
   uint64_t seed = 42;
 
+  /// Dynamic key mode (borrowed; may be null = static keys, bit-identical to
+  /// the pre-key-management behaviour). When set, every submitted query gets
+  /// a per-query key posting minted by this authority, TDS contributions are
+  /// admission-checked against it (epoch-stamped HMAC), and revoked TDSs are
+  /// excluded from the compute pool.
+  keys::KeyAuthority* key_authority = nullptr;
+
+  /// Invoked at the start of every collection connection tick with the tick
+  /// number (may be empty). The fault-injection campaign uses it to revoke
+  /// TDSs / roll the key epoch at a deterministic point mid-query.
+  std::function<void(uint64_t)> tick_hook;
+
   /// Cooperative cancellation flag (borrowed; may be null). Checked at the
   /// run's natural serial boundaries — each collection tick, each
   /// aggregation/filtering round, each per-query completion step — so a
@@ -136,6 +149,12 @@ struct RunMetrics {
   uint64_t collection_ticks = 0;
   /// TDSs that contributed to the collection phase before it closed.
   size_t collection_participants = 0;
+  /// Dynamic key mode: collection uploads whose contribution tag failed the
+  /// authority's admission check (stale epoch / revoked TDS / bad MAC). Each
+  /// is acknowledged but discarded — the query completes without it, and the
+  /// rejection is visible here instead of silently folding a revoked TDS's
+  /// data into the result. Always 0 in static key mode.
+  size_t contributions_rejected = 0;
   /// Partitions abandoned after the transport retry budget was exhausted;
   /// the round completed without their items (graceful degradation). Always
   /// 0 on a fault-free loopback transport. Tampered partitions (below) are

@@ -87,8 +87,25 @@ Status QuerySession::SubmitInternal(uint64_t query_id,
   RunOptions opts = options_;
   opts.seed = options_.seed + query_id * 0x9e37;
   Rng post_rng(opts.seed ^ 0xabcdef);
+  if (options_.key_authority != nullptr) {
+    // Dynamic key mode: mint this query's public key posting (current epoch
+    // + fresh nonce), derive the per-query session keys on the querier side
+    // and post under them. TDSs re-derive the same keys from the posting
+    // through their broadcast-sealed epoch secrets; nothing but the static
+    // flow changes when the authority is absent. The nonce draws from its
+    // own stream so MakePost consumes identical rng draws in both key modes
+    // (the static/dynamic differential compares adversary-view statistics).
+    Rng posting_rng(opts.seed ^ 0x6b657973);
+    pending.key_posting =
+        options_.key_authority->NewPosting(query_id, &posting_rng);
+    TCELLS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const crypto::KeyStore> session_keys,
+        options_.key_authority->QuerierKeysFor(*pending.key_posting));
+    pending.session_querier = querier->WithKeys(std::move(session_keys));
+  }
   TCELLS_ASSIGN_OR_RETURN(ssi::QueryPost post,
-                          querier->MakePost(query_id, sql, &post_rng));
+                          pending.reader().MakePost(query_id, sql, &post_rng));
+  post.key_posting = pending.key_posting;
   pending.duration_ticks = post.size_max_duration_ticks;
   if (tds_id) {
     TCELLS_RETURN_IF_ERROR(client_->PostPersonal(*tds_id, post));
@@ -117,6 +134,7 @@ Status QuerySession::SubmitInternal(uint64_t query_id,
     return config_result.status();
   }
   pending.config = std::move(config_result).ValueOrDie();
+  pending.config.key_posting = pending.key_posting;
 
   // Tag the root span with the protocol's noise/histogram configuration —
   // notably the expected fake-tuple ratio of Rnf_Noise (nf fakes per true
@@ -187,6 +205,9 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       return Status::DeadlineExceeded(
           "collection exceeded RunOptions::max_collection_ticks");
     }
+    // Campaign hook: a deterministic point to revoke TDSs / roll the key
+    // epoch while queries are in flight.
+    if (options_.tick_hook) options_.tick_hook(tick);
     // A query stays open while its window has ticks left, its SIZE bound is
     // not met and some eligible TDS has yet to serve it.
     std::set<uint64_t> open;
@@ -213,6 +234,10 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       PendingQuery* query;
       Rng rng{0};
       std::vector<EncryptedItem> items;
+      /// Dynamic key mode: the TDS could not derive the posting's session
+      /// keys (revoked before the query / no key state) — it is acknowledged
+      /// as served but contributes nothing.
+      bool skipped = false;
     };
     struct Connector {
       tds::TrustedDataServer* server;
@@ -272,10 +297,19 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
         connectors.size(), [&](size_t i) -> Status {
           Connector& connector = connectors[i];
           for (Serve& serve : connector.serves) {
-            TCELLS_ASSIGN_OR_RETURN(
-                serve.items,
+            Result<std::vector<EncryptedItem>> items =
                 connector.server->ProcessCollection(
-                    serve.post, serve.query->config, &serve.rng));
+                    serve.post, serve.query->config, &serve.rng);
+            if (!items.ok() && serve.query->key_posting &&
+                (items.status().IsNotFound() ||
+                 items.status().IsFailedPrecondition())) {
+              // The posting's epoch is unreachable for this TDS. It cannot
+              // answer; mark the serve so it is acknowledged without an
+              // upload (otherwise the collection window never closes).
+              serve.skipped = true;
+              continue;
+            }
+            TCELLS_ASSIGN_OR_RETURN(serve.items, std::move(items));
           }
           return Status::OK();
         }));
@@ -290,6 +324,38 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     std::vector<Serve*> batch_serves;
     for (Connector& connector : connectors) {
       for (Serve& serve : connector.serves) {
+        if (serve.skipped) {
+          // Nothing to upload, but the serve must still count as served or
+          // the "all eligible TDSs answered" close condition never fires.
+          Status acked = client_->Acknowledge(connector.server->id(),
+                                              serve.post.query_id);
+          if (!acked.ok() && !IsTransportError(acked)) return acked;
+          continue;
+        }
+        if (serve.query->key_posting) {
+          // Dynamic key mode: admission-check the upload before it counts.
+          // The TDS authenticates (query_id, items digest) under its newest
+          // reachable epoch's contribution key; the authority rejects stale
+          // epochs (a TDS revoked mid-query is pinned to its pre-revocation
+          // epoch), revoked ids and bad MACs. A rejected upload is
+          // acknowledged and dropped — visible in contributions_rejected,
+          // never folded into the result.
+          TCELLS_ASSIGN_OR_RETURN(
+              keys::ContributionTag tag,
+              connector.server->TagContribution(serve.post.query_id,
+                                                serve.items));
+          Status admitted = options_.key_authority->VerifyContribution(
+              tag, serve.post.query_id,
+              keys::ContributionDigest(serve.items));
+          if (admitted.IsPermissionDenied()) {
+            serve.query->ctx->metrics().contributions_rejected += 1;
+            Status acked = client_->Acknowledge(connector.server->id(),
+                                                serve.post.query_id);
+            if (!acked.ok() && !IsTransportError(acked)) return acked;
+            continue;
+          }
+          TCELLS_RETURN_IF_ERROR(admitted);
+        }
         net::CollectionUpload upload;
         upload.query_id = serve.post.query_id;
         upload.tds_id = connector.server->id();
@@ -335,7 +401,7 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     TCELLS_RETURN_IF_ERROR(client_->ObserveAggregation(id, covering));
     TCELLS_ASSIGN_OR_RETURN(
         std::vector<EncryptedItem> result_items,
-        RunFilteringPhase(*q.ctx, q.analyzed, std::move(covering)));
+        RunFilteringPhase(*q.ctx, q.analyzed, q.config, std::move(covering)));
     TCELLS_RETURN_IF_ERROR(client_->ObserveFiltering(id, result_items));
 
     // Step 13: the TDSs hand the result to the SSI; the querier downloads
@@ -344,8 +410,8 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     TCELLS_ASSIGN_OR_RETURN(result_items, client_->FetchResult(id));
     RunOutcome outcome;
     const auto decrypt_t0 = std::chrono::steady_clock::now();
-    TCELLS_ASSIGN_OR_RETURN(outcome.result,
-                            q.querier->DecryptResult(q.analyzed, result_items));
+    TCELLS_ASSIGN_OR_RETURN(
+        outcome.result, q.reader().DecryptResult(q.analyzed, result_items));
     if (q.trace != nullptr) {
       obs::Span* decrypt = q.trace->StartSpan(nullptr, obs::kSpanDecrypt);
       decrypt->sim_begin_seconds = q.ctx->sim_now_seconds();

@@ -75,6 +75,15 @@ class QuerySession {
     tds::CollectionConfig config;
     std::unique_ptr<RunContext> ctx;
     std::optional<uint64_t> personal_tds;
+    /// Dynamic key mode: this query's public key posting and the querier
+    /// clone holding the derived per-query session keys. The clone posts and
+    /// decrypts; the borrowed `querier` stays untouched.
+    std::optional<ssi::QueryKeyPosting> key_posting;
+    std::optional<Querier> session_querier;
+    /// The querier instance that posted and therefore decrypts the result.
+    const Querier& reader() const {
+      return session_querier ? *session_querier : *querier;
+    }
     /// The post's SIZE ... DURATION bound, captured at submit time.
     std::optional<uint64_t> duration_ticks;
     /// This query's span tree (null when the session has no Tracer).

@@ -19,11 +19,18 @@ namespace {
 using storage::Tuple;
 using storage::Value;
 
-const char* QueryFor(protocol::ProtocolKind kind) {
-  return kind == protocol::ProtocolKind::kBasicSfw
-             ? "SELECT grp, val, cat FROM T WHERE cat < 6"
-             : "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), "
-               "MAX(val) FROM T GROUP BY grp";
+std::string QueryFor(const ScenarioSpec& spec) {
+  std::string sql =
+      spec.protocol == protocol::ProtocolKind::kBasicSfw
+          ? "SELECT grp, val, cat FROM T WHERE cat < 6"
+          : "SELECT grp, COUNT(*), SUM(cat), AVG(val), MIN(val), "
+            "MAX(val) FROM T GROUP BY grp";
+  if (spec.duration_ticks > 0) {
+    // Ticked connectivity: the collection window stays open for the given
+    // number of ticks, so mid-collection key events have ticks to land on.
+    sql += " SIZE DURATION " + std::to_string(spec.duration_ticks);
+  }
+  return sql;
 }
 
 }  // namespace
@@ -37,8 +44,8 @@ std::string ScenarioOutcome::Canonical() const {
       << "oracle_match " << (oracle_match ? 1 : 0) << " clean "
       << (clean ? 1 : 0) << "\n"
       << "lost " << partitions_lost << " tampered " << partitions_tampered
-      << " participants " << collection_participants << "/" << eligible_tds
-      << "\n"
+      << " rejected " << contributions_rejected << " participants "
+      << collection_participants << "/" << eligible_tds << "\n"
       << "retries " << retries << " deadline_hits " << deadline_hits
       << " faults " << faults_injected << " tampers " << tampers << "\n";
   if (!result_table.empty()) out << "result\n" << result_table;
@@ -71,7 +78,7 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
       workload::BuildGenericFleet(gopts, keys, authority,
                                   tds::AccessPolicy::AllowAll()));
   protocol::Querier querier("campaign", authority->Issue("campaign"), keys);
-  const std::string sql = QueryFor(spec.protocol);
+  const std::string sql = QueryFor(spec);
 
   // The plaintext oracle over the same fleet data.
   TCELLS_ASSIGN_OR_RETURN(sql::QueryResult expected,
@@ -119,10 +126,44 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
   config.options.clock = &vclock;
   // A lying SSI must not be able to hang the collection loop.
   config.options.max_collection_ticks = 512;
+  config.key_mode = spec.dynamic_keys ? KeyMode::kDynamic : KeyMode::kStatic;
+
+  // Mid-run key events fire from the collection tick hook. The engine does
+  // not exist until Create returns, so the hook reads it through a cell
+  // filled in below; `stale_block` is the pre-revocation epoch-0 block the
+  // byzantine key server replays.
+  auto engine_cell = std::make_shared<Engine*>(nullptr);
+  auto stale_block = std::make_shared<Bytes>();
+  if (spec.dynamic_keys) {
+    config.options.tick_hook = [&spec, engine_cell,
+                                stale_block](uint64_t tick) {
+      Engine* engine = *engine_cell;
+      if (engine == nullptr) return;
+      if (spec.revoke_at_tick && tick == *spec.revoke_at_tick) {
+        (void)engine->RevokeTds(spec.revoke_at);
+      }
+      if (spec.rollover_at_tick && tick == *spec.rollover_at_tick) {
+        (void)engine->RolloverEpoch();
+      }
+      if (spec.stale_block_at_tick && tick == *spec.stale_block_at_tick) {
+        (void)engine->PostRawEpochBlock(*stale_block);
+      }
+      if (spec.forged_block_at_tick && tick == *spec.forged_block_at_tick) {
+        (void)engine->PostRawEpochBlock(Bytes(64, 0x5a));
+      }
+    };
+  }
 
   const uint64_t eligible = fleet->size();
   TCELLS_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
                           Engine::Create(std::move(fleet), std::move(config)));
+  *engine_cell = engine.get();
+  if (spec.dynamic_keys) {
+    *stale_block = engine->key_authority()->CurrentBlock();
+    if (!spec.revoke_before.empty()) {
+      TCELLS_RETURN_IF_ERROR(engine->RevokeTds(spec.revoke_before));
+    }
+  }
   Result<protocol::RunOutcome> run = engine->Run(*proto, querier, 1, sql);
 
   ScenarioOutcome out;
@@ -150,6 +191,7 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
     out.partitions_lost = run->metrics.partitions_lost;
     out.partitions_tampered = run->metrics.partitions_tampered;
     out.collection_participants = run->metrics.collection_participants;
+    out.contributions_rejected = run->metrics.contributions_rejected;
   } else {
     out.abort_status = run.status().ToString();
   }
@@ -164,6 +206,7 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
   }
   if (out.completed) {
     out.clean = out.partitions_lost == 0 && out.partitions_tampered == 0 &&
+                out.contributions_rejected == 0 &&
                 out.collection_participants == out.eligible_tds;
     // The core soundness property: a run with nothing visibly wrong must
     // equal the oracle; equivalently, every divergence must be visible in
@@ -194,6 +237,12 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
       violate("expected partitions_tampered=" +
               std::to_string(*spec.expect_partitions_tampered) + ", got " +
               std::to_string(out.partitions_tampered));
+    }
+    if (spec.expect_contributions_rejected &&
+        *spec.expect_contributions_rejected != out.contributions_rejected) {
+      violate("expected contributions_rejected=" +
+              std::to_string(*spec.expect_contributions_rejected) + ", got " +
+              std::to_string(out.contributions_rejected));
     }
   }
   return out;
@@ -528,6 +577,117 @@ std::vector<ScenarioSpec> DefaultManifest() {
     manifest.push_back(std::move(spec));
   }
 
+  // ---- Dynamic key management (docs/KEYS.md) ----
+
+  // Dynamic-mode baseline: per-query keys + admission checks on an honest
+  // world must stay clean and oracle-matching.
+  {
+    ScenarioSpec spec = Base("keys-clean-dynamic", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.expect_complete = true;
+    spec.expect_partitions_lost = 0;
+    spec.expect_partitions_tampered = 0;
+    spec.expect_contributions_rejected = 0;
+    manifest.push_back(std::move(spec));
+  }
+
+  // Pre-revoked TDSs: revoked before the query is posted, they cannot even
+  // derive the posting's session keys (it is minted under the post-
+  // revocation epoch). They are acknowledged without contributing — zero
+  // rejections, reduced participation, no wrong answer.
+  {
+    ScenarioSpec spec = Base("keys-pre-revoked", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.revoke_before = {1, 2, 3};
+    spec.expect_complete = true;
+    spec.expect_partitions_lost = 0;
+    spec.expect_partitions_tampered = 0;
+    spec.expect_contributions_rejected = 0;
+    manifest.push_back(std::move(spec));
+  }
+
+  // Revoked-TDS contribution injection: three TDSs are revoked right after
+  // the query is posted (tick 0), so they still derive the posting's keys
+  // from their primed pre-revocation windows and answer. Every one of their
+  // uploads must be rejected by the admission check — exactly 3 rejections,
+  // never folded into the result.
+  {
+    ScenarioSpec spec =
+        Base("keys-revoked-injection", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.revoke_at = {1, 2, 3};
+    spec.revoke_at_tick = 0;
+    spec.expect_complete = true;
+    spec.expect_partitions_lost = 0;
+    spec.expect_partitions_tampered = 0;
+    spec.expect_contributions_rejected = 3;
+    manifest.push_back(std::move(spec));
+  }
+
+  // Mid-query mass revocation under churn: two TDSs are revoked at tick 1
+  // of a DURATION-bounded collection. Whether each of them connected before
+  // or after the broadcast decides accepted vs rejected — deterministically
+  // per seed, and never silently.
+  {
+    ScenarioSpec spec = Base("keys-revoke-mid-query", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.duration_ticks = 6;
+    spec.revoke_at = {2, 5};
+    spec.revoke_at_tick = 1;
+    spec.expect_complete = true;
+    manifest.push_back(std::move(spec));
+  }
+
+  // Epoch rollover while the query is in flight: the posting's epoch stays
+  // inside the retained window, every honest TDS re-authenticates under the
+  // new epoch, and the multi-round S_Agg completes oracle-matching.
+  {
+    ScenarioSpec spec = Base("keys-rollover-in-flight", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.rollover_at_tick = 0;
+    spec.expect_complete = true;
+    spec.expect_partitions_lost = 0;
+    spec.expect_partitions_tampered = 0;
+    spec.expect_contributions_rejected = 0;
+    manifest.push_back(std::move(spec));
+  }
+
+  // Byzantine key server, stale-epoch replay: after a mid-query revocation
+  // the SSI republishes the pre-revocation epoch-0 block. TDSs refuse the
+  // downgrade; anyone pinned to the stale epoch surfaces as a rejected
+  // contribution, never as a wrong answer.
+  {
+    ScenarioSpec spec = Base("keys-stale-replay", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.duration_ticks = 6;
+    spec.revoke_at = {3};
+    spec.revoke_at_tick = 1;
+    spec.stale_block_at_tick = 2;
+    spec.expect_complete = true;
+    manifest.push_back(std::move(spec));
+  }
+
+  // Byzantine key server, forged rollover broadcast: garbage bytes replace
+  // the epoch block. Every TDS rejects the forgery, keeps its last good
+  // window, and the run stays clean and oracle-matching.
+  {
+    ScenarioSpec spec = Base("keys-forged-rollover", ProtocolKind::kSAgg);
+    spec.num_threads = 2;
+    spec.dynamic_keys = true;
+    spec.forged_block_at_tick = 0;
+    spec.expect_complete = true;
+    spec.expect_partitions_lost = 0;
+    spec.expect_partitions_tampered = 0;
+    spec.expect_contributions_rejected = 0;
+    manifest.push_back(std::move(spec));
+  }
+
   return manifest;
 }
 
@@ -535,7 +695,8 @@ std::vector<ScenarioSpec> SmokeManifest() {
   const char* picks[] = {"clean-S_Agg-zipf",     "chaos-ED_Hist",
                          "token-kill-S_Agg",     "take-reply-dropped",
                          "churn-after-upload",   "byz-replay-output",
-                         "byz-forge-error",      "byz-reverse-collected"};
+                         "byz-forge-error",      "byz-reverse-collected",
+                         "keys-revoked-injection", "keys-forged-rollover"};
   std::vector<ScenarioSpec> smoke;
   for (ScenarioSpec& spec : DefaultManifest()) {
     for (const char* name : picks) {

@@ -6,7 +6,8 @@
 //     collection participation, its result must equal the oracle's;
 //   * whenever the result diverges from the oracle, the divergence must be
 //     visible in metrics (partitions_lost / partitions_tampered /
-//     collection_participants) — no silent wrong answers;
+//     collection_participants / contributions_rejected) — no silent wrong
+//     answers;
 //   * scenarios with pinned expectations (exact partitions_lost /
 //     partitions_tampered, completion vs abort) must match them exactly.
 //
@@ -52,11 +53,40 @@ struct ScenarioSpec {
   std::shared_ptr<const net::FaultPlan> faults;
   std::shared_ptr<const net::TamperPlan> tampering;
 
+  // ---- Dynamic key management (docs/KEYS.md) ----
+
+  /// Run under Engine KeyMode::kDynamic: per-query session keys, epoch
+  /// blocks on the SSI, contribution admission checks.
+  bool dynamic_keys = false;
+  /// Override the scenario query with a DURATION-bounded one (ticked
+  /// connectivity), so mid-collection key events have ticks to land on.
+  /// 0 = the protocol's default single-pass query.
+  uint64_t duration_ticks = 0;
+  /// TDS ids revoked right after engine bring-up, before the query is
+  /// posted. Primed with the epoch-0 window, they still answer — and every
+  /// answer is rejected by the admission check.
+  std::vector<uint64_t> revoke_before;
+  /// TDS ids revoked at the start of collection tick `revoke_at_tick`
+  /// (mid-query churn).
+  std::vector<uint64_t> revoke_at;
+  std::optional<uint64_t> revoke_at_tick;
+  /// Roll the key epoch (no revocation change) at the start of this tick:
+  /// in-flight queries must keep completing, oracle-matching.
+  std::optional<uint64_t> rollover_at_tick;
+  /// Byzantine key server: at the start of this tick, republish the stale
+  /// epoch-0 block over the current one. TDSs must refuse the downgrade.
+  std::optional<uint64_t> stale_block_at_tick;
+  /// Byzantine key server: at the start of this tick, publish forged bytes
+  /// as the epoch block. TDSs must reject it and keep their last good
+  /// window.
+  std::optional<uint64_t> forged_block_at_tick;
+
   // Pinned expectations; unset = any value is acceptable (the general
   // invariants above still apply).
   std::optional<bool> expect_complete;
   std::optional<uint64_t> expect_partitions_lost;
   std::optional<uint64_t> expect_partitions_tampered;
+  std::optional<uint64_t> expect_contributions_rejected;
 };
 
 /// Everything one scenario execution produced, reduced to deterministic
@@ -76,6 +106,9 @@ struct ScenarioOutcome {
   uint64_t partitions_lost = 0;
   uint64_t partitions_tampered = 0;
   uint64_t collection_participants = 0;
+  /// Dynamic key mode: uploads discarded by the contribution admission
+  /// check (RunMetrics::contributions_rejected).
+  uint64_t contributions_rejected = 0;
   uint64_t eligible_tds = 0;
   uint64_t retries = 0;
   uint64_t deadline_hits = 0;

@@ -23,6 +23,24 @@ Result<EncryptedItem> EncryptedItem::DecodeFrom(ByteReader* reader) {
   return item;
 }
 
+void QueryKeyPosting::EncodeTo(Bytes* out) const {
+  ByteWriter w(out);
+  w.PutU32(epoch);
+  w.PutU64(query_id);
+  w.PutBytes(nonce);
+}
+
+Result<QueryKeyPosting> QueryKeyPosting::DecodeFrom(ByteReader* reader) {
+  QueryKeyPosting posting;
+  TCELLS_ASSIGN_OR_RETURN(posting.epoch, reader->GetU32());
+  TCELLS_ASSIGN_OR_RETURN(posting.query_id, reader->GetU64());
+  TCELLS_ASSIGN_OR_RETURN(posting.nonce, reader->GetBytes());
+  if (posting.nonce.size() != kNonceSize) {
+    return Status::Corruption("key posting nonce must be 16 bytes");
+  }
+  return posting;
+}
+
 Bytes QueryPost::Encode() const {
   Bytes out;
   ByteWriter w(&out);
@@ -31,9 +49,11 @@ Bytes QueryPost::Encode() const {
   w.PutString(querier_id);
   w.PutBytes(credential_mac);
   w.PutU8(static_cast<uint8_t>((size_max_tuples ? 1 : 0) |
-                               (size_max_duration_ticks ? 2 : 0)));
+                               (size_max_duration_ticks ? 2 : 0) |
+                               (key_posting ? 4 : 0)));
   if (size_max_tuples) w.PutU64(*size_max_tuples);
   if (size_max_duration_ticks) w.PutU64(*size_max_duration_ticks);
+  if (key_posting) key_posting->EncodeTo(&out);
   return out;
 }
 
@@ -45,7 +65,7 @@ Result<QueryPost> QueryPost::Decode(const Bytes& data) {
   TCELLS_ASSIGN_OR_RETURN(post.querier_id, reader.GetString());
   TCELLS_ASSIGN_OR_RETURN(post.credential_mac, reader.GetBytes());
   TCELLS_ASSIGN_OR_RETURN(uint8_t flags, reader.GetU8());
-  if (flags > 3) return Status::Corruption("bad query post flags");
+  if (flags > 7) return Status::Corruption("bad query post flags");
   if (flags & 1) {
     TCELLS_ASSIGN_OR_RETURN(uint64_t v, reader.GetU64());
     post.size_max_tuples = v;
@@ -53,6 +73,14 @@ Result<QueryPost> QueryPost::Decode(const Bytes& data) {
   if (flags & 2) {
     TCELLS_ASSIGN_OR_RETURN(uint64_t v, reader.GetU64());
     post.size_max_duration_ticks = v;
+  }
+  if (flags & 4) {
+    TCELLS_ASSIGN_OR_RETURN(QueryKeyPosting posting,
+                            QueryKeyPosting::DecodeFrom(&reader));
+    if (posting.query_id != post.query_id) {
+      return Status::Corruption("key posting query id mismatch");
+    }
+    post.key_posting = std::move(posting);
   }
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after query post");

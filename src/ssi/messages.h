@@ -84,9 +84,32 @@ Status OpenAll(const crypto::NDetEnc& enc,
                std::span<const EncryptedItem> items,
                std::vector<Bytes>* plains);
 
+/// Public key-establishment material of one dynamically-keyed query (see
+/// docs/KEYS.md): the key epoch the querier derived from plus a fresh nonce.
+/// Everything here is cleartext by design — the per-query keys k1q/k2q are
+/// derived from the *secret* epoch master secret, which the SSI never holds,
+/// so publishing (epoch, query_id, nonce) reveals nothing.
+struct QueryKeyPosting {
+  uint32_t epoch = 0;
+  uint64_t query_id = 0;
+  Bytes nonce;  ///< 16 fresh bytes drawn by the querier per query
+
+  static constexpr size_t kNonceSize = 16;
+
+  void EncodeTo(Bytes* out) const;
+  static Result<QueryKeyPosting> DecodeFrom(::tcells::ByteReader* reader);
+
+  friend bool operator==(const QueryKeyPosting& a, const QueryKeyPosting& b) {
+    return a.epoch == b.epoch && a.query_id == b.query_id &&
+           a.nonce == b.nonce;
+  }
+};
+
 /// What the querier posts on the SSI (§3.2 step 1): the encrypted query, the
 /// querier's credential (signed by an authority), and the SIZE clause in
-/// cleartext so the SSI can evaluate it.
+/// cleartext so the SSI can evaluate it. A dynamically-keyed query also
+/// carries its public QueryKeyPosting; statically-keyed posts encode
+/// byte-identically to the pre-key-management wire format.
 struct QueryPost {
   uint64_t query_id = 0;
   Bytes encrypted_query;         ///< nDet_Enc_k1(SQL text)
@@ -94,6 +117,7 @@ struct QueryPost {
   Bytes credential_mac;          ///< authority MAC over querier_id
   std::optional<uint64_t> size_max_tuples;
   std::optional<uint64_t> size_max_duration_ticks;
+  std::optional<QueryKeyPosting> key_posting;  ///< dynamic key mode only
 
   Bytes Encode() const;
   static Result<QueryPost> Decode(const Bytes& data);

@@ -1,8 +1,38 @@
 #include "tcells/engine.h"
 
+#include <algorithm>
+
+#include "crypto/hmac.h"
 #include "net/ssi_wire.h"
 
 namespace tcells {
+
+namespace {
+
+/// Adapter: TdsKeyStates fetch the latest epoch block through the engine's
+/// shard router (FetchEpochBlock routes to the TDS's home shard).
+class RouterBlockSource : public keys::EpochBlockSource {
+ public:
+  explicit RouterBlockSource(net::SsiApi* client) : client_(client) {}
+  Result<Bytes> FetchLatestBlock(uint64_t tds_id) override {
+    return client_->FetchEpochBlock(tds_id);
+  }
+
+ private:
+  net::SsiApi* client_;
+};
+
+/// The authority master secret of a dynamic-mode engine, derived from the
+/// run seed so equal configurations produce byte-identical key schedules.
+Bytes AuthorityMaster(uint64_t seed) {
+  Bytes material;
+  ByteWriter w(&material);
+  w.PutU64(seed);
+  w.PutU64(seed ^ 0x6b65792d6d617374ULL);
+  return crypto::DeriveKey(material, "authority-master");
+}
+
+}  // namespace
 
 Engine::Engine(std::unique_ptr<protocol::Fleet> fleet, Config config)
     : fleet_(std::move(fleet)), config_(std::move(config)) {}
@@ -47,6 +77,9 @@ Result<std::unique_ptr<Engine>> Engine::Create(
   std::unique_ptr<Engine> engine(
       new Engine(std::move(fleet), std::move(config)));
   TCELLS_RETURN_IF_ERROR(engine->StartShards());
+  if (engine->config_.key_mode == KeyMode::kDynamic) {
+    TCELLS_RETURN_IF_ERROR(engine->StartKeys());
+  }
   engine->StartScheduler();
   return engine;
 }
@@ -92,6 +125,62 @@ Status Engine::StartShards() {
   return Status::OK();
 }
 
+Status Engine::StartKeys() {
+  uint64_t max_id = 0;
+  for (size_t i = 0; i < fleet_->size(); ++i) {
+    max_id = std::max(max_id, fleet_->at(i)->id());
+  }
+  TCELLS_ASSIGN_OR_RETURN(
+      key_authority_,
+      keys::KeyAuthority::Create(AuthorityMaster(config_.options.seed),
+                                 max_id + 1, config_.options.seed));
+  block_source_ = std::make_unique<RouterBlockSource>(router_.get());
+  key_states_.reserve(fleet_->size());
+  for (size_t i = 0; i < fleet_->size(); ++i) {
+    tds::TrustedDataServer* server = fleet_->at(i);
+    TCELLS_ASSIGN_OR_RETURN(crypto::BroadcastDeviceKeys device_keys,
+                            key_authority_->EnrollDevice(server->id()));
+    key_states_.push_back(std::make_unique<keys::TdsKeyState>(
+        server->id(), std::move(device_keys), block_source_.get()));
+    server->InstallKeyState(key_states_.back().get());
+  }
+  // Publish the epoch-0 block so TDSs can adopt a window before the first
+  // query, and flip every later query into dynamic mode.
+  TCELLS_RETURN_IF_ERROR(
+      router_->PostEpochBlock(key_authority_->CurrentBlock()));
+  // Prime every TDS with the epoch-0 window (a device syncs its key state
+  // when it comes online). Best-effort: a TDS whose fetch is eaten by a
+  // fault plan simply refreshes on demand at its first serve. This priming
+  // is what makes mid-run revocation observable as *rejected* contributions:
+  // a primed-then-revoked TDS still derives the posting's session keys from
+  // its stale window, answers, and is caught by the admission check.
+  for (auto& state : key_states_) (void)state->Refresh();
+  config_.options.key_authority = key_authority_.get();
+  return Status::OK();
+}
+
+Status Engine::RevokeTds(const std::vector<uint64_t>& tds_ids) {
+  if (key_authority_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RevokeTds requires Config::key_mode == KeyMode::kDynamic");
+  }
+  TCELLS_RETURN_IF_ERROR(key_authority_->Revoke(tds_ids));
+  return router_->PostEpochBlock(key_authority_->CurrentBlock());
+}
+
+Status Engine::RolloverEpoch() {
+  if (key_authority_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RolloverEpoch requires Config::key_mode == KeyMode::kDynamic");
+  }
+  TCELLS_RETURN_IF_ERROR(key_authority_->Rollover());
+  return router_->PostEpochBlock(key_authority_->CurrentBlock());
+}
+
+Status Engine::PostRawEpochBlock(const Bytes& block) {
+  return router_->PostEpochBlock(block);
+}
+
 void Engine::StartScheduler() {
   scheduler_ = std::make_unique<QueryScheduler>(
       config_.max_inflight_queries, config_.admission,
@@ -102,6 +191,11 @@ void Engine::StartScheduler() {
         // in flight.
         protocol::RunOptions opts = job->options;
         opts.cancel = &job->cancel;
+        // Dynamic key mode is an engine-level property: per-query options
+        // cannot opt out (the fleet's key states are installed).
+        if (key_authority_ != nullptr) {
+          opts.key_authority = key_authority_.get();
+        }
         protocol::QuerySession session(fleet_.get(), config_.device, opts,
                                        telemetry(), router_.get());
         Status submitted =

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "keys/key_authority.h"
+#include "keys/tds_keys.h"
 #include "net/byzantine.h"
 #include "net/channel.h"
 #include "net/faulty.h"
@@ -45,6 +47,18 @@
 #include "tcells/scheduler.h"
 
 namespace tcells {
+
+/// How queries are keyed (docs/KEYS.md).
+enum class KeyMode {
+  /// The fleet's provisioned static KeyStore — bit-identical to the
+  /// pre-key-management engine.
+  kStatic,
+  /// Per-query session keys: the engine owns a keys::KeyAuthority, every
+  /// query carries a public key posting, TDS contributions are
+  /// admission-checked, and RevokeTds() cuts any set of TDSs out of the key
+  /// schedule with one epoch-rollover broadcast.
+  kDynamic,
+};
 
 class Engine {
  public:
@@ -88,6 +102,12 @@ class Engine {
     /// in a ByzantineProxy. Null = honest, fault-free.
     std::shared_ptr<const net::FaultPlan> fault_plan;
     std::shared_ptr<const net::TamperPlan> tamper_plan;
+    /// Dynamic key management (docs/KEYS.md): kDynamic makes the engine own
+    /// a KeyAuthority (seeded from options.seed), enroll every TDS into the
+    /// complete-subtree broadcast tree, publish epoch blocks through the SSI
+    /// and run every query under per-query session keys. kStatic — the
+    /// default — is bit-identical to the seed behaviour.
+    KeyMode key_mode = KeyMode::kStatic;
   };
 
   /// Validates the configuration (RunOptions::Validate plus the shard and
@@ -165,6 +185,23 @@ class Engine {
   /// The scheduler behind Submit (introspection for tests/benches).
   QueryScheduler& scheduler() { return *scheduler_; }
 
+  /// Dynamic key mode only (null in static mode).
+  keys::KeyAuthority* key_authority() { return key_authority_.get(); }
+  /// Revokes `tds_ids` from the key schedule: one epoch rollover whose new
+  /// block excludes them from the broadcast cover, republished through every
+  /// SSI shard. All their subsequent contributions are rejected.
+  /// FailedPrecondition in static key mode.
+  Status RevokeTds(const std::vector<uint64_t>& tds_ids);
+  /// Rolls the key epoch without changing the revoked set (key hygiene);
+  /// in-flight queries keep completing — their posting epoch stays inside
+  /// the retained window. FailedPrecondition in static key mode.
+  Status RolloverEpoch();
+  /// Adversarial hook: publishes arbitrary bytes as the SSI's epoch block
+  /// (forged or stale-replayed rollover) WITHOUT touching the authority.
+  /// TDSs must reject/ignore it; the authority's admission check still
+  /// enforces the true current epoch.
+  Status PostRawEpochBlock(const Bytes& block);
+
   size_t num_shards() const { return config_.num_shards; }
   /// Shard i's node (i < num_shards) — test/diagnostic access to per-shard
   /// state such as num_active_queries().
@@ -202,6 +239,9 @@ class Engine {
   Engine(std::unique_ptr<protocol::Fleet> fleet, Config config);
 
   Status StartShards();
+  /// Dynamic key mode bring-up: creates the authority, enrolls + installs a
+  /// TdsKeyState on every fleet member, publishes the epoch-0 block.
+  Status StartKeys();
   void StartScheduler();
   Result<QueryHandle> SubmitInternal(protocol::Protocol& protocol,
                                      const protocol::Querier& querier,
@@ -216,6 +256,13 @@ class Engine {
   obs::Tracer tracer_;
   std::vector<ShardStack> shards_;
   std::unique_ptr<net::ShardedSsiClient> router_;
+  /// Dynamic key mode state (all null/empty in static mode). The key states
+  /// fetch epoch blocks through `block_source_` (an adapter over the
+  /// router), so they must sit below the shard stacks and above the
+  /// scheduler in teardown order.
+  std::unique_ptr<keys::KeyAuthority> key_authority_;
+  std::unique_ptr<keys::EpochBlockSource> block_source_;
+  std::vector<std::unique_ptr<keys::TdsKeyState>> key_states_;
   /// Last member: workers reference the router/fleet, so the scheduler must
   /// be torn down (drained + joined) before anything above it.
   std::unique_ptr<QueryScheduler> scheduler_;

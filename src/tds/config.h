@@ -6,8 +6,10 @@
 #define TCELLS_TDS_CONFIG_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "ssi/messages.h"
 #include "storage/tuple.h"
 #include "tds/histogram.h"
 
@@ -40,6 +42,11 @@ struct CollectionConfig {
   /// Pad every plaintext payload to this many bytes (0 = no padding) so that
   /// dummy/fake items are indistinguishable from true ones by length.
   size_t pad_payload_to = 0;
+  /// Dynamic key mode: the public key posting of this query. A TDS given a
+  /// posting derives the per-query session keys (k1q/k2q) through its
+  /// installed key state instead of using the static provisioned KeyStore;
+  /// absent = static keys, bit-identical to the pre-key-management behaviour.
+  std::optional<ssi::QueryKeyPosting> key_posting;
 };
 
 /// How aggregation-phase output items are tagged.

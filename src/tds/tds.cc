@@ -45,9 +45,12 @@ TrustedDataServer::OpenQueryEntry(const ssi::QueryPost& post) {
   }
   // Miss: decrypt + analyze outside the lock (reads only immutable state),
   // so a slow parse of one query never stalls another query's cache hit.
-  // Decrypt the query text with k1 (step 3).
+  // Decrypt the query text with k1 (step 3) — the per-query session k1q when
+  // the post carries a key posting.
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const crypto::KeyStore> open_keys,
+                          KeysForQuery(post.key_posting));
   TCELLS_ASSIGN_OR_RETURN(Bytes sql_bytes,
-                          keys_->k1_ndet().Decrypt(post.encrypted_query));
+                          open_keys->k1_ndet().Decrypt(post.encrypted_query));
   std::string sql(sql_bytes.begin(), sql_bytes.end());
   TCELLS_ASSIGN_OR_RETURN(sql::AnalyzedQuery query,
                           sql::AnalyzeSql(sql, db_.catalog()));
@@ -93,27 +96,49 @@ Result<const sql::AnalyzedQuery*> TrustedDataServer::OpenQuery(
   return &entry->query;
 }
 
-ssi::EncryptedItem TrustedDataServer::SealK2(const Bytes& payload,
+Result<std::shared_ptr<const crypto::KeyStore>>
+TrustedDataServer::KeysForQuery(
+    const std::optional<ssi::QueryKeyPosting>& posting) const {
+  if (!posting) return keys_;
+  if (key_state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "dynamically-keyed query on a TDS without key state");
+  }
+  return key_state_->KeysFor(*posting);
+}
+
+Result<keys::ContributionTag> TrustedDataServer::TagContribution(
+    uint64_t query_id, const std::vector<ssi::EncryptedItem>& items) {
+  if (key_state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "contribution tagging needs an installed key state");
+  }
+  return key_state_->Tag(query_id, keys::ContributionDigest(items));
+}
+
+ssi::EncryptedItem TrustedDataServer::SealK2(const crypto::KeyStore& keys,
+                                             const Bytes& payload,
                                              std::optional<Bytes> tag,
                                              Rng* rng) const {
   EncryptedItem item;
-  item.blob = keys_->k2_ndet().Encrypt(payload, rng);
+  item.blob = keys.k2_ndet().Encrypt(payload, rng);
   item.routing_tag = std::move(tag);
   return item;
 }
 
-Bytes TrustedDataServer::GroupKeyTagBytes(const Tuple& collection_tuple,
+Bytes TrustedDataServer::GroupKeyTagBytes(const crypto::KeyStore& keys,
+                                          const Tuple& collection_tuple,
                                           size_t key_arity) const {
   Tuple key(std::vector<Value>(collection_tuple.values().begin(),
                                collection_tuple.values().begin() +
                                    std::min(key_arity,
                                             collection_tuple.size())));
-  return keys_->k2_det().Encrypt(key.Encode());
+  return keys.k2_det().Encrypt(key.Encode());
 }
 
 Result<ssi::EncryptedItem> TrustedDataServer::MakeDummy(
-    const sql::AnalyzedQuery& query, const CollectionConfig& config,
-    Rng* rng) const {
+    const crypto::KeyStore& keys, const sql::AnalyzedQuery& query,
+    const CollectionConfig& config, Rng* rng) const {
   // Dummy body: an all-NULL tuple of the collection arity, so its size is in
   // family with true tuples even without padding.
   Tuple dummy_tuple(std::vector<Value>(
@@ -133,7 +158,7 @@ Result<ssi::EncryptedItem> TrustedDataServer::MakeDummy(
       }
       const auto& domain = *config.noise.group_domain;
       const Tuple& key = domain[rng->NextBelow(domain.size())];
-      tag = keys_->k2_det().Encrypt(key.Encode());
+      tag = keys.k2_det().Encrypt(key.Encode());
       break;
     }
     case CollectionMode::kHistTag: {
@@ -144,15 +169,21 @@ Result<ssi::EncryptedItem> TrustedDataServer::MakeDummy(
       uint32_t bucket = static_cast<uint32_t>(
           rng->NextBelow(config.histogram->num_buckets()));
       tag = HashTagBytes(crypto::KeyedHash64(
-          keys_->k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
+          keys.k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
       break;
     }
   }
-  return SealK2(payload, std::move(tag), rng);
+  return SealK2(keys, payload, std::move(tag), rng);
 }
 
 Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
     const ssi::QueryPost& post, const CollectionConfig& config, Rng* rng) {
+  // Resolve the query's KeyStore first: a TDS that cannot reach the
+  // posting's epoch (revoked, or its window rolled past it) cannot serve at
+  // all, which the session surfaces as a non-participant.
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const crypto::KeyStore> keys_sp,
+                          KeysForQuery(post.key_posting));
+  const crypto::KeyStore& keys = *keys_sp;
   TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const CachedQuery> entry,
                           OpenQueryEntry(post));
   // The pinned entry carries the analyzed shape even when access was denied
@@ -172,7 +203,7 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
     // Empty result or denied: a single dummy (§3.2 step 4'), so the SSI
     // cannot learn the query's selectivity or the policy outcome.
     TCELLS_ASSIGN_OR_RETURN(EncryptedItem dummy,
-                            MakeDummy(*query, config, rng));
+                            MakeDummy(keys, *query, config, rng));
     return std::vector<EncryptedItem>{std::move(dummy)};
   }
 
@@ -182,11 +213,12 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
                                        config.pad_payload_to);
     switch (config.mode) {
       case CollectionMode::kNDet:
-        items.push_back(SealK2(payload, std::nullopt, rng));
+        items.push_back(SealK2(keys, payload, std::nullopt, rng));
         break;
       case CollectionMode::kDetTag: {
         items.push_back(SealK2(
-            payload, GroupKeyTagBytes(tuple, query->key_arity), rng));
+            keys, payload, GroupKeyTagBytes(keys, tuple, query->key_arity),
+            rng));
         if (!config.noise.group_domain || config.noise.group_domain->empty()) {
           return Status::FailedPrecondition(
               "Det-tag collection requires a group domain");
@@ -205,7 +237,8 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
           Bytes fake_payload = ssi::EncodePayload(
               PayloadKind::kFakeTuple, fake.Encode(), config.pad_payload_to);
           items.push_back(SealK2(
-              fake_payload, keys_->k2_det().Encrypt(fake_key.Encode()), rng));
+              keys, fake_payload, keys.k2_det().Encrypt(fake_key.Encode()),
+              rng));
         };
         if (config.noise.complementary) {
           // C_Noise: one fake per domain value different from the true one —
@@ -231,8 +264,8 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
             tuple.values().begin() + query->key_arity));
         uint32_t bucket = config.histogram->BucketOf(key);
         Bytes tag = HashTagBytes(crypto::KeyedHash64(
-            keys_->k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
-        items.push_back(SealK2(payload, std::move(tag), rng));
+            keys.k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
+        items.push_back(SealK2(keys, payload, std::move(tag), rng));
         break;
       }
     }
@@ -248,13 +281,16 @@ TrustedDataServer::ProcessAggregationPartition(
     return Status::FailedPrecondition(
         "aggregation partition on a non-aggregation query");
   }
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const crypto::KeyStore> keys_sp,
+                          KeysForQuery(config.key_posting));
+  const crypto::KeyStore& keys = *keys_sp;
   sql::GroupedAggregation agg(query.agg_specs);
   size_t since_check = 0;
   // Batch-open the whole partition (zero-copy: payload bodies are decoded
   // as views into the decrypted buffers, never copied out).
   std::vector<Bytes> plains;
   TCELLS_RETURN_IF_ERROR(
-      ssi::OpenAll(keys_->k2_ndet(), partition.items, &plains));
+      ssi::OpenAll(keys.k2_ndet(), partition.items, &plains));
   for (const Bytes& plain : plains) {
     TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
                             ssi::DecodePayloadView(plain));
@@ -305,8 +341,8 @@ TrustedDataServer::ProcessAggregationPartition(
       Bytes body;
       agg.EncodeTo(&body);
       out.push_back(SealK2(
-          ssi::EncodePayload(PayloadKind::kPartialAgg, body), std::nullopt,
-          rng));
+          keys, ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+          std::nullopt, rng));
       break;
     }
     case OutputTagPolicy::kPreserve: {
@@ -316,7 +352,8 @@ TrustedDataServer::ProcessAggregationPartition(
       }
       Bytes body;
       agg.EncodeTo(&body);
-      out.push_back(SealK2(ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+      out.push_back(SealK2(keys,
+                           ssi::EncodePayload(PayloadKind::kPartialAgg, body),
                            partition.items[0].routing_tag, rng));
       break;
     }
@@ -326,23 +363,26 @@ TrustedDataServer::ProcessAggregationPartition(
         TCELLS_RETURN_IF_ERROR(single.MergeRow(key, states));
         Bytes body;
         single.EncodeTo(&body);
-        out.push_back(SealK2(ssi::EncodePayload(PayloadKind::kPartialAgg, body),
-                             keys_->k2_det().Encrypt(key.Encode()), rng));
+        out.push_back(SealK2(keys,
+                             ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+                             keys.k2_det().Encrypt(key.Encode()), rng));
       }
       break;
     }
   }
-  (void)config;
   return out;
 }
 
 Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
     const sql::AnalyzedQuery& query, const ssi::Partition& partition,
-    Rng* rng) {
+    Rng* rng, const CollectionConfig& config) {
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const crypto::KeyStore> keys_sp,
+                          KeysForQuery(config.key_posting));
+  const crypto::KeyStore& keys = *keys_sp;
   std::vector<EncryptedItem> out;
   std::vector<Bytes> plains;
   TCELLS_RETURN_IF_ERROR(
-      ssi::OpenAll(keys_->k2_ndet(), partition.items, &plains));
+      ssi::OpenAll(keys.k2_ndet(), partition.items, &plains));
   if (query.is_aggregation) {
     sql::GroupedAggregation agg(query.agg_specs);
     for (const Bytes& plain : plains) {
@@ -373,7 +413,7 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
       Bytes payload =
           ssi::EncodePayload(PayloadKind::kResultRow, row.Encode());
       EncryptedItem item;
-      item.blob = keys_->k1_ndet().Encrypt(payload, rng);
+      item.blob = keys.k1_ndet().Encrypt(payload, rng);
       out.push_back(std::move(item));
     }
     return out;
@@ -398,7 +438,7 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
     Bytes out_payload = ssi::EncodePayload(PayloadKind::kResultRow,
                                            payload.body, payload.body_size);
     EncryptedItem out_item;
-    out_item.blob = keys_->k1_ndet().Encrypt(out_payload, rng);
+    out_item.blob = keys.k1_ndet().Encrypt(out_payload, rng);
     out.push_back(std::move(out_item));
   }
   return out;

@@ -26,6 +26,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "crypto/keystore.h"
+#include "keys/tds_keys.h"
 #include "sql/analyzer.h"
 #include "sql/executor.h"
 #include "ssi/messages.h"
@@ -69,6 +70,19 @@ class TrustedDataServer {
   void set_leak_log(std::shared_ptr<LeakLog> log) {
     options_.leak_log = std::move(log);
   }
+
+  /// Dynamic key mode: attaches this TDS's key state (borrowed; must outlive
+  /// the TDS). Once installed, queries carrying a key posting are served
+  /// under per-query session keys derived through it; postings on a TDS
+  /// without key state fail with FailedPrecondition.
+  void InstallKeyState(keys::TdsKeyState* state) { key_state_ = state; }
+  keys::TdsKeyState* key_state() const { return key_state_; }
+
+  /// Dynamic key mode: authenticates one collection upload (epoch-stamped
+  /// HMAC over query_id + the items' digest). FailedPrecondition without an
+  /// installed key state.
+  Result<keys::ContributionTag> TagContribution(
+      uint64_t query_id, const std::vector<ssi::EncryptedItem>& items);
 
   /// Power-down: seals the local database into an encrypted flash image
   /// (Fig 1's untrusted mass storage) under the device storage key.
@@ -132,23 +146,32 @@ class TrustedDataServer {
   /// are collection tuples whose dummies must be dropped.
   Result<std::vector<ssi::EncryptedItem>> ProcessFiltering(
       const sql::AnalyzedQuery& query, const ssi::Partition& partition,
-      Rng* rng);
+      Rng* rng, const CollectionConfig& config = {});
 
   /// Encodes the canonical group-key bytes used for Det tags.
-  Bytes GroupKeyTagBytes(const storage::Tuple& collection_tuple,
+  Bytes GroupKeyTagBytes(const crypto::KeyStore& keys,
+                         const storage::Tuple& collection_tuple,
                          size_t key_arity) const;
 
  private:
+  /// The KeyStore a query runs under: the static provisioned store when
+  /// `posting` is absent, the per-query session store derived through the
+  /// installed key state when present. NotFound when a revoked/stale TDS
+  /// cannot reach the posting's epoch.
+  Result<std::shared_ptr<const crypto::KeyStore>> KeysForQuery(
+      const std::optional<ssi::QueryKeyPosting>& posting) const;
   /// One dummy item shaped/tagged per the collection mode.
-  Result<ssi::EncryptedItem> MakeDummy(const sql::AnalyzedQuery& query,
+  Result<ssi::EncryptedItem> MakeDummy(const crypto::KeyStore& keys,
+                                       const sql::AnalyzedQuery& query,
                                        const CollectionConfig& config,
                                        Rng* rng) const;
   /// Encrypt payload under k2 (nDet).
-  ssi::EncryptedItem SealK2(const Bytes& payload, std::optional<Bytes> tag,
-                            Rng* rng) const;
+  ssi::EncryptedItem SealK2(const crypto::KeyStore& keys, const Bytes& payload,
+                            std::optional<Bytes> tag, Rng* rng) const;
 
   uint64_t id_;
   std::shared_ptr<const crypto::KeyStore> keys_;
+  keys::TdsKeyState* key_state_ = nullptr;
   std::shared_ptr<const Authority> authority_;
   AccessPolicy policy_;
   TdsOptions options_;

@@ -147,5 +147,20 @@ TEST_F(BroadcastTest, RejectsBadParameters) {
   EXPECT_FALSE(BroadcastChannel::Create(rng.NextBytes(16), 0).ok());
 }
 
+// Regression: leaf node ids are uint32 and occupy capacity..2*capacity-1, so
+// a fleet over 2^31 devices would wrap the heap numbering and hand distinct
+// devices the same node keys. Create must refuse instead of wrapping.
+TEST_F(BroadcastTest, RejectsFleetsBeyondHeapNumberingRange) {
+  Rng rng(5);
+  Bytes master = rng.NextBytes(16);
+  EXPECT_TRUE(
+      BroadcastChannel::Create(master, (size_t{1} << 31) + 1).status()
+          .IsInvalidArgument());
+  // The boundary itself is fine: capacity 2^31, leaves up to 2^32 - 1.
+  auto at_cap = BroadcastChannel::Create(master, size_t{1} << 31);
+  ASSERT_TRUE(at_cap.ok());
+  EXPECT_EQ(at_cap->capacity(), size_t{1} << 31);
+}
+
 }  // namespace
 }  // namespace tcells::crypto
