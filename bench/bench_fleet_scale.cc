@@ -9,6 +9,12 @@
 // ever-growing aggregation trees. Every result is checked against the
 // plaintext oracle — a cell that returns wrong rows invalidates the run.
 //
+// A second section reproduces the paper's Fig 10/11 shape at simulation
+// scale: a single S_Agg query at 10k -> 1M TDSes, recording wall time, T_Q
+// (aggregation seconds, the paper's responsiveness metric), P_TDS and
+// Load_Q per point — the curve the per-tuple arena/span rework makes
+// affordable to measure at 1M.
+//
 // Output: a human-readable table plus BENCH_fleet.json (or argv[1]) with
 // qps, p50/p99 latency and wall time per cell. Timing is hand-rolled
 // (steady_clock) so the target stays dependency-light.
@@ -124,6 +130,83 @@ Cell RunCell(size_t num_tds, size_t shards, net::TransportKind transport,
   return cell;
 }
 
+/// One Fig 10/11-style point: a single S_Agg query against a fleet of
+/// `num_tds`, auto-batched loopback transport, 4 shards. The compute pool is
+/// capped like the grid cells, so the curve isolates collection scale.
+struct CurvePoint {
+  size_t num_tds;
+  double wall_seconds;
+  double tq_seconds;
+  size_t p_tds;
+  uint64_t load_bytes;
+  uint64_t query_path_tuples;
+  double ns_per_tuple;
+  bool match;
+};
+
+CurvePoint RunCurvePoint(size_t num_tds) {
+  workload::GenericOptions gopts;
+  gopts.num_tds = num_tds;
+  gopts.num_groups = 8;
+  gopts.group_skew = 0.8;
+  gopts.rows_per_tds = 1;
+  gopts.seed = 31;
+
+  auto keys = crypto::KeyStore::CreateForTest(2029);
+  auto authority = std::make_shared<tds::Authority>(Bytes(16, 0x67));
+  auto fleet = workload::BuildGenericFleet(gopts, keys, authority,
+                                           tds::AccessPolicy::AllowAll())
+                   .ValueOrDie();
+  protocol::Querier querier("bench", authority->Issue("bench"), keys);
+
+  const std::string sql =
+      "SELECT grp, COUNT(*), SUM(cat), AVG(val) FROM T GROUP BY grp";
+  auto oracle = protocol::ExecuteReference(*fleet, sql).ValueOrDie();
+
+  Engine::Config cfg;
+  cfg.options.compute_availability = std::min(
+      1.0, static_cast<double>(kComputePoolTarget) /
+               static_cast<double>(num_tds));
+  cfg.options.expected_groups = gopts.num_groups;
+  cfg.options.num_threads = 1;
+  cfg.options.seed = 7;
+  cfg.num_shards = 4;
+  cfg.transport = net::TransportKind::kLoopback;
+  cfg.transport_batch_max_calls = 0;  // auto: the per-backend default
+  cfg.tracing = false;
+  auto engine = Engine::Create(std::move(fleet), cfg).ValueOrDie();
+
+  protocol::SAggProtocol s_agg;
+  auto wall0 = std::chrono::steady_clock::now();
+  auto outcome = engine->Run(s_agg, querier, /*query_id=*/1, sql);
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
+
+  CurvePoint pt;
+  pt.num_tds = num_tds;
+  pt.wall_seconds = wall;
+  pt.match = outcome.ok() && outcome->result.SameRows(oracle);
+  if (outcome.ok()) {
+    const auto& m = outcome->metrics;
+    pt.tq_seconds = m.Tq();
+    pt.p_tds = m.Ptds();
+    pt.load_bytes = m.LoadBytes();
+    pt.query_path_tuples = m.QueryPathTuples();
+    pt.ns_per_tuple = pt.query_path_tuples > 0
+                          ? m.QueryPathWallMicros() * 1000.0 /
+                                static_cast<double>(pt.query_path_tuples)
+                          : 0.0;
+  } else {
+    pt.tq_seconds = 0;
+    pt.p_tds = 0;
+    pt.load_bytes = 0;
+    pt.query_path_tuples = 0;
+    pt.ns_per_tuple = 0;
+  }
+  return pt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,13 +259,53 @@ int main(int argc, char** argv) {
     json_rows += row;
   }
 
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  // Fig 10/11-style scale curve: one query, growing fleet. The 1M point is
+  // the headline the arena/span rework buys; pass --no-curve to skip.
+  bool run_curve = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-curve") run_curve = false;
+  }
+  std::string curve_rows;
+  if (run_curve) {
+    const std::vector<size_t> curve_sizes = {10000, 30000, 100000, 300000,
+                                             1000000};
+    std::printf("\n=== scale curve: single S_Agg query, auto-batched "
+                "loopback, 4 shards ===\n");
+    std::printf("%-10s %10s %10s %10s %14s %12s %-6s\n", "N_t", "wall(s)",
+                "T_Q(s)", "P_TDS", "Load_Q(MB)", "ns/tuple", "match");
+    for (size_t n : curve_sizes) {
+      CurvePoint pt = RunCurvePoint(n);
+      ok = ok && pt.match;
+      std::printf("%-10zu %10.3f %10.3f %10zu %14.2f %12.1f %-6s\n",
+                  pt.num_tds, pt.wall_seconds, pt.tq_seconds, pt.p_tds,
+                  static_cast<double>(pt.load_bytes) / 1e6, pt.ns_per_tuple,
+                  pt.match ? "yes" : "NO");
+      char row[400];
+      std::snprintf(row, sizeof(row),
+                    "    {\"num_tds\": %zu, \"wall_seconds\": %.3f, "
+                    "\"tq_seconds\": %.3f, \"p_tds\": %zu, "
+                    "\"load_bytes\": %llu, \"query_path_tuples\": %llu, "
+                    "\"ns_per_tuple\": %.1f, \"match\": %s}",
+                    pt.num_tds, pt.wall_seconds, pt.tq_seconds, pt.p_tds,
+                    static_cast<unsigned long long>(pt.load_bytes),
+                    static_cast<unsigned long long>(pt.query_path_tuples),
+                    pt.ns_per_tuple, pt.match ? "true" : "false");
+      if (!curve_rows.empty()) curve_rows += ",\n";
+      curve_rows += row;
+    }
+  }
+
+  const char* json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') json_path = argv[i];
+  }
   if (FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f, "{\n  \"bench\": \"bench_fleet_scale\",\n");
     std::fprintf(f, "  \"concurrent_queries\": %zu,\n", kQueries);
     std::fprintf(f, "  \"max_inflight\": %zu,\n", kMaxInflight);
     std::fprintf(f, "  \"all_match\": %s,\n", ok ? "true" : "false");
-    std::fprintf(f, "  \"cells\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    std::fprintf(f, "  \"cells\": [\n%s\n  ],\n", json_rows.c_str());
+    std::fprintf(f, "  \"scale_curve\": [\n%s\n  ]\n}\n", curve_rows.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   } else {

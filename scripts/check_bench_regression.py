@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh bench_e2e_protocols run vs committed artifact.
+
+Runs the bench binary (or takes a pre-generated JSON via --fresh), then checks
+against the committed BENCH_e2e.json:
+
+  * the fresh run's oracle check (`all_match`) must hold;
+  * every (protocol, groups) row in the committed artifact must be present;
+  * each fresh `ns_per_tuple` must stay within --tolerance x the committed
+    value.
+
+The tolerance band is deliberately generous (default 4x): this gate exists to
+catch the per-tuple path regressing back to allocation-heavy behaviour
+(a ~2.5x regression, compounding with machine noise), not to flake on a busy
+CI host. Registered as `ctest -L benchgate` behind -DTCELLS_BENCHGATE=ON; see
+docs/PERFORMANCE.md.
+
+Usage:
+  scripts/check_bench_regression.py --bench build/bench/bench_e2e_protocols \
+      --committed BENCH_e2e.json [--tolerance 4.0]
+  scripts/check_bench_regression.py --fresh /tmp/fresh.json --committed BENCH_e2e.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def row_key(run):
+    return (run["protocol"], run["groups"])
+
+
+def load_runs(doc, path):
+    if "runs" not in doc:
+        sys.exit(f"{path}: no 'runs' array — not a bench_e2e_protocols artifact")
+    return {row_key(r): r for r in doc["runs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", help="bench_e2e_protocols binary to run")
+    ap.add_argument("--fresh", help="pre-generated fresh JSON (skips --bench)")
+    ap.add_argument("--committed", required=True, help="committed BENCH_e2e.json")
+    ap.add_argument("--tolerance", type=float, default=4.0,
+                    help="max fresh/committed ns_per_tuple ratio (default 4.0)")
+    args = ap.parse_args()
+
+    if args.fresh:
+        fresh_path = args.fresh
+    elif args.bench:
+        fresh_path = tempfile.mktemp(suffix=".json", prefix="bench_e2e_fresh_")
+        print(f"running {args.bench} -> {fresh_path}", flush=True)
+        subprocess.run([args.bench, fresh_path], check=True,
+                       stdout=subprocess.DEVNULL)
+    else:
+        ap.error("one of --bench or --fresh is required")
+
+    with open(args.committed) as f:
+        committed = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    failures = []
+    if not fresh.get("all_match", False):
+        failures.append("fresh run: all_match is false (oracle mismatch)")
+
+    committed_runs = load_runs(committed, args.committed)
+    fresh_runs = load_runs(fresh, fresh_path)
+
+    print(f"{'protocol':>10} {'G':>3} {'committed':>10} {'fresh':>10} "
+          f"{'ratio':>6}  (tolerance {args.tolerance:g}x)")
+    for key, ref in sorted(committed_runs.items()):
+        got = fresh_runs.get(key)
+        name = f"{key[0]}, G={key[1]}"
+        if got is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        ref_ns, got_ns = ref["ns_per_tuple"], got["ns_per_tuple"]
+        ratio = got_ns / ref_ns if ref_ns > 0 else float("inf")
+        flag = ""
+        if ratio > args.tolerance:
+            failures.append(
+                f"{name}: ns_per_tuple {got_ns:.0f} vs committed {ref_ns:.0f} "
+                f"({ratio:.2f}x > {args.tolerance:g}x tolerance)")
+            flag = "  <-- REGRESSION"
+        if not got.get("match", False):
+            failures.append(f"{name}: oracle mismatch in fresh run")
+        print(f"{key[0]:>10} {key[1]:>3} {ref_ns:>10.0f} {got_ns:>10.0f} "
+              f"{ratio:>5.2f}x{flag}")
+
+    if failures:
+        print("\nFAIL:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("\nOK: all rows within tolerance, oracle matches everywhere")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcells {
+
+uint8_t* Arena::Allocate(size_t n, size_t align) {
+  uintptr_t p = reinterpret_cast<uintptr_t>(head_);
+  uintptr_t aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+  if (head_ == nullptr || aligned + n > reinterpret_cast<uintptr_t>(limit_)) {
+    AddChunk(n + align);
+    p = reinterpret_cast<uintptr_t>(head_);
+    aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+  }
+  head_ = reinterpret_cast<uint8_t*>(aligned + n);
+  bytes_allocated_ += n;
+  return reinterpret_cast<uint8_t*>(aligned);
+}
+
+uint8_t* Arena::Copy(const uint8_t* data, size_t n) {
+  uint8_t* out = Allocate(n, 1);
+  if (n > 0) std::memcpy(out, data, n);
+  return out;
+}
+
+void Arena::Reset() {
+  bytes_allocated_ = 0;
+  if (chunks_.empty()) return;
+  // Keep only the largest chunk: it is big enough for everything the last
+  // partition needed in one piece, so steady state stays allocation-free.
+  auto largest = std::max_element(
+      chunks_.begin(), chunks_.end(),
+      [](const Chunk& a, const Chunk& b) { return a.size < b.size; });
+  std::swap(*largest, chunks_.front());
+  chunks_.resize(1);
+  bytes_reserved_ = chunks_.front().size;
+  head_ = chunks_.front().data.get();
+  limit_ = head_ + chunks_.front().size;
+}
+
+void Arena::AddChunk(size_t n) {
+  // Double the footprint each growth so a partition of any size settles into
+  // O(log size) chunks before Reset() collapses them to one.
+  size_t size = std::max(min_chunk_bytes_, bytes_reserved_);
+  size = std::max(size, n);
+  Chunk chunk;
+  chunk.data = std::make_unique<uint8_t[]>(size);
+  chunk.size = size;
+  head_ = chunk.data.get();
+  limit_ = head_ + size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(chunk));
+}
+
+}  // namespace tcells

@@ -1,0 +1,71 @@
+// Chunked bump allocator for the per-partition hot path.
+//
+// The steady-state query path (open partition -> decode tuples -> accumulate)
+// used to hit operator new for every decrypted plaintext. An Arena owns those
+// short-lived buffers instead: allocations are pointer bumps into large
+// chunks, and Reset() recycles everything at once when the partition is done.
+// After the first partition warms the chunk list, the path allocates nothing.
+#ifndef TCELLS_COMMON_ARENA_H_
+#define TCELLS_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tcells {
+
+/// Bump allocator backed by a list of geometrically growing chunks.
+///
+/// Lifetime rules (see docs/PERFORMANCE.md "hot path"):
+///  - Pointers returned by Allocate() are valid until the next Reset().
+///  - Reset() keeps the largest chunk, so a warmed arena serves a
+///    steady-state partition without touching the system allocator.
+///  - Not thread-safe; intended for one thread's scratch (thread_local).
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t min_chunk_bytes = kDefaultChunkBytes)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `n` bytes aligned to `align` (a power of two). Never fails:
+  /// oversized requests get their own dedicated chunk.
+  uint8_t* Allocate(size_t n, size_t align = alignof(std::max_align_t));
+
+  /// Copies `[data, data+n)` into the arena and returns the copy.
+  uint8_t* Copy(const uint8_t* data, size_t n);
+
+  /// Recycles all allocations. Keeps only the largest chunk so the warmed
+  /// capacity survives but fragmentation from growth does not.
+  void Reset();
+
+  /// Bytes handed out since the last Reset().
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total capacity currently held across all chunks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  /// Makes `head_` a chunk with at least `n` free bytes.
+  void AddChunk(size_t n);
+
+  std::vector<Chunk> chunks_;
+  uint8_t* head_ = nullptr;   // next free byte in the active chunk
+  uint8_t* limit_ = nullptr;  // one past the active chunk's end
+  size_t min_chunk_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace tcells
+
+#endif  // TCELLS_COMMON_ARENA_H_

@@ -85,6 +85,20 @@ Status NDetEnc::Decrypt(const uint8_t* ciphertext, size_t n,
   return Status::OK();
 }
 
+Status NDetEnc::DecryptInto(const uint8_t* ciphertext, size_t n,
+                            uint8_t* out) const {
+  if (n < kOverhead) {
+    return Status::Corruption("nDet ciphertext too short");
+  }
+  const size_t body_size = n - kTagSize;
+  auto tag = mac_.Mac(ciphertext, body_size);
+  if (!ConstantTimeEqual(tag.data(), ciphertext + body_size, kTagSize)) {
+    return Status::Corruption("nDet tag mismatch");
+  }
+  CtrXor(aes_, ciphertext, ciphertext + kIvSize, body_size - kIvSize, out);
+  return Status::OK();
+}
+
 Result<Bytes> NDetEnc::Decrypt(const Bytes& ciphertext) const {
   Bytes plain;
   TCELLS_RETURN_IF_ERROR(Decrypt(ciphertext.data(), ciphertext.size(), &plain));

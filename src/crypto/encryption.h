@@ -56,6 +56,10 @@ class NDetEnc {
   /// Same, into `out` (overwritten; capacity reused). `out` is untouched on
   /// authentication failure.
   Status Decrypt(const uint8_t* ciphertext, size_t n, Bytes* out) const;
+  /// Zero-allocation form: writes exactly `n - kOverhead` plaintext bytes to
+  /// `out` (caller-sized, e.g. arena-backed). `out` may hold keystream XOR
+  /// garbage if the tag check fails, so discard it on error.
+  Status DecryptInto(const uint8_t* ciphertext, size_t n, uint8_t* out) const;
 
  private:
   NDetEnc(Aes128 aes, HmacState mac);

@@ -1,8 +1,21 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define TCELLS_SHA_X86_64 1
+#endif
+
 namespace tcells::crypto {
+
+#if TCELLS_HAVE_SHANI_TU
+/// Hardware kernel (sha256_ni.cc, built with -msha).
+void Sha256NiProcessBlocks(uint32_t state[8], const uint8_t* data,
+                           size_t nblocks);
+#endif
 
 namespace {
 
@@ -21,14 +34,79 @@ constexpr uint32_t kK[64] = {
 
 uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+bool CpuHasShaNi() {
+#if defined(TCELLS_SHA_X86_64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // SHA extensions: leaf 7 subleaf 0, EBX bit 29. The kernel also uses
+  // SSSE3/SSE4.1 shuffles (leaf 1, ECX bits 9 and 19).
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool sse = (ecx & (1u << 9)) != 0 && (ecx & (1u << 19)) != 0;
+  if (!sse) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 29)) != 0;
+#else
+  return false;
+#endif
+}
+
+bool ResolveUseShaNi() {
+  const char* force = std::getenv("TCELLS_FORCE_PORTABLE_SHA");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return false;
+  }
+  return ShaNiAvailable();
+}
+
+// 0 = not yet resolved, 1 = portable, 2 = sha-ni.
+std::atomic<int> g_sha_backend{0};
+
+bool UseShaNi() {
+  int v = g_sha_backend.load(std::memory_order_acquire);
+  if (v == 0) {
+    v = ResolveUseShaNi() ? 2 : 1;
+    g_sha_backend.store(v, std::memory_order_release);
+  }
+  return v == 2;
+}
+
 }  // namespace
+
+bool ShaNiAvailable() {
+#if TCELLS_HAVE_SHANI_TU
+  static const bool supported = CpuHasShaNi();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+void ForcePortableSha256(bool force) {
+  g_sha_backend.store(force ? 1 : 0, std::memory_order_release);
+}
+
+const char* ActiveSha256BackendName() {
+  return UseShaNi() ? "shani" : "portable";
+}
 
 Sha256::Sha256() {
   h_[0] = 0x6a09e667; h_[1] = 0xbb67ae85; h_[2] = 0x3c6ef372; h_[3] = 0xa54ff53a;
   h_[4] = 0x510e527f; h_[5] = 0x9b05688c; h_[6] = 0x1f83d9ab; h_[7] = 0x5be0cd19;
 }
 
-void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
+void Sha256::ProcessBlocks(const uint8_t* data, size_t nblocks) {
+#if TCELLS_HAVE_SHANI_TU
+  if (UseShaNi()) {
+    Sha256NiProcessBlocks(h_, data, nblocks);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < nblocks; ++b, data += kBlockSize) {
+    ProcessOneBlockPortable(data);
+  }
+}
+
+void Sha256::ProcessOneBlockPortable(const uint8_t block[kBlockSize]) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
@@ -66,14 +144,15 @@ void Sha256::Update(const uint8_t* data, size_t n) {
     data += take;
     n -= take;
     if (buffer_len_ == kBlockSize) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (n >= kBlockSize) {
-    ProcessBlock(data);
-    data += kBlockSize;
-    n -= kBlockSize;
+  if (n >= kBlockSize) {
+    const size_t nblocks = n / kBlockSize;
+    ProcessBlocks(data, nblocks);
+    data += nblocks * kBlockSize;
+    n -= nblocks * kBlockSize;
   }
   if (n > 0) {
     std::memcpy(buffer_, data, n);
@@ -93,7 +172,7 @@ std::array<uint8_t, Sha256::kDigestSize> Sha256::Finish() {
   }
   // Bypass Update for the length to keep total_len_ bookkeeping simple.
   std::memcpy(buffer_ + 56, len_bytes, 8);
-  ProcessBlock(buffer_);
+  ProcessBlocks(buffer_, 1);
   std::array<uint8_t, kDigestSize> digest;
   for (int i = 0; i < 8; ++i) {
     digest[4 * i] = static_cast<uint8_t>(h_[i] >> 24);

@@ -1,6 +1,12 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. Used by HMAC, the
 // deterministic-encryption synthetic IV, and the equi-depth histogram bucket
 // hash.
+//
+// Two compression backends produce bit-identical digests: the portable
+// schedule in sha256.cc and the x86 SHA-extension kernel in sha256_ni.cc
+// (built with -msha in its own translation unit, selected only when CPUID
+// reports SHA + SSE4.1 support — the same split as the AES backends, see
+// aes_dispatch.h). TCELLS_FORCE_PORTABLE_SHA pins the portable path.
 #ifndef TCELLS_CRYPTO_SHA256_H_
 #define TCELLS_CRYPTO_SHA256_H_
 
@@ -31,13 +37,28 @@ class Sha256 {
   static std::array<uint8_t, kDigestSize> Hash(const Bytes& data);
 
  private:
-  void ProcessBlock(const uint8_t block[kBlockSize]);
+  /// Compresses `nblocks` consecutive 64-byte blocks, dispatching to the
+  /// active backend once per call (so bulk input pays one dispatch).
+  void ProcessBlocks(const uint8_t* data, size_t nblocks);
+  void ProcessOneBlockPortable(const uint8_t block[kBlockSize]);
 
   uint32_t h_[8];
   uint8_t buffer_[kBlockSize];
   size_t buffer_len_ = 0;
   uint64_t total_len_ = 0;
 };
+
+/// True iff the CPU supports the x86 SHA extensions *and* this binary was
+/// built with the SHA-NI translation unit.
+bool ShaNiAvailable();
+
+/// Pins the portable compression for this process (true), or restores the
+/// default resolution (false: env var, then CPUID). Not thread-safe with
+/// concurrent hashing; intended for test/bench setup code.
+void ForcePortableSha256(bool force);
+
+/// "portable" or "shani" — the backend Sha256 currently compresses with.
+const char* ActiveSha256BackendName();
 
 }  // namespace tcells::crypto
 

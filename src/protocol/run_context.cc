@@ -4,8 +4,6 @@
 #include <chrono>
 #include <cmath>
 
-#include "crypto/sha256.h"
-
 namespace tcells::protocol {
 
 namespace {
@@ -24,17 +22,6 @@ double WallMicrosSince(std::chrono::steady_clock::time_point t0) {
 /// anything else is a protocol error and aborts the run.
 bool IsTransportError(const Status& s) {
   return s.IsUnavailable() || s.IsDeadlineExceeded();
-}
-
-/// Digest of an item vector's wire encoding. Uploader and taker run in the
-/// same trusted process, so comparing digests detects an SSI that serves
-/// back different bytes than the TDS uploaded (replayed or swapped round
-/// outputs) — without trusting anything the SSI stores.
-std::array<uint8_t, crypto::Sha256::kDigestSize> ItemsDigest(
-    const std::vector<ssi::EncryptedItem>& items) {
-  Bytes encoded;
-  for (const auto& item : items) item.EncodeTo(&encoded);
-  return crypto::Sha256::Hash(encoded);
 }
 
 }  // namespace
@@ -164,13 +151,10 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     /// Transport retry budget exhausted: the round degrades without this
     /// partition instead of failing the query.
     bool lost = false;
-    /// Digest of the uploaded output, kept client-side for the integrity
-    /// check at take time.
-    std::array<uint8_t, crypto::Sha256::kDigestSize> upload_digest{};
-    bool uploaded_ok = false;
     /// The partition fetched back from the SSI was not the one staged (a
-    /// stale or swapped input) — detected before processing.
-    bool input_tampered = false;
+    /// stale or swapped input), or the round output taken back did not match
+    /// the bytes the TDS uploaded — detected inside the task.
+    bool tampered = false;
   };
   std::vector<PartitionRun> runs(n);
 
@@ -218,10 +202,13 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
       // bytes fetched back must match exactly. A mismatch means the SSI
       // served a stale or swapped partition (e.g. a replayed stage-ack hid
       // that the fresh partition never arrived); processing it would fold
-      // wrong inputs into the result with nothing visibly lost.
-      if (ItemsDigest(fetched->items) != ItemsDigest(partition.items)) {
+      // wrong inputs into the result with nothing visibly lost. The staged
+      // copy is still in hand, so a direct item comparison gives the same
+      // detection power as the digest comparison it replaces, without
+      // re-encoding and hashing both sides.
+      if (fetched->items != partition.items) {
         run.lost = true;
-        run.input_tampered = true;
+        run.tampered = true;
         return Status::OK();
       }
       TCELLS_ASSIGN_OR_RETURN(run.items, process(server, *fetched, &prng));
@@ -230,13 +217,34 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
       run.seconds += device_.TransferSeconds(run.bytes_in + run.bytes_out) +
                      device_.CryptoSeconds(run.bytes_in + run.bytes_out) +
                      device_.CpuSeconds(run.tuples);
-      run.upload_digest = ItemsDigest(run.items);
       Status uploaded = client_->UploadRoundOutput(query_id_, i, run.items);
       if (IsTransportError(uploaded)) {
         run.lost = true;
+        return Status::OK();
       }
-      run.uploaded_ok = uploaded.ok();
-      return uploaded.ok() || run.lost ? Status::OK() : uploaded;
+      TCELLS_RETURN_IF_ERROR(uploaded);
+      // Download the round output back inside the task — per-partition SSI
+      // state is keyed by (query_id, token), so takes from concurrent tasks
+      // never interleave on shared state, and the transport draws no rng.
+      // The codec round trip is lossless; the bytes served must be exactly
+      // the bytes this TDS uploaded. A mismatch means a byzantine SSI
+      // replayed a stale output or swapped partitions — the partition is
+      // dropped (counted as both tampered and lost) rather than folded into
+      // the result.
+      Result<std::vector<ssi::EncryptedItem>> downloaded =
+          client_->TakeRoundOutput(query_id_, i);
+      if (IsTransportError(downloaded.status())) {
+        run.lost = true;
+        return Status::OK();
+      }
+      TCELLS_RETURN_IF_ERROR(downloaded.status());
+      if (*downloaded != run.items) {
+        run.lost = true;
+        run.tampered = true;
+        return Status::OK();
+      }
+      run.items = *std::move(downloaded);
+      return Status::OK();
     }
     return Status::ResourceExhausted(
         "partition could not be placed after max dropout retries");
@@ -274,31 +282,13 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
     }
     if (run.lost) {
       round_lost += 1;
-      if (run.input_tampered) round_tampered += 1;
+      if (run.tampered) round_tampered += 1;
       continue;
     }
-    // Download the round output the TDS uploaded; the codec round trip is
-    // lossless, so the concatenation is byte-identical to handing the items
-    // over directly.
-    Result<std::vector<ssi::EncryptedItem>> downloaded =
-        client_->TakeRoundOutput(query_id_, i);
-    if (IsTransportError(downloaded.status())) {
-      run.lost = true;
-      round_lost += 1;
-      continue;
-    }
-    TCELLS_RETURN_IF_ERROR(downloaded.status());
-    // Integrity check: the bytes the SSI served must be exactly the bytes
-    // the TDS uploaded. A mismatch means a byzantine SSI replayed a stale
-    // output or swapped partitions — the partition is dropped (counted once
-    // as both tampered and lost) rather than folded into the result.
-    if (run.uploaded_ok && ItemsDigest(*downloaded) != run.upload_digest) {
-      run.lost = true;
-      round_lost += 1;
-      round_tampered += 1;
-      continue;
-    }
-    for (auto& item : *downloaded) outputs.push_back(std::move(item));
+    // The items were taken back and integrity-checked inside the task;
+    // folding them here in partition order keeps the concatenation
+    // byte-identical for any thread count or completion order.
+    for (auto& item : run.items) outputs.push_back(std::move(item));
   }
   metrics_.partitions_lost += round_lost;
   metrics_.partitions_tampered += round_tampered;
@@ -308,17 +298,21 @@ Result<std::vector<ssi::EncryptedItem>> RunContext::RunRound(
   double waves = std::ceil(static_cast<double>(n) /
                            static_cast<double>(std::max<size_t>(1, pool.size())));
   double round_seconds = slowest_partition_seconds * waves;
+  const double round_wall_micros = WallMicrosSince(t0);
   metrics_.accountant.RecordIteration(phase);
   switch (phase) {
     case sim::Phase::kCollection:
       metrics_.times.collection_seconds += round_seconds;
+      metrics_.collection_wall_micros += round_wall_micros;
       break;
     case sim::Phase::kAggregation:
       metrics_.times.aggregation_seconds += round_seconds;
+      metrics_.aggregation_wall_micros += round_wall_micros;
       metrics_.aggregation_rounds += 1;
       break;
     case sim::Phase::kFiltering:
       metrics_.times.filtering_seconds += round_seconds;
+      metrics_.filtering_wall_micros += round_wall_micros;
       break;
   }
 

@@ -161,10 +161,34 @@ struct RunMetrics {
   /// also counted here — their items are discarded the same way.
   size_t partitions_lost = 0;
   /// Partitions whose round output came back from the SSI with bytes that do
-  /// not match what the TDS uploaded (detected by digest comparison — a
-  /// byzantine SSI replaying or swapping outputs). Each is also counted once
-  /// in partitions_lost.
+  /// not match what the TDS uploaded (a byzantine SSI replaying or swapping
+  /// outputs). Each is also counted once in partitions_lost.
   size_t partitions_tampered = 0;
+
+  /// Real wall-clock spent executing each phase in this process (µs):
+  /// collection covers the session's connection-tick work attributed to this
+  /// query, aggregation/filtering cover the RunRound calls. Unlike
+  /// PhaseTimes (simulated critical-path seconds) these measure the host's
+  /// actual execution cost; they depend on machine load and thread count and
+  /// are therefore never part of a differential comparison.
+  double collection_wall_micros = 0;
+  double aggregation_wall_micros = 0;
+  double filtering_wall_micros = 0;
+
+  /// Query-path wall (µs): the aggregation + filtering rounds only — the
+  /// cost of executing the query over the already-collected covering result,
+  /// excluding fleet setup and the collection/load pass. bench_e2e_protocols
+  /// derives its ns_per_tuple from this, so the committed before/after
+  /// numbers measure the per-tuple round path rather than folding collection
+  /// (which for small runs dominates wall time) into the quotient.
+  double QueryPathWallMicros() const {
+    return aggregation_wall_micros + filtering_wall_micros;
+  }
+  /// Tuples processed on the query path (aggregation + filtering phases).
+  uint64_t QueryPathTuples() const {
+    return accountant.phase(sim::Phase::kAggregation).tuples_processed +
+           accountant.phase(sim::Phase::kFiltering).tuples_processed;
+  }
 
   /// P_TDS: distinct TDSs that took part in the computation.
   size_t Ptds() const { return accountant.DistinctTds(); }

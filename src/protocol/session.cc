@@ -208,6 +208,7 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
     // Campaign hook: a deterministic point to revoke TDSs / roll the key
     // epoch while queries are in flight.
     if (options_.tick_hook) options_.tick_hook(tick);
+    const auto tick_t0 = std::chrono::steady_clock::now();
     // A query stays open while its window has ticks left, its SIZE bound is
     // not met and some eligible TDS has yet to serve it.
     std::set<uint64_t> open;
@@ -378,6 +379,13 @@ Result<std::map<uint64_t, RunOutcome>> QuerySession::RunAll(
       serve.query->ctx->RecordCollection(batch[i].tds_id, bytes,
                                          serve.items.size());
       serve.query->ctx->metrics().collection_participants += 1;
+    }
+    // Attribute this tick's wall-clock to every query whose window was open
+    // (shared tick work is charged to each, which slightly over-counts for
+    // multi-query batches but keeps single-query wall accounting exact).
+    const double tick_wall = WallMicrosSince(tick_t0);
+    for (uint64_t id : open) {
+      queries_.at(id).ctx->metrics().collection_wall_micros += tick_wall;
     }
   }
 

@@ -115,6 +115,11 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
   Engine::Config config;
   config.tracing = false;
   config.transport = backend;
+  // Campaign fault/tamper schedules are call-granular (nth call of a kind,
+  // specific token's upload, ...), so the wire must stay one call per frame
+  // — under the auto batching default a faulted frame would take unrelated
+  // coalesced calls down with it and the pinned outcomes would shift.
+  config.transport_batch_max_calls = 1;
   config.fault_plan = spec.faults;
   config.tamper_plan = spec.tampering;
   config.options.seed = spec.seed;
@@ -370,15 +375,19 @@ std::vector<ScenarioSpec> DefaultManifest() {
     manifest.push_back(std::move(spec));
   }
 
-  // "Drop the 3rd TakeRoundOutput reply": the take is re-readable, so the
-  // retry must re-download the same bytes and nothing is lost.
+  // "Drop a TakeRoundOutput reply": the take is re-readable, so the retry
+  // must re-download the same bytes and nothing is lost. Keyed per-(query,
+  // token) — round-output takes run inside the parallel round tasks, so
+  // per-type call counting would depend on thread scheduling (see the
+  // ScriptedFault::Scope contract in net/faulty.h).
   {
     ScenarioSpec spec = Base("take-reply-dropped", ProtocolKind::kSAgg);
     net::ScriptedFault f;
     f.type = net::MsgType::kTakeRoundOutput;
     f.kind = net::FaultKind::kDropReply;
-    f.scope = net::ScriptedFault::Scope::kPerType;
-    f.nth = 3;
+    f.scope = net::ScriptedFault::Scope::kPerKey;
+    f.key_b = 0;
+    f.nth = 1;
     spec.faults = ScriptPlan(f);
     spec.expect_complete = true;
     spec.expect_partitions_lost = 0;

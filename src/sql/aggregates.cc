@@ -299,14 +299,17 @@ Status GroupedAggregation::AccumulateTuple(const storage::Tuple& tuple,
   if (tuple.size() < key_arity) {
     return Status::InvalidArgument("collection tuple shorter than group key");
   }
-  storage::Tuple key(std::vector<Value>(tuple.values().begin(),
-                                        tuple.values().begin() + key_arity));
-  auto it = groups_.find(key);
+  // Build the lookup key in the reusable scratch tuple; only a miss pays for
+  // a real key (the scratch is moved into the map and re-grown next call).
+  auto& scratch = key_scratch_.mutable_values();
+  scratch.assign(tuple.values().begin(), tuple.values().begin() + key_arity);
+  auto it = groups_.find(key_scratch_);
   if (it == groups_.end()) {
     std::vector<AggState> states;
     states.reserve(specs_.size());
     for (const auto& spec : specs_) states.emplace_back(spec);
-    it = groups_.emplace(std::move(key), std::move(states)).first;
+    it = groups_.emplace(std::move(key_scratch_), std::move(states)).first;
+    key_scratch_ = storage::Tuple();
   }
   for (size_t j = 0; j < specs_.size(); ++j) {
     const AggSpec& spec = specs_[j];
@@ -345,6 +348,38 @@ Status GroupedAggregation::MergeAll(const GroupedAggregation& other) {
   return Status::OK();
 }
 
+Status GroupedAggregation::MergeEncoded(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  // Same row-size floor as Decode: key arity (2 bytes) plus the 38 fixed
+  // bytes of each AggState.
+  const size_t min_row_bytes = 2 + 38 * specs_.size();
+  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(min_row_bytes));
+  std::vector<AggState> states;
+  for (uint32_t i = 0; i < n; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(storage::Tuple key,
+                            storage::Tuple::DecodeFrom(&reader));
+    states.clear();
+    states.reserve(specs_.size());
+    for (const auto& spec : specs_) {
+      TCELLS_ASSIGN_OR_RETURN(AggState s, AggState::DecodeFrom(spec, &reader));
+      states.push_back(std::move(s));
+    }
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      groups_.emplace(std::move(key), std::move(states));
+      states = std::vector<AggState>();
+    } else {
+      for (size_t j = 0; j < specs_.size(); ++j) {
+        TCELLS_RETURN_IF_ERROR(it->second[j].Merge(states[j]));
+      }
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after grouped aggregation");
+  }
+  return Status::OK();
+}
+
 size_t GroupedAggregation::MemoryFootprint() const {
   size_t bytes = sizeof(GroupedAggregation);
   for (const auto& [key, states] : groups_) {
@@ -372,27 +407,17 @@ Result<GroupedAggregation> GroupedAggregation::Decode(
 Result<GroupedAggregation> GroupedAggregation::Decode(
     const std::vector<AggSpec>& specs, const uint8_t* data, size_t size) {
   GroupedAggregation agg(specs);
-  ByteReader reader(data, size);
-  // A row is a key tuple (>= 2 bytes for the arity) plus one AggState per
-  // spec; the fixed AggState fields alone encode to 38 bytes. Reject row
-  // counts the buffer cannot possibly hold before looping.
-  const size_t min_row_bytes = 2 + 38 * specs.size();
-  TCELLS_ASSIGN_OR_RETURN(uint32_t n, reader.GetCountU32(min_row_bytes));
-  for (uint32_t i = 0; i < n; ++i) {
-    TCELLS_ASSIGN_OR_RETURN(storage::Tuple key,
-                            storage::Tuple::DecodeFrom(&reader));
-    std::vector<AggState> states;
-    states.reserve(specs.size());
-    for (const auto& spec : specs) {
-      TCELLS_ASSIGN_OR_RETURN(AggState s, AggState::DecodeFrom(spec, &reader));
-      states.push_back(std::move(s));
-    }
-    TCELLS_RETURN_IF_ERROR(agg.MergeRow(key, states));
-  }
-  if (!reader.AtEnd()) {
-    return Status::Corruption("trailing bytes after grouped aggregation");
-  }
+  TCELLS_RETURN_IF_ERROR(agg.MergeEncoded(data, size));
   return agg;
+}
+
+void GroupedAggregation::EncodeSingleRowTo(const storage::Tuple& key,
+                                           const std::vector<AggState>& states,
+                                           Bytes* out) {
+  ByteWriter w(out);
+  w.PutU32(1);
+  key.EncodeTo(out);
+  for (const auto& s : states) s.EncodeTo(out);
 }
 
 }  // namespace tcells::sql

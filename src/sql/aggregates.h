@@ -96,6 +96,14 @@ class GroupedAggregation {
   /// Merges everything from another aggregation.
   Status MergeAll(const GroupedAggregation& other);
 
+  /// Streaming decode-and-merge of an encoded aggregation (the wire format
+  /// EncodeTo produces): each row is merged as it is decoded, moving states
+  /// straight into the group map on first sight instead of materializing a
+  /// second GroupedAggregation and deep-copying it. On error this aggregation
+  /// may hold a prefix of the rows; callers treat any error as fatal for the
+  /// partition, so the partial merge is never observed.
+  Status MergeEncoded(const uint8_t* data, size_t n);
+
   size_t num_groups() const { return groups_.size(); }
   const std::vector<AggSpec>& specs() const { return specs_; }
   const std::map<storage::Tuple, std::vector<AggState>>& groups() const {
@@ -113,9 +121,19 @@ class GroupedAggregation {
   static Result<GroupedAggregation> Decode(const std::vector<AggSpec>& specs,
                                            const uint8_t* data, size_t n);
 
+  /// Encodes a single (key, states) row in the same wire format as EncodeTo
+  /// of a one-group aggregation. The ED_Hist per-group output path uses this
+  /// to seal each group without constructing a throwaway GroupedAggregation.
+  static void EncodeSingleRowTo(const storage::Tuple& key,
+                                const std::vector<AggState>& states,
+                                Bytes* out);
+
  private:
   std::vector<AggSpec> specs_;
   std::map<storage::Tuple, std::vector<AggState>> groups_;
+  /// Scratch group key reused by AccumulateTuple so the per-tuple lookup
+  /// stops allocating a fresh key vector (its capacity survives emplaces).
+  storage::Tuple key_scratch_;
 };
 
 }  // namespace tcells::sql

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 
 #include "common/strings.h"
 #include "sql/parser.h"
@@ -416,6 +417,30 @@ Result<AnalyzedQuery> AnalyzeSql(const std::string& sql,
                                  const storage::Catalog& catalog) {
   TCELLS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
   return Analyze(stmt, catalog);
+}
+
+Result<std::shared_ptr<const AnalyzedQuery>> AnalyzeSqlShared(
+    const std::string& sql, const storage::Catalog& catalog) {
+  static std::mutex memo_mu;
+  static std::map<std::string, std::shared_ptr<const AnalyzedQuery>> memo;
+
+  std::string key = catalog.Fingerprint();
+  key += '\n';
+  key += sql;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+  // Analyze outside the lock; a concurrent miss on the same key does the
+  // work twice but both produce identical immutable analyses.
+  TCELLS_ASSIGN_OR_RETURN(AnalyzedQuery query, AnalyzeSql(sql, catalog));
+  auto shared = std::make_shared<const AnalyzedQuery>(std::move(query));
+  std::lock_guard<std::mutex> lock(memo_mu);
+  if (memo.size() >= kAnalysisMemoCapacity) memo.clear();
+  auto [it, inserted] = memo.emplace(std::move(key), shared);
+  // Keep the first fill so previously handed-out pointers stay canonical.
+  return it->second;
 }
 
 }  // namespace tcells::sql

@@ -13,6 +13,7 @@
 #ifndef TCELLS_SQL_ANALYZER_H_
 #define TCELLS_SQL_ANALYZER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,6 +97,18 @@ Result<AnalyzedQuery> Analyze(const SelectStatement& stmt,
 /// Convenience: parse + analyze.
 Result<AnalyzedQuery> AnalyzeSql(const std::string& sql,
                                  const storage::Catalog& catalog);
+
+/// Memoized parse + analyze, shared process-wide. Analysis is a pure
+/// function of (sql, catalog shape), so a fleet of TDSs sharing the common
+/// schema lexes and binds each distinct query text once instead of once per
+/// TDS — the per-TDS work on a cache hit is one catalog fingerprint. The
+/// returned analysis is immutable and safe to share across threads. Errors
+/// are not memoized. The memo is bounded (kAnalysisMemoCapacity entries)
+/// and resets wholesale when full.
+Result<std::shared_ptr<const AnalyzedQuery>> AnalyzeSqlShared(
+    const std::string& sql, const storage::Catalog& catalog);
+
+inline constexpr size_t kAnalysisMemoCapacity = 256;
 
 }  // namespace tcells::sql
 

@@ -121,13 +121,19 @@ Bytes EncodePayload(PayloadKind kind, const Bytes& body, size_t pad_to) {
 Bytes EncodePayload(PayloadKind kind, const uint8_t* body, size_t body_size,
                     size_t pad_to) {
   Bytes out;
-  out.reserve(std::max(pad_to, 5 + body_size));
-  ByteWriter w(&out);
+  EncodePayloadTo(kind, body, body_size, pad_to, &out);
+  return out;
+}
+
+void EncodePayloadTo(PayloadKind kind, const uint8_t* body, size_t body_size,
+                     size_t pad_to, Bytes* out) {
+  out->clear();
+  out->reserve(std::max(pad_to, 5 + body_size));
+  ByteWriter w(out);
   w.PutU8(static_cast<uint8_t>(kind));
   w.PutU32(static_cast<uint32_t>(body_size));
   w.PutRaw(body, body_size);
-  if (out.size() < pad_to) out.resize(pad_to, 0);
-  return out;
+  if (out->size() < pad_to) out->resize(pad_to, 0);
 }
 
 Result<DecodedPayload> DecodePayload(const Bytes& payload) {
@@ -163,6 +169,24 @@ Status OpenAll(const crypto::NDetEnc& enc,
     TCELLS_RETURN_IF_ERROR(
         enc.Decrypt(items[i].blob.data(), items[i].blob.size(),
                     &(*plains)[i]));
+  }
+  return Status::OK();
+}
+
+Status OpenAllInto(const crypto::NDetEnc& enc,
+                   std::span<const EncryptedItem> items, Arena* arena,
+                   std::vector<std::span<const uint8_t>>* plains) {
+  plains->clear();
+  plains->reserve(items.size());
+  for (const auto& item : items) {
+    if (item.blob.size() < crypto::NDetEnc::kOverhead) {
+      return Status::Corruption("nDet ciphertext too short");
+    }
+    const size_t plain_size = item.blob.size() - crypto::NDetEnc::kOverhead;
+    uint8_t* out = arena->Allocate(plain_size, 1);
+    TCELLS_RETURN_IF_ERROR(
+        enc.DecryptInto(item.blob.data(), item.blob.size(), out));
+    plains->emplace_back(out, plain_size);
   }
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/encryption.h"
@@ -34,6 +35,12 @@ struct EncryptedItem {
   /// simulation passes the structs directly).
   void EncodeTo(Bytes* out) const;
   static Result<EncryptedItem> DecodeFrom(::tcells::ByteReader* reader);
+
+  /// Field equality is wire equality (the codec is lossless), so integrity
+  /// checks can compare items directly instead of re-encoding and hashing.
+  friend bool operator==(const EncryptedItem& a, const EncryptedItem& b) {
+    return a.blob == b.blob && a.routing_tag == b.routing_tag;
+  }
 };
 
 /// Kinds of plaintext payloads found inside an EncryptedItem blob once a TDS
@@ -53,6 +60,10 @@ enum class PayloadKind : uint8_t {
 Bytes EncodePayload(PayloadKind kind, const Bytes& body, size_t pad_to = 0);
 Bytes EncodePayload(PayloadKind kind, const uint8_t* body, size_t body_size,
                     size_t pad_to = 0);
+/// Scratch form: overwrites `out`, reusing its capacity. The per-tuple seal
+/// paths call this with a thread-local buffer so encoding stops allocating.
+void EncodePayloadTo(PayloadKind kind, const uint8_t* body, size_t body_size,
+                     size_t pad_to, Bytes* out);
 
 struct DecodedPayload {
   PayloadKind kind;
@@ -83,6 +94,14 @@ inline Result<PayloadView> DecodePayloadView(const Bytes& payload) {
 Status OpenAll(const crypto::NDetEnc& enc,
                std::span<const EncryptedItem> items,
                std::vector<Bytes>* plains);
+
+/// Arena-backed batch open: every plaintext lives in `arena` and `plains` is
+/// filled with views into it, so a warmed arena makes the whole open
+/// allocation-free. The views are valid until the arena's next Reset(); the
+/// caller owns that lifetime (the TDS resets once per partition).
+Status OpenAllInto(const crypto::NDetEnc& enc,
+                   std::span<const EncryptedItem> items, Arena* arena,
+                   std::vector<std::span<const uint8_t>>* plains);
 
 /// Public key-establishment material of one dynamically-keyed query (see
 /// docs/KEYS.md): the key epoch the querier derived from plus a fresh nonce.

@@ -58,4 +58,23 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+std::string Catalog::Fingerprint() const {
+  // tables_ is an ordered map keyed by lower-cased name, so iteration order
+  // (and therefore the fingerprint) is deterministic. The separators cannot
+  // appear in identifiers, so distinct catalogs cannot collide.
+  std::string out;
+  for (const auto& [key, value] : tables_) {
+    out += key;
+    out += '(';
+    for (const auto& col : value.second.columns()) {
+      out += ToLower(col.name);
+      out += ':';
+      out += static_cast<char>('0' + static_cast<int>(col.type));
+      out += ',';
+    }
+    out += ");";
+  }
+  return out;
+}
+
 }  // namespace tcells::storage

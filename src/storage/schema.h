@@ -53,6 +53,12 @@ class Catalog {
   bool HasTable(std::string_view name) const;
   std::vector<std::string> TableNames() const;
 
+  /// Deterministic description of every table and column: two catalogs with
+  /// equal fingerprints bind queries identically. The fleet-wide analysis
+  /// memo (sql::AnalyzeSqlShared) keys on this, so TDSs sharing the common
+  /// schema share one analysis per distinct query text.
+  std::string Fingerprint() const;
+
  private:
   // Keyed by lower-cased name.
   std::map<std::string, std::pair<std::string, Schema>> tables_;

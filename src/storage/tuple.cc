@@ -47,6 +47,21 @@ Result<Tuple> Tuple::Decode(const uint8_t* data, size_t n) {
   return t;
 }
 
+Status Tuple::DecodeInto(const uint8_t* data, size_t n, Tuple* out) {
+  ByteReader reader(data, n);
+  TCELLS_ASSIGN_OR_RETURN(uint16_t arity, reader.GetCountU16(1));
+  out->values_.clear();
+  out->values_.reserve(arity);
+  for (uint16_t i = 0; i < arity; ++i) {
+    TCELLS_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&reader));
+    out->values_.push_back(std::move(v));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after tuple");
+  }
+  return Status::OK();
+}
+
 bool Tuple::IsSameGroup(const Tuple& other) const {
   if (values_.size() != other.values_.size()) return false;
   for (size_t i = 0; i < values_.size(); ++i) {

@@ -34,6 +34,11 @@ class Tuple {
   /// Span form for decoding straight out of a decryption scratch buffer.
   static Result<Tuple> Decode(const uint8_t* data, size_t n);
   static Result<Tuple> DecodeFrom(::tcells::ByteReader* reader);
+  /// Scratch form: decodes into `out`, reusing its value vector's capacity.
+  /// The TDS open paths decode every partition tuple into one thread-local
+  /// scratch, so steady state never reallocates. `out` is unspecified (but
+  /// valid) on error.
+  static Status DecodeInto(const uint8_t* data, size_t n, Tuple* out);
 
   /// Grouping equality across all positions.
   bool IsSameGroup(const Tuple& other) const;

@@ -61,10 +61,8 @@ Result<std::unique_ptr<Engine>> Engine::Create(
         "Engine::Config: max_inflight_queries exceeds kMaxInflightQueries "
         "(256)");
   }
-  if (config.transport_batch_max_calls == 0) {
-    return Status::InvalidArgument(
-        "Engine::Config: transport_batch_max_calls must be >= 1");
-  }
+  // 0 = auto: resolved per backend in StartShards, where the transport kind
+  // is known. Explicit values are bounds-checked here.
   if (config.transport_batch_max_calls > net::kMaxCallsPerBatch) {
     return Status::InvalidArgument(
         "Engine::Config: transport_batch_max_calls exceeds "
@@ -114,7 +112,12 @@ Status Engine::StartShards() {
       base = shard.faulty.get();
     }
     net::BatchOptions batch;
-    batch.max_calls_per_frame = config_.transport_batch_max_calls;
+    batch.max_calls_per_frame =
+        config_.transport_batch_max_calls != 0
+            ? config_.transport_batch_max_calls
+            : (config_.transport == net::TransportKind::kTcp
+                   ? kAutoBatchCallsTcp
+                   : kAutoBatchCallsLoopback);
     batch.max_inflight_frames = config_.transport_max_inflight;
     shard.client = std::make_unique<net::SsiClient>(
         base, protocol::TransportRetryPolicy(config_.options), &metrics_,

@@ -67,6 +67,12 @@ class Engine {
   /// Hard cap on Config::max_inflight_queries (each slot is one worker
   /// thread).
   static constexpr size_t kMaxInflightQueries = 256;
+  /// Per-backend batch sizes picked when transport_batch_max_calls is 0
+  /// (auto). Loopback dispatch is an in-process call, so small frames keep
+  /// latency flat; TCP amortizes syscalls and prefers large frames (see the
+  /// batch sweep in BENCH_transport.json and ROADMAP item 1).
+  static constexpr size_t kAutoBatchCallsLoopback = 8;
+  static constexpr size_t kAutoBatchCallsTcp = 64;
 
   struct Config {
     sim::DeviceModel device;
@@ -89,11 +95,14 @@ class Engine {
     /// What Submit does once every slot is busy (scheduler.h).
     AdmissionPolicy admission = AdmissionPolicy::kQueue;
     /// Calls coalesced into one transport frame per shard client
-    /// (net::BatchOptions::max_calls_per_frame). 1 — the default — keeps
-    /// every call on the legacy single-call wire format; >1 enables the
-    /// batch envelope for collection fetches/uploads and pipelined round
-    /// transfers. Validated in [1, net::kMaxCallsPerBatch] at Create.
-    size_t transport_batch_max_calls = 1;
+    /// (net::BatchOptions::max_calls_per_frame). 0 — the default — picks a
+    /// per-backend value at StartShards, where the transport kind is known:
+    /// kAutoBatchCallsLoopback for loopback (small frames; in-process
+    /// dispatch is cheap) and kAutoBatchCallsTcp for TCP (the batch sweep
+    /// in BENCH_transport.json shows TCP wants 64+ calls/frame). 1 keeps
+    /// every call on the legacy single-call wire format; explicit values
+    /// are validated in [1, net::kMaxCallsPerBatch] at Create.
+    size_t transport_batch_max_calls = 0;
     /// Frames one shard client keeps on the wire concurrently
     /// (net::BatchOptions::max_inflight_frames). Validated >= 1 at Create.
     size_t transport_max_inflight = 4;

@@ -21,6 +21,24 @@ Bytes HashTagBytes(uint64_t h) {
   return out;
 }
 
+/// Per-thread scratch for the partition hot paths. Everything here is
+/// transient within one Process* call: the arena holds decrypted plaintexts
+/// (reset at the start of each partition), the Bytes buffers hold encodings
+/// in flight, and the tuple is the per-item decode target. Thread-local so
+/// the engine's pool threads each warm their own and never contend.
+struct Workspace {
+  Arena arena;
+  std::vector<std::span<const uint8_t>> plains;
+  Bytes payload;         // EncodePayloadTo target
+  Bytes body;            // tuple/aggregation encoding in flight
+  storage::Tuple tuple;  // per-item decode target
+};
+
+Workspace& ThreadWorkspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
 }  // namespace
 
 TrustedDataServer::TrustedDataServer(
@@ -52,8 +70,8 @@ TrustedDataServer::OpenQueryEntry(const ssi::QueryPost& post) {
   TCELLS_ASSIGN_OR_RETURN(Bytes sql_bytes,
                           open_keys->k1_ndet().Decrypt(post.encrypted_query));
   std::string sql(sql_bytes.begin(), sql_bytes.end());
-  TCELLS_ASSIGN_OR_RETURN(sql::AnalyzedQuery query,
-                          sql::AnalyzeSql(sql, db_.catalog()));
+  TCELLS_ASSIGN_OR_RETURN(std::shared_ptr<const sql::AnalyzedQuery> query,
+                          sql::AnalyzeSqlShared(sql, db_.catalog()));
   auto cached = std::make_shared<CachedQuery>();
   cached->query = std::move(query);
   // Credential + policy checks. Failures become PermissionDenied, which
@@ -61,7 +79,7 @@ TrustedDataServer::OpenQueryEntry(const ssi::QueryPost& post) {
   if (!authority_->Verify(post.querier_id, post.credential_mac)) {
     cached->access = Status::PermissionDenied("bad credential");
   } else {
-    cached->access = policy_.CheckQuery(cached->query, post.querier_id);
+    cached->access = policy_.CheckQuery(*cached->query, post.querier_id);
   }
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = query_cache_.find(post.query_id);
@@ -93,7 +111,7 @@ Result<const sql::AnalyzedQuery*> TrustedDataServer::OpenQuery(
   if (!entry->access.ok()) return entry->access;
   // The map keeps the entry alive until eviction, the documented lifetime of
   // this pointer for single-query callers.
-  return &entry->query;
+  return entry->query.get();
 }
 
 Result<std::shared_ptr<const crypto::KeyStore>>
@@ -120,8 +138,16 @@ ssi::EncryptedItem TrustedDataServer::SealK2(const crypto::KeyStore& keys,
                                              const Bytes& payload,
                                              std::optional<Bytes> tag,
                                              Rng* rng) const {
+  return SealK2(keys, payload.data(), payload.size(), std::move(tag), rng);
+}
+
+ssi::EncryptedItem TrustedDataServer::SealK2(const crypto::KeyStore& keys,
+                                             const uint8_t* payload,
+                                             size_t payload_size,
+                                             std::optional<Bytes> tag,
+                                             Rng* rng) const {
   EncryptedItem item;
-  item.blob = keys.k2_ndet().Encrypt(payload, rng);
+  keys.k2_ndet().Encrypt(payload, payload_size, rng, &item.blob);
   item.routing_tag = std::move(tag);
   return item;
 }
@@ -188,7 +214,7 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
                           OpenQueryEntry(post));
   // The pinned entry carries the analyzed shape even when access was denied
   // — we still need it to emit a well-formed dummy.
-  const sql::AnalyzedQuery* query = &entry->query;
+  const sql::AnalyzedQuery* query = entry->query.get();
   bool denied = false;
   if (!entry->access.ok()) {
     if (!entry->access.IsPermissionDenied()) return entry->access;
@@ -207,49 +233,68 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
     return std::vector<EncryptedItem>{std::move(dummy)};
   }
 
+  // Everything about a fake tuple except its IV is a pure function of the
+  // domain value, so the fake payloads and Det tags are computed once per
+  // call instead of once per (true tuple, fake) pair — under C_Noise that is
+  // the difference between O(n) and O(n * |domain|) encode/Det-encrypt work.
+  std::vector<Bytes> fake_payloads;
+  std::vector<Bytes> fake_tags;
+  if (config.mode == CollectionMode::kDetTag) {
+    if (!config.noise.group_domain || config.noise.group_domain->empty()) {
+      return Status::FailedPrecondition(
+          "Det-tag collection requires a group domain");
+    }
+    const auto& domain = *config.noise.group_domain;
+    fake_payloads.reserve(domain.size());
+    fake_tags.reserve(domain.size());
+    for (const Tuple& fake_key : domain) {
+      Tuple fake = fake_key;
+      for (size_t i = query->key_arity;
+           i < query->collection_schema.num_columns(); ++i) {
+        fake.Append(Value::Null());
+      }
+      fake_payloads.push_back(ssi::EncodePayload(
+          PayloadKind::kFakeTuple, fake.Encode(), config.pad_payload_to));
+      fake_tags.push_back(keys.k2_det().Encrypt(fake_key.Encode()));
+    }
+  }
+
+  auto& ws = ThreadWorkspace();
   std::vector<EncryptedItem> items;
   for (const Tuple& tuple : tuples) {
-    Bytes payload = ssi::EncodePayload(PayloadKind::kTrueTuple, tuple.Encode(),
-                                       config.pad_payload_to);
+    ws.body.clear();
+    tuple.EncodeTo(&ws.body);
+    ssi::EncodePayloadTo(PayloadKind::kTrueTuple, ws.body.data(),
+                         ws.body.size(), config.pad_payload_to, &ws.payload);
     switch (config.mode) {
       case CollectionMode::kNDet:
-        items.push_back(SealK2(keys, payload, std::nullopt, rng));
+        items.push_back(SealK2(keys, ws.payload.data(), ws.payload.size(),
+                               std::nullopt, rng));
         break;
       case CollectionMode::kDetTag: {
         items.push_back(SealK2(
-            keys, payload, GroupKeyTagBytes(keys, tuple, query->key_arity),
-            rng));
-        if (!config.noise.group_domain || config.noise.group_domain->empty()) {
-          return Status::FailedPrecondition(
-              "Det-tag collection requires a group domain");
-        }
+            keys, ws.payload.data(), ws.payload.size(),
+            GroupKeyTagBytes(keys, tuple, query->key_arity), rng));
         const auto& domain = *config.noise.group_domain;
         Tuple true_key(std::vector<Value>(
             tuple.values().begin(),
             tuple.values().begin() + query->key_arity));
         // Noise tuples: identified by their payload kind, invisible to SSI.
-        auto emit_fake = [&](const Tuple& fake_key) {
-          Tuple fake = fake_key;
-          for (size_t i = query->key_arity;
-               i < query->collection_schema.num_columns(); ++i) {
-            fake.Append(Value::Null());
-          }
-          Bytes fake_payload = ssi::EncodePayload(
-              PayloadKind::kFakeTuple, fake.Encode(), config.pad_payload_to);
-          items.push_back(SealK2(
-              keys, fake_payload, keys.k2_det().Encrypt(fake_key.Encode()),
-              rng));
+        auto emit_fake = [&](size_t domain_index) {
+          items.push_back(SealK2(keys, fake_payloads[domain_index].data(),
+                                 fake_payloads[domain_index].size(),
+                                 fake_tags[domain_index], rng));
         };
         if (config.noise.complementary) {
           // C_Noise: one fake per domain value different from the true one —
           // the mixed distribution is flat by construction (§4.3).
-          for (const Tuple& key : domain) {
-            if (!key.IsSameGroup(true_key)) emit_fake(key);
+          for (size_t d = 0; d < domain.size(); ++d) {
+            if (!domain[d].IsSameGroup(true_key)) emit_fake(d);
           }
         } else {
           // Rnf_Noise: nf random fakes per true tuple.
           for (int k = 0; k < config.noise.nf; ++k) {
-            emit_fake(domain[rng->NextBelow(domain.size())]);
+            emit_fake(rng->NextBelow(domain.size()));
           }
         }
         break;
@@ -265,7 +310,8 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessCollection(
         uint32_t bucket = config.histogram->BucketOf(key);
         Bytes tag = HashTagBytes(crypto::KeyedHash64(
             keys.k2_hash(), EquiDepthHistogram::BucketIdBytes(bucket)));
-        items.push_back(SealK2(keys, payload, std::move(tag), rng));
+        items.push_back(SealK2(keys, ws.payload.data(), ws.payload.size(),
+                               std::move(tag), rng));
         break;
       }
     }
@@ -286,36 +332,46 @@ TrustedDataServer::ProcessAggregationPartition(
   const crypto::KeyStore& keys = *keys_sp;
   sql::GroupedAggregation agg(query.agg_specs);
   size_t since_check = 0;
-  // Batch-open the whole partition (zero-copy: payload bodies are decoded
-  // as views into the decrypted buffers, never copied out).
-  std::vector<Bytes> plains;
+  // Batch-open the whole partition into the thread's arena (zero-copy:
+  // plaintexts are arena-backed spans and payload bodies are views into
+  // them, never copied out). The arena is reset here, so a warmed thread
+  // opens a steady-state partition without allocating.
+  auto& ws = ThreadWorkspace();
+  ws.arena.Reset();
   TCELLS_RETURN_IF_ERROR(
-      ssi::OpenAll(keys.k2_ndet(), partition.items, &plains));
-  for (const Bytes& plain : plains) {
-    TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
-                            ssi::DecodePayloadView(plain));
+      ssi::OpenAllInto(keys.k2_ndet(), partition.items, &ws.arena,
+                       &ws.plains));
+  for (const auto plain : ws.plains) {
+    TCELLS_ASSIGN_OR_RETURN(
+        ssi::PayloadView payload,
+        ssi::DecodePayloadView(plain.data(), plain.size()));
     switch (payload.kind) {
       case PayloadKind::kTrueTuple: {
-        TCELLS_ASSIGN_OR_RETURN(
-            Tuple t, Tuple::Decode(payload.body, payload.body_size));
-        if (options_.leak_log) options_.leak_log->RecordRawTuple(id_, t);
-        TCELLS_RETURN_IF_ERROR(agg.AccumulateTuple(t, query.key_arity));
+        TCELLS_RETURN_IF_ERROR(
+            Tuple::DecodeInto(payload.body, payload.body_size, &ws.tuple));
+        if (options_.leak_log) options_.leak_log->RecordRawTuple(id_, ws.tuple);
+        TCELLS_RETURN_IF_ERROR(agg.AccumulateTuple(ws.tuple, query.key_arity));
         break;
       }
       case PayloadKind::kDummyTuple:
       case PayloadKind::kFakeTuple:
         break;  // identified characteristics: filtered inside the enclave
       case PayloadKind::kPartialAgg: {
-        TCELLS_ASSIGN_OR_RETURN(
-            sql::GroupedAggregation partial,
-            sql::GroupedAggregation::Decode(query.agg_specs, payload.body,
-                                            payload.body_size));
         if (options_.leak_log) {
+          // Compromised-TDS modeling needs the partial's own groups, so pay
+          // for the materialized decode on this cold path only.
+          TCELLS_ASSIGN_OR_RETURN(
+              sql::GroupedAggregation partial,
+              sql::GroupedAggregation::Decode(query.agg_specs, payload.body,
+                                              payload.body_size));
           for (const auto& [key, states] : partial.groups()) {
             options_.leak_log->RecordGroupAggregate(id_, key);
           }
+          TCELLS_RETURN_IF_ERROR(agg.MergeAll(partial));
+        } else {
+          TCELLS_RETURN_IF_ERROR(
+              agg.MergeEncoded(payload.body, payload.body_size));
         }
-        TCELLS_RETURN_IF_ERROR(agg.MergeAll(partial));
         break;
       }
       case PayloadKind::kResultRow:
@@ -338,11 +394,12 @@ TrustedDataServer::ProcessAggregationPartition(
   std::vector<EncryptedItem> out;
   switch (tag_policy) {
     case OutputTagPolicy::kNone: {
-      Bytes body;
-      agg.EncodeTo(&body);
-      out.push_back(SealK2(
-          keys, ssi::EncodePayload(PayloadKind::kPartialAgg, body),
-          std::nullopt, rng));
+      ws.body.clear();
+      agg.EncodeTo(&ws.body);
+      ssi::EncodePayloadTo(PayloadKind::kPartialAgg, ws.body.data(),
+                           ws.body.size(), 0, &ws.payload);
+      out.push_back(SealK2(keys, ws.payload.data(), ws.payload.size(),
+                           std::nullopt, rng));
       break;
     }
     case OutputTagPolicy::kPreserve: {
@@ -350,21 +407,24 @@ TrustedDataServer::ProcessAggregationPartition(
         return Status::FailedPrecondition(
             "preserve-tag output needs a tagged input partition");
       }
-      Bytes body;
-      agg.EncodeTo(&body);
-      out.push_back(SealK2(keys,
-                           ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+      ws.body.clear();
+      agg.EncodeTo(&ws.body);
+      ssi::EncodePayloadTo(PayloadKind::kPartialAgg, ws.body.data(),
+                           ws.body.size(), 0, &ws.payload);
+      out.push_back(SealK2(keys, ws.payload.data(), ws.payload.size(),
                            partition.items[0].routing_tag, rng));
       break;
     }
     case OutputTagPolicy::kPerGroupDet: {
+      // One sealed single-row aggregation per group, encoded directly —
+      // building a throwaway GroupedAggregation per group made this path
+      // quadratic-ish in the group count (the ED_Hist groups=32 outlier).
       for (const auto& [key, states] : agg.groups()) {
-        sql::GroupedAggregation single(query.agg_specs);
-        TCELLS_RETURN_IF_ERROR(single.MergeRow(key, states));
-        Bytes body;
-        single.EncodeTo(&body);
-        out.push_back(SealK2(keys,
-                             ssi::EncodePayload(PayloadKind::kPartialAgg, body),
+        ws.body.clear();
+        sql::GroupedAggregation::EncodeSingleRowTo(key, states, &ws.body);
+        ssi::EncodePayloadTo(PayloadKind::kPartialAgg, ws.body.data(),
+                             ws.body.size(), 0, &ws.payload);
+        out.push_back(SealK2(keys, ws.payload.data(), ws.payload.size(),
                              keys.k2_det().Encrypt(key.Encode()), rng));
       }
       break;
@@ -380,14 +440,17 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
                           KeysForQuery(config.key_posting));
   const crypto::KeyStore& keys = *keys_sp;
   std::vector<EncryptedItem> out;
-  std::vector<Bytes> plains;
+  auto& ws = ThreadWorkspace();
+  ws.arena.Reset();
   TCELLS_RETURN_IF_ERROR(
-      ssi::OpenAll(keys.k2_ndet(), partition.items, &plains));
+      ssi::OpenAllInto(keys.k2_ndet(), partition.items, &ws.arena,
+                       &ws.plains));
   if (query.is_aggregation) {
     sql::GroupedAggregation agg(query.agg_specs);
-    for (const Bytes& plain : plains) {
-      TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
-                              ssi::DecodePayloadView(plain));
+    for (const auto plain : ws.plains) {
+      TCELLS_ASSIGN_OR_RETURN(
+          ssi::PayloadView payload,
+          ssi::DecodePayloadView(plain.data(), plain.size()));
       if (payload.kind == PayloadKind::kDummyTuple ||
           payload.kind == PayloadKind::kFakeTuple) {
         continue;
@@ -395,11 +458,8 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
       if (payload.kind != PayloadKind::kPartialAgg) {
         return Status::Corruption("filtering expected partial aggregations");
       }
-      TCELLS_ASSIGN_OR_RETURN(
-          sql::GroupedAggregation partial,
-          sql::GroupedAggregation::Decode(query.agg_specs, payload.body,
-                                          payload.body_size));
-      TCELLS_RETURN_IF_ERROR(agg.MergeAll(partial));
+      TCELLS_RETURN_IF_ERROR(
+          agg.MergeEncoded(payload.body, payload.body_size));
     }
     // Finalize + HAVING + projection happen inside the enclave (step 11).
     if (options_.leak_log) {
@@ -410,19 +470,23 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
     TCELLS_ASSIGN_OR_RETURN(sql::QueryResult result,
                             sql::FinalizeAggregation(agg, query));
     for (const Tuple& row : result.rows) {
-      Bytes payload =
-          ssi::EncodePayload(PayloadKind::kResultRow, row.Encode());
+      ws.body.clear();
+      row.EncodeTo(&ws.body);
+      ssi::EncodePayloadTo(PayloadKind::kResultRow, ws.body.data(),
+                           ws.body.size(), 0, &ws.payload);
       EncryptedItem item;
-      item.blob = keys.k1_ndet().Encrypt(payload, rng);
+      keys.k1_ndet().Encrypt(ws.payload.data(), ws.payload.size(), rng,
+                             &item.blob);
       out.push_back(std::move(item));
     }
     return out;
   }
 
   // Plain SFW: drop dummies, re-encrypt true tuples under k1 (step 11-12).
-  for (const Bytes& plain : plains) {
-    TCELLS_ASSIGN_OR_RETURN(ssi::PayloadView payload,
-                            ssi::DecodePayloadView(plain));
+  for (const auto plain : ws.plains) {
+    TCELLS_ASSIGN_OR_RETURN(
+        ssi::PayloadView payload,
+        ssi::DecodePayloadView(plain.data(), plain.size()));
     if (payload.kind == PayloadKind::kDummyTuple ||
         payload.kind == PayloadKind::kFakeTuple) {
       continue;
@@ -431,14 +495,15 @@ Result<std::vector<ssi::EncryptedItem>> TrustedDataServer::ProcessFiltering(
       return Status::Corruption("filtering expected collection tuples");
     }
     if (options_.leak_log) {
-      TCELLS_ASSIGN_OR_RETURN(
-          Tuple t, Tuple::Decode(payload.body, payload.body_size));
-      options_.leak_log->RecordRawTuple(id_, t);
+      TCELLS_RETURN_IF_ERROR(
+          Tuple::DecodeInto(payload.body, payload.body_size, &ws.tuple));
+      options_.leak_log->RecordRawTuple(id_, ws.tuple);
     }
-    Bytes out_payload = ssi::EncodePayload(PayloadKind::kResultRow,
-                                           payload.body, payload.body_size);
+    ssi::EncodePayloadTo(PayloadKind::kResultRow, payload.body,
+                         payload.body_size, 0, &ws.payload);
     EncryptedItem out_item;
-    out_item.blob = keys.k1_ndet().Encrypt(out_payload, rng);
+    keys.k1_ndet().Encrypt(ws.payload.data(), ws.payload.size(), rng,
+                           &out_item.blob);
     out.push_back(std::move(out_item));
   }
   return out;

@@ -168,6 +168,10 @@ class TrustedDataServer {
   /// Encrypt payload under k2 (nDet).
   ssi::EncryptedItem SealK2(const crypto::KeyStore& keys, const Bytes& payload,
                             std::optional<Bytes> tag, Rng* rng) const;
+  /// Span form for sealing straight out of a scratch buffer.
+  ssi::EncryptedItem SealK2(const crypto::KeyStore& keys,
+                            const uint8_t* payload, size_t payload_size,
+                            std::optional<Bytes> tag, Rng* rng) const;
 
   uint64_t id_;
   std::shared_ptr<const crypto::KeyStore> keys_;
@@ -178,7 +182,11 @@ class TrustedDataServer {
   storage::Database db_;
 
   struct CachedQuery {
-    sql::AnalyzedQuery query;
+    /// The analysis itself is shared fleet-wide (sql::AnalyzeSqlShared):
+    /// every TDS with the same catalog shape holds the same immutable
+    /// object, so a 1000-TDS fleet parses each query text once. The
+    /// credential/policy outcome below stays per-TDS.
+    std::shared_ptr<const sql::AnalyzedQuery> query;
     Status access;  // OK or PermissionDenied
     /// Position in lru_order_ (for O(1) touch on cache hits).
     std::list<uint64_t>::iterator lru_pos;

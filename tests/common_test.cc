@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/hex.h"
 #include "common/result.h"
@@ -272,6 +274,64 @@ TEST(StringsTest, Trim) {
   EXPECT_EQ(Trim("  hi \t\n"), "hi");
   EXPECT_EQ(Trim(""), "");
   EXPECT_EQ(Trim("   "), "");
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+
+TEST(ArenaTest, AllocationsAreDistinctAndWritable) {
+  Arena arena;
+  uint8_t* a = arena.Allocate(100);
+  uint8_t* b = arena.Allocate(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xaa, 100);
+  std::memset(b, 0xbb, 100);
+  EXPECT_EQ(a[99], 0xaa);  // b's fill must not clobber a
+  EXPECT_EQ(b[0], 0xbb);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  arena.Allocate(1);  // misalign the bump pointer
+  for (size_t align : {2u, 4u, 8u, 16u, 64u}) {
+    uint8_t* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+    arena.Allocate(1);
+  }
+}
+
+TEST(ArenaTest, CopyDuplicatesBytes) {
+  Arena arena;
+  const uint8_t src[] = {1, 2, 3, 4, 5};
+  uint8_t* dup = arena.Copy(src, sizeof(src));
+  EXPECT_NE(dup, src);
+  EXPECT_EQ(std::memcmp(dup, src, sizeof(src)), 0);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsOwnChunk) {
+  Arena arena(/*min_chunk_bytes=*/64);
+  uint8_t* big = arena.Allocate(100 * 1024);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5a, 100 * 1024);  // asan would flag an undersized chunk
+  EXPECT_GE(arena.bytes_reserved(), 100 * 1024u);
+}
+
+TEST(ArenaTest, ResetKeepsLargestChunkAndStopsGrowing) {
+  Arena arena(/*min_chunk_bytes=*/64);
+  for (int i = 0; i < 100; ++i) arena.Allocate(64);
+  arena.Reset();
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  const size_t reserved = arena.bytes_reserved();
+  // The kept chunk (geometric growth → largest holds >= half the total)
+  // absorbs the same workload without reserving more.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 40; ++i) arena.Allocate(64);
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "round " << round;
+    arena.Reset();
+  }
 }
 
 }  // namespace

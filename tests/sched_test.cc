@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "net/ssi_wire.h"
 #include "protocol/reference.h"
 #include "tcells/engine.h"
 #include "tds/access_control.h"
@@ -140,6 +141,23 @@ TEST(EngineConfigTest, TooManyInflightRejected) {
   EXPECT_TRUE(engine.status().IsInvalidArgument());
   EXPECT_NE(engine.status().ToString().find("exceeds kMaxInflightQueries"),
             std::string::npos);
+}
+
+TEST(EngineConfigTest, OversizedBatchRejected) {
+  Engine::Config cfg;
+  cfg.transport_batch_max_calls = net::kMaxCallsPerBatch + 1;
+  auto engine = Engine::Create(BuildFleet(), cfg);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsInvalidArgument());
+  EXPECT_NE(engine.status().ToString().find("kMaxCallsPerBatch"),
+            std::string::npos);
+}
+
+TEST(EngineConfigTest, AutoBatchDefaultAccepted) {
+  // 0 = auto: resolved per backend at StartShards, never rejected.
+  Engine::Config cfg;
+  EXPECT_EQ(cfg.transport_batch_max_calls, 0u);
+  EXPECT_TRUE(Engine::Create(BuildFleet(), cfg).ok());
 }
 
 TEST(EngineConfigTest, MalformedRunOptionsRejected) {
